@@ -1,0 +1,87 @@
+//! Microbenchmarks of the computational kernels every experiment rests on:
+//! entropy, join informativeness, partitions/quality, joins, sampling, and
+//! the per-iteration cost of the MCMC search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dance_datagen::tpch::{tpch, TpchConfig};
+use dance_info::{correlation, join_informativeness, shannon_entropy};
+use dance_quality::{discover_afds, quality, Fd, TaneConfig};
+use dance_relation::join::{hash_join, JoinKind};
+use dance_relation::{AttrSet, Table};
+use dance_sampling::CorrelatedSampler;
+use std::hint::black_box;
+
+fn tables() -> Vec<Table> {
+    tpch(&TpchConfig {
+        scale: 0.5,
+        dirty_fraction: 0.3,
+        seed: 42,
+    })
+    .expect("generation")
+}
+
+fn by_name<'a>(ts: &'a [Table], n: &str) -> &'a Table {
+    ts.iter().find(|t| t.name() == n).expect("table exists")
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let ts = tables();
+    let orders = by_name(&ts, "orders");
+    let customer = by_name(&ts, "customer");
+    let lineitem = by_name(&ts, "lineitem");
+
+    c.bench_function("entropy/orders_status", |b| {
+        let attrs = AttrSet::from_names(["o_orderstatus"]);
+        b.iter(|| shannon_entropy(black_box(orders), &attrs).unwrap())
+    });
+
+    c.bench_function("ji/orders_customer_custkey", |b| {
+        let on = AttrSet::from_names(["custkey"]);
+        b.iter(|| join_informativeness(black_box(orders), black_box(customer), &on).unwrap())
+    });
+
+    c.bench_function("correlation/totalprice_vs_mktsegment", |b| {
+        let j = hash_join(
+            orders,
+            customer,
+            &AttrSet::from_names(["custkey"]),
+            JoinKind::Inner,
+        )
+        .unwrap();
+        let x = AttrSet::from_names(["o_totalprice"]);
+        let y = AttrSet::from_names(["c_mktsegment"]);
+        b.iter(|| correlation(black_box(&j), &x, &y).unwrap())
+    });
+
+    c.bench_function("quality/customer_city_state", |b| {
+        let fd = Fd::new(["c_city"], "c_state");
+        b.iter(|| quality(black_box(customer), &fd).unwrap())
+    });
+
+    c.bench_function("tane/customer_lhs2", |b| {
+        let cfg = TaneConfig {
+            error_threshold: 0.1,
+            max_lhs: 2,
+            max_attrs: 7,
+        };
+        b.iter(|| discover_afds(black_box(customer), &cfg).unwrap())
+    });
+
+    c.bench_function("join/orders_lineitem", |b| {
+        let on = AttrSet::from_names(["orderkey"]);
+        b.iter(|| hash_join(black_box(orders), black_box(lineitem), &on, JoinKind::Inner).unwrap())
+    });
+
+    c.bench_function("sampling/correlated_lineitem", |b| {
+        let s = CorrelatedSampler::new(0.3, 7);
+        let on = AttrSet::from_names(["orderkey"]);
+        b.iter(|| s.sample(black_box(lineitem), &on).unwrap())
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(kernels);

@@ -1,0 +1,133 @@
+//! Criterion benches mirroring the paper's tables and figures, one group per
+//! artifact, at reduced scale so `cargo bench` completes quickly. The
+//! `experiments` binary produces the full formatted reports; these benches
+//! track the *cost* of regenerating each artifact so regressions in any layer
+//! (generation, sampling, graph construction, search, baselines) surface.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dance_bench::setup::{marketplace_subset, offline};
+use dance_bench::{exp_ablation, exp_correlation, exp_scalability, exp_tables};
+use dance_core::baseline::{brute_force, BaselineConfig};
+use dance_core::AcquisitionRequest;
+use dance_datagen::tpch::TpchConfig;
+use dance_datagen::workload::tpch_workload;
+use dance_relation::Table;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.12;
+const SEED: u64 = 42;
+
+/// Table 5: dataset generation + AFD statistics.
+fn bench_table5(c: &mut Criterion) {
+    c.bench_function("table5/report", |b| {
+        b.iter(|| black_box(exp_tables::table5(SCALE, SEED)))
+    });
+}
+
+/// Figure 4's three per-point measurements: heuristic, LP and GP search.
+fn bench_fig4(c: &mut Criterion) {
+    let w = tpch_workload(&TpchConfig {
+        scale: SCALE,
+        dirty_fraction: 0.3,
+        seed: SEED,
+    })
+    .expect("generation");
+    let names: Vec<&str> = w.tables.iter().map(Table::name).collect();
+    let mut market = marketplace_subset(&w.tables, &names);
+    let dance = offline(&mut market, 0.3, SEED).expect("offline");
+    let mut group = c.benchmark_group("fig4");
+    for q in &w.queries {
+        let req = AcquisitionRequest::new(q.source.clone(), q.target.clone());
+        group.bench_with_input(BenchmarkId::new("heuristic", q.name), &req, |b, req| {
+            b.iter(|| dance.search(black_box(req)).unwrap())
+        });
+        let scovers = dance.covers_of(&req.source_attrs);
+        let tcovers = dance.covers_of(&req.target_attrs);
+        let cfg = BaselineConfig {
+            max_tree_vertices: q.path_len,
+            max_trees: 20,
+            max_assignments_per_tree: 16,
+            ..BaselineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("lp", q.name), &req, |b, req| {
+            b.iter(|| {
+                brute_force(
+                    dance.graph(),
+                    dance.free_vertices(),
+                    &scovers,
+                    &tcovers,
+                    &req.source_attrs,
+                    &req.target_attrs,
+                    &req.constraints,
+                    None,
+                    &cfg,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 5: the heuristic on the 29-instance TPC-E catalog.
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5/report", |b| {
+        b.iter(|| black_box(exp_scalability::fig5(SCALE, SEED)))
+    });
+}
+
+/// Figure 5(c): budget-ratio sweep.
+fn bench_fig5c(c: &mut Criterion) {
+    c.bench_function("fig5c/report", |b| {
+        b.iter(|| black_box(exp_scalability::fig5c(SCALE, SEED)))
+    });
+}
+
+/// Figure 6: correlation-difference sweep over sampling rates.
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6/report", |b| {
+        b.iter(|| black_box(exp_correlation::fig6(SCALE, SEED)))
+    });
+}
+
+/// Figure 7: budget-ratio correlation sweep.
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7/report", |b| {
+        b.iter(|| black_box(exp_correlation::fig7(SCALE, SEED)))
+    });
+}
+
+/// Figure 8: re-sampling oscillation sweep.
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8/report", |b| {
+        b.iter(|| black_box(exp_correlation::fig8(SCALE, SEED)))
+    });
+}
+
+/// Table 6: DANCE vs direct purchase.
+fn bench_table6(c: &mut Criterion) {
+    c.bench_function("table6/report", |b| {
+        b.iter(|| black_box(exp_tables::table6(SCALE, SEED)))
+    });
+}
+
+/// Ablations.
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("ablation/steiner", |b| {
+        b.iter(|| black_box(exp_ablation::ablation_steiner(SCALE, SEED)))
+    });
+    c.bench_function("ablation/sampling", |b| {
+        b.iter(|| black_box(exp_ablation::ablation_sampling(SCALE, SEED)))
+    });
+    c.bench_function("ablation/clean", |b| {
+        b.iter(|| black_box(exp_ablation::ablation_clean(SCALE, SEED)))
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table5, bench_fig4, bench_fig5, bench_fig5c, bench_fig6,
+              bench_fig7, bench_fig8, bench_table6, bench_ablations
+}
+criterion_main!(paper);

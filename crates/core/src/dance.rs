@@ -1,0 +1,533 @@
+//! The DANCE middleware (Figure 1).
+//!
+//! **Offline**: buy correlated samples of every catalog dataset, build the
+//! two-layer join graph from them, register the shopper's own instances as
+//! free vertices.
+//!
+//! **Online**: for an acquisition request, enumerate source/target covers
+//! (Definition 4.3), run Step 1 (minimal weighted I-graph) per cover pair,
+//! run Step 2 (MCMC) on the lightest I-graphs, and hand back the best
+//! constraint-satisfying plan as SQL projection queries. If no plan exists at
+//! the current sample resolution, buy more samples (higher rate), refresh the
+//! graph and retry — the iterative loop of §2.1.
+
+use crate::igraph::minimal_igraph;
+use crate::join_graph::{JoinGraph, JoinGraphConfig};
+use crate::landmark::LandmarkIndex;
+use crate::mcmc::{evaluate_assignment, find_optimal_target_graph, McmcConfig, TargetGraph};
+use crate::plan::AcquisitionPlan;
+use crate::request::AcquisitionRequest;
+use crate::target::{enumerate_covers, Cover};
+use dance_market::{Budget, DatasetId, DatasetMeta, Marketplace};
+use dance_relation::{AttrSet, FxHashSet, RelationError, Result, Table};
+
+/// Configuration of the middleware.
+#[derive(Debug, Clone)]
+pub struct DanceConfig {
+    /// Offline sampling rate `p`.
+    pub sampling_rate: f64,
+    /// Master seed (sampling, landmarks, MCMC).
+    pub seed: u64,
+    /// Number of landmarks for Step 1.
+    pub landmarks: usize,
+    /// Join-graph construction knobs.
+    pub graph: JoinGraphConfig,
+    /// Algorithm 1 knobs.
+    pub mcmc: McmcConfig,
+    /// Cap on enumerated covers per side.
+    pub max_covers: usize,
+    /// Cap on (source cover, target cover) pairs explored.
+    pub max_cover_pairs: usize,
+    /// How many of the lightest I-graphs get an MCMC run.
+    pub max_igraphs: usize,
+    /// Refinement rounds when the first search fails (0 = no refinement).
+    pub refine_rounds: usize,
+    /// Sampling-rate multiplier per refinement round.
+    pub refine_multiplier: f64,
+}
+
+impl Default for DanceConfig {
+    fn default() -> Self {
+        DanceConfig {
+            sampling_rate: 0.3,
+            seed: 0xDA2CE,
+            landmarks: 3,
+            graph: JoinGraphConfig::default(),
+            mcmc: McmcConfig::default(),
+            max_covers: 8,
+            max_cover_pairs: 12,
+            max_igraphs: 4,
+            refine_rounds: 2,
+            refine_multiplier: 2.0,
+        }
+    }
+}
+
+/// The middleware: join graph + bookkeeping about sources and spend.
+#[derive(Debug)]
+pub struct Dance {
+    graph: JoinGraph,
+    free: FxHashSet<u32>,
+    /// Per vertex: marketplace identity, or `None` for shopper-owned sources.
+    dataset_ids: Vec<Option<(DatasetId, String)>>,
+    source_tables: Vec<Table>,
+    cfg: DanceConfig,
+    sample_cost: f64,
+    current_rate: f64,
+}
+
+impl Dance {
+    /// Offline phase: buy samples of every listed dataset and build the graph.
+    ///
+    /// `sources` are the shopper's own instances `S` — they join the graph as
+    /// free (price-0) vertices at full resolution.
+    pub fn offline(
+        market: &mut Marketplace,
+        sources: Vec<Table>,
+        cfg: DanceConfig,
+    ) -> Result<Dance> {
+        let catalog: Vec<DatasetMeta> = market.catalog().into_iter().cloned().collect();
+        let mut metas = Vec::with_capacity(catalog.len() + sources.len());
+        let mut samples = Vec::with_capacity(catalog.len() + sources.len());
+        let mut dataset_ids = Vec::with_capacity(catalog.len() + sources.len());
+        let mut sample_cost = 0.0;
+        for meta in &catalog {
+            let (sample, cost) = market.buy_sample(
+                meta.id,
+                &meta.default_key,
+                cfg.sampling_rate,
+                cfg.seed,
+            )?;
+            sample_cost += cost;
+            dataset_ids.push(Some((meta.id, meta.name.clone())));
+            metas.push(meta.clone());
+            samples.push(sample);
+        }
+        let mut free = FxHashSet::default();
+        for (i, s) in sources.iter().enumerate() {
+            let v = (catalog.len() + i) as u32;
+            free.insert(v);
+            dataset_ids.push(None);
+            metas.push(DatasetMeta {
+                id: DatasetId(v),
+                name: s.name().to_string(),
+                schema: s.schema().clone(),
+                num_rows: s.num_rows(),
+                default_key: AttrSet::singleton(s.schema().attributes()[0].id),
+            });
+            samples.push(s.clone());
+        }
+        let graph = JoinGraph::build(metas, samples, *market_pricing(), &cfg.graph)?;
+        Ok(Dance {
+            graph,
+            free,
+            dataset_ids,
+            source_tables: sources,
+            current_rate: cfg.sampling_rate,
+            cfg,
+            sample_cost,
+        })
+    }
+
+    /// The join graph (read access for diagnostics and experiments).
+    pub fn graph(&self) -> &JoinGraph {
+        &self.graph
+    }
+
+    /// Shopper-owned (free) vertices.
+    pub fn free_vertices(&self) -> &FxHashSet<u32> {
+        &self.free
+    }
+
+    /// Cumulative cost of sample purchases.
+    pub fn sample_cost(&self) -> f64 {
+        self.sample_cost
+    }
+
+    /// Current sampling rate (grows with refinement).
+    pub fn current_rate(&self) -> f64 {
+        self.current_rate
+    }
+
+    /// Covers of `attrs`, free instances offered first.
+    pub fn covers_of(&self, attrs: &AttrSet) -> Vec<Cover> {
+        if attrs.is_empty() {
+            return vec![Cover::new()];
+        }
+        let mut available: Vec<(u32, AttrSet)> = (0..self.graph.num_instances() as u32)
+            .filter_map(|v| {
+                let offer = attrs.intersect(&self.graph.meta(v).attr_set());
+                (!offer.is_empty()).then_some((v, offer))
+            })
+            .collect();
+        // Free instances first so shopper-owned data is preferred.
+        available.sort_by_key(|(v, _)| (!self.free.contains(v), *v));
+        enumerate_covers(attrs, &available, self.cfg.max_covers)
+    }
+
+    /// Online phase: search; on failure, refine samples and retry.
+    pub fn acquire(
+        &mut self,
+        market: &mut Marketplace,
+        req: &AcquisitionRequest,
+    ) -> Result<Option<AcquisitionPlan>> {
+        for round in 0..=self.cfg.refine_rounds {
+            if round > 0 {
+                if self.current_rate >= 1.0 {
+                    break;
+                }
+                self.refine(market)?;
+            }
+            if let Some(plan) = self.search(req)? {
+                return Ok(Some(plan));
+            }
+        }
+        Ok(None)
+    }
+
+    /// One search pass at the current sample resolution.
+    pub fn search(&self, req: &AcquisitionRequest) -> Result<Option<AcquisitionPlan>> {
+        let scovers = self.covers_of(&req.source_attrs);
+        let tcovers = self.covers_of(&req.target_attrs);
+        if scovers.is_empty() || tcovers.is_empty() {
+            return Ok(None);
+        }
+        let lm = LandmarkIndex::build(&self.graph, self.cfg.landmarks, self.cfg.seed);
+
+        // Step 1 per cover pair.
+        let mut candidates: Vec<(f64, crate::igraph::IGraph, &Cover, &Cover)> = Vec::new();
+        'pairs: for sc in &scovers {
+            for tc in &tcovers {
+                if candidates.len() >= self.cfg.max_cover_pairs {
+                    break 'pairs;
+                }
+                let mut required: Vec<u32> = sc.keys().chain(tc.keys()).copied().collect();
+                required.sort_unstable();
+                required.dedup();
+                if required.is_empty() {
+                    continue;
+                }
+                for ig in crate::igraph::candidate_igraphs(
+                    &self.graph,
+                    &lm,
+                    &required,
+                    req.constraints.alpha,
+                ) {
+                    candidates.push((ig.total_weight, ig, sc, tc));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Step 2 on the lightest I-graphs.
+        let mut best: Option<(TargetGraph, Cover, Cover)> = None;
+        for (_, ig, sc, tc) in candidates.into_iter().take(self.cfg.max_igraphs) {
+            let found = find_optimal_target_graph(
+                &self.graph,
+                &self.free,
+                &ig.edges,
+                sc,
+                tc,
+                &req.source_attrs,
+                &req.target_attrs,
+                &req.constraints,
+                &self.cfg.mcmc,
+            )?;
+            if let Some(tg) = found {
+                if best.as_ref().is_none_or(|(b, _, _)| tg.corr > b.corr) {
+                    best = Some((tg, sc.clone(), tc.clone()));
+                }
+            }
+        }
+        Ok(best.map(|(tg, _, _)| {
+            AcquisitionPlan::from_target_graph(tg, &self.free, |v| {
+                self.dataset_ids[v as usize].clone()
+            })
+        }))
+    }
+
+    /// Diagnostic: run Step 1 only and report the minimal I-graph chosen for
+    /// the request — `(size, total weight)` — without running MCMC. This is
+    /// what Figure 5(b) tabulates.
+    pub fn probe_igraph(&self, req: &AcquisitionRequest) -> Option<(usize, f64)> {
+        let scovers = self.covers_of(&req.source_attrs);
+        let tcovers = self.covers_of(&req.target_attrs);
+        let lm = LandmarkIndex::build(&self.graph, self.cfg.landmarks, self.cfg.seed);
+        let mut best: Option<(usize, f64)> = None;
+        for sc in &scovers {
+            for tc in &tcovers {
+                let mut required: Vec<u32> = sc.keys().chain(tc.keys()).copied().collect();
+                required.sort_unstable();
+                required.dedup();
+                if required.is_empty() {
+                    continue;
+                }
+                if let Some(ig) =
+                    minimal_igraph(&self.graph, &lm, &required, req.constraints.alpha)
+                {
+                    if best.is_none_or(|(_, w)| ig.total_weight < w) {
+                        best = Some((ig.size(), ig.total_weight));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Buy fresh samples at a higher rate and refresh the graph (§2.1's
+    /// iterative refinement).
+    pub fn refine(&mut self, market: &mut Marketplace) -> Result<()> {
+        self.current_rate = (self.current_rate * self.cfg.refine_multiplier).min(1.0);
+        for v in 0..self.graph.num_instances() as u32 {
+            let Some((id, _)) = &self.dataset_ids[v as usize] else {
+                continue; // source vertices are already full-resolution
+            };
+            let key = self.graph.meta(v).default_key.clone();
+            let (sample, cost) =
+                market.buy_sample(*id, &key, self.current_rate, self.cfg.seed)?;
+            self.sample_cost += cost;
+            self.graph.refresh_sample(v, sample)?;
+        }
+        Ok(())
+    }
+
+    /// Execute a plan's queries against the marketplace under a budget.
+    ///
+    /// Returns the purchased projections; fails (without partial purchase)
+    /// if the *actual* total price exceeds the remaining budget.
+    pub fn purchase(
+        &self,
+        market: &mut Marketplace,
+        plan: &AcquisitionPlan,
+        budget: &mut Budget,
+    ) -> Result<Vec<Table>> {
+        // Quote everything first — no partial purchases on overdraft.
+        let mut total = 0.0;
+        for q in &plan.queries {
+            total += market.quote(q.dataset, &q.attrs)?;
+        }
+        budget.try_spend(total).map_err(|e| {
+            RelationError::Shape(format!("budget refused purchase: {e}"))
+        })?;
+        let mut out = Vec::with_capacity(plan.queries.len());
+        for q in &plan.queries {
+            let (data, _) = market.execute(q)?;
+            out.push(data);
+        }
+        Ok(out)
+    }
+
+    /// Ground-truth evaluation of a target graph on the *full* marketplace
+    /// instances (what the shopper actually receives) — used for the paper's
+    /// "real correlation, not the estimated value" reporting.
+    pub fn evaluate_true(
+        &self,
+        market: &Marketplace,
+        tg: &TargetGraph,
+        req: &AcquisitionRequest,
+    ) -> Result<TargetGraph> {
+        // Full tables aligned with graph vertices.
+        let mut tables: Vec<Table> = Vec::with_capacity(self.graph.num_instances());
+        for v in 0..self.graph.num_instances() as u32 {
+            match &self.dataset_ids[v as usize] {
+                Some((id, _)) => tables.push(market.full_table_for_evaluation(*id)?.clone()),
+                None => {
+                    let si = v as usize - (self.graph.num_instances() - self.source_tables.len());
+                    tables.push(self.source_tables[si].clone());
+                }
+            }
+        }
+        // Reconstruct covers from the projections (projection = join attrs ∪
+        // cover contribution, so intersecting with AS / AT recovers them).
+        let mut sc = Cover::new();
+        let mut tc = Cover::new();
+        for (&v, attrs) in &tg.projections {
+            let s = attrs.intersect(&req.source_attrs);
+            if !s.is_empty() {
+                sc.insert(v, s);
+            }
+            let t = attrs.intersect(&req.target_attrs);
+            if !t.is_empty() {
+                tc.insert(v, t);
+            }
+        }
+        evaluate_assignment(
+            &self.graph,
+            &self.free,
+            &tg.tree_edges,
+            &tg.join_attrs,
+            &sc,
+            &tc,
+            &req.source_attrs,
+            &req.target_attrs,
+            Some(&tables),
+            None,
+            &self.cfg.mcmc.tane,
+        )
+    }
+}
+
+/// The pricing model DANCE assumes the marketplace publishes. Kept in sync
+/// with [`dance_market::EntropyPricing::default`].
+fn market_pricing() -> &'static dance_market::EntropyPricing {
+    static PRICING: dance_market::EntropyPricing = dance_market::EntropyPricing {
+        scale: 1.0,
+        floor: 0.25,
+        row_exponent: 0.0,
+    };
+    &PRICING
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Constraints;
+    use dance_market::EntropyPricing;
+    use dance_relation::{Table, Value, ValueType};
+
+    /// Marketplace: zip(zipcode,state) and disease(state, disease); shopper
+    /// owns DS(age, zipcode).
+    fn setup() -> (Marketplace, Vec<Table>) {
+        let zip = Table::from_rows(
+            "zip",
+            &[("dn_zip", ValueType::Int), ("dn_state", ValueType::Int)],
+            (0..200)
+                .map(|i| vec![Value::Int(i % 50), Value::Int((i % 50) / 10)])
+                .collect(),
+        )
+        .unwrap();
+        let disease = Table::from_rows(
+            "disease",
+            &[("dn_state", ValueType::Int), ("dn_disease", ValueType::Str)],
+            (0..100)
+                .map(|i| {
+                    vec![
+                        Value::Int(i % 5),
+                        Value::str(format!("d{}", i % 5)),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let market = Marketplace::new(vec![zip, disease], EntropyPricing::default());
+        let ds = Table::from_rows(
+            "DS",
+            &[("dn_age", ValueType::Int), ("dn_zip", ValueType::Int)],
+            (0..150)
+                .map(|i| vec![Value::Int(20 + (i % 50) / 10), Value::Int(i % 50)])
+                .collect(),
+        )
+        .unwrap();
+        (market, vec![ds])
+    }
+
+    fn config() -> DanceConfig {
+        DanceConfig {
+            sampling_rate: 0.6,
+            seed: 11,
+            mcmc: McmcConfig {
+                iterations: 40,
+                seed: 11,
+                resample: None,
+                ..McmcConfig::default()
+            },
+            ..DanceConfig::default()
+        }
+    }
+
+    #[test]
+    fn offline_builds_graph_with_free_sources() {
+        let (mut market, sources) = setup();
+        let d = Dance::offline(&mut market, sources, config()).unwrap();
+        assert_eq!(d.graph().num_instances(), 3);
+        assert_eq!(d.free_vertices().len(), 1);
+        assert!(d.free_vertices().contains(&2));
+        assert!(d.sample_cost() > 0.0);
+        assert_eq!(market.sales().0, 2, "one sample per listed dataset");
+    }
+
+    #[test]
+    fn acquire_finds_age_disease_plan() {
+        let (mut market, sources) = setup();
+        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let req = AcquisitionRequest::new(
+            AttrSet::from_names(["dn_age"]),
+            AttrSet::from_names(["dn_disease"]),
+        );
+        let plan = d.acquire(&mut market, &req).unwrap().expect("plan found");
+        // DS (free) → zip → disease: two purchases.
+        assert_eq!(plan.queries.len(), 2);
+        assert!(plan.estimated.price > 0.0);
+        assert!(plan.estimated.correlation >= 0.0);
+        // Plan projections cover both request sides.
+        let all: AttrSet = plan
+            .graph
+            .projections
+            .values()
+            .fold(AttrSet::empty(), |acc, a| acc.union(a));
+        assert!(AttrSet::from_names(["dn_age"]).is_subset(&all));
+        assert!(AttrSet::from_names(["dn_disease"]).is_subset(&all));
+    }
+
+    #[test]
+    fn purchase_executes_within_budget() {
+        let (mut market, sources) = setup();
+        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let req = AcquisitionRequest::new(
+            AttrSet::from_names(["dn_age"]),
+            AttrSet::from_names(["dn_disease"]),
+        );
+        let plan = d.acquire(&mut market, &req).unwrap().unwrap();
+        let mut budget = Budget::new(1e6);
+        let bought = d.purchase(&mut market, &plan, &mut budget).unwrap();
+        assert_eq!(bought.len(), plan.queries.len());
+        assert!(budget.spent() > 0.0);
+
+        let mut tiny = Budget::new(1e-9);
+        assert!(d.purchase(&mut market, &plan, &mut tiny).is_err());
+        assert_eq!(tiny.spent(), 0.0, "no partial purchase");
+    }
+
+    #[test]
+    fn unsatisfiable_target_returns_none() {
+        let (mut market, sources) = setup();
+        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let req = AcquisitionRequest::new(
+            AttrSet::from_names(["dn_age"]),
+            AttrSet::from_names(["dn_not_anywhere"]),
+        );
+        assert!(d.acquire(&mut market, &req).unwrap().is_none());
+    }
+
+    #[test]
+    fn impossible_budget_triggers_refinement_then_none() {
+        let (mut market, sources) = setup();
+        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let rate_before = d.current_rate();
+        let req = AcquisitionRequest::new(
+            AttrSet::from_names(["dn_age"]),
+            AttrSet::from_names(["dn_disease"]),
+        )
+        .with_constraints(Constraints {
+            alpha: f64::INFINITY,
+            beta: 0.0,
+            budget: 1e-9,
+        });
+        assert!(d.acquire(&mut market, &req).unwrap().is_none());
+        assert!(d.current_rate() > rate_before, "refinement bought more samples");
+    }
+
+    #[test]
+    fn true_evaluation_runs_on_full_tables() {
+        let (mut market, sources) = setup();
+        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let req = AcquisitionRequest::new(
+            AttrSet::from_names(["dn_age"]),
+            AttrSet::from_names(["dn_disease"]),
+        );
+        let plan = d.acquire(&mut market, &req).unwrap().unwrap();
+        let truth = d.evaluate_true(&market, &plan.graph, &req).unwrap();
+        assert!(truth.corr.is_finite());
+        assert!(truth.price >= plan.estimated.price * 0.5, "same pricing model scale");
+    }
+}

@@ -1,0 +1,330 @@
+//! Step 1 (§5.1): the minimal weighted I-graph.
+//!
+//! Given the required I-vertices (instances carrying source and target
+//! attributes), build — for each landmark — the union of the landmark paths
+//! from every required vertex, prune branches that serve no required vertex,
+//! and keep the lightest result. If even that exceeds the informativeness
+//! budget α, no target graph can satisfy the constraint and Step 1 reports
+//! failure, exactly as the paper prescribes.
+
+use crate::join_graph::JoinGraph;
+use crate::landmark::LandmarkIndex;
+use dance_relation::FxHashSet;
+
+/// A connected subgraph of the I-layer (tree in practice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IGraph {
+    /// Vertices, ascending.
+    pub vertices: Vec<u32>,
+    /// Edges as `(min, max)` pairs, ascending.
+    pub edges: Vec<(u32, u32)>,
+    /// Sum of I-edge weights.
+    pub total_weight: f64,
+}
+
+impl IGraph {
+    fn from_edge_set(graph: &JoinGraph, edges: FxHashSet<(u32, u32)>, isolated: Option<u32>) -> IGraph {
+        let mut vertices: FxHashSet<u32> = FxHashSet::default();
+        for &(a, b) in &edges {
+            vertices.insert(a);
+            vertices.insert(b);
+        }
+        if let Some(v) = isolated {
+            vertices.insert(v);
+        }
+        let mut vertices: Vec<u32> = vertices.into_iter().collect();
+        vertices.sort_unstable();
+        let mut edge_list: Vec<(u32, u32)> = edges.into_iter().collect();
+        edge_list.sort_unstable();
+        let total_weight = edge_list
+            .iter()
+            .map(|&(a, b)| graph.edge_between(a, b).map(|e| e.weight).unwrap_or(f64::INFINITY))
+            .sum();
+        IGraph {
+            vertices,
+            edges: edge_list,
+            total_weight,
+        }
+    }
+
+    /// Number of vertices (the paper's "I-graph size", Figure 5b).
+    pub fn size(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` iff `v` participates.
+    pub fn contains(&self, v: u32) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Edges incident to `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.edges.iter().filter(|&&(a, b)| a == v || b == v).count()
+    }
+}
+
+/// Step 1: minimal weighted I-graph connecting all `required` vertices.
+///
+/// Returns `None` when the vertices cannot be connected or the lightest
+/// found connection weighs more than `alpha`.
+pub fn minimal_igraph(
+    graph: &JoinGraph,
+    lm: &LandmarkIndex,
+    required: &[u32],
+    alpha: f64,
+) -> Option<IGraph> {
+    candidate_igraphs(graph, lm, required, alpha).into_iter().next()
+}
+
+/// All candidate minimal weighted I-graphs for Step 2 to search over.
+///
+/// §5.1 produces one union-of-paths graph *per landmark* ("the minimal
+/// weighted graphs (I-graphs)", plural); we additionally include the minimum
+/// spanning tree over the subgraph induced by the required vertices alone —
+/// the direct-join option that landmark detours can otherwise shadow when
+/// many FK edges have near-zero JI. Results are deduplicated, filtered by
+/// `alpha`, and sorted lightest-first.
+pub fn candidate_igraphs(
+    graph: &JoinGraph,
+    lm: &LandmarkIndex,
+    required: &[u32],
+    alpha: f64,
+) -> Vec<IGraph> {
+    if required.is_empty() {
+        return Vec::new();
+    }
+    if required.len() == 1 {
+        return vec![IGraph {
+            vertices: vec![required[0]],
+            edges: Vec::new(),
+            total_weight: 0.0,
+        }];
+    }
+    let mut found: Vec<IGraph> = Vec::new();
+    let mut push = |ig: IGraph| {
+        if ig.total_weight <= alpha + 1e-12 && !found.iter().any(|f| f.edges == ig.edges) {
+            found.push(ig);
+        }
+    };
+    for li in 0..lm.landmarks.len() {
+        // Union of landmark paths from each required vertex.
+        let mut edges: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let mut ok = true;
+        for &r in required {
+            match lm.path_to_landmark(li, r) {
+                Some(p) => {
+                    for w in p.windows(2) {
+                        edges.insert((w[0].min(w[1]), w[0].max(w[1])));
+                    }
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        prune(&mut edges, required);
+        let ig = IGraph::from_edge_set(graph, edges, Some(required[0]));
+        if connects(&ig, required) {
+            push(ig);
+        }
+    }
+    if let Some(direct) = required_only_mst(graph, required) {
+        push(direct);
+    }
+    if let Some(hops) = hop_minimal_union(graph, required) {
+        push(hops);
+    }
+    found.sort_by(|a, b| a.total_weight.total_cmp(&b.total_weight));
+    found
+}
+
+/// Union of *fewest-hop* (unweighted BFS) paths from `required\[0\]` to every
+/// other required vertex, pruned.
+///
+/// Near-zero-JI foreign-key chains can make long detours weigh less than the
+/// semantically direct join path; offering the hop-minimal graph as an extra
+/// candidate lets Step 2's correlation estimate arbitrate between "lightest"
+/// and "shortest" (the classic join-path criterion of the data-exploration
+/// literature the paper builds on).
+fn hop_minimal_union(graph: &JoinGraph, required: &[u32]) -> Option<IGraph> {
+    let n = graph.num_instances();
+    let root = required[0];
+    let mut parent: Vec<Option<u32>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[root as usize] = true;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        for &ei in graph.incident(v) {
+            let e = &graph.i_edges()[ei as usize];
+            let u = if e.a == v { e.b } else { e.a };
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                parent[u as usize] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    let mut edges: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for &r in required {
+        if r != root && !seen[r as usize] {
+            return None;
+        }
+        let mut cur = r;
+        while let Some(p) = parent[cur as usize] {
+            edges.insert((cur.min(p), cur.max(p)));
+            cur = p;
+        }
+    }
+    prune(&mut edges, required);
+    let ig = IGraph::from_edge_set(graph, edges, Some(root));
+    connects(&ig, required).then_some(ig)
+}
+
+/// Minimum spanning tree over the subgraph induced by `required` only
+/// (Prim's algorithm); `None` when the induced subgraph is disconnected.
+fn required_only_mst(graph: &JoinGraph, required: &[u32]) -> Option<IGraph> {
+    let mut in_tree: FxHashSet<u32> = FxHashSet::default();
+    let mut edges: FxHashSet<(u32, u32)> = FxHashSet::default();
+    in_tree.insert(required[0]);
+    while in_tree.len() < required.len() {
+        let mut best: Option<(f64, u32, u32)> = None;
+        for &u in &in_tree {
+            for &v in required {
+                if in_tree.contains(&v) {
+                    continue;
+                }
+                if let Some(e) = graph.edge_between(u, v) {
+                    if best.is_none_or(|(w, _, _)| e.weight < w) {
+                        best = Some((e.weight, u, v));
+                    }
+                }
+            }
+        }
+        let (_, u, v) = best?;
+        in_tree.insert(v);
+        edges.insert((u.min(v), u.max(v)));
+    }
+    let ig = IGraph::from_edge_set(graph, edges, Some(required[0]));
+    connects(&ig, required).then_some(ig)
+}
+
+/// Iteratively drop leaf vertices that are not required (the landmark itself
+/// and path overshoots).
+fn prune(edges: &mut FxHashSet<(u32, u32)>, required: &[u32]) {
+    let req: FxHashSet<u32> = required.iter().copied().collect();
+    loop {
+        let mut degree: dance_relation::FxHashMap<u32, usize> =
+            dance_relation::FxHashMap::default();
+        for &(a, b) in edges.iter() {
+            *degree.entry(a).or_insert(0) += 1;
+            *degree.entry(b).or_insert(0) += 1;
+        }
+        let removable: Vec<(u32, u32)> = edges
+            .iter()
+            .copied()
+            .filter(|&(a, b)| {
+                (degree[&a] == 1 && !req.contains(&a)) || (degree[&b] == 1 && !req.contains(&b))
+            })
+            .collect();
+        if removable.is_empty() {
+            return;
+        }
+        for e in removable {
+            edges.remove(&e);
+        }
+    }
+}
+
+/// All required vertices in one connected component of `ig`.
+fn connects(ig: &IGraph, required: &[u32]) -> bool {
+    if required.iter().any(|r| !ig.contains(*r)) {
+        return false;
+    }
+    let mut reach: FxHashSet<u32> = FxHashSet::default();
+    let mut stack = vec![required[0]];
+    reach.insert(required[0]);
+    while let Some(v) = stack.pop() {
+        for &(a, b) in &ig.edges {
+            let next = if a == v {
+                b
+            } else if b == v {
+                a
+            } else {
+                continue;
+            };
+            if reach.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    required.iter().all(|r| reach.contains(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landmark::tests::chain_graph;
+    use crate::landmark::LandmarkIndex;
+
+    #[test]
+    fn connects_endpoints_of_a_chain() {
+        let g = chain_graph();
+        let lm = LandmarkIndex::build(&g, 2, 3);
+        let ig = minimal_igraph(&g, &lm, &[0, 4], f64::INFINITY).expect("chain connects");
+        assert_eq!(ig.vertices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ig.edges.len(), 4);
+        assert!(ig.total_weight.is_finite());
+    }
+
+    #[test]
+    fn single_required_vertex_is_trivial() {
+        let g = chain_graph();
+        let lm = LandmarkIndex::build(&g, 2, 3);
+        let ig = minimal_igraph(&g, &lm, &[2], f64::INFINITY).unwrap();
+        assert_eq!(ig.size(), 1);
+        assert_eq!(ig.total_weight, 0.0);
+    }
+
+    #[test]
+    fn prunes_landmark_overshoot() {
+        // Required {1, 2}: whatever the landmark, the pruned result must be
+        // exactly the single edge (1, 2).
+        let g = chain_graph();
+        let lm = LandmarkIndex::build(&g, 3, 5);
+        let ig = minimal_igraph(&g, &lm, &[1, 2], f64::INFINITY).unwrap();
+        assert_eq!(ig.edges, vec![(1, 2)]);
+        assert_eq!(ig.vertices, vec![1, 2]);
+    }
+
+    #[test]
+    fn alpha_gate_rejects_heavy_graphs() {
+        let g = chain_graph();
+        let lm = LandmarkIndex::build(&g, 2, 3);
+        let full = minimal_igraph(&g, &lm, &[0, 4], f64::INFINITY).unwrap();
+        assert!(minimal_igraph(&g, &lm, &[0, 4], full.total_weight / 2.0).is_none());
+        assert!(minimal_igraph(&g, &lm, &[0, 4], full.total_weight + 0.1).is_some());
+    }
+
+    #[test]
+    fn three_required_vertices() {
+        let g = chain_graph();
+        let lm = LandmarkIndex::build(&g, 2, 3);
+        let ig = minimal_igraph(&g, &lm, &[0, 2, 4], f64::INFINITY).unwrap();
+        for v in [0, 2, 4] {
+            assert!(ig.contains(v));
+        }
+        assert_eq!(ig.edges.len(), ig.size() - 1, "tree shape");
+    }
+
+    #[test]
+    fn empty_required_is_none() {
+        let g = chain_graph();
+        let lm = LandmarkIndex::build(&g, 2, 3);
+        assert!(minimal_igraph(&g, &lm, &[], 1.0).is_none());
+    }
+}

@@ -1,0 +1,398 @@
+//! The two-layer join graph (Definition 4.2, Property 4.1).
+//!
+//! * **I-layer**: one vertex per marketplace instance; an I-edge wherever two
+//!   instances share at least one attribute name. The I-edge weight is the
+//!   minimum AS-edge weight across all candidate join attribute sets.
+//! * **AS-layer**: never materialized. Property 4.1 says all AS-edges between
+//!   the same pair of instances with the same join attribute set `J` share
+//!   one weight — so the whole AS-layer's edge structure collapses into a map
+//!   `(i, j, J) → JI` keyed by the pair and `J`, sized by the number of
+//!   *shared*-attribute subsets rather than `2^m` lattice vertices.
+//!
+//! All weights are §3 estimates from the samples the offline phase bought;
+//! AS-vertex prices are estimated from the same samples via the marketplace's
+//! (public) pricing model.
+
+use dance_info::ji::join_informativeness;
+use dance_market::{DatasetMeta, EntropyPricing, PricingModel};
+use dance_relation::{AttrSet, FxHashMap, RelationError, Result, Table};
+
+/// Construction knobs for [`JoinGraph::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct JoinGraphConfig {
+    /// Enumerate every non-empty subset of a shared attribute set as a join
+    /// candidate while the shared set has at most this many attributes;
+    /// larger shared sets fall back to singletons + the full set.
+    pub max_enum_join_attrs: usize,
+}
+
+impl Default for JoinGraphConfig {
+    fn default() -> Self {
+        JoinGraphConfig {
+            max_enum_join_attrs: 4,
+        }
+    }
+}
+
+/// An I-layer edge.
+#[derive(Debug, Clone)]
+pub struct IEdge {
+    /// Endpoint instance indices (`a < b`).
+    pub a: u32,
+    /// Second endpoint.
+    pub b: u32,
+    /// Shared attribute names `AS(v_a) ∩ AS(v_b)`.
+    pub common: AttrSet,
+    /// `min_J` of the candidate AS-edge weights (Definition 4.2's I-weight).
+    pub weight: f64,
+}
+
+/// The two-layer join graph built from samples.
+#[derive(Debug)]
+pub struct JoinGraph {
+    metas: Vec<DatasetMeta>,
+    samples: Vec<Table>,
+    i_edges: Vec<IEdge>,
+    /// Adjacency: vertex → indices into `i_edges`.
+    adj: Vec<Vec<u32>>,
+    /// Property 4.1 weight table: (min(i,j), max(i,j), J) → estimated JI.
+    weights: FxHashMap<(u32, u32, AttrSet), f64>,
+    /// Candidate join attribute sets per edge (aligned with `i_edges`).
+    candidates: Vec<Vec<AttrSet>>,
+    pricing: EntropyPricing,
+}
+
+impl JoinGraph {
+    /// Build from per-instance metadata and samples (offline phase, §4).
+    ///
+    /// `metas[i]` must describe `samples[i]`. Weights are estimated JI values
+    /// (Equation 6) computed directly on the samples.
+    pub fn build(
+        metas: Vec<DatasetMeta>,
+        samples: Vec<Table>,
+        pricing: EntropyPricing,
+        cfg: &JoinGraphConfig,
+    ) -> Result<JoinGraph> {
+        if metas.len() != samples.len() {
+            return Err(RelationError::Shape(format!(
+                "{} metas vs {} samples",
+                metas.len(),
+                samples.len()
+            )));
+        }
+        let n = metas.len();
+        let mut i_edges = Vec::new();
+        let mut adj = vec![Vec::new(); n];
+        let mut weights = FxHashMap::default();
+        let mut candidates = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let common = metas[i].schema.common(&metas[j].schema);
+                if common.is_empty() {
+                    continue;
+                }
+                let cands = candidate_sets(&common, cfg.max_enum_join_attrs);
+                let mut best = f64::INFINITY;
+                for cand in &cands {
+                    let w = join_informativeness(&samples[i], &samples[j], cand)?;
+                    weights.insert((i as u32, j as u32, cand.clone()), w);
+                    best = best.min(w);
+                }
+                let edge_idx = i_edges.len() as u32;
+                i_edges.push(IEdge {
+                    a: i as u32,
+                    b: j as u32,
+                    common,
+                    weight: best,
+                });
+                candidates.push(cands);
+                adj[i].push(edge_idx);
+                adj[j].push(edge_idx);
+            }
+        }
+        Ok(JoinGraph {
+            metas,
+            samples,
+            i_edges,
+            adj,
+            weights,
+            candidates,
+            pricing,
+        })
+    }
+
+    /// Number of I-vertices.
+    pub fn num_instances(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Instance metadata.
+    pub fn meta(&self, i: u32) -> &DatasetMeta {
+        &self.metas[i as usize]
+    }
+
+    /// All metadata.
+    pub fn metas(&self) -> &[DatasetMeta] {
+        &self.metas
+    }
+
+    /// The sample of instance `i`.
+    pub fn sample(&self, i: u32) -> &Table {
+        &self.samples[i as usize]
+    }
+
+    /// Replace the sample of instance `i` (iterative refinement, §2.1) and
+    /// re-estimate the weights of its incident edges.
+    pub fn refresh_sample(&mut self, i: u32, sample: Table) -> Result<()> {
+        self.samples[i as usize] = sample;
+        for &e in &self.adj[i as usize].clone() {
+            let edge = self.i_edges[e as usize].clone();
+            let mut best = f64::INFINITY;
+            for cand in &self.candidates[e as usize] {
+                let w = join_informativeness(
+                    &self.samples[edge.a as usize],
+                    &self.samples[edge.b as usize],
+                    cand,
+                )?;
+                self.weights
+                    .insert((edge.a, edge.b, cand.clone()), w);
+                best = best.min(w);
+            }
+            self.i_edges[e as usize].weight = best;
+        }
+        Ok(())
+    }
+
+    /// All I-edges.
+    pub fn i_edges(&self) -> &[IEdge] {
+        &self.i_edges
+    }
+
+    /// Indices (into [`Self::i_edges`]) of edges incident to `v`.
+    pub fn incident(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// The edge between `a` and `b`, if any.
+    pub fn edge_between(&self, a: u32, b: u32) -> Option<&IEdge> {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.i_edges.iter().find(|e| e.a == lo && e.b == hi)
+    }
+
+    /// Candidate join attribute sets of the edge between `a` and `b`.
+    pub fn candidate_join_sets(&self, a: u32, b: u32) -> &[AttrSet] {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.i_edges
+            .iter()
+            .position(|e| e.a == lo && e.b == hi)
+            .map(|i| self.candidates[i].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Property 4.1 lookup: estimated JI of joining `a`/`b` on `j`.
+    pub fn weight(&self, a: u32, b: u32, j: &AttrSet) -> Option<f64> {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.weights.get(&(lo, hi, j.clone())).copied()
+    }
+
+    /// Estimated price of the AS-vertex `(instance, attrs)` (entropy pricing
+    /// evaluated on the sample — unbiased for the full-instance price up to
+    /// entropy estimation error).
+    pub fn price(&self, i: u32, attrs: &AttrSet) -> Result<f64> {
+        self.pricing.price(&self.samples[i as usize], attrs)
+    }
+
+    /// The pricing model used for AS-vertex price estimates.
+    pub fn pricing(&self) -> &EntropyPricing {
+        &self.pricing
+    }
+
+    /// Instances whose schema contains **all** of `attrs`.
+    pub fn instances_containing(&self, attrs: &AttrSet) -> Vec<u32> {
+        (0..self.metas.len() as u32)
+            .filter(|&i| attrs.is_subset(&self.metas[i as usize].attr_set()))
+            .collect()
+    }
+
+    /// Instances containing at least one attribute of `attrs`.
+    pub fn instances_touching(&self, attrs: &AttrSet) -> Vec<u32> {
+        (0..self.metas.len() as u32)
+            .filter(|&i| !attrs.intersect(&self.metas[i as usize].attr_set()).is_empty())
+            .collect()
+    }
+}
+
+/// Candidate join attribute sets for a shared set (see [`JoinGraphConfig`]).
+fn candidate_sets(common: &AttrSet, max_enum: usize) -> Vec<AttrSet> {
+    if common.len() <= max_enum {
+        common.nonempty_subsets()
+    } else {
+        let mut v: Vec<AttrSet> = common
+            .iter()
+            .map(AttrSet::singleton)
+            .collect();
+        v.push(common.clone());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_market::DatasetId;
+    use dance_relation::{Table, Value, ValueType};
+
+    fn inst(name: &str, attrs: &[(&str, ValueType)], rows: Vec<Vec<Value>>) -> (DatasetMeta, Table) {
+        let t = Table::from_rows(name, attrs, rows).unwrap();
+        let meta = DatasetMeta {
+            id: DatasetId(0),
+            name: name.into(),
+            schema: t.schema().clone(),
+            num_rows: t.num_rows(),
+            default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+        };
+        (meta, t)
+    }
+
+    fn toy_graph() -> JoinGraph {
+        // D1(jg_b, jg_c, jg_x) – D2(jg_b, jg_c, jg_y): shares {b, c};
+        // D3(jg_z): isolated.
+        let rows1: Vec<Vec<Value>> = (0..40)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(i % 8), Value::Int(i)])
+            .collect();
+        let rows2: Vec<Vec<Value>> = (0..40)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(i % 8), Value::Int(i * 2)])
+            .collect();
+        let (m1, t1) = inst(
+            "D1",
+            &[("jg_b", ValueType::Int), ("jg_c", ValueType::Int), ("jg_x", ValueType::Int)],
+            rows1,
+        );
+        let (m2, t2) = inst(
+            "D2",
+            &[("jg_b", ValueType::Int), ("jg_c", ValueType::Int), ("jg_y", ValueType::Int)],
+            rows2,
+        );
+        let (m3, t3) = inst(
+            "D3",
+            &[("jg_z", ValueType::Int)],
+            (0..5).map(|i| vec![Value::Int(i)]).collect(),
+        );
+        let mut metas = vec![m1, m2, m3];
+        for (i, m) in metas.iter_mut().enumerate() {
+            m.id = DatasetId(i as u32);
+        }
+        JoinGraph::build(
+            metas,
+            vec![t1, t2, t3],
+            EntropyPricing::default(),
+            &JoinGraphConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edges_follow_shared_names() {
+        let g = toy_graph();
+        assert_eq!(g.num_instances(), 3);
+        assert_eq!(g.i_edges().len(), 1);
+        let e = &g.i_edges()[0];
+        assert_eq!((e.a, e.b), (0, 1));
+        assert_eq!(e.common, AttrSet::from_names(["jg_b", "jg_c"]));
+        assert!(g.edge_between(0, 2).is_none());
+    }
+
+    #[test]
+    fn candidate_join_sets_enumerated() {
+        let g = toy_graph();
+        // Shared {b, c} → candidates {b}, {c}, {b,c}.
+        let cands = g.candidate_join_sets(0, 1);
+        assert_eq!(cands.len(), 3);
+        for c in cands {
+            assert!(g.weight(0, 1, c).is_some());
+            // Property 4.1 lookup is symmetric.
+            assert_eq!(g.weight(0, 1, c), g.weight(1, 0, c));
+        }
+    }
+
+    #[test]
+    fn i_edge_weight_is_min_over_candidates() {
+        let g = toy_graph();
+        let e = &g.i_edges()[0];
+        let min = g
+            .candidate_join_sets(0, 1)
+            .iter()
+            .map(|c| g.weight(0, 1, c).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        assert!((e.weight - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_are_valid_ji() {
+        let g = toy_graph();
+        for c in g.candidate_join_sets(0, 1) {
+            let w = g.weight(0, 1, c).unwrap();
+            assert!((0.0..=1.0).contains(&w), "JI out of range: {w}");
+        }
+    }
+
+    #[test]
+    fn instance_lookup_by_attrs() {
+        let g = toy_graph();
+        assert_eq!(g.instances_containing(&AttrSet::from_names(["jg_b"])), vec![0, 1]);
+        assert_eq!(g.instances_containing(&AttrSet::from_names(["jg_x"])), vec![0]);
+        assert_eq!(
+            g.instances_touching(&AttrSet::from_names(["jg_x", "jg_z"])),
+            vec![0, 2]
+        );
+        assert!(g.instances_containing(&AttrSet::from_names(["jg_nothing"])).is_empty());
+    }
+
+    #[test]
+    fn prices_positive_and_monotone() {
+        let g = toy_graph();
+        let pb = g.price(0, &AttrSet::from_names(["jg_b"])).unwrap();
+        let pbc = g.price(0, &AttrSet::from_names(["jg_b", "jg_c"])).unwrap();
+        assert!(pb > 0.0);
+        assert!(pbc >= pb);
+    }
+
+    #[test]
+    fn refresh_sample_updates_weights() {
+        let mut g = toy_graph();
+        let before = g.i_edges()[0].weight;
+        // Replace D2's sample with one that matches D1 perfectly on both keys.
+        let perfect = Table::from_rows(
+            "D2",
+            &[("jg_b", ValueType::Int), ("jg_c", ValueType::Int), ("jg_y", ValueType::Int)],
+            (0..40)
+                .map(|i| vec![Value::Int(i % 4), Value::Int(i % 8), Value::Int(i)])
+                .collect(),
+        )
+        .unwrap();
+        g.refresh_sample(1, perfect).unwrap();
+        let after = g.i_edges()[0].weight;
+        assert!(after <= before + 1e-12, "{after} vs {before}");
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let (m, t) = inst("X", &[("jg_q", ValueType::Int)], vec![vec![Value::Int(1)]]);
+        assert!(JoinGraph::build(
+            vec![m],
+            vec![t.clone(), t],
+            EntropyPricing::default(),
+            &JoinGraphConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn candidate_sets_cap_large_shared_sets() {
+        let big = AttrSet::from_names(["cs_1", "cs_2", "cs_3", "cs_4", "cs_5", "cs_6"]);
+        let capped = candidate_sets(&big, 4);
+        assert_eq!(capped.len(), 7); // 6 singletons + full set
+        let small = AttrSet::from_names(["cs_1", "cs_2"]);
+        assert_eq!(candidate_sets(&small, 4).len(), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! The attribute-set lattice (Definition 4.1).
+//!
+//! For an instance with attribute set `A` (|A| = m), the AS-lattice has one
+//! vertex per attribute subset of size ≥ 2 **plus** the `m` singletons'
+//! parents … precisely: every `A' ⊆ A` with `|A'| ≥ 2`, giving
+//! `Σ_{k=2..m} C(m,k) = 2^m − m − 1` vertices; the bottom is `A` itself and
+//! the top level is the `C(m,2)` two-attribute sets.
+//!
+//! Materializing that is exponential, so the search code never does — this
+//! module provides *lazy* navigation (children, ancestors, level iteration)
+//! and the size formulas, which double as the paper's own sanity checks
+//! (Figure 2's 4-attribute instance has 11 vertices).
+
+use dance_relation::AttrSet;
+
+/// Number of AS-lattice vertices for an `m`-attribute instance: `2^m − m − 1`.
+///
+/// Saturates at `usize::MAX` for `m ≥ 64` (never reached in practice).
+pub fn lattice_size(m: usize) -> usize {
+    if m >= 64 {
+        return usize::MAX;
+    }
+    (1usize << m).saturating_sub(m + 1)
+}
+
+/// Height of the lattice (number of levels): `m − 1` for `m ≥ 2`, else 0.
+pub fn lattice_height(m: usize) -> usize {
+    m.saturating_sub(1)
+}
+
+/// `true` iff `child` is a lattice child of `parent` (Definition 4.1:
+/// `A_parent ⊆ A_child` with exactly one extra attribute — the paper orients
+/// edges from smaller to larger sets going *down* toward the bottom).
+pub fn is_child(parent: &AttrSet, child: &AttrSet) -> bool {
+    child.len() == parent.len() + 1 && parent.is_subset(child)
+}
+
+/// `true` iff `anc` is an ancestor of `desc` (proper subset).
+pub fn is_ancestor(anc: &AttrSet, desc: &AttrSet) -> bool {
+    anc.len() < desc.len() && anc.is_subset(desc)
+}
+
+/// `true` iff the two vertices are siblings (same level, same instance).
+pub fn are_siblings(a: &AttrSet, b: &AttrSet) -> bool {
+    a.len() == b.len() && a != b
+}
+
+/// The lattice children of `v` within universe `a` (each adds one attribute).
+pub fn children(v: &AttrSet, a: &AttrSet) -> Vec<AttrSet> {
+    a.difference(v)
+        .iter()
+        .map(|extra| {
+            let mut c = v.clone();
+            c.insert(extra);
+            c
+        })
+        .collect()
+}
+
+/// All lattice vertices of `a` at a given subset size (`2 ≤ size ≤ m`).
+///
+/// Exponential in `a.len()` — callers bound it (the search only ever
+/// enumerates subsets of *shared* attribute sets, which are small).
+pub fn level(a: &AttrSet, size: usize) -> Vec<AttrSet> {
+    a.nonempty_subsets()
+        .into_iter()
+        .filter(|s| s.len() == size)
+        .collect()
+}
+
+/// Lattice vertices of `a`: every subset of size ≥ 2 (Definition 4.1),
+/// smallest-first. Exponential — test/verification use only.
+pub fn all_vertices(a: &AttrSet) -> Vec<AttrSet> {
+    a.nonempty_subsets()
+        .into_iter()
+        .filter(|s| s.len() >= 2)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> AttrSet {
+        AttrSet::from_names(["lat_a", "lat_b", "lat_c", "lat_d"])
+    }
+
+    /// Figure 2: instance {A,B,C,D} has 2⁴ − 4 − 1 = 11 lattice vertices,
+    /// top level C(4,2) = 6, height 3.
+    #[test]
+    fn figure_2_counts() {
+        assert_eq!(lattice_size(4), 11);
+        assert_eq!(all_vertices(&abcd()).len(), 11);
+        assert_eq!(level(&abcd(), 2).len(), 6);
+        assert_eq!(level(&abcd(), 4).len(), 1);
+        assert_eq!(lattice_height(4), 3);
+    }
+
+    #[test]
+    fn size_formula_matches_enumeration() {
+        for m in 2..=8 {
+            let names: Vec<String> = (0..m).map(|i| format!("lsz_{i}")).collect();
+            let a = AttrSet::from_names(names.iter().map(String::as_str));
+            assert_eq!(all_vertices(&a).len(), lattice_size(m), "m = {m}");
+        }
+        assert_eq!(lattice_size(0), 0);
+        assert_eq!(lattice_size(1), 0);
+        assert_eq!(lattice_size(64), usize::MAX);
+    }
+
+    #[test]
+    fn child_and_ancestor_laws() {
+        let ab = AttrSet::from_names(["lat_a", "lat_b"]);
+        let abc = AttrSet::from_names(["lat_a", "lat_b", "lat_c"]);
+        let abd = AttrSet::from_names(["lat_a", "lat_b", "lat_d"]);
+        assert!(is_child(&ab, &abc));
+        assert!(!is_child(&ab, &abcd())); // two levels apart
+        assert!(is_ancestor(&ab, &abcd()));
+        assert!(!is_ancestor(&abc, &abd));
+        assert!(are_siblings(&abc, &abd));
+        assert!(!are_siblings(&ab, &abc));
+    }
+
+    #[test]
+    fn children_within_universe() {
+        let ab = AttrSet::from_names(["lat_a", "lat_b"]);
+        let kids = children(&ab, &abcd());
+        assert_eq!(kids.len(), 2);
+        for k in &kids {
+            assert!(is_child(&ab, k));
+            assert!(k.is_subset(&abcd()));
+        }
+    }
+
+    #[test]
+    fn level_bounds() {
+        assert!(level(&abcd(), 5).is_empty());
+        assert_eq!(level(&abcd(), 3).len(), 4);
+    }
+}

@@ -1,0 +1,584 @@
+//! Step 2 (§5.2, Algorithm 1): MCMC search over the AS-layer.
+//!
+//! Given the minimal weighted I-graph from Step 1, the remaining choice is
+//! *which join attribute set each tree edge uses* — that choice fixes the
+//! projection attribute set of every instance (incident join attributes plus
+//! contributed source/target attributes), and with it the price, weight,
+//! quality and correlation of the candidate purchase.
+//!
+//! The chain proposes replacing one edge's join attribute set with a
+//! different candidate (uniformly), rejects proposals that violate the
+//! constraints (Line 8), and otherwise accepts with probability
+//! `min(1, CORR'/CORR)` (Line 9) — so the walk drifts toward high-correlation
+//! target graphs while recording the best constraint-satisfying state it has
+//! visited.
+//!
+//! [`evaluate_assignment`] is the shared evaluation kernel: it is also what
+//! the LP/GP baselines call, with full tables instead of samples for GP.
+
+use crate::join_graph::JoinGraph;
+use crate::request::Constraints;
+use crate::target::Cover;
+use dance_info::correlation::{correlation_with, CorrOptions};
+use dance_info::ji::join_informativeness;
+use dance_quality::tane::TaneConfig;
+use dance_relation::join::JoinEdge;
+use dance_relation::{AttrSet, FxHashSet, RelationError, Result, Table};
+use dance_sampling::resample::{join_tree_bounded, ResampleConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Tuning for Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct McmcConfig {
+    /// Number of iterations ℓ.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// §3.2 re-sampling of intermediate joins during evaluation.
+    pub resample: Option<ResampleConfig>,
+    /// AFD discovery settings for the quality estimate (Def 2.3).
+    pub tane: TaneConfig,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        McmcConfig {
+            iterations: 120,
+            seed: 0x0A16_0417,
+            resample: Some(ResampleConfig::default()),
+            tane: TaneConfig {
+                error_threshold: 0.1,
+                max_lhs: 1,
+                max_attrs: 12,
+            },
+        }
+    }
+}
+
+/// A fully specified candidate purchase: tree + join attributes + projections,
+/// with its measured metrics.
+#[derive(Debug, Clone)]
+pub struct TargetGraph {
+    /// Tree edges over join-graph vertices.
+    pub tree_edges: Vec<(u32, u32)>,
+    /// Join attribute set per tree edge (aligned with `tree_edges`).
+    pub join_attrs: Vec<AttrSet>,
+    /// Projection attribute set per participating instance.
+    pub projections: BTreeMap<u32, AttrSet>,
+    /// `CORR(AS, AT)` measured on the (sampled or full) join.
+    pub corr: f64,
+    /// `w(TG)`: sum of per-edge join informativeness.
+    pub weight: f64,
+    /// `Q(TG)` (Definition 2.3).
+    pub quality: f64,
+    /// `p(TG)`: total price of the non-free projections.
+    pub price: f64,
+}
+
+impl TargetGraph {
+    /// `true` iff the metrics satisfy `c`.
+    pub fn admits(&self, c: &Constraints) -> bool {
+        c.admits(self.weight, self.quality, self.price)
+    }
+}
+
+/// Evaluate one edge-assignment into a full [`TargetGraph`].
+///
+/// * `tables = None` → per-instance data comes from the join-graph samples
+///   (the heuristic and LP paths); edge weights come from the Property 4.1
+///   table.
+/// * `tables = Some(full)` → full-data evaluation (the GP path and final
+///   plan reporting); edge weights are exact JI on the full tables and
+///   prices are computed from the full tables too.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_assignment(
+    graph: &JoinGraph,
+    free: &FxHashSet<u32>,
+    tree_edges: &[(u32, u32)],
+    join_attrs: &[AttrSet],
+    source_cover: &Cover,
+    target_cover: &Cover,
+    source_attrs: &AttrSet,
+    target_attrs: &AttrSet,
+    tables: Option<&[Table]>,
+    resample: Option<&ResampleConfig>,
+    tane: &TaneConfig,
+) -> Result<TargetGraph> {
+    if tree_edges.len() != join_attrs.len() {
+        return Err(RelationError::Shape(format!(
+            "{} edges vs {} join attribute sets",
+            tree_edges.len(),
+            join_attrs.len()
+        )));
+    }
+
+    // Participating vertices.
+    let mut vertices: FxHashSet<u32> = FxHashSet::default();
+    for &(a, b) in tree_edges {
+        vertices.insert(a);
+        vertices.insert(b);
+    }
+    for v in source_cover.keys().chain(target_cover.keys()) {
+        vertices.insert(*v);
+    }
+    if vertices.is_empty() {
+        return Err(RelationError::Shape("empty target graph".into()));
+    }
+
+    // Projection attribute sets (incident join attrs ∪ cover contributions).
+    let mut projections: BTreeMap<u32, AttrSet> = BTreeMap::new();
+    for &v in &vertices {
+        let mut p = AttrSet::empty();
+        for (e, &(a, b)) in tree_edges.iter().enumerate() {
+            if a == v || b == v {
+                p = p.union(&join_attrs[e]);
+            }
+        }
+        if let Some(s) = source_cover.get(&v) {
+            p = p.union(s);
+        }
+        if let Some(t) = target_cover.get(&v) {
+            p = p.union(t);
+        }
+        if p.is_empty() {
+            return Err(RelationError::Shape(format!(
+                "instance {v} participates with an empty projection"
+            )));
+        }
+        projections.insert(v, p);
+    }
+
+    let table_of = |v: u32| -> &Table {
+        match tables {
+            Some(full) => &full[v as usize],
+            None => graph.sample(v),
+        }
+    };
+
+    // Weight: Property 4.1 lookup on samples, exact JI on full data.
+    let mut weight = 0.0;
+    for (e, &(a, b)) in tree_edges.iter().enumerate() {
+        weight += match tables {
+            None => graph.weight(a, b, &join_attrs[e]).ok_or_else(|| {
+                RelationError::InvalidJoin(format!(
+                    "no candidate weight for edge ({a},{b}) on {}",
+                    join_attrs[e]
+                ))
+            })?,
+            Some(full) => join_informativeness(
+                &full[a as usize],
+                &full[b as usize],
+                &join_attrs[e],
+            )?,
+        };
+    }
+
+    // Price: non-free instances only; evaluated on the same data tier.
+    let mut price = 0.0;
+    for (&v, attrs) in &projections {
+        if free.contains(&v) {
+            continue;
+        }
+        price += match tables {
+            None => graph.price(v, attrs)?,
+            Some(full) => {
+                use dance_market::PricingModel;
+                graph.pricing().price(&full[v as usize], attrs)?
+            }
+        };
+    }
+
+    // Join the projected instances along the tree.
+    let order: Vec<u32> = projections.keys().copied().collect();
+    let index_of = |v: u32| order.iter().position(|&x| x == v).expect("vertex in order");
+    let projected: Vec<Table> = order
+        .iter()
+        .map(|&v| table_of(v).project(&projections[&v]))
+        .collect::<Result<Vec<_>>>()?;
+    let refs: Vec<&Table> = projected.iter().collect();
+    let joined = if tree_edges.is_empty() {
+        projected[0].clone()
+    } else {
+        let edges: Vec<JoinEdge> = tree_edges
+            .iter()
+            .zip(join_attrs)
+            .map(|(&(a, b), on)| JoinEdge {
+                a: index_of(a),
+                b: index_of(b),
+                on: on.clone(),
+            })
+            .collect();
+        join_tree_bounded(&refs, &edges, resample)?.0
+    };
+
+    let corr = if joined.num_rows() == 0 {
+        0.0
+    } else {
+        let raw =
+            correlation_with(&joined, source_attrs, target_attrs, CorrOptions::default())?;
+        match tables {
+            // Full-data evaluation: report the plug-in value as-is.
+            Some(_) => raw,
+            // Sample-based estimate: plug-in correlation is inflated on tiny
+            // joins (few rows per conditioning group force H(X|Y) → 0), which
+            // would make the search prefer sparse detours. Shrink by
+            // n/(n + 20) — vanishes as the sampled join grows, and applies
+            // uniformly to every candidate the search compares.
+            None => {
+                let n = joined.num_rows() as f64;
+                raw * n / (n + 20.0)
+            }
+        }
+    };
+    let quality = dance_quality::joint::instance_set_quality(&joined, tane)?;
+
+    Ok(TargetGraph {
+        tree_edges: tree_edges.to_vec(),
+        join_attrs: join_attrs.to_vec(),
+        projections,
+        corr,
+        weight,
+        quality,
+        price,
+    })
+}
+
+/// Algorithm 1: find the optimal target graph at the AS-layer of `ig`.
+///
+/// Returns the best constraint-satisfying state visited, or `None` when no
+/// visited state satisfied the constraints.
+#[allow(clippy::too_many_arguments)]
+pub fn find_optimal_target_graph(
+    graph: &JoinGraph,
+    free: &FxHashSet<u32>,
+    tree_edges: &[(u32, u32)],
+    source_cover: &Cover,
+    target_cover: &Cover,
+    source_attrs: &AttrSet,
+    target_attrs: &AttrSet,
+    constraints: &Constraints,
+    cfg: &McmcConfig,
+) -> Result<Option<TargetGraph>> {
+    // Initial assignment: the minimum-weight candidate per edge (the same
+    // choice Definition 4.2 uses for I-edge weights).
+    let mut assignment: Vec<AttrSet> = Vec::with_capacity(tree_edges.len());
+    for &(a, b) in tree_edges {
+        let cands = graph.candidate_join_sets(a, b);
+        if cands.is_empty() {
+            return Err(RelationError::InvalidJoin(format!(
+                "no join candidates between instances {a} and {b}"
+            )));
+        }
+        let best = cands
+            .iter()
+            .min_by(|x, y| {
+                let wx = graph.weight(a, b, x).unwrap_or(f64::INFINITY);
+                let wy = graph.weight(a, b, y).unwrap_or(f64::INFINITY);
+                wx.total_cmp(&wy)
+            })
+            .expect("non-empty candidates");
+        assignment.push(best.clone());
+    }
+
+    let evaluate = |assign: &[AttrSet]| {
+        evaluate_assignment(
+            graph,
+            free,
+            tree_edges,
+            assign,
+            source_cover,
+            target_cover,
+            source_attrs,
+            target_attrs,
+            None,
+            cfg.resample.as_ref(),
+            &cfg.tane,
+        )
+    };
+
+    let mut current = evaluate(&assignment)?;
+    let mut best: Option<TargetGraph> = current.admits(constraints).then(|| current.clone());
+    if tree_edges.is_empty() {
+        return Ok(best);
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.iterations {
+        // Line 5–6: random edge, random different candidate.
+        let e = rng.random_range(0..tree_edges.len());
+        let (a, b) = tree_edges[e];
+        let cands = graph.candidate_join_sets(a, b);
+        let others: Vec<&AttrSet> = cands.iter().filter(|c| **c != assignment[e]).collect();
+        if others.is_empty() {
+            continue;
+        }
+        let proposal_attr = others[rng.random_range(0..others.len())].clone();
+        let mut proposal_assign = assignment.clone();
+        proposal_assign[e] = proposal_attr;
+        let proposal = evaluate(&proposal_assign)?;
+
+        // Line 8: constraint gate.
+        if !proposal.admits(constraints) {
+            continue;
+        }
+        // Line 9: Metropolis acceptance on correlation.
+        let ratio = proposal.corr / current.corr.max(1e-12);
+        if ratio >= 1.0 || rng.random::<f64>() < ratio {
+            assignment = proposal_assign;
+            current = proposal;
+            // Line 11–13: track the best accepted state.
+            if best.as_ref().is_none_or(|b| current.corr > b.corr) {
+                best = Some(current.clone());
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_graph::JoinGraphConfig;
+    use dance_market::{DatasetId, DatasetMeta, EntropyPricing};
+    use dance_relation::{Table, Value, ValueType};
+
+    /// Two instances sharing two possible join attributes:
+    /// `mc_good` (correlation-preserving) and `mc_noise` (correlation-killing).
+    fn two_key_graph() -> JoinGraph {
+        let n = 240;
+        let left: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 12),          // mc_good
+                    Value::Int(i % 5),           // mc_noise
+                    Value::str(format!("s{}", i % 12)), // mc_src (determined by mc_good)
+                ]
+            })
+            .collect();
+        let right: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 12),
+                    Value::Int((i * 7 + 3) % 5),
+                    Value::str(format!("t{}", i % 12)), // mc_tgt (determined by mc_good)
+                ]
+            })
+            .collect();
+        let lt = Table::from_rows(
+            "L",
+            &[
+                ("mc_good", ValueType::Int),
+                ("mc_noise", ValueType::Int),
+                ("mc_src", ValueType::Str),
+            ],
+            left,
+        )
+        .unwrap();
+        let rt = Table::from_rows(
+            "R",
+            &[
+                ("mc_good", ValueType::Int),
+                ("mc_noise", ValueType::Int),
+                ("mc_tgt", ValueType::Str),
+            ],
+            right,
+        )
+        .unwrap();
+        let metas = vec![
+            DatasetMeta {
+                id: DatasetId(0),
+                name: "L".into(),
+                schema: lt.schema().clone(),
+                num_rows: lt.num_rows(),
+                default_key: AttrSet::from_names(["mc_good"]),
+            },
+            DatasetMeta {
+                id: DatasetId(1),
+                name: "R".into(),
+                schema: rt.schema().clone(),
+                num_rows: rt.num_rows(),
+                default_key: AttrSet::from_names(["mc_good"]),
+            },
+        ];
+        JoinGraph::build(
+            metas,
+            vec![lt, rt],
+            EntropyPricing::default(),
+            &JoinGraphConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn covers() -> (Cover, Cover) {
+        let mut sc = Cover::new();
+        sc.insert(0, AttrSet::from_names(["mc_src"]));
+        let mut tc = Cover::new();
+        tc.insert(1, AttrSet::from_names(["mc_tgt"]));
+        (sc, tc)
+    }
+
+    #[test]
+    fn evaluation_produces_consistent_metrics() {
+        let g = two_key_graph();
+        let (sc, tc) = covers();
+        let tg = evaluate_assignment(
+            &g,
+            &FxHashSet::default(),
+            &[(0, 1)],
+            &[AttrSet::from_names(["mc_good"])],
+            &sc,
+            &tc,
+            &AttrSet::from_names(["mc_src"]),
+            &AttrSet::from_names(["mc_tgt"]),
+            None,
+            None,
+            &TaneConfig::default(),
+        )
+        .unwrap();
+        assert!(tg.corr > 0.0);
+        assert!((0.0..=1.0).contains(&tg.weight));
+        assert!((0.0..=1.0).contains(&tg.quality));
+        assert!(tg.price > 0.0);
+        // Projections include join + contributed attrs.
+        assert!(tg.projections[&0].contains(dance_relation::attr("mc_good")));
+        assert!(tg.projections[&0].contains(dance_relation::attr("mc_src")));
+        assert!(tg.projections[&1].contains(dance_relation::attr("mc_tgt")));
+    }
+
+    #[test]
+    fn free_instances_cost_nothing() {
+        let g = two_key_graph();
+        let (sc, tc) = covers();
+        let mut free = FxHashSet::default();
+        free.insert(0u32);
+        let paid = evaluate_assignment(
+            &g, &FxHashSet::default(), &[(0, 1)], &[AttrSet::from_names(["mc_good"])],
+            &sc, &tc,
+            &AttrSet::from_names(["mc_src"]), &AttrSet::from_names(["mc_tgt"]),
+            None, None, &TaneConfig::default(),
+        )
+        .unwrap();
+        let with_free = evaluate_assignment(
+            &g, &free, &[(0, 1)], &[AttrSet::from_names(["mc_good"])],
+            &sc, &tc,
+            &AttrSet::from_names(["mc_src"]), &AttrSet::from_names(["mc_tgt"]),
+            None, None, &TaneConfig::default(),
+        )
+        .unwrap();
+        assert!(with_free.price < paid.price);
+        assert!(with_free.price > 0.0, "instance 1 still paid");
+    }
+
+    #[test]
+    fn mcmc_finds_the_correlating_join_attribute() {
+        let g = two_key_graph();
+        let (sc, tc) = covers();
+        let best = find_optimal_target_graph(
+            &g,
+            &FxHashSet::default(),
+            &[(0, 1)],
+            &sc,
+            &tc,
+            &AttrSet::from_names(["mc_src"]),
+            &AttrSet::from_names(["mc_tgt"]),
+            &Constraints::unbounded(),
+            &McmcConfig {
+                iterations: 60,
+                seed: 5,
+                resample: None,
+                ..McmcConfig::default()
+            },
+        )
+        .unwrap()
+        .expect("unconstrained search finds something");
+        // Joining on mc_good keeps src↔tgt correlation (both determined by
+        // the key); joining on mc_noise destroys it.
+        assert!(
+            best.join_attrs[0].contains(dance_relation::attr("mc_good")),
+            "best join attrs: {}",
+            best.join_attrs[0]
+        );
+        assert!(best.corr > 1.0, "corr = {}", best.corr);
+    }
+
+    #[test]
+    fn constraints_filter_results() {
+        let g = two_key_graph();
+        let (sc, tc) = covers();
+        let impossible = Constraints {
+            alpha: f64::INFINITY,
+            beta: 0.0,
+            budget: 1e-9, // nothing is this cheap
+        };
+        let r = find_optimal_target_graph(
+            &g,
+            &FxHashSet::default(),
+            &[(0, 1)],
+            &sc,
+            &tc,
+            &AttrSet::from_names(["mc_src"]),
+            &AttrSet::from_names(["mc_tgt"]),
+            &impossible,
+            &McmcConfig {
+                iterations: 30,
+                seed: 5,
+                resample: None,
+                ..McmcConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = two_key_graph();
+        let (sc, tc) = covers();
+        let run = |seed| {
+            find_optimal_target_graph(
+                &g,
+                &FxHashSet::default(),
+                &[(0, 1)],
+                &sc,
+                &tc,
+                &AttrSet::from_names(["mc_src"]),
+                &AttrSet::from_names(["mc_tgt"]),
+                &Constraints::unbounded(),
+                &McmcConfig {
+                    iterations: 40,
+                    seed,
+                    resample: None,
+                    ..McmcConfig::default()
+                },
+            )
+            .unwrap()
+            .unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.join_attrs, b.join_attrs);
+        assert!((a.corr - b.corr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_assignment_length_rejected() {
+        let g = two_key_graph();
+        let (sc, tc) = covers();
+        let r = evaluate_assignment(
+            &g,
+            &FxHashSet::default(),
+            &[(0, 1)],
+            &[],
+            &sc,
+            &tc,
+            &AttrSet::from_names(["mc_src"]),
+            &AttrSet::from_names(["mc_tgt"]),
+            None,
+            None,
+            &TaneConfig::default(),
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Acquisition plans and evaluation metrics.
+//!
+//! A plan is a [`TargetGraph`] (which instances, which join attributes, which
+//! projections) plus the ready-to-run projection queries and the estimated
+//! metrics DANCE quotes to the shopper. [`correlation_difference`] is the
+//! paper's CD metric (§6.1): `(X_OPT − X) / X_OPT`.
+
+use crate::mcmc::TargetGraph;
+use dance_market::{DatasetId, ProjectionQuery};
+
+/// The four quantities Table 6 reports per acquisition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanMetrics {
+    /// `CORR(AS, AT)` on the join of the acquired instances.
+    pub correlation: f64,
+    /// `Q` of the acquired instance set (Definition 2.3).
+    pub quality: f64,
+    /// `w`: total join informativeness along the join tree.
+    pub join_informativeness: f64,
+    /// Total price.
+    pub price: f64,
+}
+
+impl From<&TargetGraph> for PlanMetrics {
+    fn from(tg: &TargetGraph) -> PlanMetrics {
+        PlanMetrics {
+            correlation: tg.corr,
+            quality: tg.quality,
+            join_informativeness: tg.weight,
+            price: tg.price,
+        }
+    }
+}
+
+/// A purchase recommendation produced by the online phase.
+#[derive(Debug, Clone)]
+pub struct AcquisitionPlan {
+    /// The chosen target graph (with sample-estimated metrics).
+    pub graph: TargetGraph,
+    /// One projection query per non-free instance, ready for the marketplace.
+    pub queries: Vec<ProjectionQuery>,
+    /// The metrics DANCE estimated from samples.
+    pub estimated: PlanMetrics,
+}
+
+impl AcquisitionPlan {
+    /// Assemble a plan from a target graph, skipping shopper-owned instances.
+    pub fn from_target_graph(
+        tg: TargetGraph,
+        free: &dance_relation::FxHashSet<u32>,
+        dataset_of: impl Fn(u32) -> Option<(DatasetId, String)>,
+    ) -> AcquisitionPlan {
+        let queries = tg
+            .projections
+            .iter()
+            .filter(|(v, _)| !free.contains(v))
+            .filter_map(|(v, attrs)| {
+                dataset_of(*v).map(|(dataset, dataset_name)| ProjectionQuery {
+                    dataset,
+                    dataset_name,
+                    attrs: attrs.clone(),
+                })
+            })
+            .collect();
+        let estimated = PlanMetrics::from(&tg);
+        AcquisitionPlan {
+            graph: tg,
+            queries,
+            estimated,
+        }
+    }
+}
+
+/// The paper's correlation-difference metric: `(X_OPT − X) / X_OPT`.
+///
+/// Degenerate optima (`X_OPT ≤ 0`) yield 0 when the heuristic is at least as
+/// good, else 1.
+pub fn correlation_difference(x_opt: f64, x: f64) -> f64 {
+    if x_opt <= 0.0 {
+        return if x >= x_opt { 0.0 } else { 1.0 };
+    }
+    ((x_opt - x) / x_opt).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::AttrSet;
+    use std::collections::BTreeMap;
+
+    fn tg() -> TargetGraph {
+        let mut projections = BTreeMap::new();
+        projections.insert(0, AttrSet::from_names(["pl_j", "pl_src"]));
+        projections.insert(1, AttrSet::from_names(["pl_j", "pl_tgt"]));
+        TargetGraph {
+            tree_edges: vec![(0, 1)],
+            join_attrs: vec![AttrSet::from_names(["pl_j"])],
+            projections,
+            corr: 2.5,
+            weight: 0.3,
+            quality: 0.9,
+            price: 12.0,
+        }
+    }
+
+    #[test]
+    fn metrics_mirror_target_graph() {
+        let m = PlanMetrics::from(&tg());
+        assert_eq!(m.correlation, 2.5);
+        assert_eq!(m.join_informativeness, 0.3);
+        assert_eq!(m.quality, 0.9);
+        assert_eq!(m.price, 12.0);
+    }
+
+    #[test]
+    fn plan_skips_free_instances() {
+        let mut free = dance_relation::FxHashSet::default();
+        free.insert(0u32);
+        let plan = AcquisitionPlan::from_target_graph(tg(), &free, |v| {
+            Some((DatasetId(v), format!("ds{v}")))
+        });
+        assert_eq!(plan.queries.len(), 1);
+        assert_eq!(plan.queries[0].dataset, DatasetId(1));
+        assert!(plan.queries[0].to_sql().contains("pl_tgt"));
+    }
+
+    #[test]
+    fn correlation_difference_cases() {
+        assert!((correlation_difference(10.0, 9.0) - 0.1).abs() < 1e-12);
+        assert_eq!(correlation_difference(10.0, 12.0), 0.0, "clamped at 0");
+        assert_eq!(correlation_difference(0.0, 0.0), 0.0);
+        assert_eq!(correlation_difference(-1.0, -2.0), 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Acquisition requests and constraints (§2.1, §2.5).
+
+use dance_relation::AttrSet;
+
+/// The shopper's constraint triple of Equation 9.
+#[derive(Debug, Clone, Copy)]
+pub struct Constraints {
+    /// Join-informativeness budget α: `w(G*) ≤ α` (sum of edge JI weights).
+    pub alpha: f64,
+    /// Quality floor β: `Q(G*) ≥ β`.
+    pub beta: f64,
+    /// Purchase budget B: `p(G*) ≤ B`.
+    pub budget: f64,
+}
+
+impl Constraints {
+    /// Effectively unconstrained (useful for exploration and tests).
+    pub fn unbounded() -> Constraints {
+        Constraints {
+            alpha: f64::INFINITY,
+            beta: 0.0,
+            budget: f64::INFINITY,
+        }
+    }
+
+    /// `true` iff a `(weight, quality, price)` triple satisfies all three.
+    pub fn admits(&self, weight: f64, quality: f64, price: f64) -> bool {
+        weight <= self.alpha + 1e-9 && quality >= self.beta - 1e-9 && price <= self.budget + 1e-9
+    }
+}
+
+/// One correlation-acquisition request (§2.1).
+#[derive(Debug, Clone)]
+pub struct AcquisitionRequest {
+    /// Source attribute set `AS`. May live in shopper-owned instances (which
+    /// DANCE registers as free vertices) or in marketplace instances.
+    pub source_attrs: AttrSet,
+    /// Target attribute set `AT` to purchase.
+    pub target_attrs: AttrSet,
+    /// α / β / B.
+    pub constraints: Constraints,
+}
+
+impl AcquisitionRequest {
+    /// Request with unbounded constraints.
+    pub fn new(source_attrs: AttrSet, target_attrs: AttrSet) -> AcquisitionRequest {
+        AcquisitionRequest {
+            source_attrs,
+            target_attrs,
+            constraints: Constraints::unbounded(),
+        }
+    }
+
+    /// Set the constraint triple.
+    pub fn with_constraints(mut self, c: Constraints) -> AcquisitionRequest {
+        self.constraints = c;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_respects_each_bound() {
+        let c = Constraints {
+            alpha: 1.0,
+            beta: 0.5,
+            budget: 10.0,
+        };
+        assert!(c.admits(0.9, 0.6, 9.0));
+        assert!(!c.admits(1.1, 0.6, 9.0), "weight over α");
+        assert!(!c.admits(0.9, 0.4, 9.0), "quality under β");
+        assert!(!c.admits(0.9, 0.6, 11.0), "price over B");
+        // Boundary values admitted (with epsilon).
+        assert!(c.admits(1.0, 0.5, 10.0));
+    }
+
+    #[test]
+    fn unbounded_admits_everything() {
+        let c = Constraints::unbounded();
+        assert!(c.admits(1e9, 0.0, 1e12));
+    }
+
+    #[test]
+    fn request_builder() {
+        let r = AcquisitionRequest::new(
+            AttrSet::from_names(["rq_src"]),
+            AttrSet::from_names(["rq_tgt"]),
+        )
+        .with_constraints(Constraints {
+            alpha: 2.0,
+            beta: 0.1,
+            budget: 5.0,
+        });
+        assert_eq!(r.constraints.budget, 5.0);
+        assert_eq!(r.source_attrs.len(), 1);
+    }
+}

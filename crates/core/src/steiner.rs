@@ -1,0 +1,260 @@
+//! Exact Steiner tree (Dreyfus–Wagner) — the ablation reference for Step 1.
+//!
+//! Theorem 4.1 proves OTG search NP-hard by its Steiner-tree core; the
+//! landmark heuristic of [`crate::igraph`] trades optimality for speed. This
+//! module computes the *optimal* Steiner tree by the classic
+//! `O(3^t·V + 2^t·V²)` dynamic program (t = #terminals), which is perfectly
+//! feasible at marketplace catalog sizes (V ≤ a few dozen, t ≤ 6) and lets
+//! the `ablation_steiner` experiment report how far the heuristic is from
+//! optimal.
+
+use crate::igraph::IGraph;
+use crate::join_graph::JoinGraph;
+use dance_relation::FxHashSet;
+
+/// Exact minimum-weight Steiner tree connecting `terminals`.
+///
+/// Returns `None` when the terminals are not mutually reachable. Terminal
+/// count is capped at 16 (the DP is exponential in it).
+pub fn steiner_tree(graph: &JoinGraph, terminals: &[u32]) -> Option<IGraph> {
+    let n = graph.num_instances();
+    let mut terminals: Vec<u32> = terminals.to_vec();
+    terminals.sort_unstable();
+    terminals.dedup();
+    let t = terminals.len();
+    assert!(t <= 16, "Steiner DP is exponential in terminals ({t} > 16)");
+    if t == 0 {
+        return None;
+    }
+    if t == 1 {
+        return Some(IGraph {
+            vertices: vec![terminals[0]],
+            edges: Vec::new(),
+            total_weight: 0.0,
+        });
+    }
+
+    // All-pairs shortest paths (Floyd–Warshall) with path reconstruction.
+    let mut dist = vec![vec![f64::INFINITY; n]; n];
+    let mut next = vec![vec![u32::MAX; n]; n];
+    for v in 0..n {
+        dist[v][v] = 0.0;
+        next[v][v] = v as u32;
+    }
+    for e in graph.i_edges() {
+        let (a, b) = (e.a as usize, e.b as usize);
+        if e.weight < dist[a][b] {
+            dist[a][b] = e.weight;
+            dist[b][a] = e.weight;
+            next[a][b] = e.b;
+            next[b][a] = e.a;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if !dist[i][k].is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let via = dist[i][k] + dist[k][j];
+                if via < dist[i][j] {
+                    dist[i][j] = via;
+                    next[i][j] = next[i][k];
+                }
+            }
+        }
+    }
+
+    // dp[mask][v] = weight of the best tree spanning terminals(mask) ∪ {v}.
+    let full: usize = (1 << t) - 1;
+    let mut dp = vec![vec![f64::INFINITY; n]; full + 1];
+    // trace: how dp[mask][v] was achieved.
+    #[derive(Clone, Copy)]
+    enum Step {
+        None,
+        /// Connected v to terminal tree via shortest path from u.
+        Graft { from_mask: usize, via: u32 },
+        /// Merged two subtrees at v.
+        Merge { left: usize },
+    }
+    let mut trace = vec![vec![Step::None; n]; full + 1];
+
+    for (ti, &term) in terminals.iter().enumerate() {
+        for v in 0..n {
+            dp[1 << ti][v] = dist[term as usize][v];
+            trace[1 << ti][v] = Step::Graft {
+                from_mask: 0,
+                via: term,
+            };
+        }
+    }
+
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        // Merge step: split mask into two non-empty halves at v.
+        for v in 0..n {
+            let mut sub = (mask - 1) & mask;
+            while sub > 0 {
+                let other = mask ^ sub;
+                if sub < other {
+                    // each split considered once
+                    let w = dp[sub][v] + dp[other][v];
+                    if w < dp[mask][v] {
+                        dp[mask][v] = w;
+                        trace[mask][v] = Step::Merge { left: sub };
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+        }
+        // Graft step: Dijkstra-like relaxation over shortest paths.
+        for v in 0..n {
+            for u in 0..n {
+                if !dp[mask][u].is_finite() || !dist[u][v].is_finite() {
+                    continue;
+                }
+                let w = dp[mask][u] + dist[u][v];
+                if w + 1e-15 < dp[mask][v] {
+                    dp[mask][v] = w;
+                    trace[mask][v] = Step::Graft {
+                        from_mask: mask,
+                        via: u as u32,
+                    };
+                }
+            }
+        }
+    }
+
+    let root = terminals[0] as usize;
+    if !dp[full][root].is_finite() {
+        return None;
+    }
+
+    // Reconstruct the edge set.
+    let mut edges: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut stack: Vec<(usize, usize)> = vec![(full, root)];
+    let mut guard = 0;
+    while let Some((mask, v)) = stack.pop() {
+        guard += 1;
+        if guard > 10_000 {
+            break; // defensive against trace cycles
+        }
+        match trace[mask][v] {
+            Step::None => {}
+            Step::Merge { left } => {
+                stack.push((left, v));
+                stack.push((mask ^ left, v));
+            }
+            Step::Graft { from_mask, via } => {
+                add_shortest_path(&next, via as usize, v, &mut edges);
+                if from_mask != 0 && !(from_mask == mask && via as usize == v) {
+                    stack.push((from_mask, via as usize));
+                }
+            }
+        }
+    }
+
+    let ig = IGraph {
+        vertices: {
+            let mut vs: FxHashSet<u32> = FxHashSet::default();
+            for &(a, b) in &edges {
+                vs.insert(a);
+                vs.insert(b);
+            }
+            vs.insert(root as u32);
+            let mut vs: Vec<u32> = vs.into_iter().collect();
+            vs.sort_unstable();
+            vs
+        },
+        edges: {
+            let mut es: Vec<(u32, u32)> = edges.into_iter().collect();
+            es.sort_unstable();
+            es
+        },
+        total_weight: dp[full][root],
+    };
+    Some(ig)
+}
+
+fn add_shortest_path(
+    next: &[Vec<u32>],
+    from: usize,
+    to: usize,
+    edges: &mut FxHashSet<(u32, u32)>,
+) {
+    let mut cur = from;
+    let mut guard = 0;
+    while cur != to {
+        let hop = next[cur][to];
+        if hop == u32::MAX {
+            return;
+        }
+        edges.insert(((cur as u32).min(hop), (cur as u32).max(hop)));
+        cur = hop as usize;
+        guard += 1;
+        if guard > next.len() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landmark::tests::chain_graph;
+    use crate::landmark::LandmarkIndex;
+
+    #[test]
+    fn chain_endpoints_use_whole_chain() {
+        let g = chain_graph();
+        let ig = steiner_tree(&g, &[0, 4]).expect("connected");
+        assert_eq!(ig.vertices, vec![0, 1, 2, 3, 4]);
+        let exact: f64 = g.i_edges().iter().map(|e| e.weight).sum();
+        assert!((ig.total_weight - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_terminals_single_edge() {
+        let g = chain_graph();
+        let ig = steiner_tree(&g, &[2, 3]).unwrap();
+        assert_eq!(ig.edges, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn single_and_duplicate_terminals() {
+        let g = chain_graph();
+        let ig = steiner_tree(&g, &[3, 3]).unwrap();
+        assert_eq!(ig.size(), 1);
+        assert_eq!(ig.total_weight, 0.0);
+        assert!(steiner_tree(&g, &[]).is_none());
+    }
+
+    #[test]
+    fn exact_never_worse_than_landmark_heuristic() {
+        let g = chain_graph();
+        let lm = LandmarkIndex::build(&g, 2, 3);
+        for req in [vec![0, 2], vec![0, 3, 4], vec![1, 2, 4]] {
+            let exact = steiner_tree(&g, &req).unwrap();
+            let heur = crate::igraph::minimal_igraph(&g, &lm, &req, f64::INFINITY).unwrap();
+            assert!(
+                exact.total_weight <= heur.total_weight + 1e-9,
+                "req {req:?}: exact {} > heuristic {}",
+                exact.total_weight,
+                heur.total_weight
+            );
+        }
+    }
+
+    #[test]
+    fn steiner_edges_form_connected_subgraph() {
+        let g = chain_graph();
+        let ig = steiner_tree(&g, &[0, 2, 4]).unwrap();
+        // Every terminal present, and |edges| ≥ |vertices| − 1 components.
+        for t in [0, 2, 4] {
+            assert!(ig.contains(t));
+        }
+        assert!(ig.edges.len() + 1 >= ig.vertices.len());
+    }
+}

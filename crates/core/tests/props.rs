@@ -1,0 +1,82 @@
+//! Property tests of the search-layer data structures.
+
+use dance_core::lattice;
+use dance_core::target::enumerate_covers;
+use dance_core::Constraints;
+use dance_relation::AttrSet;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every enumerated cover is an exact partition of the wanted attributes
+    /// across offering instances.
+    #[test]
+    fn covers_partition_the_target(
+        n_attrs in 1usize..4,
+        offers in prop::collection::vec(prop::collection::vec(0usize..4, 1..4), 1..5),
+    ) {
+        let names: Vec<String> = (0..4).map(|i| format!("pc_t{i}")).collect();
+        let want = AttrSet::from_names(names[..n_attrs].iter().map(String::as_str));
+        let available: Vec<(u32, AttrSet)> = offers
+            .iter()
+            .enumerate()
+            .map(|(i, idxs)| {
+                (
+                    i as u32,
+                    AttrSet::from_names(idxs.iter().map(|&x| names[x].as_str())),
+                )
+            })
+            .collect();
+        let covers = enumerate_covers(&want, &available, 200);
+        for cover in covers {
+            let mut union = AttrSet::empty();
+            let mut total = 0;
+            for (inst, attrs) in &cover {
+                prop_assert!(!attrs.is_empty());
+                // Contribution must come from the instance's offer.
+                let offer = &available.iter().find(|(v, _)| v == inst).unwrap().1;
+                prop_assert!(attrs.is_subset(offer));
+                total += attrs.len();
+                union = union.union(attrs);
+            }
+            prop_assert_eq!(union, want.clone());
+            prop_assert_eq!(total, want.len());
+        }
+    }
+
+    /// Lattice size formula matches enumeration; children add exactly one
+    /// attribute and stay inside the universe.
+    #[test]
+    fn lattice_laws(m in 2usize..7) {
+        let names: Vec<String> = (0..m).map(|i| format!("pl_a{i}")).collect();
+        let a = AttrSet::from_names(names.iter().map(String::as_str));
+        let all = lattice::all_vertices(&a);
+        prop_assert_eq!(all.len(), lattice::lattice_size(m));
+        for v in all.iter().take(20) {
+            for c in lattice::children(v, &a) {
+                prop_assert!(lattice::is_child(v, &c));
+                prop_assert!(c.is_subset(&a));
+            }
+        }
+    }
+
+    /// Constraint admission is monotone: relaxing any bound never rejects a
+    /// previously admitted point.
+    #[test]
+    fn constraints_monotone(
+        alpha in 0.0f64..5.0, beta in 0.0f64..1.0, budget in 0.0f64..100.0,
+        w in 0.0f64..5.0, q in 0.0f64..1.0, p in 0.0f64..100.0,
+        relax in 0.0f64..2.0,
+    ) {
+        let tight = Constraints { alpha, beta, budget };
+        let loose = Constraints {
+            alpha: alpha + relax,
+            beta: (beta - relax).max(0.0),
+            budget: budget + relax,
+        };
+        if tight.admits(w, q, p) {
+            prop_assert!(loose.admits(w, q, p));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Inconsistency injection and fake join attributes (§6.1, §6.4).
+//!
+//! * [`corrupt_attr`] replaces the value of a chosen attribute in a random
+//!   fraction of rows with a unique garbage value. Because the garbage is
+//!   unique per row, a corrupted row becomes a singleton sub-class in every
+//!   `π_{X∪A}` it participates in — so `Q(D, X→A) ≈ 1 − fraction`, matching
+//!   the paper's "modified 30% of records" protocol.
+//! * [`add_fake_join_attribute`] appends a shared low-cardinality attribute
+//!   (the `H` of §6.4) to a table, creating join options that do not exist in
+//!   the source schema — exactly what lets the paper's Q3 route
+//!   `customer ⋈_H supplier`.
+
+use dance_relation::hash::{stable_hash64, unit_interval};
+use dance_relation::{attr, AttrId, Column, ColumnBuilder, Result, Schema, Table, Value};
+
+/// Corrupt `target` in a `fraction` of rows (deterministic in `seed`).
+pub fn corrupt_attr(t: &Table, target: AttrId, fraction: f64, seed: u64) -> Result<Table> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let col_idx = t.schema().require(target)?;
+    let ty = t.schema().attributes()[col_idx].ty;
+    let mut b = ColumnBuilder::new(ty);
+    for r in 0..t.num_rows() {
+        let hit = unit_interval(stable_hash64(seed, &(r as u64))) < fraction;
+        let v = if hit {
+            garbage(ty, r)
+        } else {
+            t.value(r, col_idx)
+        };
+        b.push(&v)?;
+    }
+    rebuild_with_column(t, col_idx, b.finish())
+}
+
+fn garbage(ty: dance_relation::ValueType, row: usize) -> Value {
+    match ty {
+        dance_relation::ValueType::Int => Value::Int(-(row as i64) - 1_000_000),
+        dance_relation::ValueType::Float => Value::Float(-(row as f64) - 1e9),
+        dance_relation::ValueType::Str => Value::str(format!("!corrupt~{row}")),
+    }
+}
+
+/// Append a fake join attribute `name` with `card` distinct integer values.
+///
+/// Apply the same call (same `name`, `card`) to two tables and they gain a
+/// join option on `name`; values are drawn deterministically per (table,
+/// seed, row).
+pub fn add_fake_join_attribute(
+    t: &Table,
+    name: &str,
+    card: usize,
+    seed: u64,
+) -> Result<Table> {
+    let card = card.max(1) as u64;
+    let mut b = ColumnBuilder::new(dance_relation::ValueType::Int);
+    let table_seed = stable_hash64(seed, t.name());
+    for r in 0..t.num_rows() {
+        let v = stable_hash64(table_seed, &(r as u64)) % card;
+        b.push(&Value::Int(v as i64))?;
+    }
+    let mut attrs: Vec<dance_relation::Attribute> = t.schema().attributes().to_vec();
+    attrs.push(dance_relation::Attribute {
+        id: attr(name),
+        ty: dance_relation::ValueType::Int,
+    });
+    let mut cols: Vec<Column> = (0..t.num_attrs()).map(|c| t.column(c).clone()).collect();
+    cols.push(b.finish());
+    Table::new(t.name(), Schema::new(attrs)?, cols)
+}
+
+fn rebuild_with_column(t: &Table, col_idx: usize, col: Column) -> Result<Table> {
+    let cols: Vec<Column> = (0..t.num_attrs())
+        .map(|c| {
+            if c == col_idx {
+                col.clone()
+            } else {
+                t.column(c).clone()
+            }
+        })
+        .collect();
+    Table::new(t.name(), t.schema().clone(), cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_quality::Fd;
+    use dance_relation::{AttrSet, Table, Value, ValueType};
+
+    fn city_state(n: usize) -> Table {
+        Table::from_rows(
+            "cs",
+            &[("dt_city", ValueType::Str), ("dt_state", ValueType::Str)],
+            (0..n)
+                .map(|i| {
+                    vec![
+                        Value::str(format!("city{}", i % 10)),
+                        Value::str(format!("state{}", (i % 10) / 2)),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn corruption_rate_matches_quality_drop() {
+        let t = city_state(1000);
+        let fd = Fd::new(["dt_city"], "dt_state");
+        assert_eq!(dance_quality::quality(&t, &fd).unwrap(), 1.0);
+        let dirty = corrupt_attr(&t, dance_relation::attr("dt_state"), 0.3, 9).unwrap();
+        let q = dance_quality::quality(&dirty, &fd).unwrap();
+        assert!((q - 0.7).abs() < 0.05, "q = {q}");
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let t = city_state(50);
+        let same = corrupt_attr(&t, dance_relation::attr("dt_state"), 0.0, 9).unwrap();
+        for r in 0..50 {
+            assert_eq!(t.row(r), same.row(r));
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let t = city_state(200);
+        let a = corrupt_attr(&t, dance_relation::attr("dt_state"), 0.4, 5).unwrap();
+        let b = corrupt_attr(&t, dance_relation::attr("dt_state"), 0.4, 5).unwrap();
+        for r in 0..200 {
+            assert_eq!(a.row(r), b.row(r));
+        }
+    }
+
+    #[test]
+    fn fake_join_attribute_creates_join_option() {
+        let a = city_state(100);
+        let b = city_state(80).with_name("other");
+        let fa = add_fake_join_attribute(&a, "dt_h", 10, 3).unwrap();
+        let fb = add_fake_join_attribute(&b, "dt_h", 10, 3).unwrap();
+        let common = fa.schema().common(fb.schema());
+        assert!(common.contains(dance_relation::attr("dt_h")));
+        let j = dance_relation::join::hash_join(
+            &fa,
+            &fb,
+            &AttrSet::from_names(["dt_h"]),
+            dance_relation::join::JoinKind::Inner,
+        )
+        .unwrap();
+        assert!(j.num_rows() > 0, "fake attribute must produce matches");
+    }
+
+    #[test]
+    fn corrupting_missing_attr_is_error() {
+        let t = city_state(10);
+        assert!(corrupt_attr(&t, dance_relation::attr("dt_absent"), 0.5, 1).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # dance-datagen — workload substrate for the DANCE experiments
+//!
+//! The paper evaluates on TPC-H (8 instances, longest join path 7) and TPC-E
+//! (29 instances, longest join path 8), with inconsistency injected into a
+//! fraction of rows and *fake join attributes* added to create extra join
+//! options (§6.1, §6.4). The official generators and their multi-GB outputs
+//! are out of scope for a laptop-scale reproduction, so this crate provides
+//! **schema-faithful synthetic equivalents**:
+//!
+//! * identical table names and join-key topology (foreign keys share an
+//!   attribute name with the referenced key, which is what the join graph
+//!   keys on),
+//! * controllable scale, skew and per-table functional-dependency structure
+//!   (`Derived` columns create exact FDs that dirt injection then violates),
+//! * deterministic output for any `(spec, seed)` pair.
+//!
+//! Modules:
+//! * [`spec`] — the column/table spec DSL and the generator.
+//! * [`tpch`] / [`tpce`] — the two benchmark schemas as specs.
+//! * [`dirt`] — FD-violation injection and fake join attributes (the `H`
+//!   attribute of §6.4).
+//! * [`scenario`] — the running example of §1 (Adam's health-data purchase,
+//!   Table 1).
+//! * [`workload`] — the acquisition queries Q1/Q2/Q3 for each dataset.
+//! * [`zipf`] — a small Zipf sampler (no external distribution crates).
+
+pub mod dirt;
+pub mod scenario;
+pub mod spec;
+pub mod tpce;
+pub mod tpch;
+pub mod workload;
+pub mod zipf;
+
+pub use spec::{generate, ColSpec, TableSpec};
+pub use workload::{AcquisitionQuery, Workload};

@@ -1,0 +1,231 @@
+//! The running example of §1: Adam's health-data acquisition (Table 1).
+//!
+//! `DS` is the shopper's own instance; `D1`–`D5` are the relevant marketplace
+//! instances, including `D1`'s FD violation (`Zipcode → State` broken by the
+//! last record) and `D5`'s meaningless-join trap (individual records that
+//! would be joined against aggregates).
+
+use dance_relation::{Table, Value, ValueType};
+
+/// `DS` — the source instance owned by the shopper (Table 1a).
+pub fn source_ds() -> Table {
+    Table::from_rows(
+        "DS",
+        &[
+            ("age", ValueType::Str),
+            ("zipcode", ValueType::Str),
+            ("population", ValueType::Int),
+        ],
+        vec![
+            vec![Value::str("[35,40]"), Value::str("10003"), Value::Int(7000)],
+            vec![Value::str("[20,25]"), Value::str("01002"), Value::Int(3500)],
+            vec![Value::str("[55,60]"), Value::str("07003"), Value::Int(1200)],
+            vec![Value::str("[35,40]"), Value::str("07003"), Value::Int(5800)],
+            vec![Value::str("[35,40]"), Value::str("07304"), Value::Int(2000)],
+        ],
+    )
+    .expect("DS is well-formed")
+}
+
+/// `D1` — zipcode table with FD `zipcode → state` and one violation (Table 1b).
+pub fn d1_zipcode() -> Table {
+    Table::from_rows(
+        "D1",
+        &[("zipcode", ValueType::Str), ("state", ValueType::Str)],
+        vec![
+            vec![Value::str("07003"), Value::str("NJ")],
+            vec![Value::str("07304"), Value::str("NJ")],
+            vec![Value::str("10001"), Value::str("NY")],
+            vec![Value::str("10001"), Value::str("NJ")], // the inconsistent record
+        ],
+    )
+    .expect("D1 is well-formed")
+}
+
+/// `D2` — disease statistics by state.
+pub fn d2_disease_by_state() -> Table {
+    Table::from_rows(
+        "D2",
+        &[
+            ("state", ValueType::Str),
+            ("disease", ValueType::Str),
+            ("cases", ValueType::Int),
+        ],
+        vec![
+            vec![Value::str("MA"), Value::str("Flu"), Value::Int(300)],
+            vec![Value::str("NJ"), Value::str("Flu"), Value::Int(400)],
+            vec![Value::str("Florida"), Value::str("Lyme disease"), Value::Int(130)],
+            vec![Value::str("California"), Value::str("Lyme disease"), Value::Int(40)],
+            vec![Value::str("NJ"), Value::str("Lyme disease"), Value::Int(200)],
+        ],
+    )
+    .expect("D2 is well-formed")
+}
+
+/// `D3` — NJ disease statistics by gender/race.
+pub fn d3_disease_nj() -> Table {
+    Table::from_rows(
+        "D3",
+        &[
+            ("gender", ValueType::Str),
+            ("race", ValueType::Str),
+            ("disease", ValueType::Str),
+            ("cases", ValueType::Int),
+        ],
+        vec![
+            vec![Value::str("M"), Value::str("White"), Value::str("Flu"), Value::Int(200)],
+            vec![Value::str("F"), Value::str("Asian"), Value::str("AIDS"), Value::Int(30)],
+            vec![Value::str("M"), Value::str("White"), Value::str("Diabetes"), Value::Int(4000)],
+            vec![Value::str("M"), Value::str("Hispanic"), Value::str("Flu"), Value::Int(140)],
+        ],
+    )
+    .expect("D3 is well-formed")
+}
+
+/// `D4` — NJ census by age/gender/race.
+pub fn d4_census_nj() -> Table {
+    Table::from_rows(
+        "D4",
+        &[
+            ("age", ValueType::Str),
+            ("gender", ValueType::Str),
+            ("race", ValueType::Str),
+            ("population", ValueType::Int),
+        ],
+        vec![
+            vec![Value::str("[35,40]"), Value::str("M"), Value::str("White"), Value::Int(400_000)],
+            vec![Value::str("[20,25]"), Value::str("F"), Value::str("Asian"), Value::Int(100_000)],
+            vec![Value::str("[20,25]"), Value::str("M"), Value::str("White"), Value::Int(300_000)],
+            vec![Value::str("[40,45]"), Value::str("M"), Value::str("Hispanic"), Value::Int(50_000)],
+        ],
+    )
+    .expect("D4 is well-formed")
+}
+
+/// `D5` — individual insurance records (the meaningless-join trap: joining
+/// these individuals with `DS`'s aggregates has large size but no meaning).
+pub fn d5_insurance() -> Table {
+    Table::from_rows(
+        "D5",
+        &[
+            ("age", ValueType::Str),
+            ("address", ValueType::Str),
+            ("insurance", ValueType::Str),
+            ("disease", ValueType::Str),
+        ],
+        vec![
+            vec![
+                Value::str("[35,40]"),
+                Value::str("10 North St."),
+                Value::str("UnitedHealthCare"),
+                Value::str("Flu"),
+            ],
+            vec![
+                Value::str("[20,25]"),
+                Value::str("5 Main St."),
+                Value::str("MedLife"),
+                Value::str("HIV"),
+            ],
+            vec![
+                Value::str("[35,40]"),
+                Value::str("25 South St."),
+                Value::str("UnitedHealthCare"),
+                Value::str("Flu"),
+            ],
+        ],
+    )
+    .expect("D5 is well-formed")
+}
+
+/// All five marketplace instances of Table 1(b), in order.
+pub fn marketplace_tables() -> Vec<Table> {
+    vec![
+        d1_zipcode(),
+        d2_disease_by_state(),
+        d3_disease_nj(),
+        d4_census_nj(),
+        d5_insurance(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_quality::Fd;
+    use dance_relation::{attr, AttrSet};
+
+    #[test]
+    fn d1_has_the_paper_fd_violation() {
+        let d1 = d1_zipcode();
+        let fd = Fd::new(["zipcode"], "state");
+        let q = dance_quality::quality(&d1, &fd).unwrap();
+        assert!((q - 0.75).abs() < 1e-12, "3 of 4 records consistent");
+    }
+
+    #[test]
+    fn join_topology_of_example_1_1() {
+        let ds = source_ds();
+        let tables = marketplace_tables();
+        let common = |a: &Table, b: &Table| a.schema().common(b.schema());
+        // Option 1: DS–D1 on zipcode, D1–D2 on state.
+        assert!(common(&ds, &tables[0]).contains(attr("zipcode")));
+        assert!(common(&tables[0], &tables[1]).contains(attr("state")));
+        // Option 2/3: D3–D4 share gender and race.
+        let c34 = common(&tables[2], &tables[3]);
+        assert!(c34.contains(attr("gender")) && c34.contains(attr("race")));
+        // Option 4: DS–D5 on age (the meaningless join).
+        assert!(common(&ds, &tables[4]).contains(attr("age")));
+    }
+
+    #[test]
+    fn option1_join_associates_age_with_disease() {
+        let ds = source_ds();
+        let j1 = dance_relation::join::hash_join(
+            &ds,
+            &d1_zipcode(),
+            &AttrSet::from_names(["zipcode"]),
+            dance_relation::join::JoinKind::Inner,
+        )
+        .unwrap();
+        let j2 = dance_relation::join::hash_join(
+            &j1,
+            &d2_disease_by_state(),
+            &AttrSet::from_names(["state"]),
+            dance_relation::join::JoinKind::Inner,
+        )
+        .unwrap();
+        assert!(j2.num_rows() > 0);
+        assert!(j2.schema().index_of(attr("age")).is_some());
+        assert!(j2.schema().index_of(attr("disease")).is_some());
+    }
+
+    #[test]
+    fn ji_values_of_example_options() {
+        // Definition 2.4 scores the *unmatched-value* penalty of a join. On
+        // these 5-row toy tables the age join DS ⋈ D5 happens to match almost
+        // everything, so its JI is 0 — the "meaningless aggregation join"
+        // argument of §2.3 is about semantics Def 2.4 does not see at toy
+        // scale. What the measure does see: the zipcode and state joins leave
+        // values unmatched on both sides, so their JI is strictly positive.
+        let ds = source_ds();
+        let ji_d5 =
+            dance_info::join_informativeness(&ds, &d5_insurance(), &AttrSet::from_names(["age"]))
+                .unwrap();
+        let ji_d1 = dance_info::join_informativeness(
+            &ds,
+            &d1_zipcode(),
+            &AttrSet::from_names(["zipcode"]),
+        )
+        .unwrap();
+        let ji_d2 = dance_info::join_informativeness(
+            &d1_zipcode(),
+            &d2_disease_by_state(),
+            &AttrSet::from_names(["state"]),
+        )
+        .unwrap();
+        assert!((0.0..=1.0).contains(&ji_d5));
+        assert_eq!(ji_d5, 0.0, "fully matched toy join");
+        assert!(ji_d1 > 0.0 && ji_d1 < 0.5, "ji_d1 = {ji_d1}");
+        assert!(ji_d2 > 0.0 && ji_d2 < 0.5, "ji_d2 = {ji_d2}");
+    }
+}

@@ -1,0 +1,452 @@
+//! TPC-E-like schema: 29 instances, longest join path ≥ 8.
+//!
+//! Mirrors the benchmark's entity graph (market data ← securities ← companies
+//! ← industries ← sectors; customers ← accounts ← trades; watch lists linking
+//! customers to securities; addresses and zip codes) at laptop scale. As in
+//! [`crate::tpch`], FK columns reuse the referenced key's attribute name so
+//! the join graph sees the benchmark's topology, and `Derived` columns plant
+//! per-table FDs. `watch_item` is the largest instance, `exchange` among the
+//! smallest — matching Table 5's extremes.
+
+use crate::dirt::corrupt_attr;
+use crate::spec::{generate, ColSpec, TableSpec};
+use dance_relation::hash::stable_hash64;
+use dance_relation::{attr, Result, Table};
+
+/// Generation knobs for the TPC-E-like dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct TpceConfig {
+    /// Row-count multiplier.
+    pub scale: f64,
+    /// Corruption fraction applied to 20 of the 29 tables (§6.1).
+    pub dirty_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TpceConfig {
+    fn default() -> Self {
+        TpceConfig {
+            scale: 1.0,
+            dirty_fraction: 0.2,
+            seed: 0x79c_e5ee,
+        }
+    }
+}
+
+/// The 29 table specs at the given scale.
+pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
+    let s = |base: usize| ((base as f64 * scale).round() as usize).max(2);
+    vec![
+        // ── reference tables ────────────────────────────────────────────────
+        TableSpec {
+            name: "exchange",
+            rows: 4,
+            cols: vec![
+                ColSpec::Serial("ex_id"),
+                ColSpec::Derived { name: "ex_name", from: "ex_id", card: 4 },
+                ColSpec::Qty { name: "ex_open", lo: 570, hi: 600 },
+            ],
+        },
+        TableSpec {
+            name: "sector",
+            rows: 12,
+            cols: vec![
+                ColSpec::Serial("sc_id"),
+                ColSpec::Derived { name: "sc_name", from: "sc_id", card: 12 },
+            ],
+        },
+        TableSpec {
+            name: "industry",
+            rows: 60,
+            cols: vec![
+                ColSpec::Serial("in_id"),
+                ColSpec::Fk { name: "sc_id", table: "sector", skew: 0.2 },
+                ColSpec::Derived { name: "in_name", from: "in_id", card: 60 },
+            ],
+        },
+        TableSpec {
+            name: "status_type",
+            rows: 5,
+            cols: vec![
+                ColSpec::Serial("st_id"),
+                ColSpec::Derived { name: "st_name", from: "st_id", card: 5 },
+            ],
+        },
+        TableSpec {
+            name: "trade_type",
+            rows: 5,
+            cols: vec![
+                ColSpec::Serial("tt_id"),
+                ColSpec::Derived { name: "tt_name", from: "tt_id", card: 5 },
+            ],
+        },
+        TableSpec {
+            name: "taxrate",
+            rows: 100,
+            cols: vec![
+                ColSpec::Serial("tx_id"),
+                ColSpec::Money { name: "tx_rate", lo: 0.0, hi: 0.5 },
+                ColSpec::Derived { name: "tx_name", from: "tx_id", card: 100 },
+            ],
+        },
+        TableSpec {
+            name: "zip_code",
+            rows: 200,
+            cols: vec![
+                ColSpec::Serial("zc_code"),
+                ColSpec::Derived { name: "zc_town", from: "zc_code", card: 150 },
+                ColSpec::Derived { name: "zc_div", from: "zc_town", card: 30 },
+            ],
+        },
+        // ── companies & securities ──────────────────────────────────────────
+        TableSpec {
+            name: "company",
+            rows: s(300),
+            cols: vec![
+                ColSpec::Serial("co_id"),
+                ColSpec::Fk { name: "in_id", table: "industry", skew: 0.3 },
+                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.2 },
+                ColSpec::Cat { name: "co_city", card: 80, skew: 0.4 },
+                ColSpec::Derived { name: "co_sp_rate", from: "co_city", card: 10 },
+            ],
+        },
+        TableSpec {
+            name: "security",
+            rows: s(400),
+            cols: vec![
+                ColSpec::Serial("s_symb"),
+                ColSpec::Fk { name: "co_id", table: "company", skew: 0.3 },
+                ColSpec::Fk { name: "ex_id", table: "exchange", skew: 0.2 },
+                ColSpec::Money { name: "s_dividend", lo: 0.0, hi: 10.0 },
+                ColSpec::Qty { name: "s_num_out", lo: 1_000, hi: 100_000 },
+            ],
+        },
+        TableSpec {
+            name: "daily_market",
+            rows: s(2000),
+            cols: vec![
+                ColSpec::Serial("dm_id"),
+                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.4 },
+                ColSpec::Money { name: "dm_close", lo: 1.0, hi: 500.0 },
+                ColSpec::Qty { name: "dm_vol", lo: 100, hi: 100_000 },
+            ],
+        },
+        TableSpec {
+            name: "last_trade",
+            rows: s(400),
+            cols: vec![
+                ColSpec::Serial("lt_id"),
+                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.2 },
+                ColSpec::Money { name: "lt_price", lo: 1.0, hi: 500.0 },
+            ],
+        },
+        TableSpec {
+            name: "news_item",
+            rows: s(400),
+            cols: vec![
+                ColSpec::Serial("ni_id"),
+                ColSpec::Cat { name: "ni_topic", card: 20, skew: 0.5 },
+                ColSpec::Derived { name: "ni_desk", from: "ni_topic", card: 5 },
+            ],
+        },
+        TableSpec {
+            name: "news_xref",
+            rows: s(800),
+            cols: vec![
+                ColSpec::Serial("nx_id"),
+                ColSpec::Fk { name: "ni_id", table: "news_item", skew: 0.3 },
+                ColSpec::Fk { name: "co_id", table: "company", skew: 0.3 },
+            ],
+        },
+        // ── customers, accounts, brokers ────────────────────────────────────
+        TableSpec {
+            name: "address",
+            rows: s(600),
+            cols: vec![
+                ColSpec::Serial("ad_id"),
+                ColSpec::Fk { name: "zc_code", table: "zip_code", skew: 0.3 },
+                ColSpec::Label { name: "ad_ctry", labels: &["USA", "CANADA"], skew: 0.4 },
+            ],
+        },
+        TableSpec {
+            name: "customer",
+            rows: s(500),
+            cols: vec![
+                ColSpec::Serial("c_id"),
+                ColSpec::Fk { name: "ad_id", table: "address", skew: 0.1 },
+                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.2 },
+                ColSpec::Cat { name: "c_tier", card: 3, skew: 0.3 },
+                ColSpec::Label { name: "c_gndr", labels: &["M", "F"], skew: 0.0 },
+                ColSpec::Qty { name: "c_dob_year", lo: 1940, hi: 2005 },
+                ColSpec::Cat { name: "c_city", card: 60, skew: 0.4 },
+                ColSpec::Derived { name: "c_area", from: "c_city", card: 10 },
+            ],
+        },
+        TableSpec {
+            name: "broker",
+            rows: 50,
+            cols: vec![
+                ColSpec::Serial("b_id"),
+                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.2 },
+                ColSpec::Money { name: "b_comm_total", lo: 0.0, hi: 100_000.0 },
+                ColSpec::Qty { name: "b_num_trades", lo: 0, hi: 10_000 },
+            ],
+        },
+        TableSpec {
+            name: "customer_account",
+            rows: s(800),
+            cols: vec![
+                ColSpec::Serial("ca_id"),
+                ColSpec::Fk { name: "c_id", table: "customer", skew: 0.4 },
+                ColSpec::Fk { name: "b_id", table: "broker", skew: 0.3 },
+                ColSpec::Money { name: "ca_bal", lo: -5_000.0, hi: 500_000.0 },
+                ColSpec::Cat { name: "ca_tax_st", card: 3, skew: 0.2 },
+            ],
+        },
+        TableSpec {
+            name: "account_permission",
+            rows: s(400),
+            cols: vec![
+                ColSpec::Serial("ap_id"),
+                ColSpec::Fk { name: "ca_id", table: "customer_account", skew: 0.2 },
+                ColSpec::Label { name: "ap_acl", labels: &["0000", "0001", "0011"], skew: 0.3 },
+            ],
+        },
+        TableSpec {
+            name: "customer_taxrate",
+            rows: s(600),
+            cols: vec![
+                ColSpec::Serial("cx_id"),
+                ColSpec::Fk { name: "tx_id", table: "taxrate", skew: 0.2 },
+                ColSpec::Fk { name: "c_id", table: "customer", skew: 0.2 },
+            ],
+        },
+        // ── watch lists ─────────────────────────────────────────────────────
+        TableSpec {
+            name: "watch_list",
+            rows: s(300),
+            cols: vec![
+                ColSpec::Serial("wl_id"),
+                ColSpec::Fk { name: "c_id", table: "customer", skew: 0.2 },
+            ],
+        },
+        TableSpec {
+            name: "watch_item",
+            rows: s(3000),
+            cols: vec![
+                ColSpec::Serial("wi_id"),
+                ColSpec::Fk { name: "wl_id", table: "watch_list", skew: 0.3 },
+                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.5 },
+            ],
+        },
+        // ── trading ─────────────────────────────────────────────────────────
+        TableSpec {
+            name: "trade",
+            rows: s(2500),
+            cols: vec![
+                ColSpec::Serial("t_id"),
+                ColSpec::Fk { name: "ca_id", table: "customer_account", skew: 0.5 },
+                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.5 },
+                ColSpec::Fk { name: "tt_id", table: "trade_type", skew: 0.3 },
+                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.3 },
+                ColSpec::Money { name: "t_trade_price", lo: 1.0, hi: 500.0 },
+                ColSpec::Qty { name: "t_qty", lo: 1, hi: 1000 },
+            ],
+        },
+        TableSpec {
+            name: "trade_history",
+            rows: s(2000),
+            cols: vec![
+                ColSpec::Serial("th_id"),
+                ColSpec::Fk { name: "t_id", table: "trade", skew: 0.2 },
+                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.2 },
+            ],
+        },
+        TableSpec {
+            name: "settlement",
+            rows: s(1200),
+            cols: vec![
+                ColSpec::Serial("se_id"),
+                ColSpec::Fk { name: "t_id", table: "trade", skew: 0.2 },
+                ColSpec::Money { name: "se_amt", lo: 1.0, hi: 500_000.0 },
+                ColSpec::Label { name: "se_cash_type", labels: &["CASH", "MARGIN"], skew: 0.3 },
+            ],
+        },
+        TableSpec {
+            name: "cash_transaction",
+            rows: s(1000),
+            cols: vec![
+                ColSpec::Serial("ct_id"),
+                ColSpec::Fk { name: "t_id", table: "trade", skew: 0.2 },
+                ColSpec::Money { name: "ct_amt", lo: -100_000.0, hi: 100_000.0 },
+                ColSpec::Cat { name: "ct_kind", card: 6, skew: 0.3 },
+                ColSpec::Derived { name: "ct_class", from: "ct_kind", card: 3 },
+            ],
+        },
+        TableSpec {
+            name: "charge",
+            rows: 15,
+            cols: vec![
+                ColSpec::Serial("ch_id"),
+                ColSpec::Fk { name: "tt_id", table: "trade_type", skew: 0.0 },
+                ColSpec::Cat { name: "ch_c_tier", card: 3, skew: 0.0 },
+                ColSpec::Money { name: "ch_chrg", lo: 0.0, hi: 100.0 },
+            ],
+        },
+        TableSpec {
+            name: "commission_rate",
+            rows: 240,
+            cols: vec![
+                ColSpec::Serial("cr_id"),
+                ColSpec::Fk { name: "tt_id", table: "trade_type", skew: 0.0 },
+                ColSpec::Fk { name: "ex_id", table: "exchange", skew: 0.0 },
+                ColSpec::Money { name: "cr_rate", lo: 0.0, hi: 2.0 },
+            ],
+        },
+        // ── holdings ────────────────────────────────────────────────────────
+        TableSpec {
+            name: "holding",
+            rows: s(1000),
+            cols: vec![
+                ColSpec::Serial("h_id"),
+                ColSpec::Fk { name: "ca_id", table: "customer_account", skew: 0.4 },
+                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.4 },
+                ColSpec::Money { name: "h_price", lo: 1.0, hi: 500.0 },
+                ColSpec::Qty { name: "h_qty", lo: 1, hi: 1000 },
+            ],
+        },
+        TableSpec {
+            name: "holding_summary",
+            rows: s(700),
+            cols: vec![
+                ColSpec::Serial("hs_id"),
+                ColSpec::Fk { name: "ca_id", table: "customer_account", skew: 0.3 },
+                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.3 },
+                ColSpec::Qty { name: "hs_qty", lo: 1, hi: 5000 },
+            ],
+        },
+    ]
+}
+
+/// The 20 tables dirtied per §6.1 with their corrupted FD right-hand sides.
+const DIRTY_TARGETS: &[(&str, &[&str])] = &[
+    ("company", &["co_sp_rate"]),
+    ("security", &["s_dividend"]),
+    ("broker", &["b_comm_total"]),
+    ("daily_market", &["dm_close"]),
+    ("last_trade", &["lt_price"]),
+    ("news_item", &["ni_desk"]),
+    ("news_xref", &["ni_id"]),
+    ("address", &["ad_ctry"]),
+    ("customer", &["c_area"]),
+    ("customer_account", &["ca_bal"]),
+    ("account_permission", &["ap_acl"]),
+    ("customer_taxrate", &["tx_id"]),
+    ("watch_list", &["c_id"]),
+    ("watch_item", &["wl_id"]),
+    ("trade", &["t_trade_price"]),
+    ("trade_history", &["st_id"]),
+    ("settlement", &["se_amt"]),
+    ("cash_transaction", &["ct_class"]),
+    ("holding", &["h_price"]),
+    ("holding_summary", &["hs_qty"]),
+];
+
+/// Generate the dirty TPC-E-like dataset per `cfg`.
+pub fn tpce(cfg: &TpceConfig) -> Result<Vec<Table>> {
+    let mut tables = generate(&tpce_specs(cfg.scale), cfg.seed)?;
+    for t in &mut tables {
+        if let Some((_, rhs_list)) = DIRTY_TARGETS.iter().find(|(n, _)| *n == t.name()) {
+            for rhs in *rhs_list {
+                *t = corrupt_attr(
+                    t,
+                    attr(rhs),
+                    cfg.dirty_fraction,
+                    stable_hash64(cfg.seed, rhs),
+                )?;
+            }
+        }
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::AttrSet;
+
+    fn cfg() -> TpceConfig {
+        TpceConfig {
+            scale: 0.2,
+            dirty_fraction: 0.2,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn twenty_nine_tables() {
+        let tables = tpce(&cfg()).unwrap();
+        assert_eq!(tables.len(), 29);
+        let names: std::collections::HashSet<&str> =
+            tables.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 29, "table names must be unique");
+    }
+
+    #[test]
+    fn extremes_match_table5_shape() {
+        let tables = tpce(&cfg()).unwrap();
+        let smallest = tables.iter().min_by_key(|t| t.num_rows()).unwrap();
+        let largest = tables.iter().max_by_key(|t| t.num_rows()).unwrap();
+        assert_eq!(smallest.name(), "exchange");
+        assert_eq!(largest.name(), "watch_item");
+    }
+
+    #[test]
+    fn long_chain_exists() {
+        // industry–company–security–watch_item–watch_list–customer–address–zip_code
+        let tables = tpce(&cfg()).unwrap();
+        let by_name = |n: &str| tables.iter().find(|t| t.name() == n).unwrap();
+        let chain = [
+            ("industry", "company", "in_id"),
+            ("company", "security", "co_id"),
+            ("security", "watch_item", "s_symb"),
+            ("watch_item", "watch_list", "wl_id"),
+            ("watch_list", "customer", "c_id"),
+            ("customer", "address", "ad_id"),
+            ("address", "zip_code", "zc_code"),
+        ];
+        for (a, b, key) in chain {
+            let common = by_name(a).schema().common(by_name(b).schema());
+            assert!(
+                common.contains(dance_relation::attr(key)),
+                "{a}–{b} should share {key}, common = {common}"
+            );
+        }
+    }
+
+    #[test]
+    fn twenty_tables_are_dirty() {
+        assert_eq!(DIRTY_TARGETS.len(), 20);
+        let tables = tpce(&cfg()).unwrap();
+        // A corrupted Int FK column contains the garbage sentinel range.
+        let wi = tables.iter().find(|t| t.name() == "watch_item").unwrap();
+        let col = wi.attr_indices(&AttrSet::from_names(["wl_id"])).unwrap()[0];
+        let has_garbage = (0..wi.num_rows())
+            .any(|r| wi.value(r, col).as_i64().is_some_and(|v| v < -999_999));
+        assert!(has_garbage);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tpce(&cfg()).unwrap();
+        let b = tpce(&cfg()).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.num_rows(), y.num_rows());
+            if x.num_rows() > 0 {
+                assert_eq!(x.row(0), y.row(0));
+                assert_eq!(x.row(x.num_rows() - 1), y.row(y.num_rows() - 1));
+            }
+        }
+    }
+}

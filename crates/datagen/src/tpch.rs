@@ -1,0 +1,253 @@
+//! TPC-H-like schema: 8 instances, FK topology of the benchmark.
+//!
+//! Join keys share names across tables (`custkey`, `orderkey`, …), which is
+//! what the join graph keys on. Each instance plants 1–2 non-key functional
+//! dependencies via `Derived` columns (e.g. `c_city → c_state`), so the
+//! quality machinery has real structure to find, and `customer`/`supplier`
+//! both carry the **fake join attribute** `h` that §6.4's Q3 routes through.
+//!
+//! Scale 1.0 ≈ 3.2k total rows — laptop-scale stand-in for the official
+//! generator (see DESIGN.md for the substitution argument). Row-count ratios
+//! between tables mirror the benchmark (lineitem largest, region smallest).
+
+use crate::dirt::corrupt_attr;
+use crate::spec::{generate, ColSpec, TableSpec};
+use dance_relation::hash::stable_hash64;
+use dance_relation::{attr, Result, Table};
+
+/// Generation knobs for the TPC-H-like dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// Row-count multiplier (1.0 ≈ 3.2k rows total).
+    pub scale: f64,
+    /// Fraction of rows whose FD right-hand sides are corrupted in the six
+    /// non-tiny tables (§6.1 modifies 30%).
+    pub dirty_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale: 1.0,
+            dirty_fraction: 0.3,
+            seed: 0x791c_4a11,
+        }
+    }
+}
+
+/// Table specs at the given scale.
+pub fn tpch_specs(scale: f64) -> Vec<TableSpec> {
+    let s = |base: usize| ((base as f64 * scale).round() as usize).max(2);
+    vec![
+        TableSpec {
+            name: "region",
+            rows: 5,
+            cols: vec![
+                ColSpec::Serial("regionkey"),
+                ColSpec::Derived { name: "r_name", from: "regionkey", card: 5 },
+                ColSpec::Label { name: "r_zone", labels: &["east", "west", "north"], skew: 0.2 },
+            ],
+        },
+        TableSpec {
+            name: "nation",
+            rows: 25,
+            cols: vec![
+                ColSpec::Serial("nationkey"),
+                ColSpec::Fk { name: "regionkey", table: "region", skew: 0.0 },
+                ColSpec::Derived { name: "n_name", from: "nationkey", card: 25 },
+                ColSpec::Cat { name: "n_zone", card: 6, skew: 0.3 },
+                ColSpec::Derived { name: "n_zonegrp", from: "n_zone", card: 3 },
+            ],
+        },
+        TableSpec {
+            name: "supplier",
+            rows: s(100),
+            cols: vec![
+                ColSpec::Serial("suppkey"),
+                ColSpec::Fk { name: "nationkey", table: "nation", skew: 0.3 },
+                ColSpec::Cat { name: "h", card: 30, skew: 0.3 },
+                ColSpec::Money { name: "s_acctbal", lo: -999.0, hi: 9999.0 },
+                ColSpec::Cat { name: "s_city", card: 40, skew: 0.4 },
+                ColSpec::Derived { name: "s_state", from: "s_city", card: 15 },
+            ],
+        },
+        TableSpec {
+            name: "customer",
+            rows: s(300),
+            cols: vec![
+                ColSpec::Serial("custkey"),
+                ColSpec::Fk { name: "nationkey", table: "nation", skew: 0.3 },
+                ColSpec::Cat { name: "h", card: 30, skew: 0.3 },
+                ColSpec::Money { name: "c_acctbal", lo: -999.0, hi: 9999.0 },
+                ColSpec::Label {
+                    name: "c_mktsegment",
+                    labels: &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"],
+                    skew: 0.5,
+                },
+                ColSpec::Cat { name: "c_city", card: 50, skew: 0.4 },
+                ColSpec::Derived { name: "c_state", from: "c_city", card: 15 },
+            ],
+        },
+        TableSpec {
+            name: "part",
+            rows: s(200),
+            cols: vec![
+                ColSpec::Serial("partkey"),
+                ColSpec::Label {
+                    name: "p_brand",
+                    labels: &["B11", "B12", "B21", "B22", "B31"],
+                    skew: 0.4,
+                },
+                ColSpec::Cat { name: "p_size", card: 50, skew: 0.0 },
+                ColSpec::Derived { name: "p_container", from: "p_size", card: 8 },
+                ColSpec::Money { name: "p_retailprice", lo: 900.0, hi: 2000.0 },
+            ],
+        },
+        TableSpec {
+            name: "partsupp",
+            rows: s(500),
+            cols: vec![
+                ColSpec::Serial("pskey"),
+                ColSpec::Fk { name: "partkey", table: "part", skew: 0.2 },
+                ColSpec::Fk { name: "suppkey", table: "supplier", skew: 0.2 },
+                ColSpec::Qty { name: "ps_availqty", lo: 1, hi: 9999 },
+                ColSpec::Money { name: "ps_supplycost", lo: 1.0, hi: 1000.0 },
+            ],
+        },
+        TableSpec {
+            name: "orders",
+            rows: s(600),
+            cols: vec![
+                ColSpec::Serial("orderkey"),
+                ColSpec::Fk { name: "custkey", table: "customer", skew: 0.5 },
+                ColSpec::Money { name: "o_totalprice", lo: 800.0, hi: 450_000.0 },
+                ColSpec::Label { name: "o_orderstatus", labels: &["F", "O", "P"], skew: 0.4 },
+                ColSpec::Cat { name: "o_month", card: 12, skew: 0.0 },
+                ColSpec::Derived { name: "o_quarter", from: "o_month", card: 4 },
+            ],
+        },
+        TableSpec {
+            name: "lineitem",
+            rows: s(1500),
+            cols: vec![
+                ColSpec::Serial("linekey"),
+                ColSpec::Fk { name: "orderkey", table: "orders", skew: 0.4 },
+                ColSpec::Fk { name: "partkey", table: "part", skew: 0.3 },
+                ColSpec::Fk { name: "suppkey", table: "supplier", skew: 0.3 },
+                ColSpec::Qty { name: "l_quantity", lo: 1, hi: 50 },
+                ColSpec::Money { name: "l_extendedprice", lo: 900.0, hi: 100_000.0 },
+                ColSpec::Label { name: "l_returnflag", labels: &["A", "N", "R"], skew: 0.3 },
+                ColSpec::Derived { name: "l_status", from: "l_returnflag", card: 2 },
+            ],
+        },
+    ]
+}
+
+/// The six tables §6.1 dirties (all but `region` and `nation`), with the FD
+/// right-hand sides that corruption targets.
+const DIRTY_TARGETS: &[(&str, &[&str])] = &[
+    ("supplier", &["s_state"]),
+    ("customer", &["c_state"]),
+    ("part", &["p_container"]),
+    ("partsupp", &["ps_supplycost"]),
+    ("orders", &["o_quarter"]),
+    ("lineitem", &["l_status"]),
+];
+
+/// Generate the dirty TPC-H-like dataset per `cfg`.
+pub fn tpch(cfg: &TpchConfig) -> Result<Vec<Table>> {
+    let mut tables = generate(&tpch_specs(cfg.scale), cfg.seed)?;
+    for t in &mut tables {
+        if let Some((_, rhs_list)) = DIRTY_TARGETS.iter().find(|(n, _)| *n == t.name()) {
+            for rhs in *rhs_list {
+                *t = corrupt_attr(
+                    t,
+                    attr(rhs),
+                    cfg.dirty_fraction,
+                    stable_hash64(cfg.seed, rhs),
+                )?;
+            }
+        }
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_quality::Fd;
+    use dance_relation::AttrSet;
+
+    fn cfg() -> TpchConfig {
+        TpchConfig {
+            scale: 0.5,
+            dirty_fraction: 0.3,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn eight_tables_with_benchmark_shape() {
+        let tables = tpch(&cfg()).unwrap();
+        assert_eq!(tables.len(), 8);
+        let names: Vec<&str> = tables.iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            vec!["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+        );
+        // lineitem is the largest, region the smallest — as in the benchmark.
+        let rows: Vec<usize> = tables.iter().map(|t| t.num_rows()).collect();
+        assert_eq!(rows.iter().min(), Some(&5));
+        assert_eq!(rows.iter().max(), Some(&rows[7]));
+    }
+
+    #[test]
+    fn join_topology_via_shared_names() {
+        let tables = tpch(&cfg()).unwrap();
+        let by_name = |n: &str| tables.iter().find(|t| t.name() == n).unwrap();
+        let common = |a: &str, b: &str| by_name(a).schema().common(by_name(b).schema());
+        assert_eq!(common("region", "nation"), AttrSet::from_names(["regionkey"]));
+        assert_eq!(common("orders", "customer"), AttrSet::from_names(["custkey"]));
+        assert_eq!(common("customer", "supplier"), AttrSet::from_names(["h", "nationkey"]));
+        assert!(common("region", "lineitem").is_empty());
+    }
+
+    #[test]
+    fn clean_tables_have_exact_planted_fds() {
+        let clean = tpch(&TpchConfig {
+            dirty_fraction: 0.0,
+            ..cfg()
+        })
+        .unwrap();
+        let customer = clean.iter().find(|t| t.name() == "customer").unwrap();
+        let q = dance_quality::quality(customer, &Fd::new(["c_city"], "c_state")).unwrap();
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    fn dirt_lowers_quality_to_roughly_one_minus_fraction() {
+        let tables = tpch(&cfg()).unwrap();
+        let customer = tables.iter().find(|t| t.name() == "customer").unwrap();
+        let q = dance_quality::quality(customer, &Fd::new(["c_city"], "c_state")).unwrap();
+        assert!(q < 0.85, "q = {q}");
+        assert!(q > 0.55, "q = {q}");
+        // region / nation stay clean.
+        let nation = tables.iter().find(|t| t.name() == "nation").unwrap();
+        let qn = dance_quality::quality(nation, &Fd::new(["n_zone"], "n_zonegrp")).unwrap();
+        assert_eq!(qn, 1.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tpch(&cfg()).unwrap();
+        let b = tpch(&cfg()).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.num_rows(), y.num_rows());
+            for r in (0..x.num_rows()).step_by(17) {
+                assert_eq!(x.row(r), y.row(r));
+            }
+        }
+    }
+}

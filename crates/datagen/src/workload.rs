@@ -1,0 +1,181 @@
+//! The paper's acquisition queries (§6.1).
+//!
+//! Each dataset gets three queries of short / medium / long join paths:
+//! TPC-H: Q1/Q2/Q3 with path lengths 2/3/5; TPC-E: 3/5/8 (counting instances
+//! on the path, as the paper does when it uses "target graph" and "join path"
+//! interchangeably). The expected path pins down the source and target
+//! attribute sets; the search algorithms are free to find any path.
+
+use crate::tpce::{tpce, TpceConfig};
+use crate::tpch::{tpch, TpchConfig};
+use dance_relation::{AttrSet, Result, Table};
+
+/// One acquisition request of the evaluation.
+#[derive(Debug, Clone)]
+pub struct AcquisitionQuery {
+    /// Query name (Q1/Q2/Q3).
+    pub name: &'static str,
+    /// Table holding the source attributes (plays the shopper's `S`).
+    pub source_table: &'static str,
+    /// Source attribute set `AS`.
+    pub source: AttrSet,
+    /// Table holding the target attributes.
+    pub target_table: &'static str,
+    /// Target attribute set `AT`.
+    pub target: AttrSet,
+    /// Paper-reported join path length (number of instances).
+    pub path_len: usize,
+}
+
+/// A dataset plus its three acquisition queries.
+#[derive(Debug)]
+pub struct Workload {
+    /// Dataset label ("tpch" / "tpce").
+    pub name: &'static str,
+    /// The marketplace instances.
+    pub tables: Vec<Table>,
+    /// Q1, Q2, Q3.
+    pub queries: Vec<AcquisitionQuery>,
+}
+
+impl Workload {
+    /// Find a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name() == name)
+    }
+
+    /// Query by name.
+    pub fn query(&self, name: &str) -> Option<&AcquisitionQuery> {
+        self.queries.iter().find(|q| q.name == name)
+    }
+}
+
+/// TPC-H workload: Q1 (len 2), Q2 (len 3), Q3 (len 5, routes through the fake
+/// attribute `h` as in the paper's §6.4 example output).
+pub fn tpch_workload(cfg: &TpchConfig) -> Result<Workload> {
+    Ok(Workload {
+        name: "tpch",
+        tables: tpch(cfg)?,
+        queries: vec![
+            AcquisitionQuery {
+                name: "Q1",
+                source_table: "orders",
+                source: AttrSet::from_names(["o_totalprice"]),
+                target_table: "customer",
+                target: AttrSet::from_names(["c_mktsegment"]),
+                path_len: 2, // orders–customer
+            },
+            AcquisitionQuery {
+                name: "Q2",
+                source_table: "orders",
+                source: AttrSet::from_names(["o_totalprice"]),
+                target_table: "nation",
+                target: AttrSet::from_names(["n_name"]),
+                path_len: 3, // orders–customer–nation
+            },
+            AcquisitionQuery {
+                name: "Q3",
+                source_table: "orders",
+                source: AttrSet::from_names(["o_totalprice"]),
+                target_table: "region",
+                target: AttrSet::from_names(["r_name"]),
+                path_len: 5, // orders–customer–(h)–supplier–nation–region
+            },
+        ],
+    })
+}
+
+/// TPC-E workload: Q1 (len 3), Q2 (len 5), Q3 (len 8).
+pub fn tpce_workload(cfg: &TpceConfig) -> Result<Workload> {
+    Ok(Workload {
+        name: "tpce",
+        tables: tpce(cfg)?,
+        queries: vec![
+            AcquisitionQuery {
+                name: "Q1",
+                source_table: "trade",
+                source: AttrSet::from_names(["t_trade_price"]),
+                target_table: "company",
+                target: AttrSet::from_names(["co_sp_rate"]),
+                path_len: 3, // trade–security–company
+            },
+            AcquisitionQuery {
+                name: "Q2",
+                source_table: "trade",
+                source: AttrSet::from_names(["t_trade_price"]),
+                target_table: "sector",
+                target: AttrSet::from_names(["sc_name"]),
+                path_len: 5, // trade–security–company–industry–sector
+            },
+            AcquisitionQuery {
+                name: "Q3",
+                source_table: "industry",
+                source: AttrSet::from_names(["in_name"]),
+                target_table: "zip_code",
+                target: AttrSet::from_names(["zc_town"]),
+                // industry–company–security–watch_item–watch_list–customer–address–zip_code
+                path_len: 8,
+            },
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_queries_reference_existing_attrs() {
+        let w = tpch_workload(&TpchConfig {
+            scale: 0.3,
+            dirty_fraction: 0.3,
+            seed: 4,
+        })
+        .unwrap();
+        assert_eq!(w.queries.len(), 3);
+        for q in &w.queries {
+            let src = w.table(q.source_table).expect("source table exists");
+            for a in q.source.iter() {
+                assert!(src.schema().index_of(a).is_some(), "{a} in {}", q.source_table);
+            }
+            let tgt = w.table(q.target_table).expect("target table exists");
+            for a in q.target.iter() {
+                assert!(tgt.schema().index_of(a).is_some(), "{a} in {}", q.target_table);
+            }
+        }
+        assert_eq!(
+            w.queries.iter().map(|q| q.path_len).collect::<Vec<_>>(),
+            vec![2, 3, 5]
+        );
+    }
+
+    #[test]
+    fn tpce_queries_reference_existing_attrs() {
+        let w = tpce_workload(&TpceConfig {
+            scale: 0.1,
+            dirty_fraction: 0.2,
+            seed: 4,
+        })
+        .unwrap();
+        for q in &w.queries {
+            assert!(w.table(q.source_table).is_some());
+            assert!(w.table(q.target_table).is_some());
+        }
+        assert_eq!(
+            w.queries.iter().map(|q| q.path_len).collect::<Vec<_>>(),
+            vec![3, 5, 8]
+        );
+    }
+
+    #[test]
+    fn query_lookup_by_name() {
+        let w = tpch_workload(&TpchConfig {
+            scale: 0.2,
+            dirty_fraction: 0.0,
+            seed: 4,
+        })
+        .unwrap();
+        assert!(w.query("Q2").is_some());
+        assert!(w.query("Q9").is_none());
+    }
+}

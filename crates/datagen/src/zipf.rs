@@ -1,0 +1,100 @@
+//! A small Zipf(θ) sampler over `0..n`.
+//!
+//! FK fan-outs and categorical popularity in real marketplace data are
+//! heavy-tailed; the generators use this sampler wherever a `skew` parameter
+//! appears (`skew = 0` degrades to uniform). Implemented with a precomputed
+//! CDF + binary search — domains here are at most a few hundred thousand.
+
+use rand::{Rng, RngExt};
+
+/// Zipf distribution over `{0, 1, …, n−1}` with exponent `theta ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler; `n` must be positive.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        let theta = theta.max(0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` for an empty domain (cannot happen — `new` asserts).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 20_000.0;
+            assert!((f - 0.1).abs() < 0.02, "f = {f}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_small_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With θ=1.2 the top-10 of 100 carries well over half the mass.
+        assert!(head as f64 / n as f64 > 0.6, "head mass {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn values_stay_in_domain() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

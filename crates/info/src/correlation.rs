@@ -1,0 +1,253 @@
+//! The correlation measure `CORR(X, Y)` of Definition 2.5.
+//!
+//! Following Nguyen et al. \[20\] the measure is entropy-based so it can compare
+//! categorical with numerical attributes:
+//!
+//! * `X` **numerical** (every attribute of `X` is `Int`/`Float`):
+//!   `CORR = Σ_{A∈X} [ h(A) − h(A | Y) ]` using cumulative entropy. The paper
+//!   states the single-attribute form `h(X) − h(X|Y)`; for multi-attribute `X`
+//!   we sum the per-attribute cumulative mutual informations (each term is the
+//!   paper's measure for that attribute), which keeps the measure
+//!   non-negative-in-expectation and monotone in added attributes.
+//! * `X` **categorical** (anything else): `CORR = H(X) − H(X|Y) = I(X; Y)`
+//!   over compound keys, with numeric attributes inside the keys discretized
+//!   (equal-frequency) so high-cardinality measures do not saturate `H`.
+//!
+//! In both cases `Y`'s numeric attributes are discretized for the `p(y)`
+//! grouping (see [`crate::discretize`]).
+
+use crate::cumulative::{conditional_cumulative_entropy, condition_groups, cumulative_entropy};
+use crate::entropy::entropy_from_counts;
+use dance_relation::{AttrSet, FxHashMap, Result, Table};
+
+/// Tuning knobs for [`correlation_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorrOptions {
+    /// Equal-frequency bin count for numeric attributes; `None` → `⌈√n⌉` capped at 64.
+    pub bins: Option<usize>,
+}
+
+impl CorrOptions {
+    fn bin_count(&self, n: usize) -> usize {
+        self.bins
+            .unwrap_or_else(|| crate::discretize::default_bin_count(n))
+            .max(1)
+    }
+}
+
+/// `CORR(X, Y)` with default options.
+pub fn correlation(t: &Table, x: &AttrSet, y: &AttrSet) -> Result<f64> {
+    correlation_with(t, x, y, CorrOptions::default())
+}
+
+/// `CORR(X, Y)` (Definition 2.5) measured on table `t` (typically a join result).
+pub fn correlation_with(t: &Table, x: &AttrSet, y: &AttrSet, opts: CorrOptions) -> Result<f64> {
+    if x.is_empty() || y.is_empty() {
+        return Err(dance_relation::RelationError::Shape(
+            "correlation requires non-empty X and Y".into(),
+        ));
+    }
+    if t.num_rows() == 0 {
+        return Ok(0.0);
+    }
+    let bins = opts.bin_count(t.num_rows());
+    let x_numeric = x
+        .iter()
+        .all(|id| t.schema().type_of(id).is_some_and(|ty| ty.is_numeric()));
+    // Validate presence of every attribute up front for a clean error.
+    for id in x.iter().chain(y.iter()) {
+        t.schema().require(id)?;
+    }
+    let y_groups = condition_groups(t, y, bins)?;
+    if x_numeric {
+        let mut corr = 0.0;
+        for id in x.iter() {
+            let h = cumulative_entropy(t, id)?;
+            let hc = conditional_cumulative_entropy(t, id, &y_groups)?;
+            corr += h - hc;
+        }
+        Ok(corr)
+    } else {
+        // Discretized compound keys on both sides.
+        let x_groups = condition_groups(t, x, bins)?;
+        Ok(mutual_information_of_codes(&x_groups, &y_groups))
+    }
+}
+
+/// `I(X; Y)` between two dense code vectors (plug-in, bits).
+pub fn mutual_information_of_codes(x: &[u32], y: &[u32]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len() as u64;
+    if n == 0 {
+        return 0.0;
+    }
+    let mut cx: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut cy: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut cxy: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    for (&a, &b) in x.iter().zip(y) {
+        *cx.entry(a).or_insert(0) += 1;
+        *cy.entry(b).or_insert(0) += 1;
+        *cxy.entry((a, b)).or_insert(0) += 1;
+    }
+    let hx = entropy_from_counts(cx.into_values(), n);
+    let hy = entropy_from_counts(cy.into_values(), n);
+    let hxy = entropy_from_counts(cxy.into_values(), n);
+    (hx + hy - hxy).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::{Table, Value, ValueType};
+
+    fn cat_table(dependent: bool) -> Table {
+        Table::from_rows(
+            "c",
+            &[("cor_x", ValueType::Str), ("cor_y", ValueType::Str)],
+            (0..64)
+                .map(|i| {
+                    let xv = ["a", "b", "c", "d"][i % 4];
+                    let yv = if dependent {
+                        ["u", "v", "w", "z"][i % 4]
+                    } else {
+                        ["u", "v", "w", "z"][(i / 4) % 4]
+                    };
+                    vec![Value::str(xv), Value::str(yv)]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn categorical_dependence_vs_independence() {
+        let x = AttrSet::from_names(["cor_x"]);
+        let y = AttrSet::from_names(["cor_y"]);
+        let dep = correlation(&cat_table(true), &x, &y).unwrap();
+        let ind = correlation(&cat_table(false), &x, &y).unwrap();
+        assert!((dep - 2.0).abs() < 1e-9, "dep = {dep}"); // 4 uniform classes → 2 bits
+        assert!(ind.abs() < 1e-9, "ind = {ind}");
+    }
+
+    #[test]
+    fn numeric_x_uses_cumulative_entropy() {
+        // X numeric, perfectly determined by Y → CORR = h(X) (conditional is 0).
+        let t = Table::from_rows(
+            "n",
+            &[("num_x", ValueType::Float), ("num_y", ValueType::Str)],
+            (0..100)
+                .map(|i| {
+                    let g = i % 2;
+                    vec![
+                        Value::Float(if g == 0 { 0.0 } else { 100.0 } + (i / 2) as f64 * 1e-9),
+                        Value::str(if g == 0 { "lo" } else { "hi" }),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let x = AttrSet::from_names(["num_x"]);
+        let y = AttrSet::from_names(["num_y"]);
+        let corr = correlation(&t, &x, &y).unwrap();
+        let h = cumulative_entropy(&t, dance_relation::attr("num_x")).unwrap();
+        assert!(corr > 0.9 * h, "corr {corr} should approach h(X) {h}");
+    }
+
+    #[test]
+    fn multi_attribute_numeric_x_sums_terms() {
+        let t = Table::from_rows(
+            "m",
+            &[
+                ("mx_a", ValueType::Float),
+                ("mx_b", ValueType::Float),
+                ("mx_y", ValueType::Str),
+            ],
+            (0..60)
+                .map(|i| {
+                    let g = i % 3;
+                    vec![
+                        Value::Float(g as f64 * 10.0),
+                        Value::Float(g as f64 * 5.0),
+                        Value::str(["p", "q", "r"][g]),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let both = correlation(
+            &t,
+            &AttrSet::from_names(["mx_a", "mx_b"]),
+            &AttrSet::from_names(["mx_y"]),
+        )
+        .unwrap();
+        let a = correlation(
+            &t,
+            &AttrSet::from_names(["mx_a"]),
+            &AttrSet::from_names(["mx_y"]),
+        )
+        .unwrap();
+        let b = correlation(
+            &t,
+            &AttrSet::from_names(["mx_b"]),
+            &AttrSet::from_names(["mx_y"]),
+        )
+        .unwrap();
+        assert!((both - (a + b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sets_rejected_and_empty_table_zero() {
+        let t = cat_table(true);
+        assert!(correlation(&t, &AttrSet::empty(), &AttrSet::from_names(["cor_y"])).is_err());
+        let empty = Table::from_rows("e", &[("cor_e", ValueType::Int)], vec![]).unwrap();
+        let c = correlation(
+            &empty,
+            &AttrSet::from_names(["cor_e"]),
+            &AttrSet::from_names(["cor_e"]),
+        )
+        .unwrap();
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn missing_attribute_is_error() {
+        let t = cat_table(true);
+        assert!(correlation(
+            &t,
+            &AttrSet::from_names(["cor_x"]),
+            &AttrSet::from_names(["cor_missing"]),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mixed_x_falls_back_to_categorical() {
+        // One numeric + one categorical attribute in X ⇒ categorical treatment,
+        // result bounded by log2(#rows) (cumulative entropy could exceed it).
+        let t = Table::from_rows(
+            "mix",
+            &[
+                ("mix_n", ValueType::Float),
+                ("mix_c", ValueType::Str),
+                ("mix_y", ValueType::Str),
+            ],
+            (0..32)
+                .map(|i| {
+                    vec![
+                        Value::Float(i as f64 * 1000.0),
+                        Value::str(["s", "t"][i % 2]),
+                        Value::str(["u", "v"][i % 2]),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let c = correlation(
+            &t,
+            &AttrSet::from_names(["mix_n", "mix_c"]),
+            &AttrSet::from_names(["mix_y"]),
+        )
+        .unwrap();
+        assert!(c <= (32f64).log2() + 1e-9);
+    }
+}

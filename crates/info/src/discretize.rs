@@ -1,0 +1,124 @@
+//! Discretization of numeric attributes.
+//!
+//! Definition 2.5 conditions on `Y` via `p(y)`; for numeric `Y` with near-
+//! unique values the empirical conditional would be degenerate (every group a
+//! singleton, `H(X|Y) = 0`). Following the practice of the correlation measure
+//! the paper adopts (Nguyen et al. \[20\]), numeric conditioning attributes are
+//! discretized first. Equal-frequency binning is the default because
+//! marketplace numeric columns (prices, populations, counts) are heavy-tailed.
+
+/// Assign each value an equal-frequency bin code in `0..k`.
+///
+/// Ties are kept together: rows with equal values always land in the same bin,
+/// so the binning is a function of the value (required for `p(y)` to be well
+/// defined). Consequently fewer than `k` distinct bins may be produced.
+pub fn equal_frequency_bins(values: &[f64], k: usize) -> Vec<u32> {
+    assert!(k > 0, "bin count must be positive");
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut bins = vec![0u32; n];
+    let mut prev_value = f64::NAN;
+    let mut prev_bin = 0u32;
+    for (rank, &idx) in order.iter().enumerate() {
+        let v = values[idx];
+        let bin = if rank > 0 && v.total_cmp(&prev_value).is_eq() {
+            prev_bin
+        } else {
+            ((rank * k) / n) as u32
+        };
+        bins[idx] = bin;
+        prev_value = v;
+        prev_bin = bin;
+    }
+    bins
+}
+
+/// Assign each value an equal-width bin code in `0..k`.
+///
+/// NaNs go to bin 0. A constant column yields a single bin.
+pub fn equal_width_bins(values: &[f64], k: usize) -> Vec<u32> {
+    assert!(k > 0, "bin count must be positive");
+    let finite = values.iter().copied().filter(|v| v.is_finite());
+    let lo = finite.clone().fold(f64::INFINITY, f64::min);
+    let hi = finite.fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() || lo == hi {
+        return vec![0; values.len()];
+    }
+    let width = (hi - lo) / k as f64;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                0
+            } else {
+                (((v - lo) / width) as usize).min(k - 1) as u32
+            }
+        })
+        .collect()
+}
+
+/// Default bin count for `n` rows: `⌈√n⌉` clamped to `\[1, 64\]`.
+pub fn default_bin_count(n: usize) -> usize {
+    ((n as f64).sqrt().ceil() as usize).clamp(1, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let bins = equal_frequency_bins(&values, 4);
+        let mut counts = [0usize; 4];
+        for b in &bins {
+            counts[*b as usize] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+        // Monotone in value.
+        for i in 1..100 {
+            assert!(bins[i] >= bins[i - 1]);
+        }
+    }
+
+    #[test]
+    fn ties_share_a_bin() {
+        let values = vec![1.0; 50];
+        let bins = equal_frequency_bins(&values, 10);
+        assert!(bins.iter().all(|&b| b == bins[0]));
+
+        // Heavy tie straddling a boundary stays together.
+        let mut v: Vec<f64> = vec![0.0; 30];
+        v.extend(std::iter::repeat_n(1.0, 40));
+        v.extend((0..30).map(|i| 2.0 + i as f64));
+        let bins = equal_frequency_bins(&v, 4);
+        let one_bins: std::collections::HashSet<u32> =
+            (30..70).map(|i| bins[i]).collect();
+        assert_eq!(one_bins.len(), 1);
+    }
+
+    #[test]
+    fn equal_width_spans_range() {
+        let values = vec![0.0, 2.5, 5.0, 7.5, 10.0];
+        let bins = equal_width_bins(&values, 4);
+        assert_eq!(bins, vec![0, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(equal_frequency_bins(&[], 4).is_empty());
+        assert_eq!(equal_width_bins(&[3.0, 3.0], 4), vec![0, 0]);
+        assert_eq!(equal_width_bins(&[f64::NAN, 1.0, 2.0], 2), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn default_bins_reasonable() {
+        assert_eq!(default_bin_count(0), 1);
+        assert_eq!(default_bin_count(100), 10);
+        assert_eq!(default_bin_count(1_000_000), 64);
+    }
+}

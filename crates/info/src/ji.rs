@@ -1,0 +1,293 @@
+//! Join informativeness (Definition 2.4).
+//!
+//! ```text
+//! JI(D, D') = [ H(D.J, D'.J) − I(D.J, D'.J) ] / H(D.J, D'.J)   ∈ \[0, 1\]
+//! ```
+//!
+//! where the joint distribution of the two join-key coordinates is taken over
+//! the **full outer join** of `D` and `D'` on `J`, so unmatched keys surface
+//! as `(val, NULL)` / `(NULL, val)` pairs — the measure penalizes joins with
+//! many unmatched values \[31\]. Smaller JI ⇒ more important join connection.
+//!
+//! The joint distribution has a special structure that lets us avoid
+//! materializing the outer join: for a key `v` with multiplicities
+//! `n_L(v), n_R(v)`,
+//!
+//! * `v` in both sides → `n_L(v)·n_R(v)` pairs `(v, v)`,
+//! * `v` only left     → `n_L(v)` pairs `(v, NULL)`,
+//! * `v` only right    → `n_R(v)` pairs `(NULL, v)`.
+//!
+//! Keys containing NULL never match (SQL semantics) and land in the unmatched
+//! branches. [`ji_from_counts`] works straight off two key histograms — the
+//! same code path serves exact computation and sampled estimation (§3.1).
+
+use dance_relation::{value_counts, AttrSet, FxHashMap, GroupKey, Result, Table, Value};
+
+/// Degenerate-distribution conventions for JI (documented edge cases).
+///
+/// When the pair distribution has a single support point, `H = 0` and the
+/// ratio is 0/0. Taking limits of the matched fraction: all-matched ⇒ `JI = 0`
+/// (perfectly informative), all-unmatched ⇒ `JI = 1` (useless join). Two empty
+/// inputs give `JI = 1` (there is no join connection at all).
+fn degenerate_ji(matched_pairs: u128, total_pairs: u128) -> f64 {
+    if total_pairs == 0 || matched_pairs == 0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// JI from per-table key histograms (counts of each distinct `J`-key).
+pub fn ji_from_counts(
+    left: &FxHashMap<GroupKey, u64>,
+    right: &FxHashMap<GroupKey, u64>,
+) -> f64 {
+    // Pair categories and their sizes.
+    let mut joint: Vec<u128> = Vec::new();
+    let mut matched_pairs: u128 = 0;
+    let mut total: u128 = 0;
+
+    // Marginal of the left coordinate: one bucket per present key + NULL bucket.
+    let mut left_marginal: Vec<u128> = Vec::new();
+    let mut right_marginal: Vec<u128> = Vec::new();
+    let mut left_null_bucket: u128 = 0; // X = NULL (right-only pairs)
+    let mut right_null_bucket: u128 = 0; // Y = NULL (left-only pairs)
+
+    let joinable = |k: &GroupKey| !k.iter().any(Value::is_null);
+
+    for (k, &nl) in left {
+        let nl = nl as u128;
+        match (joinable(k)).then(|| right.get(k)).flatten() {
+            Some(&nr) => {
+                let c = nl * nr as u128;
+                joint.push(c);
+                left_marginal.push(c);
+                right_marginal.push(c);
+                matched_pairs += c;
+                total += c;
+            }
+            None => {
+                joint.push(nl);
+                left_marginal.push(nl);
+                right_null_bucket += nl;
+                total += nl;
+            }
+        }
+    }
+    for (k, &nr) in right {
+        let matched = joinable(k) && left.contains_key(k);
+        if !matched {
+            let nr = nr as u128;
+            joint.push(nr);
+            right_marginal.push(nr);
+            left_null_bucket += nr;
+            total += nr;
+        }
+    }
+    if left_null_bucket > 0 {
+        left_marginal.push(left_null_bucket);
+    }
+    if right_null_bucket > 0 {
+        right_marginal.push(right_null_bucket);
+    }
+
+    let h_joint = entropy_u128(&joint, total);
+    if h_joint <= 0.0 {
+        return degenerate_ji(matched_pairs, total);
+    }
+    let h_x = entropy_u128(&left_marginal, total);
+    let h_y = entropy_u128(&right_marginal, total);
+    let mi = (h_x + h_y - h_joint).max(0.0);
+    ((h_joint - mi) / h_joint).clamp(0.0, 1.0)
+}
+
+fn entropy_u128(counts: &[u128], n: u128) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c == 0 {
+            continue;
+        }
+        let p = c as f64 / nf;
+        h -= p * p.log2();
+    }
+    h.max(0.0)
+}
+
+/// `JI(D, D')` on join attributes `j` (Definition 2.4).
+pub fn join_informativeness(d1: &Table, d2: &Table, j: &AttrSet) -> Result<f64> {
+    if j.is_empty() {
+        return Err(dance_relation::RelationError::InvalidJoin(
+            "join informativeness needs a non-empty join attribute set".into(),
+        ));
+    }
+    let lc = value_counts(d1, j)?;
+    let rc = value_counts(d2, j)?;
+    Ok(ji_from_counts(&lc, &rc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::join::{hash_join, JoinKind};
+    use dance_relation::{attr, Table, Value, ValueType};
+
+    fn table(name: &str, attr_name: &str, keys: &[&str]) -> Table {
+        Table::from_rows(
+            name,
+            &[(attr_name, ValueType::Str)],
+            keys.iter().map(|k| vec![Value::str(*k)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_fk_join_has_zero_ji() {
+        let l = table("L", "ji_k", &["a", "b", "c"]);
+        let r = table("R", "ji_k", &["a", "a", "b", "b", "c"]);
+        let ji = join_informativeness(&l, &r, &AttrSet::from_names(["ji_k"])).unwrap();
+        assert!(ji.abs() < 1e-12, "ji = {ji}");
+    }
+
+    #[test]
+    fn disjoint_keys_approach_ji_one() {
+        // For n disjoint keys per side, JI = (log2(2n) − 1)/log2(2n) → 1.
+        let keys_l: Vec<String> = (0..64).map(|i| format!("l{i}")).collect();
+        let keys_r: Vec<String> = (0..64).map(|i| format!("r{i}")).collect();
+        let l = table("L", "ji_k", &keys_l.iter().map(String::as_str).collect::<Vec<_>>());
+        let r = table("R", "ji_k", &keys_r.iter().map(String::as_str).collect::<Vec<_>>());
+        let ji = join_informativeness(&l, &r, &AttrSet::from_names(["ji_k"])).unwrap();
+        let expected = ((128f64).log2() - 1.0) / (128f64).log2();
+        assert!((ji - expected).abs() < 1e-9, "ji = {ji}, expected {expected}");
+        assert!(ji > 0.85);
+    }
+
+    #[test]
+    fn partial_overlap_between_zero_and_one() {
+        let l = table("L", "ji_k", &["a", "b", "x", "y"]);
+        let r = table("R", "ji_k", &["a", "b", "p", "q"]);
+        let ji = join_informativeness(&l, &r, &AttrSet::from_names(["ji_k"])).unwrap();
+        assert!(ji > 0.0 && ji < 1.0, "ji = {ji}");
+    }
+
+    #[test]
+    fn more_unmatched_means_higher_ji() {
+        let l = table("L", "ji_k", &["a", "b", "c", "d"]);
+        let mostly = table("R", "ji_k", &["a", "b", "c", "z"]);
+        let barely = table("R", "ji_k", &["a", "x", "y", "z"]);
+        let on = AttrSet::from_names(["ji_k"]);
+        let ji_mostly = join_informativeness(&l, &mostly, &on).unwrap();
+        let ji_barely = join_informativeness(&l, &barely, &on).unwrap();
+        assert!(
+            ji_barely > ji_mostly,
+            "barely {ji_barely} !> mostly {ji_mostly}"
+        );
+    }
+
+    #[test]
+    fn null_keys_behave_like_an_unmatchable_value() {
+        // Two left rows with NULL keys form one unmatched bucket, exactly as
+        // two rows carrying a distinct value absent from the right side would.
+        let with_nulls = Table::from_rows(
+            "L",
+            &[("jin_k", ValueType::Str)],
+            vec![
+                vec![Value::str("a")],
+                vec![Value::str("b")],
+                vec![Value::Null],
+                vec![Value::Null],
+            ],
+        )
+        .unwrap();
+        let with_stranger = table("L2", "jin_k", &["a", "b", "u", "u"]);
+        let r = table("R", "jin_k", &["a", "x", "y"]);
+        let on = AttrSet::from_names(["jin_k"]);
+        let ji_null = join_informativeness(&with_nulls, &r, &on).unwrap();
+        let ji_val = join_informativeness(&with_stranger, &r, &on).unwrap();
+        assert!((ji_null - ji_val).abs() < 1e-12, "{ji_null} vs {ji_val}");
+        assert!(ji_null > 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // Single matched key on both sides → all pairs matched → 0.
+        let l = table("L", "jid_k", &["a", "a"]);
+        let r = table("R", "jid_k", &["a"]);
+        let on = AttrSet::from_names(["jid_k"]);
+        assert_eq!(join_informativeness(&l, &r, &on).unwrap(), 0.0);
+        // One unmatched key per side: the NULL buckets are perfectly
+        // anti-coordinated, so I = H and the formula yields 0 — a documented
+        // small-support artifact of Def 2.4 (JI → 1 as unmatched keys grow).
+        let r2 = table("R", "jid_k", &["zz"]);
+        let l1 = table("L", "jid_k", &["a"]);
+        assert_eq!(join_informativeness(&l1, &r2, &on).unwrap(), 0.0);
+        // One side empty → every pair unmatched, H = 0 → convention 1.
+        let empty_r = table("R", "jid_k", &[]);
+        assert_eq!(join_informativeness(&l1, &empty_r, &on).unwrap(), 1.0);
+        // Both empty → 1 (no join connection).
+        let e1 = table("L", "jid_k", &[]);
+        let e2 = table("R", "jid_k", &[]);
+        assert_eq!(join_informativeness(&e1, &e2, &on).unwrap(), 1.0);
+    }
+
+    /// Cross-check the histogram fast path against a materialized outer join.
+    #[test]
+    fn matches_materialized_outer_join() {
+        let l = Table::from_rows(
+            "L",
+            &[("jim_k", ValueType::Str), ("jim_a", ValueType::Int)],
+            vec![
+                vec![Value::str("a"), Value::Int(1)],
+                vec![Value::str("a"), Value::Int(2)],
+                vec![Value::str("b"), Value::Int(3)],
+                vec![Value::str("x"), Value::Int(4)],
+            ],
+        )
+        .unwrap();
+        let r = Table::from_rows(
+            "R",
+            &[("jim_k", ValueType::Str), ("jim_b", ValueType::Int)],
+            vec![
+                vec![Value::str("a"), Value::Int(10)],
+                vec![Value::str("b"), Value::Int(20)],
+                vec![Value::str("b"), Value::Int(30)],
+                vec![Value::str("y"), Value::Int(40)],
+            ],
+        )
+        .unwrap();
+        let on = AttrSet::from_names(["jim_k"]);
+        let fast = join_informativeness(&l, &r, &on).unwrap();
+
+        // Materialized: joint over (left key presence, right key presence).
+        let outer = hash_join(&l, &r, &on, JoinKind::FullOuter).unwrap();
+        let n = outer.num_rows() as u64;
+        let mut joint: FxHashMap<(Value, Value), u64> = FxHashMap::default();
+        let mut mx: FxHashMap<Value, u64> = FxHashMap::default();
+        let mut my: FxHashMap<Value, u64> = FxHashMap::default();
+        for row in 0..outer.num_rows() {
+            let key = outer.value_by_attr(row, attr("jim_k")).unwrap();
+            // Left coordinate present iff a left column is non-null … here: jim_a.
+            let lv = if outer.value_by_attr(row, attr("jim_a")).unwrap().is_null() {
+                Value::Null
+            } else {
+                key.clone()
+            };
+            let rv = if outer.value_by_attr(row, attr("jim_b")).unwrap().is_null() {
+                Value::Null
+            } else {
+                key.clone()
+            };
+            *joint.entry((lv.clone(), rv.clone())).or_insert(0) += 1;
+            *mx.entry(lv).or_insert(0) += 1;
+            *my.entry(rv).or_insert(0) += 1;
+        }
+        let h = crate::entropy::entropy_from_counts(joint.values().copied(), n);
+        let hx = crate::entropy::entropy_from_counts(mx.values().copied(), n);
+        let hy = crate::entropy::entropy_from_counts(my.values().copied(), n);
+        let slow = (h - (hx + hy - h).max(0.0)) / h;
+        assert!((fast - slow).abs() < 1e-9, "fast {fast} vs slow {slow}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests of the information-theoretic measures.
+
+use dance_info::{
+    conditional_entropy, join_informativeness, mutual_information, shannon_entropy,
+};
+use dance_relation::{AttrSet, Table, Value, ValueType};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..10, 1usize..80, 0u64..500).prop_map(|(k, n, seed)| {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                let h = dance_relation::hash::stable_hash64(seed, &(i as u64));
+                vec![
+                    Value::Int((h % k as u64) as i64),
+                    Value::Int(((h >> 8) % 5) as i64),
+                ]
+            })
+            .collect();
+        Table::from_rows(
+            "pi",
+            &[("pi_x", ValueType::Int), ("pi_y", ValueType::Int)],
+            rows,
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// 0 ≤ H(X) ≤ log₂(n); H(X|Y) ≤ H(X); I(X;Y) ≥ 0 and symmetric.
+    #[test]
+    fn entropy_inequalities(t in arb_table()) {
+        let x = AttrSet::from_names(["pi_x"]);
+        let y = AttrSet::from_names(["pi_y"]);
+        let hx = shannon_entropy(&t, &x).unwrap();
+        prop_assert!(hx >= 0.0);
+        prop_assert!(hx <= (t.num_rows().max(1) as f64).log2() + 1e-9);
+        let hxy = conditional_entropy(&t, &x, &y).unwrap();
+        prop_assert!(hxy <= hx + 1e-9, "conditioning reduces entropy");
+        let ixy = mutual_information(&t, &x, &y).unwrap();
+        let iyx = mutual_information(&t, &y, &x).unwrap();
+        prop_assert!(ixy >= 0.0);
+        prop_assert!((ixy - iyx).abs() < 1e-9, "MI is symmetric");
+        // I(X;Y) = H(X) − H(X|Y).
+        prop_assert!((ixy - (hx - hxy)).abs() < 1e-9);
+    }
+
+    /// JI ∈ \[0, 1\] for arbitrary table pairs, and 0 when joined with itself.
+    #[test]
+    fn ji_bounds(a in arb_table(), b in arb_table()) {
+        let j = AttrSet::from_names(["pi_x"]);
+        let ji = join_informativeness(&a, &b, &j).unwrap();
+        prop_assert!((0.0..=1.0).contains(&ji), "ji = {}", ji);
+        if a.num_rows() > 0 {
+            let self_ji = join_informativeness(&a, &a, &j).unwrap();
+            prop_assert!(self_ji.abs() < 1e-9, "self-join fully matched: {}", self_ji);
+        }
+    }
+
+    /// Self-correlation is non-negative and bounded by the relevant entropy:
+    /// `pi_x` is numeric, so Definition 2.5 uses *cumulative* entropy, which
+    /// upper-bounds `h(X) − h(X|Y)` for any conditioner Y.
+    #[test]
+    fn correlation_sanity(t in arb_table()) {
+        prop_assume!(t.num_rows() >= 4);
+        let x = AttrSet::from_names(["pi_x"]);
+        let corr_self = dance_info::correlation(&t, &x, &x).unwrap();
+        let h_cum =
+            dance_info::cumulative_entropy(&t, dance_relation::attr("pi_x")).unwrap();
+        prop_assert!(corr_self >= 0.0);
+        prop_assert!(corr_self <= h_cum + 1e-9, "corr {} > h {}", corr_self, h_cum);
+    }
+}

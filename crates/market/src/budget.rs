@@ -1,0 +1,120 @@
+//! The shopper's budget `B` (§2.5) with spend tracking.
+
+use std::fmt;
+
+/// A budget with cumulative spend; refuses overdrafts.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    limit: f64,
+    spent: f64,
+}
+
+/// Error returned when a spend would exceed the budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverBudget {
+    /// Amount requested.
+    pub requested: f64,
+    /// Amount still available.
+    pub available: f64,
+}
+
+impl fmt::Display for OverBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "over budget: requested {:.4}, available {:.4}",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OverBudget {}
+
+impl Budget {
+    /// A fresh budget of `limit` (negative limits are treated as zero).
+    pub fn new(limit: f64) -> Budget {
+        Budget {
+            limit: limit.max(0.0),
+            spent: 0.0,
+        }
+    }
+
+    /// Total limit `B`.
+    pub fn limit(&self) -> f64 {
+        self.limit
+    }
+
+    /// Cumulative spend.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining headroom.
+    pub fn remaining(&self) -> f64 {
+        (self.limit - self.spent).max(0.0)
+    }
+
+    /// `true` iff `amount` fits in the remaining budget (tiny epsilon slack
+    /// for float accumulation).
+    pub fn can_afford(&self, amount: f64) -> bool {
+        amount <= self.remaining() + 1e-9
+    }
+
+    /// Spend `amount`, or fail without changing state.
+    pub fn try_spend(&mut self, amount: f64) -> Result<(), OverBudget> {
+        if !self.can_afford(amount) {
+            return Err(OverBudget {
+                requested: amount,
+                available: self.remaining(),
+            });
+        }
+        self.spent += amount;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}/{:.4} spent", self.spent, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spending_accumulates() {
+        let mut b = Budget::new(10.0);
+        b.try_spend(4.0).unwrap();
+        b.try_spend(5.0).unwrap();
+        assert!((b.remaining() - 1.0).abs() < 1e-12);
+        assert!((b.spent() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdraft_rejected_without_state_change() {
+        let mut b = Budget::new(3.0);
+        b.try_spend(2.0).unwrap();
+        let err = b.try_spend(2.0).unwrap_err();
+        assert!((err.available - 1.0).abs() < 1e-12);
+        assert!((b.spent() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_limit_clamped() {
+        let b = Budget::new(-5.0);
+        assert_eq!(b.limit(), 0.0);
+        assert!(!b.can_afford(0.1));
+        assert!(b.can_afford(0.0));
+    }
+
+    #[test]
+    fn epsilon_slack_for_float_noise() {
+        let mut b = Budget::new(1.0);
+        b.try_spend(0.3).unwrap();
+        b.try_spend(0.3).unwrap();
+        b.try_spend(0.4).unwrap(); // 0.3+0.3+0.4 may exceed 1.0 by float dust
+        assert!(b.remaining() < 1e-9);
+    }
+}

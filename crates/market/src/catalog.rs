@@ -1,0 +1,77 @@
+//! Dataset identities and schema-level metadata.
+//!
+//! Existing marketplaces (Azure Marketplace, BigQuery) publish schemas and
+//! coarse statistics for free; DANCE builds the I-layer of its join graph from
+//! exactly this information (§4), before buying a single sample.
+
+use dance_relation::{AttrSet, Schema};
+use std::fmt;
+
+/// Stable identifier of a dataset inside one marketplace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DatasetId(pub u32);
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Free, schema-level metadata of one marketplace dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetMeta {
+    /// Identifier.
+    pub id: DatasetId,
+    /// Human-readable name.
+    pub name: String,
+    /// Full schema (attribute names + types).
+    pub schema: Schema,
+    /// Advertised row count.
+    pub num_rows: usize,
+    /// The dataset's designated join-key attributes (what correlated samples
+    /// are keyed on when a shopper has not yet fixed a join plan).
+    pub default_key: AttrSet,
+}
+
+impl DatasetMeta {
+    /// Attribute-name set of the dataset (`AS(v)` of Definition 4.2).
+    pub fn attr_set(&self) -> AttrSet {
+        self.schema.attr_set()
+    }
+
+    /// Shared attributes with another dataset (candidate join attributes).
+    pub fn common_attrs(&self, other: &DatasetMeta) -> AttrSet {
+        self.schema.common(&other.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::ValueType;
+
+    fn meta(id: u32, name: &str, attrs: &[(&str, ValueType)]) -> DatasetMeta {
+        let schema = Schema::from_pairs(attrs).unwrap();
+        let default_key = AttrSet::singleton(schema.attributes()[0].id);
+        DatasetMeta {
+            id: DatasetId(id),
+            name: name.into(),
+            schema,
+            num_rows: 100,
+            default_key,
+        }
+    }
+
+    #[test]
+    fn common_attrs_by_name() {
+        let a = meta(0, "a", &[("cat_j", ValueType::Int), ("cat_x", ValueType::Str)]);
+        let b = meta(1, "b", &[("cat_j", ValueType::Int), ("cat_y", ValueType::Str)]);
+        assert_eq!(a.common_attrs(&b), AttrSet::from_names(["cat_j"]));
+        assert_eq!(a.attr_set().len(), 2);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(DatasetId(3).to_string(), "D3");
+    }
+}

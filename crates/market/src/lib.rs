@@ -1,0 +1,32 @@
+//! # dance-market — the data-marketplace substrate
+//!
+//! The paper's setting (§2.1): a marketplace `M` holds relational instances
+//! `D = {D₁ … Dₙ}`, exposes **schema-level metadata** for free (that is what
+//! the I-layer of the join graph is built from), sells **samples** to DANCE,
+//! and sells **projection-query results** (`π_A(D_i)`) to shoppers under a
+//! query-based pricing model \[6, 16\].
+//!
+//! * [`catalog`] — dataset identities and schema-level metadata.
+//! * [`pricing`] — the entropy-based pricing model the experiments use \[16\]:
+//!   `price(π_A(D)) = scale · (H(A) + floor·|A|) · rows^γ`. Entropy is
+//!   monotone and subadditive over attribute sets, so the price satisfies the
+//!   arbitrage-freedom conditions of Deep & Koutris \[8\] — property-tested in
+//!   this crate.
+//! * [`query`] — projection queries and their SQL rendering (what DANCE hands
+//!   the shopper to execute against `M`).
+//! * [`marketplace`] — the marketplace itself: catalog browsing, sample
+//!   vending (priced pro-rata by sampling rate), query execution with revenue
+//!   accounting.
+//! * [`budget`] — the shopper's budget `B` with spend tracking.
+
+pub mod budget;
+pub mod catalog;
+pub mod marketplace;
+pub mod pricing;
+pub mod query;
+
+pub use budget::Budget;
+pub use catalog::{DatasetId, DatasetMeta};
+pub use marketplace::Marketplace;
+pub use pricing::{EntropyPricing, PricingModel};
+pub use query::ProjectionQuery;

@@ -1,0 +1,253 @@
+//! The marketplace `M`: catalog, sample vending, query execution.
+//!
+//! Mirrors the interaction model of Figure 1: schema metadata is free, sample
+//! purchases and projection queries cost money, and every sale is recorded so
+//! experiments can report exactly what a strategy paid.
+
+use crate::catalog::{DatasetId, DatasetMeta};
+use crate::pricing::{EntropyPricing, PricingModel};
+use crate::query::ProjectionQuery;
+use dance_relation::{AttrSet, RelationError, Result, Table};
+use dance_sampling::CorrelatedSampler;
+
+/// One dataset held by the marketplace.
+#[derive(Debug, Clone)]
+struct Listing {
+    meta: DatasetMeta,
+    table: Table,
+}
+
+/// An in-memory data marketplace with entropy-based query pricing.
+#[derive(Debug)]
+pub struct Marketplace {
+    listings: Vec<Listing>,
+    pricing: EntropyPricing,
+    revenue: f64,
+    samples_sold: usize,
+    queries_sold: usize,
+}
+
+impl Marketplace {
+    /// List `tables` with the given pricing model. Dataset ids follow input
+    /// order; each dataset's default sample key is its first attribute unless
+    /// a `default_key` override is supplied via [`Marketplace::with_keys`].
+    pub fn new(tables: Vec<Table>, pricing: EntropyPricing) -> Marketplace {
+        let listings = tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, table)| {
+                let schema = table.schema().clone();
+                let default_key = AttrSet::singleton(schema.attributes()[0].id);
+                Listing {
+                    meta: DatasetMeta {
+                        id: DatasetId(i as u32),
+                        name: table.name().to_string(),
+                        schema,
+                        num_rows: table.num_rows(),
+                        default_key,
+                    },
+                    table,
+                }
+            })
+            .collect();
+        Marketplace {
+            listings,
+            pricing,
+            revenue: 0.0,
+            samples_sold: 0,
+            queries_sold: 0,
+        }
+    }
+
+    /// Same as [`Marketplace::new`] with per-dataset sample-key overrides
+    /// (aligned with `tables`; `None` keeps the first-attribute default).
+    pub fn with_keys(
+        tables: Vec<Table>,
+        keys: Vec<Option<AttrSet>>,
+        pricing: EntropyPricing,
+    ) -> Marketplace {
+        let mut m = Marketplace::new(tables, pricing);
+        for (listing, key) in m.listings.iter_mut().zip(keys) {
+            if let Some(k) = key {
+                listing.meta.default_key = k;
+            }
+        }
+        m
+    }
+
+    /// Number of listed datasets.
+    pub fn len(&self) -> usize {
+        self.listings.len()
+    }
+
+    /// `true` when nothing is listed.
+    pub fn is_empty(&self) -> bool {
+        self.listings.is_empty()
+    }
+
+    /// Free schema-level catalog (what the I-layer is built from).
+    pub fn catalog(&self) -> Vec<&DatasetMeta> {
+        self.listings.iter().map(|l| &l.meta).collect()
+    }
+
+    /// Metadata of one dataset.
+    pub fn meta(&self, id: DatasetId) -> Result<&DatasetMeta> {
+        self.listings
+            .get(id.0 as usize)
+            .map(|l| &l.meta)
+            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))
+    }
+
+    /// Full data access **for evaluation only** (the GP baseline and the
+    /// "true correlation" reports); real shoppers pay via [`Self::execute`].
+    pub fn full_table_for_evaluation(&self, id: DatasetId) -> Result<&Table> {
+        self.listings
+            .get(id.0 as usize)
+            .map(|l| &l.table)
+            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))
+    }
+
+    /// Quote the price of a projection query without buying it.
+    pub fn quote(&self, id: DatasetId, attrs: &AttrSet) -> Result<f64> {
+        let listing = self
+            .listings
+            .get(id.0 as usize)
+            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))?;
+        self.pricing.price(&listing.table, attrs)
+    }
+
+    /// Buy a correlated sample of dataset `id` keyed on `key_attrs` at `rate`.
+    ///
+    /// Returns the sample and its price (pro-rata of the full-projection
+    /// price over the *whole schema*, since samples expose all attributes).
+    pub fn buy_sample(
+        &mut self,
+        id: DatasetId,
+        key_attrs: &AttrSet,
+        rate: f64,
+        seed: u64,
+    ) -> Result<(Table, f64)> {
+        let listing = self
+            .listings
+            .get(id.0 as usize)
+            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))?;
+        let sampler = CorrelatedSampler::new(rate, seed);
+        let sample = sampler.sample(&listing.table, key_attrs)?;
+        let price = self
+            .pricing
+            .sample_price(&listing.table, &listing.meta.attr_set(), rate)?;
+        self.revenue += price;
+        self.samples_sold += 1;
+        Ok((sample, price))
+    }
+
+    /// Execute a purchase: returns the projected data and charges its price.
+    pub fn execute(&mut self, q: &ProjectionQuery) -> Result<(Table, f64)> {
+        let price = self.quote(q.dataset, &q.attrs)?;
+        let listing = &self.listings[q.dataset.0 as usize];
+        let data = listing.table.project(&q.attrs)?;
+        self.revenue += price;
+        self.queries_sold += 1;
+        Ok((data, price))
+    }
+
+    /// Total revenue collected so far.
+    pub fn revenue(&self) -> f64 {
+        self.revenue
+    }
+
+    /// `(samples sold, queries sold)`.
+    pub fn sales(&self) -> (usize, usize) {
+        (self.samples_sold, self.queries_sold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::{Table, Value, ValueType};
+
+    fn market() -> Marketplace {
+        let zip = Table::from_rows(
+            "zip",
+            &[("mk_zip", ValueType::Str), ("mk_state", ValueType::Str)],
+            (0..50)
+                .map(|i| {
+                    vec![
+                        Value::str(format!("z{i}")),
+                        Value::str(format!("s{}", i % 5)),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let disease = Table::from_rows(
+            "disease",
+            &[("mk_state", ValueType::Str), ("mk_cases", ValueType::Int)],
+            (0..30)
+                .map(|i| vec![Value::str(format!("s{}", i % 5)), Value::Int(i * 10)])
+                .collect(),
+        )
+        .unwrap();
+        Marketplace::new(vec![zip, disease], EntropyPricing::default())
+    }
+
+    #[test]
+    fn catalog_is_free_and_complete() {
+        let m = market();
+        let cat = m.catalog();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat[0].name, "zip");
+        assert_eq!(cat[1].num_rows, 30);
+        assert_eq!(m.revenue(), 0.0);
+    }
+
+    #[test]
+    fn sample_purchase_charges_pro_rata() {
+        let mut m = market();
+        let full_price = m
+            .quote(DatasetId(0), &AttrSet::from_names(["mk_zip", "mk_state"]))
+            .unwrap();
+        let (sample, price) = m
+            .buy_sample(DatasetId(0), &AttrSet::from_names(["mk_zip"]), 0.4, 7)
+            .unwrap();
+        assert!(sample.num_rows() < 50);
+        assert!((price - 0.4 * full_price).abs() < 1e-9);
+        assert!((m.revenue() - price).abs() < 1e-12);
+        assert_eq!(m.sales(), (1, 0));
+    }
+
+    #[test]
+    fn query_execution_projects_and_charges() {
+        let mut m = market();
+        let q = ProjectionQuery {
+            dataset: DatasetId(1),
+            dataset_name: "disease".into(),
+            attrs: AttrSet::from_names(["mk_cases"]),
+        };
+        let (data, price) = m.execute(&q).unwrap();
+        assert_eq!(data.num_attrs(), 1);
+        assert_eq!(data.num_rows(), 30);
+        assert!(price > 0.0);
+        assert_eq!(m.sales(), (0, 1));
+    }
+
+    #[test]
+    fn unknown_dataset_is_error() {
+        let mut m = market();
+        assert!(m.quote(DatasetId(9), &AttrSet::from_names(["mk_zip"])).is_err());
+        assert!(m
+            .buy_sample(DatasetId(9), &AttrSet::from_names(["mk_zip"]), 0.5, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn projection_price_cheaper_than_whole_dataset() {
+        let m = market();
+        let part = m.quote(DatasetId(0), &AttrSet::from_names(["mk_state"])).unwrap();
+        let whole = m
+            .quote(DatasetId(0), &AttrSet::from_names(["mk_zip", "mk_state"]))
+            .unwrap();
+        assert!(part < whole);
+    }
+}

@@ -1,0 +1,248 @@
+//! Query-based pricing (Balazinska et al. \[6\], Koutris et al. \[16\]).
+//!
+//! The experiments "use the entropy-based model … to assign the price to
+//! data" (§6.1). We price a projection query `π_A(D)` as
+//!
+//! ```text
+//! price(π_A(D)) = scale · ( H_D(A) + floor · |A| ) · rows(D)^γ
+//! ```
+//!
+//! where `H_D(A)` is the joint Shannon entropy of the projected attributes —
+//! information content is what the shopper pays for — `floor` guarantees a
+//! constant column still costs something, and `rows^γ` lets bigger instances
+//! cost more.
+//!
+//! **Arbitrage-freedom.** Deep & Koutris \[8\] show a pricing function that is
+//! monotone and subadditive over query results admits no arbitrage. Both hold
+//! here because entropy does: `H(A∪B) ≥ H(A)` (monotonicity) and
+//! `H(A∪B) ≤ H(A) + H(B)` (subadditivity), and the attribute floor preserves
+//! both. The property tests at the bottom check exactly these two laws on
+//! random tables.
+
+use dance_relation::{AttrSet, Result, Table};
+use dance_info::entropy::shannon_entropy;
+
+/// A model that prices projection queries against a concrete instance.
+pub trait PricingModel {
+    /// Price of `π_attrs(t)`. `attrs` must be part of `t`'s schema.
+    fn price(&self, t: &Table, attrs: &AttrSet) -> Result<f64>;
+
+    /// Price of a `rate`-sample of `π_attrs(t)` — pro-rata by default, which
+    /// keeps sample prices arbitrage-free w.r.t. the full query price.
+    fn sample_price(&self, t: &Table, attrs: &AttrSet, rate: f64) -> Result<f64> {
+        Ok(self.price(t, attrs)? * rate.clamp(0.0, 1.0))
+    }
+}
+
+/// The entropy-based pricing model used throughout the experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct EntropyPricing {
+    /// Global currency scale.
+    pub scale: f64,
+    /// Per-attribute price floor (entropy units).
+    pub floor: f64,
+    /// Row-count exponent γ (0 ⇒ size-independent pricing).
+    pub row_exponent: f64,
+}
+
+impl Default for EntropyPricing {
+    fn default() -> Self {
+        EntropyPricing {
+            scale: 1.0,
+            floor: 0.25,
+            row_exponent: 0.0,
+        }
+    }
+}
+
+impl PricingModel for EntropyPricing {
+    fn price(&self, t: &Table, attrs: &AttrSet) -> Result<f64> {
+        if attrs.is_empty() {
+            return Ok(0.0);
+        }
+        // Validate attribute presence for a clean error.
+        for id in attrs.iter() {
+            t.schema().require(id)?;
+        }
+        let h = shannon_entropy(t, attrs)?;
+        let size_factor = (t.num_rows().max(1) as f64).powf(self.row_exponent);
+        Ok(self.scale * (h + self.floor * attrs.len() as f64) * size_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::{Table, Value, ValueType};
+
+    fn table() -> Table {
+        Table::from_rows(
+            "p",
+            &[
+                ("pr_a", ValueType::Int),
+                ("pr_b", ValueType::Str),
+                ("pr_c", ValueType::Int),
+            ],
+            (0..64)
+                .map(|i| {
+                    vec![
+                        Value::Int(i % 8),
+                        Value::str(["x", "y"][i as usize % 2]),
+                        Value::Int(7), // constant column
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn monotone_in_attributes() {
+        let t = table();
+        let m = EntropyPricing::default();
+        let pa = m.price(&t, &AttrSet::from_names(["pr_a"])).unwrap();
+        let pab = m.price(&t, &AttrSet::from_names(["pr_a", "pr_b"])).unwrap();
+        assert!(pab >= pa);
+    }
+
+    #[test]
+    fn subadditive_in_attributes() {
+        let t = table();
+        let m = EntropyPricing::default();
+        let pa = m.price(&t, &AttrSet::from_names(["pr_a"])).unwrap();
+        let pb = m.price(&t, &AttrSet::from_names(["pr_b"])).unwrap();
+        let pab = m.price(&t, &AttrSet::from_names(["pr_a", "pr_b"])).unwrap();
+        assert!(pab <= pa + pb + 1e-9);
+    }
+
+    #[test]
+    fn constant_column_still_costs_the_floor() {
+        let t = table();
+        let m = EntropyPricing::default();
+        let pc = m.price(&t, &AttrSet::from_names(["pr_c"])).unwrap();
+        assert!((pc - 0.25).abs() < 1e-12, "pc = {pc}");
+    }
+
+    #[test]
+    fn sample_price_pro_rata() {
+        let t = table();
+        let m = EntropyPricing::default();
+        let full = m.price(&t, &AttrSet::from_names(["pr_a"])).unwrap();
+        let half = m
+            .sample_price(&t, &AttrSet::from_names(["pr_a"]), 0.5)
+            .unwrap();
+        assert!((half - 0.5 * full).abs() < 1e-12);
+        // Rate clamped.
+        let over = m
+            .sample_price(&t, &AttrSet::from_names(["pr_a"]), 2.0)
+            .unwrap();
+        assert!((over - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_exponent_scales_price() {
+        let t = table();
+        let flat = EntropyPricing {
+            row_exponent: 0.0,
+            ..EntropyPricing::default()
+        };
+        let sized = EntropyPricing {
+            row_exponent: 1.0,
+            ..EntropyPricing::default()
+        };
+        let a = AttrSet::from_names(["pr_a"]);
+        let p_flat = flat.price(&t, &a).unwrap();
+        let p_sized = sized.price(&t, &a).unwrap();
+        assert!((p_sized / p_flat - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_attribute_is_error_and_empty_is_free() {
+        let t = table();
+        let m = EntropyPricing::default();
+        assert!(m.price(&t, &AttrSet::from_names(["pr_missing"])).is_err());
+        assert_eq!(m.price(&t, &AttrSet::empty()).unwrap(), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random small tables: 2–5 int columns, values in a small domain so
+        /// entropies are non-trivial.
+        fn arb_table() -> impl Strategy<Value = Table> {
+            (2usize..=5, 1usize..=40, 0u64..1000).prop_map(|(ncols, nrows, seed)| {
+                let attrs: Vec<(String, ValueType)> = (0..ncols)
+                    .map(|c| (format!("prop_col{c}"), ValueType::Int))
+                    .collect();
+                let attr_refs: Vec<(&str, ValueType)> =
+                    attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                let rows: Vec<Vec<Value>> = (0..nrows)
+                    .map(|r| {
+                        (0..ncols)
+                            .map(|c| {
+                                let h = dance_relation::hash::stable_hash64(
+                                    seed,
+                                    &(r as u64 * 31 + c as u64),
+                                );
+                                Value::Int((h % 5) as i64)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Table::from_rows("prop", &attr_refs, rows).unwrap()
+            })
+        }
+
+        proptest! {
+            /// Arbitrage-freedom precondition 1: monotonicity.
+            #[test]
+            fn price_is_monotone(t in arb_table(), mask_a in 1u32..31, mask_b in 1u32..31) {
+                let ids: Vec<_> = t.schema().attributes().iter().map(|a| a.id).collect();
+                let pick = |mask: u32| {
+                    AttrSet::from_ids(
+                        ids.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &id)| id),
+                    )
+                };
+                let a = pick(mask_a);
+                let ab = pick(mask_a | mask_b);
+                prop_assume!(!a.is_empty());
+                let m = EntropyPricing::default();
+                let pa = m.price(&t, &a).unwrap();
+                let pab = m.price(&t, &ab).unwrap();
+                prop_assert!(pab >= pa - 1e-9, "monotonicity violated: {pa} > {pab}");
+            }
+
+            /// Arbitrage-freedom precondition 2: subadditivity.
+            #[test]
+            fn price_is_subadditive(t in arb_table(), mask_a in 1u32..31, mask_b in 1u32..31) {
+                let ids: Vec<_> = t.schema().attributes().iter().map(|a| a.id).collect();
+                let pick = |mask: u32| {
+                    AttrSet::from_ids(
+                        ids.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &id)| id),
+                    )
+                };
+                let a = pick(mask_a);
+                let b = pick(mask_b);
+                prop_assume!(!a.is_empty() && !b.is_empty());
+                let m = EntropyPricing::default();
+                let pa = m.price(&t, &a).unwrap();
+                let pb = m.price(&t, &b).unwrap();
+                let pu = m.price(&t, &a.union(&b)).unwrap();
+                prop_assert!(pu <= pa + pb + 1e-9, "subadditivity violated: {pu} > {pa} + {pb}");
+            }
+
+            /// Prices are non-negative and zero only for empty projections.
+            #[test]
+            fn price_positive(t in arb_table(), mask in 1u32..31) {
+                let ids: Vec<_> = t.schema().attributes().iter().map(|a| a.id).collect();
+                let a = AttrSet::from_ids(
+                    ids.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &id)| id),
+                );
+                prop_assume!(!a.is_empty());
+                let m = EntropyPricing::default();
+                prop_assert!(m.price(&t, &a).unwrap() > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Projection queries — the purchase unit of the marketplace.
+//!
+//! After the search picks target instances and attribute sets, DANCE hands the
+//! shopper one projection query per instance (§2.1): `Q = π_A(D_i)`,
+//! rendered as SQL for marketplaces with a SQL front-end (BigQuery-style).
+
+use crate::catalog::DatasetId;
+use dance_relation::AttrSet;
+use std::fmt;
+
+/// `π_attrs(dataset)` — one line of a purchase plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectionQuery {
+    /// Target dataset.
+    pub dataset: DatasetId,
+    /// Dataset name (for SQL rendering).
+    pub dataset_name: String,
+    /// Projection attribute set `A_i`.
+    pub attrs: AttrSet,
+}
+
+impl ProjectionQuery {
+    /// Render as a SQL `SELECT` (attributes in sorted-name order, quoted).
+    pub fn to_sql(&self) -> String {
+        let cols: Vec<String> = self
+            .attrs
+            .iter()
+            .map(|a| format!("\"{}\"", a.name()))
+            .collect();
+        format!("SELECT {} FROM \"{}\";", cols.join(", "), self.dataset_name)
+    }
+}
+
+impl fmt::Display for ProjectionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: π_{}({})", self.dataset, self.attrs, self.dataset_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_rendering() {
+        let q = ProjectionQuery {
+            dataset: DatasetId(2),
+            dataset_name: "orders".into(),
+            attrs: AttrSet::from_names(["qr_totalprice", "qr_custkey"]),
+        };
+        let sql = q.to_sql();
+        assert!(sql.starts_with("SELECT "));
+        assert!(sql.contains("\"qr_custkey\""));
+        assert!(sql.contains("\"qr_totalprice\""));
+        assert!(sql.ends_with("FROM \"orders\";"));
+    }
+
+    #[test]
+    fn display_mentions_dataset() {
+        let q = ProjectionQuery {
+            dataset: DatasetId(0),
+            dataset_name: "zip".into(),
+            attrs: AttrSet::from_names(["qr_zip"]),
+        };
+        assert!(q.to_string().contains("D0"));
+        assert!(q.to_string().contains("zip"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # dance-quality — data-quality substrate for DANCE
+//!
+//! The paper measures data quality as *consistency with functional
+//! dependencies* (§2.2). This crate implements:
+//!
+//! * **Partitions / equivalence classes** (Definition 2.1) with the stripped
+//!   representation and partition product used by TANE ([`partition`]).
+//! * **FD quality** (Definition 2.2): the correct-record set `C(D, X→Y)` is
+//!   the union over `π_X` classes of the largest sub-class in `π_{X∪Y}`,
+//!   and `Q(D, F) = |C| / |D|` ([`fd`]).
+//! * **Quality of an instance set** (Definition 2.3): the fraction of join
+//!   rows simultaneously correct under every approximate FD holding on the
+//!   join ([`joint`]).
+//! * **Approximate FD discovery** — a TANE-style levelwise search with
+//!   `g₃`-error pruning, used to find the AFDs that "hold" on a (joined)
+//!   instance under the user threshold θ ([`tane`]).
+//! * **A naive cleaner** ([`repair`]) that deletes FD-violating rows; it
+//!   exists to *quantify* the paper's §2.2 argument that cleaning before the
+//!   join is incorrect (join changes quality in both directions).
+
+pub mod fd;
+pub mod joint;
+pub mod partition;
+pub mod repair;
+pub mod tane;
+
+pub use fd::{correct_rows, quality, violations, Fd};
+pub use joint::{instance_set_quality, joint_correct_rows, joint_quality};
+pub use partition::Partition;
+pub use tane::{discover_afds, TaneConfig};

@@ -1,0 +1,264 @@
+//! Partitions and equivalence classes (Definition 2.1).
+//!
+//! `π_X` groups rows by their `X`-key. We keep the TANE *stripped*
+//! representation — singleton classes are dropped, since they can neither
+//! violate an FD nor change `g₃` — plus a dense row→class map for products.
+//!
+//! The **partition product** `π_X · π_Y = π_{X∪Y}` is the workhorse of
+//! levelwise FD discovery: it refines one partition by another in `O(n)`
+//! without touching values, which is what makes TANE tractable on the
+//! marketplace instances.
+
+use dance_relation::{group_rows, AttrSet, Result, Table};
+
+/// Sentinel class id for rows in singleton classes.
+pub const SINGLETON: u32 = u32::MAX;
+
+/// A (stripped) partition of a table's rows by some attribute set.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Classes with ≥ 2 rows; row ids ascending within a class.
+    classes: Vec<Vec<u32>>,
+    /// Total rows in the underlying table.
+    n: usize,
+}
+
+impl Partition {
+    /// Build `π_attrs` of `t`.
+    pub fn by(t: &Table, attrs: &AttrSet) -> Result<Partition> {
+        let groups = group_rows(t, attrs)?;
+        let mut classes: Vec<Vec<u32>> = groups
+            .into_values()
+            .filter(|rows| rows.len() >= 2)
+            .collect();
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort_unstable();
+        Ok(Partition {
+            classes,
+            n: t.num_rows(),
+        })
+    }
+
+    /// Build directly from stripped classes (used by [`Partition::product`]).
+    pub fn from_classes(mut classes: Vec<Vec<u32>>, n: usize) -> Partition {
+        classes.retain(|c| c.len() >= 2);
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort_unstable();
+        Partition { classes, n }
+    }
+
+    /// Stripped classes (each has ≥ 2 rows).
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// Total rows of the underlying table.
+    pub fn num_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Rows covered by stripped classes (`‖π‖` in TANE notation).
+    pub fn support(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// Number of equivalence classes *including* implicit singletons.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len() + (self.n - self.support())
+    }
+
+    /// Dense row→class map; singletons get [`SINGLETON`].
+    pub fn row_class(&self) -> Vec<u32> {
+        let mut map = vec![SINGLETON; self.n];
+        for (cid, class) in self.classes.iter().enumerate() {
+            for &r in class {
+                map[r as usize] = cid as u32;
+            }
+        }
+        map
+    }
+
+    /// Partition product: `self · other = π_{X∪Y}` when `self = π_X`, `other = π_Y`.
+    pub fn product(&self, other: &Partition) -> Partition {
+        assert_eq!(self.n, other.n, "partitions over different tables");
+        let other_map = other.row_class();
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        // For each class of self, split by other's class id. Singleton rows of
+        // `other` are singletons in the product.
+        let mut bucket: dance_relation::FxHashMap<u32, Vec<u32>> =
+            dance_relation::FxHashMap::default();
+        for class in &self.classes {
+            bucket.clear();
+            for &r in class {
+                let oc = other_map[r as usize];
+                if oc != SINGLETON {
+                    bucket.entry(oc).or_default().push(r);
+                }
+            }
+            for (_, rows) in bucket.drain() {
+                if rows.len() >= 2 {
+                    out.push(rows);
+                }
+            }
+        }
+        Partition::from_classes(out, self.n)
+    }
+
+    /// `true` iff every class of `self` is contained in a class of `other`
+    /// (i.e. `self` refines `other`).
+    pub fn refines(&self, other: &Partition) -> bool {
+        let other_map = other.row_class();
+        // A stripped class of self must sit inside one class of other …
+        for class in &self.classes {
+            let first = other_map[class[0] as usize];
+            if first == SINGLETON {
+                return false; // class of ≥2 rows can't fit in a singleton
+            }
+            if class.iter().any(|&r| other_map[r as usize] != first) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `g₃` error of the FD `X→Y` given `π_X = self` and `π_{X∪Y} = product`:
+    /// the minimum fraction of rows to delete so the FD holds exactly.
+    ///
+    /// Equals `1 − Q(D, X→Y)` of Definition 2.2: the rows kept per `π_X` class
+    /// are exactly the largest `π_{X∪Y}` sub-class.
+    pub fn g3_error(&self, product: &Partition) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let prod_map = product.row_class();
+        let mut kept = self.n - self.support(); // singleton X-classes are correct
+        let mut counts: dance_relation::FxHashMap<u32, usize> =
+            dance_relation::FxHashMap::default();
+        for class in &self.classes {
+            counts.clear();
+            let mut singles = 0usize;
+            for &r in class {
+                let pc = prod_map[r as usize];
+                if pc == SINGLETON {
+                    singles += 1;
+                } else {
+                    *counts.entry(pc).or_insert(0) += 1;
+                }
+            }
+            let max_sub = counts.values().copied().max().unwrap_or(0);
+            kept += max_sub.max(usize::from(singles > 0));
+        }
+        1.0 - kept as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::{Table, Value, ValueType};
+
+    /// The paper's Table 2: D(A, B) with FD A→B.
+    pub(crate) fn paper_table2() -> Table {
+        Table::from_rows(
+            "D",
+            &[("pt2_a", ValueType::Str), ("pt2_b", ValueType::Str)],
+            vec![
+                vec![Value::str("a1"), Value::str("b1")], // t1
+                vec![Value::str("a1"), Value::str("b1")], // t2
+                vec![Value::str("a1"), Value::str("b2")], // t3
+                vec![Value::str("a1"), Value::str("b3")], // t4
+                vec![Value::str("a2"), Value::str("b2")], // t5
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partitions_of_paper_example() {
+        let t = paper_table2();
+        let pa = Partition::by(&t, &AttrSet::from_names(["pt2_a"])).unwrap();
+        // π_A = {{t1..t4}, {t5}} → stripped keeps only the 4-row class.
+        assert_eq!(pa.classes().len(), 1);
+        assert_eq!(pa.classes()[0], vec![0, 1, 2, 3]);
+        assert_eq!(pa.num_classes(), 2);
+        assert_eq!(pa.support(), 4);
+
+        let pab = Partition::by(&t, &AttrSet::from_names(["pt2_a", "pt2_b"])).unwrap();
+        // π_AB = {{t1,t2},{t3},{t4},{t5}} → stripped keeps {t1,t2}.
+        assert_eq!(pab.classes().len(), 1);
+        assert_eq!(pab.classes()[0], vec![0, 1]);
+        assert_eq!(pab.num_classes(), 4);
+    }
+
+    #[test]
+    fn product_equals_direct_partition() {
+        let t = paper_table2();
+        let pa = Partition::by(&t, &AttrSet::from_names(["pt2_a"])).unwrap();
+        let pb = Partition::by(&t, &AttrSet::from_names(["pt2_b"])).unwrap();
+        let pab = Partition::by(&t, &AttrSet::from_names(["pt2_a", "pt2_b"])).unwrap();
+        let prod = pa.product(&pb);
+        assert_eq!(prod.classes(), pab.classes());
+        assert_eq!(prod.num_classes(), pab.num_classes());
+    }
+
+    #[test]
+    fn g3_error_matches_paper_quality() {
+        // Q(D, A→B) = 3/5 (t1, t2, t5 correct) → g₃ = 2/5.
+        let t = paper_table2();
+        let pa = Partition::by(&t, &AttrSet::from_names(["pt2_a"])).unwrap();
+        let pab = Partition::by(&t, &AttrSet::from_names(["pt2_a", "pt2_b"])).unwrap();
+        let g3 = pa.g3_error(&pab);
+        assert!((g3 - 0.4).abs() < 1e-12, "g3 = {g3}");
+    }
+
+    #[test]
+    fn refinement_laws() {
+        let t = paper_table2();
+        let pa = Partition::by(&t, &AttrSet::from_names(["pt2_a"])).unwrap();
+        let pab = Partition::by(&t, &AttrSet::from_names(["pt2_a", "pt2_b"])).unwrap();
+        assert!(pab.refines(&pa));
+        assert!(!pa.refines(&pab));
+        assert!(pa.refines(&pa));
+    }
+
+    #[test]
+    fn exact_fd_has_zero_error() {
+        let t = Table::from_rows(
+            "exact",
+            &[("pex_x", ValueType::Int), ("pex_y", ValueType::Int)],
+            (0..20)
+                .map(|i| vec![Value::Int(i % 5), Value::Int((i % 5) * 10)])
+                .collect(),
+        )
+        .unwrap();
+        let px = Partition::by(&t, &AttrSet::from_names(["pex_x"])).unwrap();
+        let pxy = Partition::by(&t, &AttrSet::from_names(["pex_x", "pex_y"])).unwrap();
+        assert_eq!(px.g3_error(&pxy), 0.0);
+        // And the product of π_X with π_Y equals π_XY here.
+        let py = Partition::by(&t, &AttrSet::from_names(["pex_y"])).unwrap();
+        assert_eq!(px.product(&py).classes(), pxy.classes());
+    }
+
+    #[test]
+    fn empty_table_partition() {
+        let t = Table::from_rows("e", &[("pmt_x", ValueType::Int)], vec![]).unwrap();
+        let p = Partition::by(&t, &AttrSet::from_names(["pmt_x"])).unwrap();
+        assert_eq!(p.num_rows(), 0);
+        assert_eq!(p.num_classes(), 0);
+        assert_eq!(p.g3_error(&p), 0.0);
+    }
+
+    #[test]
+    fn row_class_map_consistency() {
+        let t = paper_table2();
+        let pa = Partition::by(&t, &AttrSet::from_names(["pt2_a"])).unwrap();
+        let map = pa.row_class();
+        assert_eq!(map.len(), 5);
+        assert_eq!(map[4], SINGLETON);
+        assert!(map[0] == map[1] && map[1] == map[2] && map[2] == map[3]);
+    }
+}

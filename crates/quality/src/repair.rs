@@ -1,0 +1,75 @@
+//! Naive deletion-based cleaning — the §2.2 strawman, kept as a baseline.
+//!
+//! The "obvious" marketplace design is to clean every instance offline and
+//! serve the cleaned data. [`clean`] implements exactly that (delete every
+//! row outside `C(D, F)`). The `ablation_clean` experiment joins cleaned
+//! instances and compares against quality measured on the join of the raw
+//! instances, quantifying the paper's argument that the two disagree in both
+//! directions.
+
+use crate::fd::Fd;
+use crate::joint::joint_correct_rows;
+use dance_relation::{Result, Table};
+
+/// Delete every row violating any of `fds`; returns the cleaned table.
+pub fn clean(t: &Table, fds: &[Fd]) -> Result<Table> {
+    let mask = joint_correct_rows(t, fds)?;
+    Ok(t.filter(|r| mask[r]).with_name(format!("{}∥clean", t.name())))
+}
+
+/// Fraction of rows a cleaning pass would delete.
+pub fn deletion_rate(t: &Table, fds: &[Fd]) -> Result<f64> {
+    if t.num_rows() == 0 {
+        return Ok(0.0);
+    }
+    let mask = joint_correct_rows(t, fds)?;
+    Ok(mask.iter().filter(|&&b| !b).count() as f64 / t.num_rows() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::quality;
+    use dance_relation::{Table, Value, ValueType};
+
+    fn dirty() -> Table {
+        Table::from_rows(
+            "d",
+            &[("rp_x", ValueType::Str), ("rp_y", ValueType::Str)],
+            vec![
+                vec![Value::str("x"), Value::str("ok")],
+                vec![Value::str("x"), Value::str("ok")],
+                vec![Value::str("x"), Value::str("BAD")],
+                vec![Value::str("z"), Value::str("fine")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_removes_exactly_the_violators() {
+        let t = dirty();
+        let fd = Fd::new(["rp_x"], "rp_y");
+        let cleaned = clean(&t, std::slice::from_ref(&fd)).unwrap();
+        assert_eq!(cleaned.num_rows(), 3);
+        assert_eq!(quality(&cleaned, &fd).unwrap(), 1.0);
+        assert!((deletion_rate(&t, &[fd]).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_is_idempotent() {
+        let t = dirty();
+        let fd = Fd::new(["rp_x"], "rp_y");
+        let once = clean(&t, std::slice::from_ref(&fd)).unwrap();
+        let twice = clean(&once, std::slice::from_ref(&fd)).unwrap();
+        assert_eq!(once.num_rows(), twice.num_rows());
+    }
+
+    #[test]
+    fn empty_fd_set_cleans_nothing() {
+        let t = dirty();
+        let cleaned = clean(&t, &[]).unwrap();
+        assert_eq!(cleaned.num_rows(), t.num_rows());
+        assert_eq!(deletion_rate(&t, &[]).unwrap(), 0.0);
+    }
+}

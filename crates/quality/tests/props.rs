@@ -1,0 +1,91 @@
+//! Property tests of partitions, FDs and quality.
+
+use dance_quality::{correct_rows, discover_afds, quality, repair, Fd, Partition, TaneConfig};
+use dance_relation::{AttrSet, Table, Value, ValueType};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..8, 1usize..6, 1usize..60, 0u64..500).prop_map(|(kx, ky, n, seed)| {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                let h = dance_relation::hash::stable_hash64(seed, &(i as u64));
+                vec![
+                    Value::Int((h % kx as u64) as i64),
+                    Value::Int(((h >> 16) % ky as u64) as i64),
+                ]
+            })
+            .collect();
+        Table::from_rows(
+            "pq",
+            &[("pq_x", ValueType::Int), ("pq_y", ValueType::Int)],
+            rows,
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Q ∈ \[0, 1\]; Q = 1 − g₃ via partitions; cleaning achieves Q = 1 and is
+    /// idempotent.
+    #[test]
+    fn quality_laws(t in arb_table()) {
+        let fd = Fd::new(["pq_x"], "pq_y");
+        let q = quality(&t, &fd).unwrap();
+        prop_assert!((0.0..=1.0).contains(&q));
+
+        let px = Partition::by(&t, &AttrSet::from_names(["pq_x"])).unwrap();
+        let pxy = Partition::by(&t, &AttrSet::from_names(["pq_x", "pq_y"])).unwrap();
+        prop_assert!((q - (1.0 - px.g3_error(&pxy))).abs() < 1e-9, "Q = 1 − g₃");
+
+        let cleaned = repair::clean(&t, std::slice::from_ref(&fd)).unwrap();
+        prop_assert_eq!(quality(&cleaned, &fd).unwrap(), 1.0);
+        let twice = repair::clean(&cleaned, std::slice::from_ref(&fd)).unwrap();
+        prop_assert_eq!(twice.num_rows(), cleaned.num_rows());
+    }
+
+    /// The correct-row mask keeps, per X-class, exactly one Y-sub-class.
+    #[test]
+    fn correct_rows_pick_one_subclass_per_class(t in arb_table()) {
+        prop_assume!(t.num_rows() > 0);
+        let fd = Fd::new(["pq_x"], "pq_y");
+        let mask = correct_rows(&t, &fd).unwrap();
+        let groups = dance_relation::group_rows(&t, &AttrSet::from_names(["pq_x"])).unwrap();
+        for rows in groups.values() {
+            let kept: Vec<u32> = rows.iter().copied().filter(|&r| mask[r as usize]).collect();
+            prop_assert!(!kept.is_empty(), "each class keeps at least one row");
+            // All kept rows share one Y value.
+            let y0 = t.value_by_attr(kept[0] as usize, dance_relation::attr("pq_y")).unwrap();
+            for &r in &kept {
+                prop_assert_eq!(
+                    t.value_by_attr(r as usize, dance_relation::attr("pq_y")).unwrap(),
+                    y0.clone()
+                );
+            }
+        }
+    }
+
+    /// Partition product is the partition of the union attribute set.
+    #[test]
+    fn product_law(t in arb_table()) {
+        let px = Partition::by(&t, &AttrSet::from_names(["pq_x"])).unwrap();
+        let py = Partition::by(&t, &AttrSet::from_names(["pq_y"])).unwrap();
+        let pxy = Partition::by(&t, &AttrSet::from_names(["pq_x", "pq_y"])).unwrap();
+        let prod = px.product(&py);
+        prop_assert_eq!(prod.classes(), pxy.classes());
+        prop_assert!(pxy.refines(&px));
+        prop_assert!(pxy.refines(&py));
+    }
+
+    /// TANE reports only FDs meeting the threshold, with accurate errors.
+    #[test]
+    fn tane_respects_threshold(t in arb_table(), theta in 0.0f64..0.5) {
+        let cfg = TaneConfig { error_threshold: theta, max_lhs: 1, max_attrs: 4 };
+        for d in discover_afds(&t, &cfg).unwrap() {
+            prop_assert!(d.error <= theta + 1e-9);
+            let q = quality(&t, &d.fd).unwrap();
+            prop_assert!((q - (1.0 - d.error)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Validity bitmap for nullable columns.
+//!
+//! One bit per row, packed into `u64` words. A column with no `Bitmap` is
+//! all-valid; this keeps the common (dense) case allocation-free.
+
+/// Packed bitmap; bit `i` set ⇒ row `i` is valid (non-NULL).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-valid bitmap of length `len`.
+    pub fn all_valid(len: usize) -> Bitmap {
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// All-null bitmap of length `len`.
+    pub fn all_null(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when covering zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Validity of row `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Set validity of row `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, valid: bool) {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        if valid {
+            *w |= 1 << (i % 64);
+        } else {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, valid: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        let i = self.len - 1;
+        self.set(i, valid);
+    }
+
+    /// Number of valid rows.
+    pub fn count_valid(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff every row is valid.
+    pub fn all_set(&self) -> bool {
+        self.count_valid() == self.len
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_valid_counts() {
+        for len in [0, 1, 63, 64, 65, 130] {
+            let b = Bitmap::all_valid(len);
+            assert_eq!(b.len(), len);
+            assert_eq!(b.count_valid(), len);
+            assert!(b.all_set() || len == 0 && b.all_set());
+        }
+    }
+
+    #[test]
+    fn set_and_get_across_word_boundary() {
+        let mut b = Bitmap::all_valid(130);
+        b.set(0, false);
+        b.set(63, false);
+        b.set(64, false);
+        b.set(129, false);
+        assert!(!b.get(0) && !b.get(63) && !b.get(64) && !b.get(129));
+        assert!(b.get(1) && b.get(65) && b.get(128));
+        assert_eq!(b.count_valid(), 126);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut b = Bitmap::default();
+        for i in 0..200 {
+            b.push(i % 3 != 0);
+        }
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.count_valid(), (0..200).filter(|i| i % 3 != 0).count());
+        assert!(!b.get(0) && b.get(1));
+    }
+
+    #[test]
+    fn all_null_is_empty_of_valid() {
+        let b = Bitmap::all_null(77);
+        assert_eq!(b.count_valid(), 0);
+        assert!(!b.get(76));
+    }
+}

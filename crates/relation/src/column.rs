@@ -1,0 +1,433 @@
+//! Typed, dictionary-encoded columns.
+//!
+//! Storage layout:
+//! * `Int` / `Float`: dense `Vec<i64>` / `Vec<f64>` (NULL slots hold a dummy).
+//! * `Str`: `Vec<u32>` codes into an [`StrDict`] shared behind an `Arc`, so
+//!   projections, gathers and samples share one dictionary with no string
+//!   copies.
+//! * Validity is an optional [`Bitmap`]; `None` means "all valid" which is the
+//!   overwhelmingly common case for generated marketplace data.
+
+use crate::bitmap::Bitmap;
+use crate::error::{RelationError, Result};
+use crate::hash::FxHashMap;
+use crate::value::{Value, ValueType};
+use std::sync::Arc;
+
+/// Dictionary of distinct strings for one (or more) columns.
+#[derive(Debug, Default, Clone)]
+pub struct StrDict {
+    strings: Vec<Arc<str>>,
+    index: FxHashMap<Arc<str>, u32>,
+}
+
+impl StrDict {
+    /// Intern `s`, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let code = self.strings.len() as u32;
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.push(arc.clone());
+        self.index.insert(arc, code);
+        code
+    }
+
+    /// Resolve a code.
+    pub fn get(&self, code: u32) -> &Arc<str> {
+        &self.strings[code as usize]
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` when no strings are interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// The physical data of a column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Dense 64-bit integers.
+    Int(Vec<i64>),
+    /// Dense 64-bit floats.
+    Float(Vec<f64>),
+    /// Dictionary codes plus shared dictionary.
+    Str(Vec<u32>, Arc<StrDict>),
+}
+
+/// A typed column with optional validity bitmap.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Bitmap>,
+}
+
+impl Column {
+    /// Wrap raw parts. `validity`, when present, must match the data length.
+    pub fn new(data: ColumnData, validity: Option<Bitmap>) -> Result<Column> {
+        let len = match &data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v, _) => v.len(),
+        };
+        if let Some(b) = &validity {
+            if b.len() != len {
+                return Err(RelationError::Shape(format!(
+                    "validity length {} != column length {len}",
+                    b.len()
+                )));
+            }
+        }
+        Ok(Column { data, validity })
+    }
+
+    /// All-valid integer column.
+    pub fn from_ints(v: Vec<i64>) -> Column {
+        Column {
+            data: ColumnData::Int(v),
+            validity: None,
+        }
+    }
+
+    /// All-valid float column.
+    pub fn from_floats(v: Vec<f64>) -> Column {
+        Column {
+            data: ColumnData::Float(v),
+            validity: None,
+        }
+    }
+
+    /// All-valid string column (builds a dictionary).
+    pub fn from_strs<S: AsRef<str>>(v: impl IntoIterator<Item = S>) -> Column {
+        let mut dict = StrDict::default();
+        let codes: Vec<u32> = v.into_iter().map(|s| dict.intern(s.as_ref())).collect();
+        Column {
+            data: ColumnData::Str(codes, Arc::new(dict)),
+            validity: None,
+        }
+    }
+
+    /// Build a column of declared type `ty` from scalar values (NULLs allowed).
+    pub fn from_values(ty: ValueType, values: &[Value]) -> Result<Column> {
+        let mut b = ColumnBuilder::new(ty);
+        for v in values {
+            b.push(v)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v, _) => v.len(),
+        }
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column type.
+    pub fn value_type(&self) -> ValueType {
+        match &self.data {
+            ColumnData::Int(_) => ValueType::Int,
+            ColumnData::Float(_) => ValueType::Float,
+            ColumnData::Str(..) => ValueType::Str,
+        }
+    }
+
+    /// Physical data.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// `true` iff row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.validity {
+            None => false,
+            Some(b) => !b.get(i),
+        }
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        match &self.validity {
+            None => 0,
+            Some(b) => b.len() - b.count_valid(),
+        }
+    }
+
+    /// Scalar at row `i` (Arc clone for strings; no deep copies).
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v, d) => Value::Str(d.get(v[i]).clone()),
+        }
+    }
+
+    /// Take rows by index. Indices may repeat and reorder.
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        let validity = self.validity.as_ref().map(|b| {
+            let mut out = Bitmap::default();
+            for &i in indices {
+                out.push(b.get(i as usize));
+            }
+            out
+        });
+        let data = match &self.data {
+            ColumnData::Int(v) => {
+                ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Float(v) => {
+                ColumnData::Float(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Str(v, d) => ColumnData::Str(
+                indices.iter().map(|&i| v[i as usize]).collect(),
+                Arc::clone(d),
+            ),
+        };
+        Column { data, validity }
+    }
+
+    /// Take rows by optional index; `None` produces a NULL row (outer joins).
+    pub fn gather_opt(&self, indices: &[Option<u32>]) -> Column {
+        let mut validity = Bitmap::default();
+        for &i in indices {
+            let valid = match i {
+                None => false,
+                Some(i) => !self.is_null(i as usize),
+            };
+            validity.push(valid);
+        }
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(
+                indices
+                    .iter()
+                    .map(|i| i.map(|i| v[i as usize]).unwrap_or(0))
+                    .collect(),
+            ),
+            ColumnData::Float(v) => ColumnData::Float(
+                indices
+                    .iter()
+                    .map(|i| i.map(|i| v[i as usize]).unwrap_or(0.0))
+                    .collect(),
+            ),
+            ColumnData::Str(v, d) => ColumnData::Str(
+                indices
+                    .iter()
+                    .map(|i| i.map(|i| v[i as usize]).unwrap_or(0))
+                    .collect(),
+                Arc::clone(d),
+            ),
+        };
+        let validity = if validity.all_set() { None } else { Some(validity) };
+        Column { data, validity }
+    }
+}
+
+/// Incremental builder for one column.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    ty: ValueType,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    codes: Vec<u32>,
+    dict: StrDict,
+    validity: Bitmap,
+    has_null: bool,
+}
+
+impl ColumnBuilder {
+    /// New builder for columns of type `ty`.
+    pub fn new(ty: ValueType) -> ColumnBuilder {
+        ColumnBuilder {
+            ty,
+            ints: Vec::new(),
+            floats: Vec::new(),
+            codes: Vec::new(),
+            dict: StrDict::default(),
+            validity: Bitmap::default(),
+            has_null: false,
+        }
+    }
+
+    /// Declared type.
+    pub fn value_type(&self) -> ValueType {
+        self.ty
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// `true` when nothing was appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a scalar. `Int` values are widened into `Float` columns.
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        match (self.ty, v) {
+            (_, Value::Null) => {
+                self.push_slot_dummy();
+                self.validity.push(false);
+                self.has_null = true;
+            }
+            (ValueType::Int, Value::Int(i)) => {
+                self.ints.push(*i);
+                self.validity.push(true);
+            }
+            (ValueType::Float, Value::Float(x)) => {
+                self.floats.push(*x);
+                self.validity.push(true);
+            }
+            (ValueType::Float, Value::Int(i)) => {
+                self.floats.push(*i as f64);
+                self.validity.push(true);
+            }
+            (ValueType::Str, Value::Str(s)) => {
+                let c = self.dict.intern(s);
+                self.codes.push(c);
+                self.validity.push(true);
+            }
+            (ty, v) => {
+                return Err(RelationError::TypeMismatch(format!(
+                    "cannot store {v:?} in {ty} column"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn push_slot_dummy(&mut self) {
+        match self.ty {
+            ValueType::Int => self.ints.push(0),
+            ValueType::Float => self.floats.push(0.0),
+            ValueType::Str => {
+                // Dummy code 0; ensure the dictionary has at least one entry.
+                if self.dict.is_empty() {
+                    self.dict.intern("");
+                }
+                self.codes.push(0);
+            }
+        }
+    }
+
+    /// Finalize into a [`Column`].
+    pub fn finish(self) -> Column {
+        let data = match self.ty {
+            ValueType::Int => ColumnData::Int(self.ints),
+            ValueType::Float => ColumnData::Float(self.floats),
+            ValueType::Str => ColumnData::Str(self.codes, Arc::new(self.dict)),
+        };
+        Column {
+            data,
+            validity: self.has_null.then_some(self.validity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip_all_types() {
+        for (ty, vals) in [
+            (
+                ValueType::Int,
+                vec![Value::Int(1), Value::Null, Value::Int(-7)],
+            ),
+            (
+                ValueType::Float,
+                vec![Value::Float(0.5), Value::Int(2), Value::Null],
+            ),
+            (
+                ValueType::Str,
+                vec![Value::str("NJ"), Value::str("NY"), Value::Null, Value::str("NJ")],
+            ),
+        ] {
+            let c = Column::from_values(ty, &vals).unwrap();
+            assert_eq!(c.len(), vals.len());
+            for (i, v) in vals.iter().enumerate() {
+                let expect = match (ty, v) {
+                    (ValueType::Float, Value::Int(i)) => Value::Float(*i as f64),
+                    _ => v.clone(),
+                };
+                assert_eq!(c.value(i), expect, "type {ty} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_shares_repeats() {
+        let c = Column::from_strs(["a", "b", "a", "a", "b"]);
+        match c.data() {
+            ColumnData::Str(codes, dict) => {
+                assert_eq!(dict.len(), 2);
+                assert_eq!(codes, &[0, 1, 0, 0, 1]);
+            }
+            _ => panic!("expected Str column"),
+        }
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        let mut b = ColumnBuilder::new(ValueType::Int);
+        assert!(b.push(&Value::str("oops")).is_err());
+        assert!(b.push(&Value::Float(1.0)).is_err());
+    }
+
+    #[test]
+    fn gather_reorders_and_repeats() {
+        let c = Column::from_values(
+            ValueType::Int,
+            &[Value::Int(10), Value::Null, Value::Int(30)],
+        )
+        .unwrap();
+        let g = c.gather(&[2, 2, 1, 0]);
+        assert_eq!(g.value(0), Value::Int(30));
+        assert_eq!(g.value(1), Value::Int(30));
+        assert!(g.value(2).is_null());
+        assert_eq!(g.value(3), Value::Int(10));
+        assert_eq!(g.null_count(), 1);
+    }
+
+    #[test]
+    fn gather_opt_produces_nulls() {
+        let c = Column::from_strs(["x", "y"]);
+        let g = c.gather_opt(&[Some(1), None, Some(0)]);
+        assert_eq!(g.value(0), Value::str("y"));
+        assert!(g.value(1).is_null());
+        assert_eq!(g.value(2), Value::str("x"));
+        assert_eq!(g.null_count(), 1);
+    }
+
+    #[test]
+    fn gather_opt_all_valid_drops_bitmap() {
+        let c = Column::from_ints(vec![5, 6]);
+        let g = c.gather_opt(&[Some(0), Some(1)]);
+        assert_eq!(g.null_count(), 0);
+    }
+
+    #[test]
+    fn validity_length_mismatch_rejected() {
+        let r = Column::new(ColumnData::Int(vec![1, 2, 3]), Some(Bitmap::all_valid(2)));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Minimal CSV import/export.
+//!
+//! Enough to move generated marketplace instances in and out of the examples
+//! and to let users load their own source instances (`S` in §2.1). Quoting
+//! follows RFC 4180 for the common cases (quoted fields, embedded commas,
+//! doubled quotes); type inference tries `Int`, then `Float`, else `Str`, and
+//! an empty unquoted field is NULL.
+
+use crate::column::ColumnBuilder;
+use crate::error::{RelationError, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{Value, ValueType};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parse one CSV line into fields (handles quotes and doubled quotes).
+fn split_line(line: &str) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_quotes = true;
+                    quoted = true;
+                }
+                ',' => {
+                    out.push((std::mem::take(&mut field), quoted));
+                    quoted = false;
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    out.push((field, quoted));
+    out
+}
+
+fn infer_type(fields: &[(String, bool)]) -> ValueType {
+    let mut ty = ValueType::Int;
+    let mut saw_value = false;
+    for (f, quoted) in fields {
+        if f.is_empty() && !quoted {
+            continue; // NULL
+        }
+        saw_value = true;
+        match ty {
+            ValueType::Int => {
+                if f.parse::<i64>().is_err() {
+                    ty = if f.parse::<f64>().is_ok() {
+                        ValueType::Float
+                    } else {
+                        ValueType::Str
+                    };
+                }
+            }
+            ValueType::Float => {
+                if f.parse::<f64>().is_err() {
+                    ty = ValueType::Str;
+                }
+            }
+            ValueType::Str => {}
+        }
+    }
+    if saw_value {
+        ty
+    } else {
+        ValueType::Str
+    }
+}
+
+fn parse_value(field: &str, quoted: bool, ty: ValueType) -> Result<Value> {
+    if field.is_empty() && !quoted {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        ValueType::Int => Value::Int(
+            field
+                .parse::<i64>()
+                .map_err(|_| RelationError::Parse(format!("not an Int: {field:?}")))?,
+        ),
+        ValueType::Float => Value::Float(
+            field
+                .parse::<f64>()
+                .map_err(|_| RelationError::Parse(format!("not a Float: {field:?}")))?,
+        ),
+        ValueType::Str => Value::str(field),
+    })
+}
+
+/// Read a CSV (header row required) from any reader, inferring column types.
+pub fn read_csv_from(name: &str, reader: impl Read) -> Result<Table> {
+    let reader = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if !line.is_empty() {
+            lines.push(line);
+        }
+    }
+    if lines.is_empty() {
+        return Err(RelationError::Parse("empty CSV".into()));
+    }
+    let header: Vec<String> = split_line(&lines[0]).into_iter().map(|(f, _)| f).collect();
+    let rows: Vec<Vec<(String, bool)>> = lines[1..].iter().map(|l| split_line(l)).collect();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != header.len() {
+            return Err(RelationError::Parse(format!(
+                "row {} has {} fields, header has {}",
+                i + 1,
+                r.len(),
+                header.len()
+            )));
+        }
+    }
+    let ncols = header.len();
+    let types: Vec<ValueType> = (0..ncols)
+        .map(|c| infer_type(&rows.iter().map(|r| r[c].clone()).collect::<Vec<_>>()))
+        .collect();
+    let schema = Schema::from_pairs(
+        &header
+            .iter()
+            .zip(&types)
+            .map(|(h, t)| (h.as_str(), *t))
+            .collect::<Vec<_>>(),
+    )?;
+    let mut builders: Vec<ColumnBuilder> = types.iter().map(|t| ColumnBuilder::new(*t)).collect();
+    for row in &rows {
+        for (c, (field, quoted)) in row.iter().enumerate() {
+            builders[c].push(&parse_value(field, *quoted, types[c])?)?;
+        }
+    }
+    Table::new(
+        name,
+        schema,
+        builders.into_iter().map(ColumnBuilder::finish).collect(),
+    )
+}
+
+/// Read a CSV file; the table is named after the file stem.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Table> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "csv".into());
+    read_csv_from(&name, std::fs::File::open(path)?)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write a table as CSV (header + rows; NULL as empty field).
+pub fn write_csv_to(table: &Table, writer: impl Write) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    let header: Vec<String> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| escape(&a.id.name()))
+        .collect();
+    writeln!(w, "{}", header.join(","))?;
+    for r in 0..table.num_rows() {
+        let row: Vec<String> = (0..table.num_attrs())
+            .map(|c| match table.value(r, c) {
+                Value::Null => String::new(),
+                v => escape(&v.to_string()),
+            })
+            .collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a table to a CSV file.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    write_csv_to(table, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attr;
+
+    #[test]
+    fn round_trip_with_types_and_nulls() {
+        let csv = "csv_id,csv_name,csv_score\n1,alice,0.5\n2,\"bob,jr\",\n3,,2\n";
+        let t = read_csv_from("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema().type_of(attr("csv_id")), Some(ValueType::Int));
+        assert_eq!(t.schema().type_of(attr("csv_name")), Some(ValueType::Str));
+        assert_eq!(t.schema().type_of(attr("csv_score")), Some(ValueType::Float));
+        assert_eq!(t.value_by_attr(1, attr("csv_name")).unwrap(), Value::str("bob,jr"));
+        assert!(t.value_by_attr(1, attr("csv_score")).unwrap().is_null());
+        assert!(t.value_by_attr(2, attr("csv_name")).unwrap().is_null());
+
+        let mut buf = Vec::new();
+        write_csv_to(&t, &mut buf).unwrap();
+        let t2 = read_csv_from("t2", buf.as_slice()).unwrap();
+        assert_eq!(t2.num_rows(), 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(t.value(r, c), t2.value(r, c), "cell ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn quoted_empty_is_empty_string_not_null() {
+        let csv = "csv_q\n\"\"\n";
+        let t = read_csv_from("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.value(0, 0), Value::str(""));
+    }
+
+    #[test]
+    fn doubled_quotes_unescape() {
+        let csv = "csv_d\n\"say \"\"hi\"\"\"\n";
+        let t = read_csv_from("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.value(0, 0), Value::str("say \"hi\""));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "a_rr,b_rr\n1,2\n3\n";
+        assert!(read_csv_from("t", csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn numeric_column_with_stray_text_becomes_str() {
+        let csv = "mix_col\n1\n2\nx\n";
+        let t = read_csv_from("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.schema().type_of(attr("mix_col")), Some(ValueType::Str));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = Table::from_rows(
+            "f",
+            &[("file_a", ValueType::Int)],
+            vec![vec![Value::Int(42)]],
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join("dance_csv_test.csv");
+        write_csv(&t, &path).unwrap();
+        let t2 = read_csv(&path).unwrap();
+        assert_eq!(t2.num_rows(), 1);
+        assert_eq!(t2.value(0, 0), Value::Int(42));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by relational operations.
+#[derive(Debug)]
+pub enum RelationError {
+    /// An attribute name was not found in a schema.
+    UnknownAttribute(String),
+    /// Two schemas (or a schema and a value) disagree on types.
+    TypeMismatch(String),
+    /// Columns of a table have inconsistent lengths, or a row has the wrong arity.
+    Shape(String),
+    /// A join was requested on an empty or non-shared attribute set.
+    InvalidJoin(String),
+    /// Underlying I/O failure (CSV import/export).
+    Io(std::io::Error),
+    /// A textual value could not be parsed into the declared column type.
+    Parse(String),
+}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            RelationError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            RelationError::Shape(m) => write!(f, "shape error: {m}"),
+            RelationError::InvalidJoin(m) => write!(f, "invalid join: {m}"),
+            RelationError::Io(e) => write!(f, "io error: {e}"),
+            RelationError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RelationError {
+    fn from(e: std::io::Error) -> Self {
+        RelationError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationError::UnknownAttribute("zipcode".into());
+        assert!(e.to_string().contains("zipcode"));
+        let e = RelationError::TypeMismatch("Int vs Str".into());
+        assert!(e.to_string().contains("Int vs Str"));
+    }
+
+    #[test]
+    fn io_error_converts_and_has_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RelationError = io.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,434 @@
+//! Equi-joins.
+//!
+//! [`hash_join`] implements the two join flavours the paper needs:
+//!
+//! * **Inner** — the acquisition join `J = ⋈ T_i` (§2.1). NULL keys never
+//!   match, per SQL semantics.
+//! * **FullOuter** — used only to *measure join informativeness* (Def 2.4),
+//!   which penalizes `(val, NULL)` pairs from unmatched rows.
+//!
+//! Output schema: the join attributes once (coalesced for outer joins), then
+//! the left table's remaining attributes, then the right table's remaining
+//! attributes. If the sides share a *non-join* attribute name, the left copy
+//! wins and the right copy is dropped — the same convention SQL `USING` plus
+//! `SELECT left.*` would give. Join-attribute types must agree.
+//!
+//! [`join_tree`] chains pairwise joins along a join tree (the paper's target
+//! graphs are trees) and exposes a hook that the sampling crate uses to bound
+//! intermediate results (correlated re-sampling, §3.2).
+
+use crate::column::ColumnBuilder;
+use crate::error::{RelationError, Result};
+use crate::hash::FxHashMap;
+use crate::histogram::GroupKey;
+use crate::schema::{AttrSet, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Join flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Matching rows only; NULL keys never match.
+    Inner,
+    /// All rows; unmatched sides padded with NULL (Def 2.4 measurement).
+    FullOuter,
+}
+
+/// Hash equi-join of `left ⋈_on right`.
+pub fn hash_join(left: &Table, right: &Table, on: &AttrSet, kind: JoinKind) -> Result<Table> {
+    if on.is_empty() {
+        return Err(RelationError::InvalidJoin(
+            "join attribute set is empty".into(),
+        ));
+    }
+    let lcols = left
+        .attr_indices(on)
+        .map_err(|_| missing(on, left))?;
+    let rcols = right
+        .attr_indices(on)
+        .map_err(|_| missing(on, right))?;
+    for (l, r) in lcols.iter().zip(&rcols) {
+        let lt = left.schema().attributes()[*l].ty;
+        let rt = right.schema().attributes()[*r].ty;
+        if lt != rt {
+            return Err(RelationError::TypeMismatch(format!(
+                "join attribute type mismatch: {lt} vs {rt}"
+            )));
+        }
+    }
+
+    // Build side: right.
+    let mut build: FxHashMap<GroupKey, Vec<u32>> = FxHashMap::default();
+    let mut right_null_rows: Vec<u32> = Vec::new();
+    for r in 0..right.num_rows() {
+        let key = right.key(r, &rcols);
+        if key.iter().any(Value::is_null) {
+            right_null_rows.push(r as u32);
+            continue;
+        }
+        build.entry(key).or_default().push(r as u32);
+    }
+
+    // Probe side: left.
+    let mut li: Vec<Option<u32>> = Vec::new();
+    let mut ri: Vec<Option<u32>> = Vec::new();
+    let mut right_matched = vec![false; right.num_rows()];
+    for l in 0..left.num_rows() {
+        let key = left.key(l, &lcols);
+        let has_null = key.iter().any(Value::is_null);
+        match (!has_null).then(|| build.get(&key)).flatten() {
+            Some(matches) => {
+                for &r in matches {
+                    li.push(Some(l as u32));
+                    ri.push(Some(r));
+                    right_matched[r as usize] = true;
+                }
+            }
+            None => {
+                if kind == JoinKind::FullOuter {
+                    li.push(Some(l as u32));
+                    ri.push(None);
+                }
+            }
+        }
+    }
+    if kind == JoinKind::FullOuter {
+        for (r, matched) in right_matched.iter().enumerate() {
+            if !matched && !right_null_rows.contains(&(r as u32)) {
+                li.push(None);
+                ri.push(Some(r as u32));
+            }
+        }
+        for &r in &right_null_rows {
+            li.push(None);
+            ri.push(Some(r));
+        }
+    }
+
+    assemble(left, right, on, &lcols, &rcols, &li, &ri)
+}
+
+fn missing(on: &AttrSet, t: &Table) -> RelationError {
+    RelationError::InvalidJoin(format!(
+        "join attributes {on} not all present in {}",
+        t.name()
+    ))
+}
+
+fn assemble(
+    left: &Table,
+    right: &Table,
+    on: &AttrSet,
+    lcols: &[usize],
+    rcols: &[usize],
+    li: &[Option<u32>],
+    ri: &[Option<u32>],
+) -> Result<Table> {
+    let mut attrs = Vec::new();
+    let mut columns = Vec::new();
+
+    // Join columns: coalesce(left, right) so outer rows keep their key.
+    for (pos, id) in on.iter().enumerate() {
+        let ty = left.schema().attributes()[lcols[pos]].ty;
+        let mut b = ColumnBuilder::new(ty);
+        for (l, r) in li.iter().zip(ri) {
+            let v = match (l, r) {
+                (Some(l), _) => left.value(*l as usize, lcols[pos]),
+                (None, Some(r)) => right.value(*r as usize, rcols[pos]),
+                (None, None) => Value::Null,
+            };
+            b.push(&v)?;
+        }
+        attrs.push(crate::schema::Attribute { id, ty });
+        columns.push(b.finish());
+    }
+
+    // Left remainder (fast gather path).
+    for (c, a) in left.schema().attributes().iter().enumerate() {
+        if on.contains(a.id) {
+            continue;
+        }
+        attrs.push(*a);
+        columns.push(left.column(c).gather_opt(li));
+    }
+    // Right remainder, skipping names already present.
+    let taken: AttrSet = attrs.iter().map(|a| a.id).collect();
+    for (c, a) in right.schema().attributes().iter().enumerate() {
+        if taken.contains(a.id) {
+            continue;
+        }
+        attrs.push(*a);
+        columns.push(right.column(c).gather_opt(ri));
+    }
+
+    let name = format!("{}⋈{}", left.name(), right.name());
+    Table::new(name, Schema::new(attrs)?, columns)
+}
+
+/// One edge of a join tree: tables `a` and `b` joined on `on`.
+#[derive(Debug, Clone)]
+pub struct JoinEdge {
+    /// Index of the first table.
+    pub a: usize,
+    /// Index of the second table.
+    pub b: usize,
+    /// Join attribute set.
+    pub on: AttrSet,
+}
+
+/// Join `tables` along tree `edges`, calling `intermediate` after each step.
+///
+/// The hook receives every intermediate join result and may replace it (e.g.
+/// with a sample — §3.2's correlated re-sampling). Edges must connect all
+/// tables; they are consumed in an order that always joins a new table onto
+/// the accumulated result.
+pub fn join_tree(
+    tables: &[&Table],
+    edges: &[JoinEdge],
+    mut intermediate: impl FnMut(Table) -> Table,
+) -> Result<Table> {
+    if tables.is_empty() {
+        return Err(RelationError::InvalidJoin("no tables to join".into()));
+    }
+    if tables.len() == 1 {
+        return Ok((*tables[0]).clone());
+    }
+    if edges.len() != tables.len() - 1 {
+        return Err(RelationError::InvalidJoin(format!(
+            "join tree needs {} edges for {} tables, got {}",
+            tables.len() - 1,
+            tables.len(),
+            edges.len()
+        )));
+    }
+    let mut joined = vec![false; tables.len()];
+    let mut used = vec![false; edges.len()];
+    let start = edges[0].a;
+    let mut acc = (*tables[start]).clone();
+    joined[start] = true;
+    for _ in 0..edges.len() {
+        let next = edges.iter().enumerate().find(|(i, e)| {
+            !used[*i] && (joined[e.a] ^ joined[e.b])
+        });
+        let (i, edge) = next.ok_or_else(|| {
+            RelationError::InvalidJoin("join edges do not form a connected tree".into())
+        })?;
+        used[i] = true;
+        let new_side = if joined[edge.a] { edge.b } else { edge.a };
+        joined[new_side] = true;
+        acc = hash_join(&acc, tables[new_side], &edge.on, JoinKind::Inner)?;
+        acc = intermediate(acc);
+    }
+    if joined.iter().any(|j| !j) {
+        return Err(RelationError::InvalidJoin(
+            "join edges leave some tables unreached".into(),
+        ));
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attr;
+    use crate::value::ValueType;
+
+    fn zip_table() -> Table {
+        // D1 of Table 1: Zipcode → State with one inconsistent row.
+        Table::from_rows(
+            "D1",
+            &[("join_zip", ValueType::Str), ("join_state", ValueType::Str)],
+            vec![
+                vec![Value::str("07003"), Value::str("NJ")],
+                vec![Value::str("07304"), Value::str("NJ")],
+                vec![Value::str("10001"), Value::str("NY")],
+                vec![Value::str("10001"), Value::str("NJ")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn disease_table() -> Table {
+        Table::from_rows(
+            "D2",
+            &[("join_state", ValueType::Str), ("join_cases", ValueType::Int)],
+            vec![
+                vec![Value::str("MA"), Value::Int(300)],
+                vec![Value::str("NJ"), Value::Int(400)],
+                vec![Value::str("NJ"), Value::Int(200)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_counts() {
+        let j = hash_join(
+            &zip_table(),
+            &disease_table(),
+            &AttrSet::from_names(["join_state"]),
+            JoinKind::Inner,
+        )
+        .unwrap();
+        // NJ appears 3× left, 2× right → 6; NY/MA unmatched.
+        assert_eq!(j.num_rows(), 6);
+        assert_eq!(j.num_attrs(), 3);
+        assert_eq!(j.schema().attributes()[0].id, attr("join_state"));
+    }
+
+    #[test]
+    fn full_outer_keeps_unmatched_both_sides() {
+        let j = hash_join(
+            &zip_table(),
+            &disease_table(),
+            &AttrSet::from_names(["join_state"]),
+            JoinKind::FullOuter,
+        )
+        .unwrap();
+        // 6 matches + NY (left) + MA (right).
+        assert_eq!(j.num_rows(), 8);
+        // Coalesced key: the MA row keeps its key value.
+        let states: Vec<Value> = (0..j.num_rows())
+            .map(|r| j.value_by_attr(r, attr("join_state")).unwrap())
+            .collect();
+        assert!(states.contains(&Value::str("MA")));
+        assert!(states.contains(&Value::str("NY")));
+        // Unmatched rows have NULLs in the other side's columns.
+        assert!(j.has_nulls());
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let l = Table::from_rows(
+            "l",
+            &[("nj_k", ValueType::Int), ("nj_l", ValueType::Int)],
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Int(7), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let r = Table::from_rows(
+            "r",
+            &[("nj_k", ValueType::Int), ("nj_r", ValueType::Int)],
+            vec![
+                vec![Value::Null, Value::Int(10)],
+                vec![Value::Int(7), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        let on = AttrSet::from_names(["nj_k"]);
+        let inner = hash_join(&l, &r, &on, JoinKind::Inner).unwrap();
+        assert_eq!(inner.num_rows(), 1);
+        let outer = hash_join(&l, &r, &on, JoinKind::FullOuter).unwrap();
+        // 1 match + 1 left-null + 1 right-null.
+        assert_eq!(outer.num_rows(), 3);
+    }
+
+    #[test]
+    fn join_type_mismatch_rejected() {
+        let l = Table::from_rows(
+            "l",
+            &[("tm_k", ValueType::Int)],
+            vec![vec![Value::Int(1)]],
+        )
+        .unwrap();
+        let r = Table::from_rows(
+            "r",
+            &[("tm_k", ValueType::Str)],
+            vec![vec![Value::str("1")]],
+        )
+        .unwrap();
+        assert!(hash_join(&l, &r, &AttrSet::from_names(["tm_k"]), JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn empty_or_missing_join_attrs_rejected() {
+        let l = zip_table();
+        let r = disease_table();
+        assert!(hash_join(&l, &r, &AttrSet::empty(), JoinKind::Inner).is_err());
+        assert!(hash_join(&l, &r, &AttrSet::from_names(["join_zip"]), JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn duplicate_nonjoin_attr_takes_left_copy() {
+        let l = Table::from_rows(
+            "l",
+            &[("dup_k", ValueType::Int), ("dup_v", ValueType::Int)],
+            vec![vec![Value::Int(1), Value::Int(100)]],
+        )
+        .unwrap();
+        let r = Table::from_rows(
+            "r",
+            &[("dup_k", ValueType::Int), ("dup_v", ValueType::Int)],
+            vec![vec![Value::Int(1), Value::Int(200)]],
+        )
+        .unwrap();
+        let j = hash_join(&l, &r, &AttrSet::from_names(["dup_k"]), JoinKind::Inner).unwrap();
+        assert_eq!(j.num_attrs(), 2);
+        assert_eq!(j.value_by_attr(0, attr("dup_v")).unwrap(), Value::Int(100));
+    }
+
+    #[test]
+    fn three_way_tree_join() {
+        let a = Table::from_rows(
+            "A",
+            &[("tw_x", ValueType::Int), ("tw_y", ValueType::Int)],
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            &[("tw_y", ValueType::Int), ("tw_z", ValueType::Int)],
+            vec![
+                vec![Value::Int(10), Value::Int(100)],
+                vec![Value::Int(20), Value::Int(200)],
+            ],
+        )
+        .unwrap();
+        let c = Table::from_rows(
+            "C",
+            &[("tw_z", ValueType::Int), ("tw_w", ValueType::Int)],
+            vec![vec![Value::Int(100), Value::Int(7)]],
+        )
+        .unwrap();
+        let mut hook_calls = 0;
+        let j = join_tree(
+            &[&a, &b, &c],
+            &[
+                JoinEdge { a: 0, b: 1, on: AttrSet::from_names(["tw_y"]) },
+                JoinEdge { a: 1, b: 2, on: AttrSet::from_names(["tw_z"]) },
+            ],
+            |t| {
+                hook_calls += 1;
+                t
+            },
+        )
+        .unwrap();
+        assert_eq!(hook_calls, 2);
+        assert_eq!(j.num_rows(), 1);
+        assert_eq!(j.value_by_attr(0, attr("tw_w")).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn disconnected_tree_rejected() {
+        let a = Table::from_rows("A", &[("dj_x", ValueType::Int)], vec![vec![Value::Int(1)]])
+            .unwrap();
+        let b = Table::from_rows("B", &[("dj_x", ValueType::Int)], vec![vec![Value::Int(1)]])
+            .unwrap();
+        let c = Table::from_rows("C", &[("dj_y", ValueType::Int)], vec![vec![Value::Int(1)]])
+            .unwrap();
+        let r = join_tree(
+            &[&a, &b, &c],
+            &[
+                JoinEdge { a: 0, b: 1, on: AttrSet::from_names(["dj_x"]) },
+                JoinEdge { a: 0, b: 1, on: AttrSet::from_names(["dj_x"]) },
+            ],
+            |t| t,
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! Attribute identity, attribute sets, and table schemas.
+//!
+//! The join graph (Definition 4.2) treats an attribute *name* as a global
+//! identity: an I-edge exists between two instances iff their attribute-name
+//! sets intersect, and AS-edges are keyed by shared-name subsets `J`. Names are
+//! therefore interned process-wide into dense [`AttrId`]s so that attribute
+//! sets ([`AttrSet`]) are small sorted id vectors with cheap set algebra, and
+//! the lattice / search code never touches strings.
+
+use crate::error::{RelationError, Result};
+use crate::hash::FxHashMap;
+use crate::value::ValueType;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Dense process-wide identifier of an attribute name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+struct Interner {
+    names: Vec<Arc<str>>,
+    index: FxHashMap<Arc<str>, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            index: FxHashMap::default(),
+        })
+    })
+}
+
+/// Intern `name`, returning its global [`AttrId`]. Idempotent.
+pub fn attr(name: &str) -> AttrId {
+    let mut g = interner().lock().expect("attribute interner poisoned");
+    if let Some(&id) = g.index.get(name) {
+        return AttrId(id);
+    }
+    let id = g.names.len() as u32;
+    let arc: Arc<str> = Arc::from(name);
+    g.names.push(arc.clone());
+    g.index.insert(arc, id);
+    AttrId(id)
+}
+
+impl AttrId {
+    /// The interned name.
+    pub fn name(self) -> Arc<str> {
+        let g = interner().lock().expect("attribute interner poisoned");
+        g.names
+            .get(self.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| Arc::from(format!("<attr#{}>", self.0).as_str()))
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A typed attribute: interned name + column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attribute {
+    /// Interned name.
+    pub id: AttrId,
+    /// Column type.
+    pub ty: ValueType,
+}
+
+impl Attribute {
+    /// Construct from a raw name.
+    pub fn new(name: &str, ty: ValueType) -> Attribute {
+        Attribute { id: attr(name), ty }
+    }
+}
+
+/// A sorted, duplicate-free set of attribute ids.
+///
+/// This is the currency of the whole system: lattice vertices, join keys,
+/// source/target attribute sets and projection requests are all `AttrSet`s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet {
+    ids: Vec<AttrId>,
+}
+
+impl AttrSet {
+    /// The empty set.
+    pub fn empty() -> AttrSet {
+        AttrSet::default()
+    }
+
+    /// Build from any id iterator (sorts + dedups).
+    pub fn from_ids(ids: impl IntoIterator<Item = AttrId>) -> AttrSet {
+        let mut ids: Vec<AttrId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        AttrSet { ids }
+    }
+
+    /// Build from attribute names (interning them).
+    pub fn from_names<I, S>(names: I) -> AttrSet
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        AttrSet::from_ids(names.into_iter().map(|n| attr(n.as_ref())))
+    }
+
+    /// A single-attribute set.
+    pub fn singleton(id: AttrId) -> AttrSet {
+        AttrSet { ids: vec![id] }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: AttrId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Sorted ids.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Sorted slice view.
+    pub fn as_slice(&self) -> &[AttrId] {
+        &self.ids
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        merge(&self.ids, &other.ids, &mut out, MergeKind::Union);
+        AttrSet { ids: out }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        merge(&self.ids, &other.ids, &mut out, MergeKind::Intersect);
+        AttrSet { ids: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::with_capacity(self.len());
+        merge(&self.ids, &other.ids, &mut out, MergeKind::Difference);
+        AttrSet { ids: out }
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.intersect(other).len() == self.len()
+    }
+
+    /// Insert a single id (keeps sorted order).
+    pub fn insert(&mut self, id: AttrId) {
+        if let Err(pos) = self.ids.binary_search(&id) {
+            self.ids.insert(pos, id);
+        }
+    }
+
+    /// All non-empty subsets, smallest first. Exponential — callers cap `self.len()`.
+    pub fn nonempty_subsets(&self) -> Vec<AttrSet> {
+        let n = self.ids.len();
+        assert!(n <= 20, "refusing to enumerate 2^{n} subsets");
+        let mut out = Vec::with_capacity((1usize << n) - 1);
+        for mask in 1u32..(1u32 << n) {
+            let ids = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| self.ids[i])
+                .collect();
+            out.push(AttrSet { ids });
+        }
+        out.sort_by_key(|s: &AttrSet| s.len());
+        out
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        AttrSet::from_ids(iter)
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+enum MergeKind {
+    Union,
+    Intersect,
+    Difference,
+}
+
+fn merge(a: &[AttrId], b: &[AttrId], out: &mut Vec<AttrId>, kind: MergeKind) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                if matches!(kind, MergeKind::Union | MergeKind::Difference) {
+                    out.push(a[i]);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if matches!(kind, MergeKind::Union) {
+                    out.push(b[j]);
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if matches!(kind, MergeKind::Union | MergeKind::Intersect) {
+                    out.push(a[i]);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if matches!(kind, MergeKind::Union | MergeKind::Difference) {
+        out.extend_from_slice(&a[i..]);
+    }
+    if matches!(kind, MergeKind::Union) {
+        out.extend_from_slice(&b[j..]);
+    }
+}
+
+/// Ordered list of typed attributes; column order of a [`crate::Table`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build from typed attributes; names must be unique.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Schema> {
+        let set = AttrSet::from_ids(attrs.iter().map(|a| a.id));
+        if set.len() != attrs.len() {
+            return Err(RelationError::Shape(
+                "duplicate attribute in schema".into(),
+            ));
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Build from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, ValueType)]) -> Result<Schema> {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Attribute::new(n, *t))
+                .collect(),
+        )
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attributes in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Column position of `id`.
+    pub fn index_of(&self, id: AttrId) -> Option<usize> {
+        self.attrs.iter().position(|a| a.id == id)
+    }
+
+    /// Column position of `id`, or an error naming the attribute.
+    pub fn require(&self, id: AttrId) -> Result<usize> {
+        self.index_of(id)
+            .ok_or_else(|| RelationError::UnknownAttribute(id.name().to_string()))
+    }
+
+    /// Type of attribute `id` if present.
+    pub fn type_of(&self, id: AttrId) -> Option<ValueType> {
+        self.index_of(id).map(|i| self.attrs[i].ty)
+    }
+
+    /// The schema's attribute-id set.
+    pub fn attr_set(&self) -> AttrSet {
+        AttrSet::from_ids(self.attrs.iter().map(|a| a.id))
+    }
+
+    /// Shared attribute names with another schema (the paper's `AS(vi) ∩ AS(vj)`).
+    pub fn common(&self, other: &Schema) -> AttrSet {
+        self.attr_set().intersect(&other.attr_set())
+    }
+
+    /// Sub-schema for `set`, in this schema's column order.
+    pub fn project(&self, set: &AttrSet) -> Result<Schema> {
+        for id in set.iter() {
+            self.require(id)?;
+        }
+        Ok(Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .filter(|a| set.contains(a.id))
+                .copied()
+                .collect(),
+        })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", a.id, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = attr("schema_test_zipcode");
+        let b = attr("schema_test_zipcode");
+        assert_eq!(a, b);
+        assert_eq!(&*a.name(), "schema_test_zipcode");
+        assert_ne!(attr("schema_test_other"), a);
+    }
+
+    #[test]
+    fn attr_set_algebra() {
+        let x = AttrSet::from_names(["a1", "a2", "a3"]);
+        let y = AttrSet::from_names(["a2", "a3", "a4"]);
+        assert_eq!(x.intersect(&y), AttrSet::from_names(["a2", "a3"]));
+        assert_eq!(x.union(&y), AttrSet::from_names(["a1", "a2", "a3", "a4"]));
+        assert_eq!(x.difference(&y), AttrSet::from_names(["a1"]));
+        assert!(AttrSet::from_names(["a2"]).is_subset(&x));
+        assert!(!x.is_subset(&y));
+        assert!(AttrSet::empty().is_subset(&x));
+    }
+
+    #[test]
+    fn from_ids_dedups_and_sorts() {
+        let a = attr("dup_x");
+        let b = attr("dup_y");
+        let s = AttrSet::from_ids([b, a, b, a]);
+        assert_eq!(s.len(), 2);
+        assert!(s.as_slice().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn subsets_count_matches_formula() {
+        let s = AttrSet::from_names(["s1", "s2", "s3", "s4"]);
+        let subs = s.nonempty_subsets();
+        assert_eq!(subs.len(), (1 << 4) - 1);
+        // smallest-first ordering
+        assert!(subs.first().unwrap().len() == 1);
+        assert!(subs.last().unwrap().len() == 4);
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let r = Schema::from_pairs(&[("d", ValueType::Int), ("d", ValueType::Str)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn schema_projection_preserves_order() {
+        let s = Schema::from_pairs(&[
+            ("p_one", ValueType::Int),
+            ("p_two", ValueType::Str),
+            ("p_three", ValueType::Float),
+        ])
+        .unwrap();
+        let sub = s
+            .project(&AttrSet::from_names(["p_three", "p_one"]))
+            .unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.attributes()[0].id, attr("p_one"));
+        assert_eq!(sub.attributes()[1].id, attr("p_three"));
+        assert!(s.project(&AttrSet::from_names(["missing"])).is_err());
+    }
+
+    #[test]
+    fn common_attributes() {
+        let a = Schema::from_pairs(&[("c_j", ValueType::Int), ("c_a", ValueType::Str)]).unwrap();
+        let b = Schema::from_pairs(&[("c_j", ValueType::Int), ("c_b", ValueType::Str)]).unwrap();
+        assert_eq!(a.common(&b), AttrSet::from_names(["c_j"]));
+    }
+}

@@ -1,0 +1,287 @@
+//! Scalar values and their types.
+//!
+//! The marketplace holds mixed categorical / numerical data (the paper picks the
+//! entropy-based correlation of Nguyen et al. \[20\] precisely because it handles
+//! both). [`Value`] therefore carries integers, floats and dictionary-shared
+//! strings, plus `Null` — needed both for dirty data and for the unmatched side
+//! of the *full outer join* that Definition 2.4 (join informativeness) is
+//! computed on.
+//!
+//! `Value` implements total `Eq`/`Ord`/`Hash`, with floats compared by
+//! `f64::total_cmp` and all NaNs canonicalized, so values can key hash maps and
+//! be sorted deterministically. `Null` is its own smallest value for ordering
+//! purposes; *join semantics* (NULL never matches NULL) are enforced in the join
+//! code, not here.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type of a column or scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer (also used for categorical codes and counts).
+    Int,
+    /// 64-bit float; the *numerical* case of Definition 2.5.
+    Float,
+    /// Interned string; the *categorical* case of Definition 2.5.
+    Str,
+}
+
+impl ValueType {
+    /// `true` for types whose correlation uses cumulative entropy (Def 2.5).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ValueType::Int | ValueType::Float)
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "INT"),
+            ValueType::Float => write!(f, "FLOAT"),
+            ValueType::Str => write!(f, "STR"),
+        }
+    }
+}
+
+/// A single scalar value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL / missing.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float (NaN canonicalized on comparison/hashing).
+    Float(f64),
+    /// Shared string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value (convenience over `Value::Str(Arc::from(..))`).
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type, or `None` for NULL.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Str(_) => Some(ValueType::Str),
+        }
+    }
+
+    /// `true` iff this is `Null`.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: `Int` and `Float` yield `Some`, everything else `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// NaNs are collapsed to one canonical bit pattern for Eq/Hash.
+    #[inline]
+    fn canonical_bits(x: f64) -> u64 {
+        if x.is_nan() {
+            f64::NAN.to_bits()
+        } else if x == 0.0 {
+            0 // collapse -0.0 and +0.0
+        } else {
+            x.to_bits()
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Value::canonical_bits(*a) == Value::canonical_bits(*b)
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_u64(*i as u64);
+            }
+            Value::Float(x) => {
+                state.write_u8(2);
+                state.write_u64(Value::canonical_bits(*x));
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                state.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: Null < Int < Float < Str across types; floats by
+    /// `total_cmp` (with Int and Float compared as numbers when both numeric).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Int(_) | Float(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_) | Float(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn nan_and_zero_canonicalization() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(-f64::NAN));
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(h(&Value::Float(f64::NAN)), h(&Value::Float(-f64::NAN)));
+        assert_eq!(h(&Value::Float(0.0)), h(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn cross_type_numeric_order() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(2.5) > Value::Int(2));
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::str("a") > Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn equality_is_type_sensitive() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::str("1"), Value::Int(1));
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn display_round_trips_semantics() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("NJ").to_string(), "NJ");
+    }
+
+    #[test]
+    fn as_views() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(0.25).as_f64(), Some(0.25));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn sort_is_total_and_deterministic() {
+        let mut vals = [
+            Value::str("b"),
+            Value::Float(1.5),
+            Value::Null,
+            Value::Int(2),
+            Value::str("a"),
+            Value::Float(f64::NAN),
+        ];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Float(1.5));
+        assert_eq!(vals[2], Value::Int(2));
+        // NaN sorts above ordinary floats via total_cmp.
+        assert!(matches!(vals[3], Value::Float(x) if x.is_nan()));
+        assert_eq!(vals[4], Value::str("a"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of the relational substrate's invariants.
+
+use dance_relation::join::{hash_join, JoinKind};
+use dance_relation::{value_counts, AttrSet, Table, Value, ValueType};
+use proptest::prelude::*;
+
+/// Random small keyed tables: key domain 0..k, n rows, payload column.
+fn arb_table(name: &'static str, attr: &'static str) -> impl Strategy<Value = Table> {
+    (1usize..12, 0usize..60, 0u64..1000).prop_map(move |(k, n, seed)| {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                let h = dance_relation::hash::stable_hash64(seed, &(i as u64));
+                vec![
+                    Value::Int((h % k as u64) as i64),
+                    Value::Int(i as i64),
+                ]
+            })
+            .collect();
+        Table::from_rows(
+            name,
+            &[(attr, ValueType::Int), (&format!("{attr}_{name}_pl"), ValueType::Int)],
+            rows,
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// |L ⋈ R| = Σ_v n_L(v) · n_R(v) over shared keys.
+    #[test]
+    fn inner_join_size_matches_histograms(
+        l in arb_table("pl", "pj_k"),
+        r in arb_table("pr", "pj_k"),
+    ) {
+        let on = AttrSet::from_names(["pj_k"]);
+        let j = hash_join(&l, &r, &on, JoinKind::Inner).unwrap();
+        let lc = value_counts(&l, &on).unwrap();
+        let rc = value_counts(&r, &on).unwrap();
+        let expected: u64 = lc
+            .iter()
+            .filter_map(|(k, nl)| rc.get(k).map(|nr| nl * nr))
+            .sum();
+        prop_assert_eq!(j.num_rows() as u64, expected);
+    }
+
+    /// Full outer join contains the inner join plus one row per unmatched row.
+    #[test]
+    fn outer_join_size_decomposition(
+        l in arb_table("pl", "pj_k"),
+        r in arb_table("pr", "pj_k"),
+    ) {
+        let on = AttrSet::from_names(["pj_k"]);
+        let inner = hash_join(&l, &r, &on, JoinKind::Inner).unwrap();
+        let outer = hash_join(&l, &r, &on, JoinKind::FullOuter).unwrap();
+        let lc = value_counts(&l, &on).unwrap();
+        let rc = value_counts(&r, &on).unwrap();
+        let unmatched_l: u64 = lc.iter().filter(|(k, _)| !rc.contains_key(*k)).map(|(_, n)| n).sum();
+        let unmatched_r: u64 = rc.iter().filter(|(k, _)| !lc.contains_key(*k)).map(|(_, n)| n).sum();
+        prop_assert_eq!(
+            outer.num_rows() as u64,
+            inner.num_rows() as u64 + unmatched_l + unmatched_r
+        );
+    }
+
+    /// Join is symmetric in row count.
+    #[test]
+    fn join_row_count_symmetric(
+        l in arb_table("pl", "pj_k"),
+        r in arb_table("pr", "pj_k"),
+    ) {
+        let on = AttrSet::from_names(["pj_k"]);
+        let lr = hash_join(&l, &r, &on, JoinKind::Inner).unwrap();
+        let rl = hash_join(&r, &l, &on, JoinKind::Inner).unwrap();
+        prop_assert_eq!(lr.num_rows(), rl.num_rows());
+    }
+
+    /// Projection keeps row count; filter never grows it.
+    #[test]
+    fn projection_and_filter_laws(t in arb_table("pp", "pf_k")) {
+        let p = t.project(&AttrSet::from_names(["pf_k"])).unwrap();
+        prop_assert_eq!(p.num_rows(), t.num_rows());
+        prop_assert_eq!(p.num_attrs(), 1);
+        let f = t.filter(|i| i % 2 == 0);
+        prop_assert!(f.num_rows() <= t.num_rows());
+    }
+
+    /// value_counts totals the row count.
+    #[test]
+    fn histogram_total(t in arb_table("ph", "ph_k")) {
+        let c = value_counts(&t, &AttrSet::from_names(["ph_k"])).unwrap();
+        prop_assert_eq!(c.values().sum::<u64>(), t.num_rows() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AttrSet algebra laws on random small id sets.
+    #[test]
+    fn attr_set_laws(a in prop::collection::vec(0u32..12, 0..8), b in prop::collection::vec(0u32..12, 0..8)) {
+        let names_a: Vec<String> = a.iter().map(|i| format!("law_{i}")).collect();
+        let names_b: Vec<String> = b.iter().map(|i| format!("law_{i}")).collect();
+        let sa = AttrSet::from_names(names_a.iter().map(String::as_str));
+        let sb = AttrSet::from_names(names_b.iter().map(String::as_str));
+        // Commutativity / absorption / De-Morgan-ish size sanity.
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.intersect(&sb), sb.intersect(&sa));
+        prop_assert_eq!(sa.union(&sb).len() + sa.intersect(&sb).len(), sa.len() + sb.len());
+        prop_assert!(sa.intersect(&sb).is_subset(&sa));
+        prop_assert!(sa.is_subset(&sa.union(&sb)));
+        prop_assert_eq!(sa.difference(&sb).len(), sa.len() - sa.intersect(&sb).len());
+    }
+}

@@ -1,0 +1,68 @@
+//! Independent (Bernoulli) row sampling — the ablation baseline.
+//!
+//! Unlike correlated sampling, each row flips its own coin, so matching rows
+//! in two tables survive independently and join-based estimates shrink by a
+//! factor `p` per side. The `ablation_sampling` experiment quantifies how much
+//! worse this makes the §3 estimators.
+
+use dance_relation::hash::{stable_hash64, unit_interval};
+use dance_relation::Table;
+
+/// Keep each row independently with probability `rate` (deterministic in
+/// `(seed, table name, row index)`).
+pub fn bernoulli_sample(t: &Table, rate: f64, seed: u64) -> Table {
+    let rate = rate.clamp(0.0, 1.0);
+    let name_hash = stable_hash64(seed, t.name());
+    let keep: Vec<u32> = (0..t.num_rows())
+        .filter(|&r| unit_interval(stable_hash64(name_hash, &(r as u64))) < rate)
+        .map(|r| r as u32)
+        .collect();
+    t.gather(&keep)
+        .with_name(format!("{}~{:.2}", t.name(), rate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::{Table, Value, ValueType};
+
+    fn t(n: usize) -> Table {
+        Table::from_rows(
+            "b",
+            &[("brn_k", ValueType::Int)],
+            (0..n).map(|i| vec![Value::Int(i as i64)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extremes() {
+        let table = t(100);
+        assert_eq!(bernoulli_sample(&table, 0.0, 1).num_rows(), 0);
+        assert_eq!(bernoulli_sample(&table, 1.0, 1).num_rows(), 100);
+    }
+
+    #[test]
+    fn rate_approximately_honored() {
+        let table = t(5000);
+        let s = bernoulli_sample(&table, 0.3, 42);
+        let frac = s.num_rows() as f64 / 5000.0;
+        assert!((frac - 0.3).abs() < 0.03, "frac = {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let table = t(500);
+        let a = bernoulli_sample(&table, 0.5, 7);
+        let b = bernoulli_sample(&table, 0.5, 7);
+        assert_eq!(a.num_rows(), b.num_rows());
+        let c = bernoulli_sample(&table, 0.5, 8);
+        let rows = |t: &Table| {
+            (0..t.num_rows())
+                .map(|r| t.value(r, 0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&a), rows(&b));
+        assert_ne!(rows(&a), rows(&c));
+    }
+}

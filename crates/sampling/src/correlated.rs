@@ -1,0 +1,165 @@
+//! Correlated sampling (Vengerov et al. \[30\], §3 of the paper).
+//!
+//! For a tuple `t` with join-key value `t[J]`, include `t` in the sample iff
+//! `h(t[J]) ≤ p`, where `h` maps key values uniformly into `[0, 1)` and `p`
+//! is the sampling rate. The hash is **shared across tables** (same seed), so
+//! for any key value either *all* carriers of that value survive in every
+//! table or none do — joins of samples are exactly the sampled joins, the
+//! property behind the unbiasedness of the §3 estimators.
+
+use dance_relation::hash::{stable_hash64, unit_interval};
+use dance_relation::{AttrSet, Result, Table};
+
+/// Deterministic correlated sampler: `rate` ∈ \[0, 1\], shared `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelatedSampler {
+    /// Sampling rate `p`: expected fraction of *key values* kept.
+    pub rate: f64,
+    /// Hash seed; two samplers correlate iff their seeds are equal.
+    pub seed: u64,
+}
+
+impl CorrelatedSampler {
+    /// Construct (clamps rate into `\[0, 1\]`).
+    pub fn new(rate: f64, seed: u64) -> CorrelatedSampler {
+        CorrelatedSampler {
+            rate: rate.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// The inclusion score of one key (uniform in `[0,1)` over keys).
+    pub fn score(&self, key: &[dance_relation::Value]) -> f64 {
+        unit_interval(stable_hash64(self.seed, key))
+    }
+
+    /// Sample `t` on join attributes `key_attrs` (the `t[J]` of §3).
+    ///
+    /// Rows whose key hashes below `rate` survive; duplicates of a key live or
+    /// die together, here and in every other table sampled with the same seed.
+    pub fn sample(&self, t: &Table, key_attrs: &AttrSet) -> Result<Table> {
+        let cols = t.attr_indices(key_attrs)?;
+        let keep: Vec<u32> = (0..t.num_rows())
+            .filter(|&r| self.score(&t.key(r, &cols)) < self.rate)
+            .map(|r| r as u32)
+            .collect();
+        Ok(t.gather(&keep)
+            .with_name(format!("{}@{:.2}", t.name(), self.rate)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::join::{hash_join, JoinKind};
+    use dance_relation::{Table, Value, ValueType};
+
+    fn keyed_table(name: &str, attr: &str, n: usize, dup: usize) -> Table {
+        let rows = (0..n)
+            .flat_map(|k| {
+                (0..dup).map(move |d| vec![Value::Int(k as i64), Value::Int((k * 100 + d) as i64)])
+            })
+            .collect();
+        Table::from_rows(
+            name,
+            &[(attr, ValueType::Int), (&format!("{attr}_payload_{name}"), ValueType::Int)],
+            rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rate_zero_and_one() {
+        let t = keyed_table("t", "cs_k", 50, 2);
+        let s = CorrelatedSampler::new(0.0, 7);
+        assert_eq!(s.sample(&t, &AttrSet::from_names(["cs_k"])).unwrap().num_rows(), 0);
+        let s = CorrelatedSampler::new(1.0, 7);
+        assert_eq!(
+            s.sample(&t, &AttrSet::from_names(["cs_k"])).unwrap().num_rows(),
+            t.num_rows()
+        );
+    }
+
+    #[test]
+    fn keys_live_or_die_together() {
+        let t = keyed_table("t", "cs_k", 100, 3);
+        let s = CorrelatedSampler::new(0.5, 11);
+        let sample = s.sample(&t, &AttrSet::from_names(["cs_k"])).unwrap();
+        // Every surviving key must appear exactly `dup` times.
+        let counts =
+            dance_relation::value_counts(&sample, &AttrSet::from_names(["cs_k"])).unwrap();
+        for (k, c) in counts {
+            assert_eq!(c, 3, "key {k:?} survived partially");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let t = keyed_table("t", "cs_k", 200, 1);
+        let on = AttrSet::from_names(["cs_k"]);
+        let a = CorrelatedSampler::new(0.3, 1).sample(&t, &on).unwrap();
+        let b = CorrelatedSampler::new(0.3, 1).sample(&t, &on).unwrap();
+        assert_eq!(a.num_rows(), b.num_rows());
+        let c = CorrelatedSampler::new(0.3, 2).sample(&t, &on).unwrap();
+        // Overwhelmingly likely to differ.
+        let keys = |t: &Table| {
+            (0..t.num_rows())
+                .map(|r| t.value(r, 0))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_ne!(keys(&a), keys(&c));
+    }
+
+    #[test]
+    fn expected_rate_is_honored() {
+        let t = keyed_table("t", "cs_k", 2000, 1);
+        let s = CorrelatedSampler::new(0.25, 3);
+        let got = s.sample(&t, &AttrSet::from_names(["cs_k"])).unwrap();
+        let frac = got.num_rows() as f64 / t.num_rows() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "frac = {frac}");
+    }
+
+    /// The defining property: join of samples == correlated sample of the join.
+    #[test]
+    fn join_of_samples_equals_sample_of_join() {
+        let l = keyed_table("L", "cs_j", 300, 2);
+        let r = keyed_table("R", "cs_j", 300, 1);
+        let on = AttrSet::from_names(["cs_j"]);
+        let s = CorrelatedSampler::new(0.4, 99);
+
+        let sl = s.sample(&l, &on).unwrap();
+        let sr = s.sample(&r, &on).unwrap();
+        let join_of_samples = hash_join(&sl, &sr, &on, JoinKind::Inner).unwrap();
+
+        let full_join = hash_join(&l, &r, &on, JoinKind::Inner).unwrap();
+        let cols = full_join.attr_indices(&on).unwrap();
+        let sampled_join = full_join.filter(|row| s.score(&full_join.key(row, &cols)) < 0.4);
+
+        assert_eq!(join_of_samples.num_rows(), sampled_join.num_rows());
+    }
+
+    #[test]
+    fn multi_attribute_keys_supported() {
+        let t = Table::from_rows(
+            "m",
+            &[("cs_k1", ValueType::Int), ("cs_k2", ValueType::Str)],
+            (0..100)
+                .map(|i| vec![Value::Int(i % 10), Value::str(["p", "q"][i as usize % 2])])
+                .collect(),
+        )
+        .unwrap();
+        let s = CorrelatedSampler::new(0.5, 5);
+        let sample = s
+            .sample(&t, &AttrSet::from_names(["cs_k1", "cs_k2"]))
+            .unwrap();
+        assert!(sample.num_rows() < t.num_rows());
+        assert!(sample.num_rows() > 0);
+    }
+
+    #[test]
+    fn missing_key_attr_is_error() {
+        let t = keyed_table("t", "cs_k", 10, 1);
+        let s = CorrelatedSampler::new(0.5, 5);
+        assert!(s.sample(&t, &AttrSet::from_names(["cs_absent"])).is_err());
+    }
+}

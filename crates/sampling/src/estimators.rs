@@ -1,0 +1,277 @@
+//! The §3 estimators: `ĴI`, `ĈORR`, `Q̂` from correlated samples.
+//!
+//! The estimators *are* the exact measures applied to sampled data — the
+//! content of Theorems 3.1/3.2 is that correlated (re-)sampling makes those
+//! plug-in values unbiased for the full-data quantities. What this module adds
+//! is the sampling design for join *paths*:
+//!
+//! Each table is sampled with one shared-seed hash **per incident join edge**,
+//! keeping a row only if it passes every incident edge's test. A row of the
+//! full join then survives iff each of its edge-key hashes falls below the
+//! rate — i.e. the join of the per-table samples is exactly a correlated
+//! sample of the full join. End-point tables of a path are sampled at rate
+//! `p`, interior tables at `p` per incident edge.
+
+use crate::correlated::CorrelatedSampler;
+use crate::resample::{join_tree_bounded, ResampleConfig, ResampleStats};
+use dance_relation::hash::stable_hash64;
+use dance_relation::join::JoinEdge;
+use dance_relation::{AttrSet, Result, Table};
+use dance_info::correlation::{correlation_with, CorrOptions};
+use dance_info::ji::join_informativeness;
+use dance_quality::tane::TaneConfig;
+
+/// Seed for one edge's shared hash: a function of the base seed and the
+/// edge's join-attribute names (both endpoints must agree).
+fn edge_seed(base: u64, on: &AttrSet) -> u64 {
+    let names: Vec<String> = on.iter().map(|a| a.name().to_string()).collect();
+    stable_hash64(base, &names)
+}
+
+/// A join path (tree) over correlated samples of marketplace instances.
+#[derive(Debug, Clone)]
+pub struct SampledPath {
+    /// Correlated samples, aligned with the edge indices.
+    pub samples: Vec<Table>,
+    /// Join tree over `samples`.
+    pub edges: Vec<JoinEdge>,
+    /// Optional §3.2 re-sampling applied during the join.
+    pub resample: Option<ResampleConfig>,
+}
+
+impl SampledPath {
+    /// Sample every table at `rate` (per incident edge) with base `seed`.
+    pub fn from_tables(
+        tables: &[&Table],
+        edges: &[JoinEdge],
+        rate: f64,
+        seed: u64,
+        resample: Option<ResampleConfig>,
+    ) -> Result<SampledPath> {
+        let mut samples = Vec::with_capacity(tables.len());
+        for (i, t) in tables.iter().enumerate() {
+            let mut current: Table = (*t).clone();
+            for e in edges.iter().filter(|e| e.a == i || e.b == i) {
+                let s = CorrelatedSampler::new(rate, edge_seed(seed, &e.on));
+                current = s.sample(&current, &e.on)?;
+            }
+            samples.push(current.with_name(format!("{}@{rate:.2}", t.name())));
+        }
+        Ok(SampledPath {
+            samples,
+            edges: edges.to_vec(),
+            resample,
+        })
+    }
+
+    /// Join the samples along the path (with re-sampling if configured).
+    pub fn join(&self) -> Result<(Table, ResampleStats)> {
+        let refs: Vec<&Table> = self.samples.iter().collect();
+        join_tree_bounded(&refs, &self.edges, self.resample.as_ref())
+    }
+}
+
+/// `ĴI(D₁, D₂)` (Equation 6): exact JI on correlated samples — Theorem 3.1
+/// states `E[JI(S₁, S₂)] = JI(D₁, D₂)`.
+pub fn estimate_ji(d1: &Table, d2: &Table, j: &AttrSet, rate: f64, seed: u64) -> Result<f64> {
+    let s = CorrelatedSampler::new(rate, edge_seed(seed, j));
+    let s1 = s.sample(d1, j)?;
+    let s2 = s.sample(d2, j)?;
+    join_informativeness(&s1, &s2, j)
+}
+
+/// `ĈORR(AS, AT)` (Equation 7): correlation measured on a sampled join.
+pub fn estimate_correlation(sampled_join: &Table, x: &AttrSet, y: &AttrSet) -> Result<f64> {
+    correlation_with(sampled_join, x, y, CorrOptions::default())
+}
+
+/// `Q̂` (Equation 8): Definition 2.3 quality measured on a sampled join.
+pub fn estimate_quality(sampled_join: &Table, cfg: &TaneConfig) -> Result<f64> {
+    dance_quality::joint::instance_set_quality(sampled_join, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::{Table, Value, ValueType};
+
+    fn fk_pair(n_keys: usize, fanout: usize) -> (Table, Table) {
+        let dim = Table::from_rows(
+            "dim",
+            &[("est_k", ValueType::Int), ("est_cat", ValueType::Str)],
+            (0..n_keys)
+                .map(|k| vec![Value::Int(k as i64), Value::str(["u", "v", "w"][k % 3])])
+                .collect(),
+        )
+        .unwrap();
+        let fact = Table::from_rows(
+            "fact",
+            &[("est_k", ValueType::Int), ("est_m", ValueType::Float)],
+            (0..n_keys * fanout)
+                .map(|i| {
+                    let k = i % n_keys;
+                    vec![Value::Int(k as i64), Value::Float((k % 3) as f64 * 10.0)]
+                })
+                .collect(),
+        )
+        .unwrap();
+        (dim, fact)
+    }
+
+    #[test]
+    fn ji_estimate_concentrates_on_truth() {
+        let (dim, fact) = fk_pair(400, 3);
+        let j = AttrSet::from_names(["est_k"]);
+        let truth = join_informativeness(&dim, &fact, &j).unwrap();
+        let mut mean = 0.0;
+        let seeds = 20;
+        for seed in 0..seeds {
+            mean += estimate_ji(&dim, &fact, &j, 0.5, seed).unwrap();
+        }
+        mean /= seeds as f64;
+        assert!(
+            (mean - truth).abs() < 0.05,
+            "mean estimate {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn sampled_path_joins_consistently() {
+        let (dim, fact) = fk_pair(200, 4);
+        let edges = vec![JoinEdge {
+            a: 0,
+            b: 1,
+            on: AttrSet::from_names(["est_k"]),
+        }];
+        let path =
+            SampledPath::from_tables(&[&dim, &fact], &edges, 0.5, 7, None).unwrap();
+        let (j, stats) = path.join().unwrap();
+        assert_eq!(stats.resampled_steps, 0);
+        // Sampled join only contains keys that survived in both samples.
+        assert!(j.num_rows() > 0);
+        assert!(j.num_rows() < dim.num_rows() * 4);
+    }
+
+    #[test]
+    fn correlation_estimate_tracks_truth() {
+        let (dim, fact) = fk_pair(600, 2);
+        let j = AttrSet::from_names(["est_k"]);
+        let edges = vec![JoinEdge {
+            a: 0,
+            b: 1,
+            on: j.clone(),
+        }];
+        let x = AttrSet::from_names(["est_m"]);
+        let y = AttrSet::from_names(["est_cat"]);
+
+        let (full, _) = join_tree_bounded(&[&dim, &fact], &edges, None).unwrap();
+        let truth = estimate_correlation(&full, &x, &y).unwrap();
+
+        let mut mean = 0.0;
+        let seeds = 15;
+        for seed in 0..seeds {
+            let path =
+                SampledPath::from_tables(&[&dim, &fact], &edges, 0.6, seed, None).unwrap();
+            let (sj, _) = path.join().unwrap();
+            mean += estimate_correlation(&sj, &x, &y).unwrap();
+        }
+        mean /= seeds as f64;
+        let rel = (mean - truth).abs() / truth.max(1e-9);
+        assert!(rel < 0.15, "mean {mean} vs truth {truth} (rel {rel})");
+    }
+
+    #[test]
+    fn quality_estimate_tracks_truth() {
+        // fact carries an FD est_cat2 → est_grp with ~10% violations.
+        let fact = Table::from_rows(
+            "q",
+            &[
+                ("eq_k", ValueType::Int),
+                ("eq_cat2", ValueType::Str),
+                ("eq_grp", ValueType::Str),
+            ],
+            (0..1200)
+                .map(|i| {
+                    let cat = format!("c{}", i % 6);
+                    let grp = if i % 10 == 0 {
+                        "BAD".to_string()
+                    } else {
+                        format!("g{}", i % 6)
+                    };
+                    vec![Value::Int((i % 300) as i64), Value::str(cat), Value::str(grp)]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let dim = Table::from_rows(
+            "d",
+            &[("eq_k", ValueType::Int)],
+            (0..300).map(|k| vec![Value::Int(k as i64)]).collect(),
+        )
+        .unwrap();
+        let edges = vec![JoinEdge {
+            a: 0,
+            b: 1,
+            on: AttrSet::from_names(["eq_k"]),
+        }];
+        let cfg = TaneConfig {
+            error_threshold: 0.2,
+            max_lhs: 1,
+            max_attrs: 8,
+        };
+        let (full, _) = join_tree_bounded(&[&dim, &fact], &edges, None).unwrap();
+        let truth = estimate_quality(&full, &cfg).unwrap();
+        let mut mean = 0.0;
+        let seeds = 10;
+        for seed in 0..seeds {
+            let path =
+                SampledPath::from_tables(&[&dim, &fact], &edges, 0.5, seed, None).unwrap();
+            let (sj, _) = path.join().unwrap();
+            mean += estimate_quality(&sj, &cfg).unwrap();
+        }
+        mean /= seeds as f64;
+        assert!((mean - truth).abs() < 0.08, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn interior_tables_sampled_per_edge() {
+        // Chain A - B - C: B passes two tests → roughly rate² survival.
+        let a = Table::from_rows(
+            "A",
+            &[("pe_y", ValueType::Int)],
+            (0..1000).map(|i| vec![Value::Int(i % 500)]).collect(),
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            &[("pe_y", ValueType::Int), ("pe_z", ValueType::Int)],
+            (0..1000)
+                .map(|i| vec![Value::Int(i % 500), Value::Int(i % 400)])
+                .collect(),
+        )
+        .unwrap();
+        let c = Table::from_rows(
+            "C",
+            &[("pe_z", ValueType::Int)],
+            (0..1000).map(|i| vec![Value::Int(i % 400)]).collect(),
+        )
+        .unwrap();
+        let edges = vec![
+            JoinEdge {
+                a: 0,
+                b: 1,
+                on: AttrSet::from_names(["pe_y"]),
+            },
+            JoinEdge {
+                a: 1,
+                b: 2,
+                on: AttrSet::from_names(["pe_z"]),
+            },
+        ];
+        let path = SampledPath::from_tables(&[&a, &b, &c], &edges, 0.5, 3, None).unwrap();
+        let frac_a = path.samples[0].num_rows() as f64 / 1000.0;
+        let frac_b = path.samples[1].num_rows() as f64 / 1000.0;
+        assert!((frac_a - 0.5).abs() < 0.1, "frac_a = {frac_a}");
+        assert!((frac_b - 0.25).abs() < 0.1, "frac_b = {frac_b}");
+    }
+}

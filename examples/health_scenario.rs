@@ -1,0 +1,130 @@
+//! The paper's running example (§1, Table 1): Adam buys health data.
+//!
+//! Adam owns `DS(age, zipcode, population)` and wants the correlation between
+//! age groups and diseases in NJ. The marketplace lists D1–D5, including
+//! D1's FD violation and D5's individual records. On the full catalog DANCE
+//! picks D5 — it carries both attributes directly and cheaply (Definition 2.4
+//! cannot see the aggregation-vs-individual mismatch the paper's §2.3 prose
+//! warns about). With D5 delisted, DANCE falls back to one of the multi-
+//! instance options of Example 1.1 (joining D3 ⋈ D4 on gender/race, or the
+//! DS ⋈ D1 ⋈ D2 route).
+//!
+//! ```sh
+//! cargo run --example health_scenario
+//! ```
+
+use dance::datagen::scenario;
+use dance::prelude::*;
+
+fn main() {
+    let ds = scenario::source_ds();
+    println!("Adam's source instance:\n{}", ds.pretty(10));
+
+    let mut market = Marketplace::new(
+        scenario::marketplace_tables(),
+        EntropyPricing::default(),
+    );
+    println!("marketplace instances:");
+    for meta in market.catalog() {
+        println!(
+            "  {}: {} ({} rows, attrs {})",
+            meta.id,
+            meta.name,
+            meta.num_rows,
+            meta.attr_set()
+        );
+    }
+
+    // Check D1's data quality issue from the paper (Zipcode → State).
+    let d1 = scenario::d1_zipcode();
+    let fd = Fd::new(["zipcode"], "state");
+    let q = dance::quality::quality(&d1, &fd).expect("fd applies");
+    println!("\nQ(D1, zipcode→state) = {q:.2} (one record violates the FD)");
+
+    // Offline with full-rate samples — the toy tables are tiny.
+    let mut dance = Dance::offline(
+        &mut market,
+        vec![ds],
+        DanceConfig {
+            sampling_rate: 1.0,
+            refine_rounds: 0,
+            mcmc: McmcConfig {
+                iterations: 80,
+                resample: None,
+                ..McmcConfig::default()
+            },
+            ..DanceConfig::default()
+        },
+    )
+    .expect("offline");
+
+    let request = AcquisitionRequest::new(
+        AttrSet::from_names(["age"]),
+        AttrSet::from_names(["disease"]),
+    );
+    let plan = dance
+        .acquire(&mut market, &request)
+        .expect("search")
+        .expect("the scenario has valid acquisition routes");
+
+    println!("\nDANCE recommends:");
+    for q in &plan.queries {
+        println!("  {}", q.to_sql());
+    }
+    println!(
+        "estimated: CORR(age, disease) = {:.3}, quality = {:.3}, JI = {:.3}, price = {:.3}",
+        plan.estimated.correlation,
+        plan.estimated.quality,
+        plan.estimated.join_informativeness,
+        plan.estimated.price,
+    );
+
+    let truth = dance
+        .evaluate_true(&market, &plan.graph, &request)
+        .expect("true evaluation");
+    println!(
+        "ground truth on full data: CORR = {:.3}, quality = {:.3}, price = {:.3}",
+        truth.corr, truth.quality, truth.price
+    );
+
+    // Without D5, the only route is the paper's Option 1: DS ⋈ D1 ⋈ D2.
+    let mut market2 = Marketplace::new(
+        vec![
+            scenario::d1_zipcode(),
+            scenario::d2_disease_by_state(),
+            scenario::d3_disease_nj(),
+            scenario::d4_census_nj(),
+        ],
+        EntropyPricing::default(),
+    );
+    let mut dance2 = Dance::offline(
+        &mut market2,
+        vec![scenario::source_ds()],
+        DanceConfig {
+            sampling_rate: 1.0,
+            refine_rounds: 0,
+            mcmc: McmcConfig {
+                iterations: 80,
+                resample: None,
+                ..McmcConfig::default()
+            },
+            ..DanceConfig::default()
+        },
+    )
+    .expect("offline");
+    let plan2 = dance2
+        .acquire(&mut market2, &request)
+        .expect("search")
+        .expect("Option 1 exists");
+    println!("\nwith D5 delisted, DANCE falls back to a multi-instance option:");
+    for q in &plan2.queries {
+        println!("  {}", q.to_sql());
+    }
+    println!(
+        "estimated: CORR = {:.3}, quality = {:.3}, JI = {:.3}, price = {:.3}",
+        plan2.estimated.correlation,
+        plan2.estimated.quality,
+        plan2.estimated.join_informativeness,
+        plan2.estimated.price,
+    );
+}

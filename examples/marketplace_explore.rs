@@ -1,0 +1,99 @@
+//! Marketplace exploration: inspect the join graph DANCE builds offline —
+//! I-edges, candidate join attribute sets, Property 4.1 weights, prices, and
+//! the quality landscape of the listed instances.
+//!
+//! ```sh
+//! cargo run --release --example marketplace_explore
+//! ```
+
+use dance::core::landmark::LandmarkIndex;
+use dance::datagen::tpce::TpceConfig;
+use dance::datagen::workload::tpce_workload;
+use dance::prelude::*;
+
+fn main() {
+    let workload = tpce_workload(&TpceConfig {
+        scale: 0.1,
+        dirty_fraction: 0.2,
+        seed: 5,
+    })
+    .expect("generation");
+    println!(
+        "TPC-E-like marketplace: {} instances, {} total rows",
+        workload.tables.len(),
+        workload.tables.iter().map(Table::num_rows).sum::<usize>()
+    );
+
+    let mut market = Marketplace::new(workload.tables, EntropyPricing::default());
+    let dance = Dance::offline(
+        &mut market,
+        Vec::new(),
+        DanceConfig {
+            sampling_rate: 0.5,
+            refine_rounds: 0,
+            ..DanceConfig::default()
+        },
+    )
+    .expect("offline");
+    let g = dance.graph();
+
+    println!(
+        "\njoin graph: {} I-vertices, {} I-edges (sample cost {:.2})",
+        g.num_instances(),
+        g.i_edges().len(),
+        dance.sample_cost()
+    );
+
+    // The ten lightest I-edges (most informative join connections).
+    let mut edges: Vec<_> = g.i_edges().iter().collect();
+    edges.sort_by(|a, b| a.weight.total_cmp(&b.weight));
+    println!("\nlightest join connections (low JI = informative):");
+    for e in edges.iter().take(10) {
+        println!(
+            "  {} ⋈ {} on {} → weight {:.4}",
+            g.meta(e.a).name,
+            g.meta(e.b).name,
+            e.common,
+            e.weight
+        );
+    }
+
+    // Candidate join sets + Property 4.1 weights for the busiest edge.
+    if let Some(e) = edges.first() {
+        println!(
+            "\ncandidate join attribute sets for {} ⋈ {}:",
+            g.meta(e.a).name,
+            g.meta(e.b).name
+        );
+        for j in g.candidate_join_sets(e.a, e.b) {
+            println!("  {} → JI {:.4}", j, g.weight(e.a, e.b, j).unwrap());
+        }
+    }
+
+    // Price of each instance's full projection, estimated from samples.
+    println!("\nestimated full-projection prices (top 8 by price):");
+    let mut prices: Vec<(String, f64)> = (0..g.num_instances() as u32)
+        .map(|v| {
+            let attrs = g.meta(v).attr_set();
+            (g.meta(v).name.clone(), g.price(v, &attrs).unwrap_or(0.0))
+        })
+        .collect();
+    prices.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, p) in prices.iter().take(8) {
+        println!("  {name:<20} {p:>8.3}");
+    }
+
+    // Landmark reachability: how far is everything from everything?
+    let lm = LandmarkIndex::build(g, 3, 1);
+    let mut reachable = 0;
+    let mut total = 0;
+    for u in 0..g.num_instances() as u32 {
+        for v in (u + 1)..g.num_instances() as u32 {
+            total += 1;
+            if lm.approx_path(g, u, v).is_some() {
+                reachable += 1;
+            }
+        }
+    }
+    println!("\nlandmark index: {reachable}/{total} instance pairs connected");
+}

@@ -1,0 +1,102 @@
+//! Quickstart: list two datasets, buy samples, acquire a correlated join.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dance::prelude::*;
+
+fn main() {
+    // 1. The marketplace lists two instances that join on `qs_state`.
+    let zip = Table::from_rows(
+        "zip",
+        &[("qs_zip", ValueType::Int), ("qs_state", ValueType::Int)],
+        (0..400)
+            .map(|i| vec![Value::Int(i % 80), Value::Int((i % 80) / 8)])
+            .collect(),
+    )
+    .expect("well-formed table");
+    let disease = Table::from_rows(
+        "disease",
+        &[("qs_state", ValueType::Int), ("qs_disease", ValueType::Str)],
+        (0..200)
+            .map(|i| vec![Value::Int(i % 10), Value::str(format!("d{}", i % 10))])
+            .collect(),
+    )
+    .expect("well-formed table");
+    let mut market = Marketplace::new(vec![zip, disease], EntropyPricing::default());
+    println!("marketplace catalog:");
+    for meta in market.catalog() {
+        println!("  {}: {} ({} rows)", meta.id, meta.name, meta.num_rows);
+    }
+
+    // 2. The shopper owns DS(age, zip) and wants CORR(age, disease).
+    let ds = Table::from_rows(
+        "DS",
+        &[("qs_age", ValueType::Int), ("qs_zip", ValueType::Int)],
+        (0..300)
+            .map(|i| vec![Value::Int(20 + (i % 80) / 8), Value::Int(i % 80)])
+            .collect(),
+    )
+    .expect("well-formed table");
+
+    // 3. Offline phase: buy correlated samples, build the join graph.
+    let mut dance = Dance::offline(
+        &mut market,
+        vec![ds],
+        DanceConfig {
+            sampling_rate: 0.5,
+            ..DanceConfig::default()
+        },
+    )
+    .expect("offline phase");
+    println!(
+        "\noffline: {} instances in join graph, {} I-edges, samples cost {:.3}",
+        dance.graph().num_instances(),
+        dance.graph().i_edges().len(),
+        dance.sample_cost()
+    );
+
+    // 4. Online phase: acquisition request with a real budget.
+    let request = AcquisitionRequest::new(
+        AttrSet::from_names(["qs_age"]),
+        AttrSet::from_names(["qs_disease"]),
+    )
+    .with_constraints(Constraints {
+        alpha: 2.0,
+        beta: 0.5,
+        budget: 50.0,
+    });
+    let plan = dance
+        .acquire(&mut market, &request)
+        .expect("search runs")
+        .expect("a plan exists under these constraints");
+
+    println!("\nrecommended purchase:");
+    for q in &plan.queries {
+        println!("  {}", q.to_sql());
+    }
+    println!(
+        "estimated: CORR = {:.3}, quality = {:.3}, JI weight = {:.3}, price = {:.3}",
+        plan.estimated.correlation,
+        plan.estimated.quality,
+        plan.estimated.join_informativeness,
+        plan.estimated.price
+    );
+
+    // 5. Execute the purchase under a budget.
+    let mut budget = Budget::new(request.constraints.budget);
+    let tables = dance
+        .purchase(&mut market, &plan, &mut budget)
+        .expect("plan fits the budget");
+    println!(
+        "\npurchased {} projections for {:.3} ({} remaining); marketplace revenue {:.3}",
+        tables.len(),
+        budget.spent(),
+        budget.remaining(),
+        market.revenue()
+    );
+    for t in &tables {
+        println!("  {}", t);
+    }
+}

@@ -1,0 +1,108 @@
+//! TPC-H-like acquisition: run the paper's Q1/Q2/Q3 end to end and compare
+//! the heuristic against the LP baseline (§6.1 protocol at example scale).
+//!
+//! ```sh
+//! cargo run --release --example tpch_acquisition
+//! ```
+
+use dance::core::baseline::{brute_force, BaselineConfig};
+use dance::core::plan::correlation_difference;
+use dance::datagen::tpch::TpchConfig;
+use dance::datagen::workload::tpch_workload;
+use dance::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let workload = tpch_workload(&TpchConfig {
+        scale: 0.4,
+        dirty_fraction: 0.3,
+        seed: 7,
+    })
+    .expect("generation succeeds");
+    println!("TPC-H-like marketplace ({} instances):", workload.tables.len());
+    for t in &workload.tables {
+        println!("  {t}");
+    }
+
+    let queries = workload.queries.clone();
+    let mut market = Marketplace::new(workload.tables, EntropyPricing::default());
+    let mut dance = Dance::offline(
+        &mut market,
+        Vec::new(), // pure marketplace acquisition: no owned source instance
+        DanceConfig {
+            sampling_rate: 0.4,
+            refine_rounds: 0,
+            mcmc: McmcConfig {
+                iterations: 60,
+                ..McmcConfig::default()
+            },
+            ..DanceConfig::default()
+        },
+    )
+    .expect("offline phase");
+
+    for q in &queries {
+        println!(
+            "\n=== {} (source {} ⇒ target {}, path length {}) ===",
+            q.name, q.source_table, q.target_table, q.path_len
+        );
+        let request = AcquisitionRequest::new(q.source.clone(), q.target.clone());
+
+        let t0 = Instant::now();
+        let plan = dance.acquire(&mut market, &request).expect("search");
+        let heuristic_time = t0.elapsed();
+        let Some(plan) = plan else {
+            println!("no plan under current constraints");
+            continue;
+        };
+        let truth = dance
+            .evaluate_true(&market, &plan.graph, &request)
+            .expect("true metrics");
+        println!(
+            "heuristic: {} queries in {:.2?}; est CORR {:.3} → true CORR {:.3} (price {:.2})",
+            plan.queries.len(),
+            heuristic_time,
+            plan.estimated.correlation,
+            truth.corr,
+            truth.price,
+        );
+        for sql in plan.queries.iter().map(|q| q.to_sql()) {
+            println!("    {sql}");
+        }
+
+        // LP baseline: exhaustive over the same samples.
+        let t0 = Instant::now();
+        let scovers = dance.covers_of(&request.source_attrs);
+        let tcovers = dance.covers_of(&request.target_attrs);
+        let lp = brute_force(
+            dance.graph(),
+            dance.free_vertices(),
+            &scovers,
+            &tcovers,
+            &request.source_attrs,
+            &request.target_attrs,
+            &request.constraints,
+            None,
+            &BaselineConfig {
+                max_tree_vertices: q.path_len + 1,
+                ..BaselineConfig::default()
+            },
+        )
+        .expect("LP runs");
+        let lp_time = t0.elapsed();
+        match lp {
+            Some(lp) => {
+                let lp_true = dance
+                    .evaluate_true(&market, &lp, &request)
+                    .expect("true metrics");
+                println!(
+                    "LP optimal: CORR {:.3} in {:.2?}; correlation difference CD = {:.3}",
+                    lp_true.corr,
+                    lp_time,
+                    correlation_difference(lp_true.corr, truth.corr),
+                );
+            }
+            None => println!("LP found nothing (constraints)"),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # dance — cost-efficient data acquisition on online data marketplaces
+//!
+//! A from-scratch Rust reproduction of *“Cost-efficient Data Acquisition on
+//! Online Data Marketplaces for Correlation Analysis”* (Li, Sun, Dong, Wang —
+//! PVLDB 12, 2019). This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`relation`] | Typed columnar tables, joins, histograms, CSV |
+//! | [`info`] | Entropy, cumulative entropy, correlation (Def 2.5), join informativeness (Def 2.4) |
+//! | [`quality`] | Partitions, FDs, TANE discovery, join quality (Defs 2.1–2.3) |
+//! | [`sampling`] | Correlated sampling & re-sampling, §3 estimators |
+//! | [`market`] | Marketplace, entropy-based arbitrage-free pricing, budgets |
+//! | [`datagen`] | TPC-H/TPC-E-like generators, dirt injection, the §1 scenario |
+//! | [`core`] | Join graph, landmark Steiner search, MCMC, LP/GP baselines, the DANCE middleware |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dance::prelude::*;
+//!
+//! // A tiny marketplace: two instances joining on `qs_state`.
+//! let zip = Table::from_rows(
+//!     "zip",
+//!     &[("qs_zip", ValueType::Int), ("qs_state", ValueType::Int)],
+//!     (0..120).map(|i| vec![Value::Int(i % 40), Value::Int((i % 40) / 8)]).collect(),
+//! ).unwrap();
+//! let disease = Table::from_rows(
+//!     "disease",
+//!     &[("qs_state", ValueType::Int), ("qs_disease", ValueType::Str)],
+//!     (0..60).map(|i| vec![Value::Int(i % 5), Value::str(format!("d{}", i % 5))]).collect(),
+//! ).unwrap();
+//! let mut market = Marketplace::new(vec![zip, disease], EntropyPricing::default());
+//!
+//! // The shopper owns a source instance with `qs_age` and `qs_zip`.
+//! let ds = Table::from_rows(
+//!     "DS",
+//!     &[("qs_age", ValueType::Int), ("qs_zip", ValueType::Int)],
+//!     (0..100).map(|i| vec![Value::Int(20 + (i % 40) / 8), Value::Int(i % 40)]).collect(),
+//! ).unwrap();
+//!
+//! // Offline: buy samples, build the join graph. Online: acquire.
+//! let mut dance = Dance::offline(&mut market, vec![ds], DanceConfig {
+//!     sampling_rate: 0.7,
+//!     ..DanceConfig::default()
+//! }).unwrap();
+//! let request = AcquisitionRequest::new(
+//!     AttrSet::from_names(["qs_age"]),
+//!     AttrSet::from_names(["qs_disease"]),
+//! );
+//! let plan = dance.acquire(&mut market, &request).unwrap().expect("plan");
+//! assert!(!plan.queries.is_empty());
+//! ```
+
+pub use dance_core as core;
+pub use dance_datagen as datagen;
+pub use dance_info as info;
+pub use dance_market as market;
+pub use dance_quality as quality;
+pub use dance_relation as relation;
+pub use dance_sampling as sampling;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use dance_core::{
+        AcquisitionPlan, AcquisitionRequest, Constraints, Dance, DanceConfig, JoinGraph,
+        JoinGraphConfig, McmcConfig, PlanMetrics, TargetGraph,
+    };
+    pub use dance_market::{Budget, EntropyPricing, Marketplace, PricingModel, ProjectionQuery};
+    pub use dance_quality::{Fd, TaneConfig};
+    pub use dance_relation::{attr, AttrSet, Schema, Table, Value, ValueType};
+    pub use dance_sampling::CorrelatedSampler;
+}
