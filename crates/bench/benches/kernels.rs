@@ -1,13 +1,25 @@
 //! Microbenchmarks of the computational kernels every experiment rests on:
 //! entropy, join informativeness, partitions/quality, joins, sampling, and
 //! the per-iteration cost of the MCMC search.
+//!
+//! The `dense_vs_legacy` group pins the dictionary-encoded group-id kernels
+//! against the retained per-row `GroupKey` reference implementations
+//! (`dance_relation::histogram::legacy`) on the seed TPC-H workloads, so the
+//! speedup of the dense path is measured, not assumed:
+//!
+//! ```sh
+//! cargo bench -p dance-bench --bench kernels
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dance_datagen::tpch::{tpch, TpchConfig};
-use dance_info::{correlation, join_informativeness, shannon_entropy};
-use dance_quality::{discover_afds, quality, Fd, TaneConfig};
+use dance_info::{
+    correlation, entropy_from_counts, ji_from_counts, join_informativeness, shannon_entropy,
+};
+use dance_quality::{discover_afds, quality, Fd, Partition, TaneConfig};
+use dance_relation::histogram::legacy;
 use dance_relation::join::{hash_join, JoinKind};
-use dance_relation::{AttrSet, Table};
+use dance_relation::{group_ids, value_counts, AttrSet, Table};
 use dance_sampling::CorrelatedSampler;
 use std::hint::black_box;
 
@@ -22,6 +34,119 @@ fn tables() -> Vec<Table> {
 
 fn by_name<'a>(ts: &'a [Table], n: &str) -> &'a Table {
     ts.iter().find(|t| t.name() == n).expect("table exists")
+}
+
+/// Dense group-id kernels vs. the legacy per-row `GroupKey` reference, on the
+/// same inputs. Each pair of entries (`dense/...` vs `legacy/...`) computes
+/// the identical quantity.
+fn bench_dense_vs_legacy(c: &mut Criterion) {
+    let ts = tables();
+    let orders = by_name(&ts, "orders");
+    let customer = by_name(&ts, "customer");
+    let lineitem = by_name(&ts, "lineitem");
+
+    let mut g = c.benchmark_group("dense_vs_legacy");
+
+    // Histogram of an Int key on the largest table.
+    let on = AttrSet::from_names(["orderkey"]);
+    g.bench_with_input(
+        BenchmarkId::new("dense", "counts_lineitem_orderkey"),
+        lineitem,
+        |b, t| b.iter(|| value_counts(black_box(t), &on).unwrap()),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("legacy", "counts_lineitem_orderkey"),
+        lineitem,
+        |b, t| b.iter(|| legacy::value_counts(black_box(t), &on).unwrap()),
+    );
+
+    // Entropy of a Str attribute (dictionary fast path, no keys at all).
+    let status = AttrSet::from_names(["o_orderstatus"]);
+    g.bench_with_input(
+        BenchmarkId::new("dense", "entropy_orders_status"),
+        orders,
+        |b, t| b.iter(|| shannon_entropy(black_box(t), &status).unwrap()),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("legacy", "entropy_orders_status"),
+        orders,
+        |b, t| {
+            b.iter(|| {
+                let counts = legacy::value_counts(black_box(t), &status).unwrap();
+                entropy_from_counts(counts.values().copied(), t.num_rows() as u64)
+            })
+        },
+    );
+
+    // Multi-attribute compound key (Str + Str).
+    let compound = AttrSet::from_names(["c_city", "c_state"]);
+    g.bench_with_input(
+        BenchmarkId::new("dense", "entropy_customer_city_state"),
+        customer,
+        |b, t| b.iter(|| shannon_entropy(black_box(t), &compound).unwrap()),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("legacy", "entropy_customer_city_state"),
+        customer,
+        |b, t| {
+            b.iter(|| {
+                let counts = legacy::value_counts(black_box(t), &compound).unwrap();
+                entropy_from_counts(counts.values().copied(), t.num_rows() as u64)
+            })
+        },
+    );
+
+    // Join informativeness: histograms on both sides + the JI fold.
+    let custkey = AttrSet::from_names(["custkey"]);
+    g.bench_with_input(
+        BenchmarkId::new("dense", "ji_orders_customer"),
+        orders,
+        |b, t| {
+            b.iter(|| join_informativeness(black_box(t), black_box(customer), &custkey).unwrap())
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("legacy", "ji_orders_customer"),
+        orders,
+        |b, t| {
+            b.iter(|| {
+                ji_from_counts(
+                    &legacy::value_counts(black_box(t), &custkey).unwrap(),
+                    &legacy::value_counts(black_box(customer), &custkey).unwrap(),
+                )
+            })
+        },
+    );
+
+    // Equivalence-class partition (Def 2.1) of a Str attribute.
+    let city = AttrSet::from_names(["c_city"]);
+    g.bench_with_input(
+        BenchmarkId::new("dense", "partition_customer_city"),
+        customer,
+        |b, t| b.iter(|| Partition::by(black_box(t), &city).unwrap()),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("legacy", "partition_customer_city"),
+        customer,
+        |b, t| {
+            b.iter(|| {
+                let classes: Vec<Vec<u32>> = legacy::group_rows(black_box(t), &city)
+                    .unwrap()
+                    .into_values()
+                    .collect();
+                Partition::from_classes(classes, t.num_rows())
+            })
+        },
+    );
+
+    // The raw group-id pass itself, for reference.
+    g.bench_with_input(
+        BenchmarkId::new("dense", "group_ids_lineitem_orderkey"),
+        lineitem,
+        |b, t| b.iter(|| group_ids(black_box(t), &on).unwrap()),
+    );
+
+    g.finish();
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -82,6 +207,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_kernels
+    targets = bench_dense_vs_legacy, bench_kernels
 }
 criterion_main!(kernels);

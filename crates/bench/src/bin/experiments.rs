@@ -9,8 +9,17 @@
 use dance_bench::{exp_ablation, exp_correlation, exp_scalability, exp_tables};
 
 const ALL: &[&str] = &[
-    "table5", "fig4", "fig5", "fig5c", "fig6", "fig7", "fig8", "table6", "ablation_steiner",
-    "ablation_sampling", "ablation_clean",
+    "table5",
+    "fig4",
+    "fig5",
+    "fig5c",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table6",
+    "ablation_steiner",
+    "ablation_sampling",
+    "ablation_clean",
 ];
 
 fn main() {

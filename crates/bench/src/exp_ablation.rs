@@ -40,11 +40,11 @@ pub fn ablation_steiner(scale: f64, seed: u64) -> String {
         "exact time",
     ]);
     let terminal_sets: Vec<Vec<u32>> = vec![
-        vec![0, 3],        // sector ↔ security-ish neighbourhood
-        vec![0, 7],        // short
-        vec![0, 9],        // across the schema
-        vec![1, 5, 9],     // three terminals
-        vec![0, 4, 7, 9],  // four terminals
+        vec![0, 3],       // sector ↔ security-ish neighbourhood
+        vec![0, 7],       // short
+        vec![0, 9],       // across the schema
+        vec![1, 5, 9],    // three terminals
+        vec![0, 4, 7, 9], // four terminals
     ];
     for req in terminal_sets {
         let t0 = Instant::now();
@@ -54,7 +54,14 @@ pub fn ablation_steiner(scale: f64, seed: u64) -> String {
         let exact = steiner_tree(g, &req);
         let t_exact = t0.elapsed();
         let (Some(h), Some(e)) = (heur, exact) else {
-            t.row::<String>(vec![format!("{req:?}"), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            t.row::<String>(vec![
+                format!("{req:?}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         t.row(vec![
@@ -88,11 +95,7 @@ pub fn ablation_sampling(scale: f64, seed: u64) -> String {
     let on = AttrSet::from_names(["custkey"]);
     let truth = join_informativeness(orders, customer, &on).expect("exact JI");
 
-    let mut t = TextTable::new(vec![
-        "rate",
-        "correlated |err|",
-        "bernoulli |err|",
-    ]);
+    let mut t = TextTable::new(vec!["rate", "correlated |err|", "bernoulli |err|"]);
     for rate in [0.1, 0.3, 0.5, 0.7] {
         let seeds = 12;
         let mut err_corr = 0.0;
@@ -144,8 +147,7 @@ pub fn ablation_clean(scale: f64, seed: u64) -> String {
     // is made without knowing which rows survive the join.
     let clean_orders = repair::clean(orders, &fds[0..1]).expect("clean");
     let clean_customer = repair::clean(customer, &fds[1..2]).expect("clean");
-    let clean_join =
-        hash_join(&clean_orders, &clean_customer, &on, JoinKind::Inner).expect("join");
+    let clean_join = hash_join(&clean_orders, &clean_customer, &on, JoinKind::Inner).expect("join");
     let q_clean = joint_quality(&clean_join, &fds).expect("quality");
 
     let mut t = TextTable::new(vec!["strategy", "join rows", "Q on join"]);

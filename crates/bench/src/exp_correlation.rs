@@ -29,17 +29,14 @@ fn three_way(
     q: &AcquisitionQuery,
     constraints: Constraints,
 ) -> (Option<f64>, Option<f64>, Option<f64>) {
-    let req = AcquisitionRequest::new(q.source.clone(), q.target.clone())
-        .with_constraints(constraints);
-    let heur = dance
-        .search(&req)
-        .expect("heuristic runs")
-        .map(|plan| {
-            dance
-                .evaluate_true(market, &plan.graph, &req)
-                .expect("true eval")
-                .corr
-        });
+    let req =
+        AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(constraints);
+    let heur = dance.search(&req).expect("heuristic runs").map(|plan| {
+        dance
+            .evaluate_true(market, &plan.graph, &req)
+            .expect("true eval")
+            .corr
+    });
 
     let scovers = dance.covers_of(&req.source_attrs);
     let tcovers = dance.covers_of(&req.target_attrs);

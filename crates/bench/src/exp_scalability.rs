@@ -15,22 +15,48 @@ use std::time::Instant;
 pub const TPCH_SUBSETS: [&[&str]; 4] = [
     &["orders", "customer", "supplier", "nation", "region"],
     &["orders", "customer", "supplier", "nation", "region", "part"],
-    &["orders", "customer", "supplier", "nation", "region", "part", "partsupp"],
-    &["orders", "customer", "supplier", "nation", "region", "part", "partsupp", "lineitem"],
+    &[
+        "orders", "customer", "supplier", "nation", "region", "part", "partsupp",
+    ],
+    &[
+        "orders", "customer", "supplier", "nation", "region", "part", "partsupp", "lineitem",
+    ],
 ];
 
 /// TPC-E subsets for n ∈ {10, 15, 20, 25, 29}: the first ten cover Q1–Q3.
 pub fn tpce_subsets() -> Vec<Vec<&'static str>> {
     let core = vec![
-        "sector", "industry", "company", "security", "trade", "watch_item", "watch_list",
-        "customer", "address", "zip_code",
+        "sector",
+        "industry",
+        "company",
+        "security",
+        "trade",
+        "watch_item",
+        "watch_list",
+        "customer",
+        "address",
+        "zip_code",
     ];
     let extra = [
-        "exchange", "status_type", "trade_type", "taxrate", "broker", // → 15
-        "customer_account", "daily_market", "last_trade", "news_item", "news_xref", // → 20
-        "account_permission", "customer_taxrate", "settlement", "cash_transaction",
+        "exchange",
+        "status_type",
+        "trade_type",
+        "taxrate",
+        "broker", // → 15
+        "customer_account",
+        "daily_market",
+        "last_trade",
+        "news_item",
+        "news_xref", // → 20
+        "account_permission",
+        "customer_taxrate",
+        "settlement",
+        "cash_transaction",
         "trade_history", // → 25
-        "charge", "commission_rate", "holding", "holding_summary", // → 29
+        "charge",
+        "commission_rate",
+        "holding",
+        "holding_summary", // → 29
     ];
     let mut out = Vec::new();
     for n in [10usize, 15, 20, 25, 29] {
@@ -196,12 +222,13 @@ pub fn fig5c(scale: f64, seed: u64) -> String {
                 cells.push("-".into());
                 continue;
             };
-            let req = AcquisitionRequest::new(q.source.clone(), q.target.clone())
-                .with_constraints(Constraints {
+            let req = AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(
+                Constraints {
                     alpha: f64::INFINITY,
                     beta: 0.0,
                     budget: ratio * ub,
-                });
+                },
+            );
             let t0 = Instant::now();
             let found = dance.search(&req).expect("search runs");
             cells.push(match found {

@@ -88,7 +88,14 @@ pub fn table6(scale: f64, seed: u64) -> String {
     ]);
     for q in &w.queries {
         let Some((_, ub)) = price_bounds(&dance, q) else {
-            t.row::<String>(vec![q.name.into(), "N/A".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            t.row::<String>(vec![
+                q.name.into(),
+                "N/A".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         // The paper's ratio r = 0.13 is relative to its own LB/UB spread; our
@@ -116,7 +123,14 @@ pub fn table6(scale: f64, seed: u64) -> String {
                 format!("{:.2}", truth.price),
             ]);
         } else {
-            t.row::<String>(vec![q.name.into(), "With DANCE".into(), "N/A".into(), "-".into(), "-".into(), "-".into()]);
+            t.row::<String>(vec![
+                q.name.into(),
+                "With DANCE".into(),
+                "N/A".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
         }
 
         // Direct purchase: GP over the full instances.

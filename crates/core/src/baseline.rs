@@ -166,11 +166,7 @@ pub fn enumerate_trees(
 }
 
 /// Cartesian product of per-edge join-attribute candidates, capped.
-fn assignments(
-    graph: &JoinGraph,
-    tree: &[(u32, u32)],
-    cap: usize,
-) -> Vec<Vec<AttrSet>> {
+fn assignments(graph: &JoinGraph, tree: &[(u32, u32)], cap: usize) -> Vec<Vec<AttrSet>> {
     if tree.is_empty() {
         return vec![Vec::new()];
     }
@@ -208,7 +204,11 @@ mod tests {
     fn enumerates_the_chain_tree() {
         let g = chain_graph();
         let trees = enumerate_trees(&g, &[0, 4], 5, 100);
-        assert_eq!(trees.len(), 1, "a path graph has exactly one connecting tree");
+        assert_eq!(
+            trees.len(),
+            1,
+            "a path graph has exactly one connecting tree"
+        );
         assert_eq!(trees[0], vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
     }
 

@@ -92,12 +92,8 @@ impl Dance {
         let mut dataset_ids = Vec::with_capacity(catalog.len() + sources.len());
         let mut sample_cost = 0.0;
         for meta in &catalog {
-            let (sample, cost) = market.buy_sample(
-                meta.id,
-                &meta.default_key,
-                cfg.sampling_rate,
-                cfg.seed,
-            )?;
+            let (sample, cost) =
+                market.buy_sample(meta.id, &meta.default_key, cfg.sampling_rate, cfg.seed)?;
             sample_cost += cost;
             dataset_ids.push(Some((meta.id, meta.name.clone())));
             metas.push(meta.clone());
@@ -262,8 +258,7 @@ impl Dance {
                 if required.is_empty() {
                     continue;
                 }
-                if let Some(ig) =
-                    minimal_igraph(&self.graph, &lm, &required, req.constraints.alpha)
+                if let Some(ig) = minimal_igraph(&self.graph, &lm, &required, req.constraints.alpha)
                 {
                     if best.is_none_or(|(_, w)| ig.total_weight < w) {
                         best = Some((ig.size(), ig.total_weight));
@@ -283,8 +278,7 @@ impl Dance {
                 continue; // source vertices are already full-resolution
             };
             let key = self.graph.meta(v).default_key.clone();
-            let (sample, cost) =
-                market.buy_sample(*id, &key, self.current_rate, self.cfg.seed)?;
+            let (sample, cost) = market.buy_sample(*id, &key, self.current_rate, self.cfg.seed)?;
             self.sample_cost += cost;
             self.graph.refresh_sample(v, sample)?;
         }
@@ -306,9 +300,9 @@ impl Dance {
         for q in &plan.queries {
             total += market.quote(q.dataset, &q.attrs)?;
         }
-        budget.try_spend(total).map_err(|e| {
-            RelationError::Shape(format!("budget refused purchase: {e}"))
-        })?;
+        budget
+            .try_spend(total)
+            .map_err(|e| RelationError::Shape(format!("budget refused purchase: {e}")))?;
         let mut out = Vec::with_capacity(plan.queries.len());
         for q in &plan.queries {
             let (data, _) = market.execute(q)?;
@@ -400,12 +394,7 @@ mod tests {
             "disease",
             &[("dn_state", ValueType::Int), ("dn_disease", ValueType::Str)],
             (0..100)
-                .map(|i| {
-                    vec![
-                        Value::Int(i % 5),
-                        Value::str(format!("d{}", i % 5)),
-                    ]
-                })
+                .map(|i| vec![Value::Int(i % 5), Value::str(format!("d{}", i % 5))])
                 .collect(),
         )
         .unwrap();
@@ -514,7 +503,10 @@ mod tests {
             budget: 1e-9,
         });
         assert!(d.acquire(&mut market, &req).unwrap().is_none());
-        assert!(d.current_rate() > rate_before, "refinement bought more samples");
+        assert!(
+            d.current_rate() > rate_before,
+            "refinement bought more samples"
+        );
     }
 
     #[test]
@@ -528,6 +520,9 @@ mod tests {
         let plan = d.acquire(&mut market, &req).unwrap().unwrap();
         let truth = d.evaluate_true(&market, &plan.graph, &req).unwrap();
         assert!(truth.corr.is_finite());
-        assert!(truth.price >= plan.estimated.price * 0.5, "same pricing model scale");
+        assert!(
+            truth.price >= plan.estimated.price * 0.5,
+            "same pricing model scale"
+        );
     }
 }

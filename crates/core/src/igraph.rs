@@ -23,7 +23,11 @@ pub struct IGraph {
 }
 
 impl IGraph {
-    fn from_edge_set(graph: &JoinGraph, edges: FxHashSet<(u32, u32)>, isolated: Option<u32>) -> IGraph {
+    fn from_edge_set(
+        graph: &JoinGraph,
+        edges: FxHashSet<(u32, u32)>,
+        isolated: Option<u32>,
+    ) -> IGraph {
         let mut vertices: FxHashSet<u32> = FxHashSet::default();
         for &(a, b) in &edges {
             vertices.insert(a);
@@ -38,7 +42,12 @@ impl IGraph {
         edge_list.sort_unstable();
         let total_weight = edge_list
             .iter()
-            .map(|&(a, b)| graph.edge_between(a, b).map(|e| e.weight).unwrap_or(f64::INFINITY))
+            .map(|&(a, b)| {
+                graph
+                    .edge_between(a, b)
+                    .map(|e| e.weight)
+                    .unwrap_or(f64::INFINITY)
+            })
             .sum();
         IGraph {
             vertices,
@@ -59,7 +68,10 @@ impl IGraph {
 
     /// Edges incident to `v`.
     pub fn degree(&self, v: u32) -> usize {
-        self.edges.iter().filter(|&&(a, b)| a == v || b == v).count()
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count()
     }
 }
 
@@ -73,7 +85,9 @@ pub fn minimal_igraph(
     required: &[u32],
     alpha: f64,
 ) -> Option<IGraph> {
-    candidate_igraphs(graph, lm, required, alpha).into_iter().next()
+    candidate_igraphs(graph, lm, required, alpha)
+        .into_iter()
+        .next()
 }
 
 /// All candidate minimal weighted I-graphs for Step 2 to search over.

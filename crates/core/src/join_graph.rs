@@ -13,9 +13,14 @@
 //! AS-vertex prices are estimated from the same samples via the marketplace's
 //! (public) pricing model.
 
-use dance_info::ji::join_informativeness;
+use dance_info::ji::ji_from_counts;
 use dance_market::{DatasetMeta, EntropyPricing, PricingModel};
-use dance_relation::{AttrSet, FxHashMap, RelationError, Result, Table};
+use dance_relation::{value_counts, AttrSet, FxHashMap, GroupKey, RelationError, Result, Table};
+
+/// Key histogram of one (instance, attribute-set) pair, as consumed by
+/// [`ji_from_counts`]. Built once per pair via the dense group-id kernel and
+/// shared across every I-edge that probes the same candidate join set.
+type KeyHistogram = FxHashMap<GroupKey, u64>;
 
 /// Construction knobs for [`JoinGraph::build`].
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +90,16 @@ impl JoinGraph {
         let mut adj = vec![Vec::new(); n];
         let mut weights = FxHashMap::default();
         let mut candidates = Vec::new();
+        // Candidate join sets repeat heavily across partners (every pair
+        // sharing an attribute probes its singleton), so key histograms are
+        // computed once per (instance, candidate set) and reused for every
+        // incident pair, instead of re-counting inside each JI call. The
+        // cache is per-instance and instance i's entries are dropped once its
+        // outer iteration ends (no later pair references them) — that frees
+        // the processed prefix, but instances > i accumulate until their own
+        // turn, so worst-case peak is still most of the catalog's histograms.
+        let mut hists: Vec<FxHashMap<AttrSet, KeyHistogram>> =
+            (0..n).map(|_| FxHashMap::default()).collect();
         for i in 0..n {
             for j in (i + 1)..n {
                 let common = metas[i].schema.common(&metas[j].schema);
@@ -94,7 +109,13 @@ impl JoinGraph {
                 let cands = candidate_sets(&common, cfg.max_enum_join_attrs);
                 let mut best = f64::INFINITY;
                 for cand in &cands {
-                    let w = join_informativeness(&samples[i], &samples[j], cand)?;
+                    for side in [i, j] {
+                        if !hists[side].contains_key(cand) {
+                            let h = value_counts(&samples[side], cand)?;
+                            hists[side].insert(cand.clone(), h);
+                        }
+                    }
+                    let w = ji_from_counts(&hists[i][cand], &hists[j][cand]);
                     weights.insert((i as u32, j as u32, cand.clone()), w);
                     best = best.min(w);
                 }
@@ -109,6 +130,7 @@ impl JoinGraph {
                 adj[i].push(edge_idx);
                 adj[j].push(edge_idx);
             }
+            hists[i] = FxHashMap::default();
         }
         Ok(JoinGraph {
             metas,
@@ -143,19 +165,29 @@ impl JoinGraph {
 
     /// Replace the sample of instance `i` (iterative refinement, §2.1) and
     /// re-estimate the weights of its incident edges.
+    ///
+    /// The refreshed instance's histograms are computed once per candidate
+    /// set and reused across all incident edges; only the partner side is
+    /// counted per edge.
     pub fn refresh_sample(&mut self, i: u32, sample: Table) -> Result<()> {
         self.samples[i as usize] = sample;
+        let mut own_hists: FxHashMap<AttrSet, KeyHistogram> = FxHashMap::default();
         for &e in &self.adj[i as usize].clone() {
             let edge = self.i_edges[e as usize].clone();
+            let partner = if edge.a == i { edge.b } else { edge.a };
             let mut best = f64::INFINITY;
             for cand in &self.candidates[e as usize] {
-                let w = join_informativeness(
-                    &self.samples[edge.a as usize],
-                    &self.samples[edge.b as usize],
-                    cand,
-                )?;
-                self.weights
-                    .insert((edge.a, edge.b, cand.clone()), w);
+                if !own_hists.contains_key(cand) {
+                    let h = value_counts(&self.samples[i as usize], cand)?;
+                    own_hists.insert(cand.clone(), h);
+                }
+                let partner_hist = value_counts(&self.samples[partner as usize], cand)?;
+                let w = if edge.a == i {
+                    ji_from_counts(&own_hists[cand], &partner_hist)
+                } else {
+                    ji_from_counts(&partner_hist, &own_hists[cand])
+                };
+                self.weights.insert((edge.a, edge.b, cand.clone()), w);
                 best = best.min(w);
             }
             self.i_edges[e as usize].weight = best;
@@ -217,7 +249,11 @@ impl JoinGraph {
     /// Instances containing at least one attribute of `attrs`.
     pub fn instances_touching(&self, attrs: &AttrSet) -> Vec<u32> {
         (0..self.metas.len() as u32)
-            .filter(|&i| !attrs.intersect(&self.metas[i as usize].attr_set()).is_empty())
+            .filter(|&i| {
+                !attrs
+                    .intersect(&self.metas[i as usize].attr_set())
+                    .is_empty()
+            })
             .collect()
     }
 }
@@ -227,10 +263,7 @@ fn candidate_sets(common: &AttrSet, max_enum: usize) -> Vec<AttrSet> {
     if common.len() <= max_enum {
         common.nonempty_subsets()
     } else {
-        let mut v: Vec<AttrSet> = common
-            .iter()
-            .map(AttrSet::singleton)
-            .collect();
+        let mut v: Vec<AttrSet> = common.iter().map(AttrSet::singleton).collect();
         v.push(common.clone());
         v
     }
@@ -242,7 +275,11 @@ mod tests {
     use dance_market::DatasetId;
     use dance_relation::{Table, Value, ValueType};
 
-    fn inst(name: &str, attrs: &[(&str, ValueType)], rows: Vec<Vec<Value>>) -> (DatasetMeta, Table) {
+    fn inst(
+        name: &str,
+        attrs: &[(&str, ValueType)],
+        rows: Vec<Vec<Value>>,
+    ) -> (DatasetMeta, Table) {
         let t = Table::from_rows(name, attrs, rows).unwrap();
         let meta = DatasetMeta {
             id: DatasetId(0),
@@ -265,12 +302,20 @@ mod tests {
             .collect();
         let (m1, t1) = inst(
             "D1",
-            &[("jg_b", ValueType::Int), ("jg_c", ValueType::Int), ("jg_x", ValueType::Int)],
+            &[
+                ("jg_b", ValueType::Int),
+                ("jg_c", ValueType::Int),
+                ("jg_x", ValueType::Int),
+            ],
             rows1,
         );
         let (m2, t2) = inst(
             "D2",
-            &[("jg_b", ValueType::Int), ("jg_c", ValueType::Int), ("jg_y", ValueType::Int)],
+            &[
+                ("jg_b", ValueType::Int),
+                ("jg_c", ValueType::Int),
+                ("jg_y", ValueType::Int),
+            ],
             rows2,
         );
         let (m3, t3) = inst(
@@ -339,13 +384,21 @@ mod tests {
     #[test]
     fn instance_lookup_by_attrs() {
         let g = toy_graph();
-        assert_eq!(g.instances_containing(&AttrSet::from_names(["jg_b"])), vec![0, 1]);
-        assert_eq!(g.instances_containing(&AttrSet::from_names(["jg_x"])), vec![0]);
+        assert_eq!(
+            g.instances_containing(&AttrSet::from_names(["jg_b"])),
+            vec![0, 1]
+        );
+        assert_eq!(
+            g.instances_containing(&AttrSet::from_names(["jg_x"])),
+            vec![0]
+        );
         assert_eq!(
             g.instances_touching(&AttrSet::from_names(["jg_x", "jg_z"])),
             vec![0, 2]
         );
-        assert!(g.instances_containing(&AttrSet::from_names(["jg_nothing"])).is_empty());
+        assert!(g
+            .instances_containing(&AttrSet::from_names(["jg_nothing"]))
+            .is_empty());
     }
 
     #[test]
@@ -364,7 +417,11 @@ mod tests {
         // Replace D2's sample with one that matches D1 perfectly on both keys.
         let perfect = Table::from_rows(
             "D2",
-            &[("jg_b", ValueType::Int), ("jg_c", ValueType::Int), ("jg_y", ValueType::Int)],
+            &[
+                ("jg_b", ValueType::Int),
+                ("jg_c", ValueType::Int),
+                ("jg_y", ValueType::Int),
+            ],
             (0..40)
                 .map(|i| vec![Value::Int(i % 4), Value::Int(i % 8), Value::Int(i)])
                 .collect(),

@@ -116,8 +116,7 @@ impl LandmarkIndex {
             // so one always exists).
             let on_pv: dance_relation::FxHashMap<u32, usize> =
                 pv.iter().enumerate().map(|(i, &x)| (x, i)).collect();
-            let Some((i, &w)) = pu.iter().enumerate().find(|(_, x)| on_pv.contains_key(x))
-            else {
+            let Some((i, &w)) = pu.iter().enumerate().find(|(_, x)| on_pv.contains_key(x)) else {
                 continue;
             };
             let j = on_pv[&w];

@@ -167,11 +167,9 @@ pub fn evaluate_assignment(
                     join_attrs[e]
                 ))
             })?,
-            Some(full) => join_informativeness(
-                &full[a as usize],
-                &full[b as usize],
-                &join_attrs[e],
-            )?,
+            Some(full) => {
+                join_informativeness(&full[a as usize], &full[b as usize], &join_attrs[e])?
+            }
         };
     }
 
@@ -216,8 +214,7 @@ pub fn evaluate_assignment(
     let corr = if joined.num_rows() == 0 {
         0.0
     } else {
-        let raw =
-            correlation_with(&joined, source_attrs, target_attrs, CorrOptions::default())?;
+        let raw = correlation_with(&joined, source_attrs, target_attrs, CorrOptions::default())?;
         match tables {
             // Full-data evaluation: report the plug-in value as-is.
             Some(_) => raw,
@@ -351,8 +348,8 @@ mod tests {
         let left: Vec<Vec<Value>> = (0..n)
             .map(|i| {
                 vec![
-                    Value::Int(i % 12),          // mc_good
-                    Value::Int(i % 5),           // mc_noise
+                    Value::Int(i % 12),                 // mc_good
+                    Value::Int(i % 5),                  // mc_noise
                     Value::str(format!("s{}", i % 12)), // mc_src (determined by mc_good)
                 ]
             })
@@ -454,17 +451,31 @@ mod tests {
         let mut free = FxHashSet::default();
         free.insert(0u32);
         let paid = evaluate_assignment(
-            &g, &FxHashSet::default(), &[(0, 1)], &[AttrSet::from_names(["mc_good"])],
-            &sc, &tc,
-            &AttrSet::from_names(["mc_src"]), &AttrSet::from_names(["mc_tgt"]),
-            None, None, &TaneConfig::default(),
+            &g,
+            &FxHashSet::default(),
+            &[(0, 1)],
+            &[AttrSet::from_names(["mc_good"])],
+            &sc,
+            &tc,
+            &AttrSet::from_names(["mc_src"]),
+            &AttrSet::from_names(["mc_tgt"]),
+            None,
+            None,
+            &TaneConfig::default(),
         )
         .unwrap();
         let with_free = evaluate_assignment(
-            &g, &free, &[(0, 1)], &[AttrSet::from_names(["mc_good"])],
-            &sc, &tc,
-            &AttrSet::from_names(["mc_src"]), &AttrSet::from_names(["mc_tgt"]),
-            None, None, &TaneConfig::default(),
+            &g,
+            &free,
+            &[(0, 1)],
+            &[AttrSet::from_names(["mc_good"])],
+            &sc,
+            &tc,
+            &AttrSet::from_names(["mc_src"]),
+            &AttrSet::from_names(["mc_tgt"]),
+            None,
+            None,
+            &TaneConfig::default(),
         )
         .unwrap();
         assert!(with_free.price < paid.price);

@@ -73,9 +73,14 @@ pub fn steiner_tree(graph: &JoinGraph, terminals: &[u32]) -> Option<IGraph> {
     enum Step {
         None,
         /// Connected v to terminal tree via shortest path from u.
-        Graft { from_mask: usize, via: u32 },
+        Graft {
+            from_mask: usize,
+            via: u32,
+        },
         /// Merged two subtrees at v.
-        Merge { left: usize },
+        Merge {
+            left: usize,
+        },
     }
     let mut trace = vec![vec![Step::None; n]; full + 1];
 
@@ -178,12 +183,7 @@ pub fn steiner_tree(graph: &JoinGraph, terminals: &[u32]) -> Option<IGraph> {
     Some(ig)
 }
 
-fn add_shortest_path(
-    next: &[Vec<u32>],
-    from: usize,
-    to: usize,
-    edges: &mut FxHashSet<(u32, u32)>,
-) {
+fn add_shortest_path(next: &[Vec<u32>], from: usize, to: usize, edges: &mut FxHashSet<(u32, u32)>) {
     let mut cur = from;
     let mut guard = 0;
     while cur != to {

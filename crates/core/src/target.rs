@@ -21,11 +21,7 @@ pub type Cover = BTreeMap<u32, AttrSet>;
 ///
 /// `limit` caps the output (the search only needs a shortlist; Example 4.1's
 /// full enumeration is exercised in tests with `limit = usize::MAX`).
-pub fn enumerate_covers(
-    want: &AttrSet,
-    available: &[(u32, AttrSet)],
-    limit: usize,
-) -> Vec<Cover> {
+pub fn enumerate_covers(want: &AttrSet, available: &[(u32, AttrSet)], limit: usize) -> Vec<Cover> {
     let attrs: Vec<_> = want.iter().collect();
     let mut out: Vec<Cover> = Vec::new();
     let mut seen: FxHashSet<Vec<(u32, AttrSet)>> = FxHashSet::default();
@@ -55,10 +51,7 @@ fn assign(
         return;
     }
     if idx == attrs.len() {
-        let key: Vec<(u32, AttrSet)> = current
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let key: Vec<(u32, AttrSet)> = current.iter().map(|(k, v)| (*k, v.clone())).collect();
         if seen.insert(key) {
             out.push(current.clone());
         }

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build container has no registry access, so this shim implements the
+//! API surface the workspace's benches consume — `Criterion::bench_function`,
+//! `benchmark_group`/`bench_with_input`, `Bencher::iter`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a straightforward
+//! measure-and-report loop: per sample, the closure is run enough iterations
+//! to cover a minimum window, and the median/min/max per-iteration times are
+//! printed in a criterion-like format. No statistics beyond that; the point
+//! is relative comparison (e.g. dense vs. legacy kernels) under `cargo bench`.
+//! Swap the path dependency for the real crate when network access exists.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (collects settings; measurement happens per bench call).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    min_sample_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            min_sample_window: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Identifier for parameterized benchmarks: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to bench closures; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    min_sample_window: Duration,
+    result: &'a mut Option<Stats>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`, keeping its output alive so the call is not optimized out.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size one sample so it covers the minimum window.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (self.min_sample_window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        *self.result = Some(Stats {
+            median: samples[samples.len() / 2],
+            min: samples[0],
+            max: samples[samples.len() - 1],
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut result = None;
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            min_sample_window: self.min_sample_window,
+            result: &mut result,
+        };
+        f(&mut b);
+        report(name, result);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, stats: Option<Stats>) {
+    match stats {
+        Some(s) => println!(
+            "{name:<48} time: [{} {} {}]",
+            fmt_duration(s.min),
+            fmt_duration(s.median),
+            fmt_duration(s.max),
+        ),
+        None => println!("{name:<48} time: [not measured]"),
+    }
+}
+
+/// Mirror of criterion's group macro: defines a function running the targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of criterion's main macro: runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_and_id_compose_names() {
+        let id = BenchmarkId::new("kernel", 42);
+        assert_eq!(id.id, "kernel/42");
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &7u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x + 1))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(500)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains("s"));
+    }
+}

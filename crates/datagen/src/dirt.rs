@@ -44,12 +44,7 @@ fn garbage(ty: dance_relation::ValueType, row: usize) -> Value {
 /// Apply the same call (same `name`, `card`) to two tables and they gain a
 /// join option on `name`; values are drawn deterministically per (table,
 /// seed, row).
-pub fn add_fake_join_attribute(
-    t: &Table,
-    name: &str,
-    card: usize,
-    seed: u64,
-) -> Result<Table> {
+pub fn add_fake_join_attribute(t: &Table, name: &str, card: usize, seed: u64) -> Result<Table> {
     let card = card.max(1) as u64;
     let mut b = ColumnBuilder::new(dance_relation::ValueType::Int);
     let table_seed = stable_hash64(seed, t.name());

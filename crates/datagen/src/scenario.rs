@@ -54,9 +54,21 @@ pub fn d2_disease_by_state() -> Table {
         vec![
             vec![Value::str("MA"), Value::str("Flu"), Value::Int(300)],
             vec![Value::str("NJ"), Value::str("Flu"), Value::Int(400)],
-            vec![Value::str("Florida"), Value::str("Lyme disease"), Value::Int(130)],
-            vec![Value::str("California"), Value::str("Lyme disease"), Value::Int(40)],
-            vec![Value::str("NJ"), Value::str("Lyme disease"), Value::Int(200)],
+            vec![
+                Value::str("Florida"),
+                Value::str("Lyme disease"),
+                Value::Int(130),
+            ],
+            vec![
+                Value::str("California"),
+                Value::str("Lyme disease"),
+                Value::Int(40),
+            ],
+            vec![
+                Value::str("NJ"),
+                Value::str("Lyme disease"),
+                Value::Int(200),
+            ],
         ],
     )
     .expect("D2 is well-formed")
@@ -73,10 +85,30 @@ pub fn d3_disease_nj() -> Table {
             ("cases", ValueType::Int),
         ],
         vec![
-            vec![Value::str("M"), Value::str("White"), Value::str("Flu"), Value::Int(200)],
-            vec![Value::str("F"), Value::str("Asian"), Value::str("AIDS"), Value::Int(30)],
-            vec![Value::str("M"), Value::str("White"), Value::str("Diabetes"), Value::Int(4000)],
-            vec![Value::str("M"), Value::str("Hispanic"), Value::str("Flu"), Value::Int(140)],
+            vec![
+                Value::str("M"),
+                Value::str("White"),
+                Value::str("Flu"),
+                Value::Int(200),
+            ],
+            vec![
+                Value::str("F"),
+                Value::str("Asian"),
+                Value::str("AIDS"),
+                Value::Int(30),
+            ],
+            vec![
+                Value::str("M"),
+                Value::str("White"),
+                Value::str("Diabetes"),
+                Value::Int(4000),
+            ],
+            vec![
+                Value::str("M"),
+                Value::str("Hispanic"),
+                Value::str("Flu"),
+                Value::Int(140),
+            ],
         ],
     )
     .expect("D3 is well-formed")
@@ -93,10 +125,30 @@ pub fn d4_census_nj() -> Table {
             ("population", ValueType::Int),
         ],
         vec![
-            vec![Value::str("[35,40]"), Value::str("M"), Value::str("White"), Value::Int(400_000)],
-            vec![Value::str("[20,25]"), Value::str("F"), Value::str("Asian"), Value::Int(100_000)],
-            vec![Value::str("[20,25]"), Value::str("M"), Value::str("White"), Value::Int(300_000)],
-            vec![Value::str("[40,45]"), Value::str("M"), Value::str("Hispanic"), Value::Int(50_000)],
+            vec![
+                Value::str("[35,40]"),
+                Value::str("M"),
+                Value::str("White"),
+                Value::Int(400_000),
+            ],
+            vec![
+                Value::str("[20,25]"),
+                Value::str("F"),
+                Value::str("Asian"),
+                Value::Int(100_000),
+            ],
+            vec![
+                Value::str("[20,25]"),
+                Value::str("M"),
+                Value::str("White"),
+                Value::Int(300_000),
+            ],
+            vec![
+                Value::str("[40,45]"),
+                Value::str("M"),
+                Value::str("Hispanic"),
+                Value::Int(50_000),
+            ],
         ],
     )
     .expect("D4 is well-formed")
@@ -211,12 +263,9 @@ mod tests {
         let ji_d5 =
             dance_info::join_informativeness(&ds, &d5_insurance(), &AttrSet::from_names(["age"]))
                 .unwrap();
-        let ji_d1 = dance_info::join_informativeness(
-            &ds,
-            &d1_zipcode(),
-            &AttrSet::from_names(["zipcode"]),
-        )
-        .unwrap();
+        let ji_d1 =
+            dance_info::join_informativeness(&ds, &d1_zipcode(), &AttrSet::from_names(["zipcode"]))
+                .unwrap();
         let ji_d2 = dance_info::join_informativeness(
             &d1_zipcode(),
             &d2_disease_by_state(),

@@ -44,8 +44,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 4,
             cols: vec![
                 ColSpec::Serial("ex_id"),
-                ColSpec::Derived { name: "ex_name", from: "ex_id", card: 4 },
-                ColSpec::Qty { name: "ex_open", lo: 570, hi: 600 },
+                ColSpec::Derived {
+                    name: "ex_name",
+                    from: "ex_id",
+                    card: 4,
+                },
+                ColSpec::Qty {
+                    name: "ex_open",
+                    lo: 570,
+                    hi: 600,
+                },
             ],
         },
         TableSpec {
@@ -53,7 +61,11 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 12,
             cols: vec![
                 ColSpec::Serial("sc_id"),
-                ColSpec::Derived { name: "sc_name", from: "sc_id", card: 12 },
+                ColSpec::Derived {
+                    name: "sc_name",
+                    from: "sc_id",
+                    card: 12,
+                },
             ],
         },
         TableSpec {
@@ -61,8 +73,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 60,
             cols: vec![
                 ColSpec::Serial("in_id"),
-                ColSpec::Fk { name: "sc_id", table: "sector", skew: 0.2 },
-                ColSpec::Derived { name: "in_name", from: "in_id", card: 60 },
+                ColSpec::Fk {
+                    name: "sc_id",
+                    table: "sector",
+                    skew: 0.2,
+                },
+                ColSpec::Derived {
+                    name: "in_name",
+                    from: "in_id",
+                    card: 60,
+                },
             ],
         },
         TableSpec {
@@ -70,7 +90,11 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 5,
             cols: vec![
                 ColSpec::Serial("st_id"),
-                ColSpec::Derived { name: "st_name", from: "st_id", card: 5 },
+                ColSpec::Derived {
+                    name: "st_name",
+                    from: "st_id",
+                    card: 5,
+                },
             ],
         },
         TableSpec {
@@ -78,7 +102,11 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 5,
             cols: vec![
                 ColSpec::Serial("tt_id"),
-                ColSpec::Derived { name: "tt_name", from: "tt_id", card: 5 },
+                ColSpec::Derived {
+                    name: "tt_name",
+                    from: "tt_id",
+                    card: 5,
+                },
             ],
         },
         TableSpec {
@@ -86,8 +114,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 100,
             cols: vec![
                 ColSpec::Serial("tx_id"),
-                ColSpec::Money { name: "tx_rate", lo: 0.0, hi: 0.5 },
-                ColSpec::Derived { name: "tx_name", from: "tx_id", card: 100 },
+                ColSpec::Money {
+                    name: "tx_rate",
+                    lo: 0.0,
+                    hi: 0.5,
+                },
+                ColSpec::Derived {
+                    name: "tx_name",
+                    from: "tx_id",
+                    card: 100,
+                },
             ],
         },
         TableSpec {
@@ -95,8 +131,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 200,
             cols: vec![
                 ColSpec::Serial("zc_code"),
-                ColSpec::Derived { name: "zc_town", from: "zc_code", card: 150 },
-                ColSpec::Derived { name: "zc_div", from: "zc_town", card: 30 },
+                ColSpec::Derived {
+                    name: "zc_town",
+                    from: "zc_code",
+                    card: 150,
+                },
+                ColSpec::Derived {
+                    name: "zc_div",
+                    from: "zc_town",
+                    card: 30,
+                },
             ],
         },
         // ── companies & securities ──────────────────────────────────────────
@@ -105,10 +149,26 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(300),
             cols: vec![
                 ColSpec::Serial("co_id"),
-                ColSpec::Fk { name: "in_id", table: "industry", skew: 0.3 },
-                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.2 },
-                ColSpec::Cat { name: "co_city", card: 80, skew: 0.4 },
-                ColSpec::Derived { name: "co_sp_rate", from: "co_city", card: 10 },
+                ColSpec::Fk {
+                    name: "in_id",
+                    table: "industry",
+                    skew: 0.3,
+                },
+                ColSpec::Fk {
+                    name: "st_id",
+                    table: "status_type",
+                    skew: 0.2,
+                },
+                ColSpec::Cat {
+                    name: "co_city",
+                    card: 80,
+                    skew: 0.4,
+                },
+                ColSpec::Derived {
+                    name: "co_sp_rate",
+                    from: "co_city",
+                    card: 10,
+                },
             ],
         },
         TableSpec {
@@ -116,10 +176,26 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(400),
             cols: vec![
                 ColSpec::Serial("s_symb"),
-                ColSpec::Fk { name: "co_id", table: "company", skew: 0.3 },
-                ColSpec::Fk { name: "ex_id", table: "exchange", skew: 0.2 },
-                ColSpec::Money { name: "s_dividend", lo: 0.0, hi: 10.0 },
-                ColSpec::Qty { name: "s_num_out", lo: 1_000, hi: 100_000 },
+                ColSpec::Fk {
+                    name: "co_id",
+                    table: "company",
+                    skew: 0.3,
+                },
+                ColSpec::Fk {
+                    name: "ex_id",
+                    table: "exchange",
+                    skew: 0.2,
+                },
+                ColSpec::Money {
+                    name: "s_dividend",
+                    lo: 0.0,
+                    hi: 10.0,
+                },
+                ColSpec::Qty {
+                    name: "s_num_out",
+                    lo: 1_000,
+                    hi: 100_000,
+                },
             ],
         },
         TableSpec {
@@ -127,9 +203,21 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(2000),
             cols: vec![
                 ColSpec::Serial("dm_id"),
-                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.4 },
-                ColSpec::Money { name: "dm_close", lo: 1.0, hi: 500.0 },
-                ColSpec::Qty { name: "dm_vol", lo: 100, hi: 100_000 },
+                ColSpec::Fk {
+                    name: "s_symb",
+                    table: "security",
+                    skew: 0.4,
+                },
+                ColSpec::Money {
+                    name: "dm_close",
+                    lo: 1.0,
+                    hi: 500.0,
+                },
+                ColSpec::Qty {
+                    name: "dm_vol",
+                    lo: 100,
+                    hi: 100_000,
+                },
             ],
         },
         TableSpec {
@@ -137,8 +225,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(400),
             cols: vec![
                 ColSpec::Serial("lt_id"),
-                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.2 },
-                ColSpec::Money { name: "lt_price", lo: 1.0, hi: 500.0 },
+                ColSpec::Fk {
+                    name: "s_symb",
+                    table: "security",
+                    skew: 0.2,
+                },
+                ColSpec::Money {
+                    name: "lt_price",
+                    lo: 1.0,
+                    hi: 500.0,
+                },
             ],
         },
         TableSpec {
@@ -146,8 +242,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(400),
             cols: vec![
                 ColSpec::Serial("ni_id"),
-                ColSpec::Cat { name: "ni_topic", card: 20, skew: 0.5 },
-                ColSpec::Derived { name: "ni_desk", from: "ni_topic", card: 5 },
+                ColSpec::Cat {
+                    name: "ni_topic",
+                    card: 20,
+                    skew: 0.5,
+                },
+                ColSpec::Derived {
+                    name: "ni_desk",
+                    from: "ni_topic",
+                    card: 5,
+                },
             ],
         },
         TableSpec {
@@ -155,8 +259,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(800),
             cols: vec![
                 ColSpec::Serial("nx_id"),
-                ColSpec::Fk { name: "ni_id", table: "news_item", skew: 0.3 },
-                ColSpec::Fk { name: "co_id", table: "company", skew: 0.3 },
+                ColSpec::Fk {
+                    name: "ni_id",
+                    table: "news_item",
+                    skew: 0.3,
+                },
+                ColSpec::Fk {
+                    name: "co_id",
+                    table: "company",
+                    skew: 0.3,
+                },
             ],
         },
         // ── customers, accounts, brokers ────────────────────────────────────
@@ -165,8 +277,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(600),
             cols: vec![
                 ColSpec::Serial("ad_id"),
-                ColSpec::Fk { name: "zc_code", table: "zip_code", skew: 0.3 },
-                ColSpec::Label { name: "ad_ctry", labels: &["USA", "CANADA"], skew: 0.4 },
+                ColSpec::Fk {
+                    name: "zc_code",
+                    table: "zip_code",
+                    skew: 0.3,
+                },
+                ColSpec::Label {
+                    name: "ad_ctry",
+                    labels: &["USA", "CANADA"],
+                    skew: 0.4,
+                },
             ],
         },
         TableSpec {
@@ -174,13 +294,41 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(500),
             cols: vec![
                 ColSpec::Serial("c_id"),
-                ColSpec::Fk { name: "ad_id", table: "address", skew: 0.1 },
-                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.2 },
-                ColSpec::Cat { name: "c_tier", card: 3, skew: 0.3 },
-                ColSpec::Label { name: "c_gndr", labels: &["M", "F"], skew: 0.0 },
-                ColSpec::Qty { name: "c_dob_year", lo: 1940, hi: 2005 },
-                ColSpec::Cat { name: "c_city", card: 60, skew: 0.4 },
-                ColSpec::Derived { name: "c_area", from: "c_city", card: 10 },
+                ColSpec::Fk {
+                    name: "ad_id",
+                    table: "address",
+                    skew: 0.1,
+                },
+                ColSpec::Fk {
+                    name: "st_id",
+                    table: "status_type",
+                    skew: 0.2,
+                },
+                ColSpec::Cat {
+                    name: "c_tier",
+                    card: 3,
+                    skew: 0.3,
+                },
+                ColSpec::Label {
+                    name: "c_gndr",
+                    labels: &["M", "F"],
+                    skew: 0.0,
+                },
+                ColSpec::Qty {
+                    name: "c_dob_year",
+                    lo: 1940,
+                    hi: 2005,
+                },
+                ColSpec::Cat {
+                    name: "c_city",
+                    card: 60,
+                    skew: 0.4,
+                },
+                ColSpec::Derived {
+                    name: "c_area",
+                    from: "c_city",
+                    card: 10,
+                },
             ],
         },
         TableSpec {
@@ -188,9 +336,21 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 50,
             cols: vec![
                 ColSpec::Serial("b_id"),
-                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.2 },
-                ColSpec::Money { name: "b_comm_total", lo: 0.0, hi: 100_000.0 },
-                ColSpec::Qty { name: "b_num_trades", lo: 0, hi: 10_000 },
+                ColSpec::Fk {
+                    name: "st_id",
+                    table: "status_type",
+                    skew: 0.2,
+                },
+                ColSpec::Money {
+                    name: "b_comm_total",
+                    lo: 0.0,
+                    hi: 100_000.0,
+                },
+                ColSpec::Qty {
+                    name: "b_num_trades",
+                    lo: 0,
+                    hi: 10_000,
+                },
             ],
         },
         TableSpec {
@@ -198,10 +358,26 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(800),
             cols: vec![
                 ColSpec::Serial("ca_id"),
-                ColSpec::Fk { name: "c_id", table: "customer", skew: 0.4 },
-                ColSpec::Fk { name: "b_id", table: "broker", skew: 0.3 },
-                ColSpec::Money { name: "ca_bal", lo: -5_000.0, hi: 500_000.0 },
-                ColSpec::Cat { name: "ca_tax_st", card: 3, skew: 0.2 },
+                ColSpec::Fk {
+                    name: "c_id",
+                    table: "customer",
+                    skew: 0.4,
+                },
+                ColSpec::Fk {
+                    name: "b_id",
+                    table: "broker",
+                    skew: 0.3,
+                },
+                ColSpec::Money {
+                    name: "ca_bal",
+                    lo: -5_000.0,
+                    hi: 500_000.0,
+                },
+                ColSpec::Cat {
+                    name: "ca_tax_st",
+                    card: 3,
+                    skew: 0.2,
+                },
             ],
         },
         TableSpec {
@@ -209,8 +385,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(400),
             cols: vec![
                 ColSpec::Serial("ap_id"),
-                ColSpec::Fk { name: "ca_id", table: "customer_account", skew: 0.2 },
-                ColSpec::Label { name: "ap_acl", labels: &["0000", "0001", "0011"], skew: 0.3 },
+                ColSpec::Fk {
+                    name: "ca_id",
+                    table: "customer_account",
+                    skew: 0.2,
+                },
+                ColSpec::Label {
+                    name: "ap_acl",
+                    labels: &["0000", "0001", "0011"],
+                    skew: 0.3,
+                },
             ],
         },
         TableSpec {
@@ -218,8 +402,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(600),
             cols: vec![
                 ColSpec::Serial("cx_id"),
-                ColSpec::Fk { name: "tx_id", table: "taxrate", skew: 0.2 },
-                ColSpec::Fk { name: "c_id", table: "customer", skew: 0.2 },
+                ColSpec::Fk {
+                    name: "tx_id",
+                    table: "taxrate",
+                    skew: 0.2,
+                },
+                ColSpec::Fk {
+                    name: "c_id",
+                    table: "customer",
+                    skew: 0.2,
+                },
             ],
         },
         // ── watch lists ─────────────────────────────────────────────────────
@@ -228,7 +420,11 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(300),
             cols: vec![
                 ColSpec::Serial("wl_id"),
-                ColSpec::Fk { name: "c_id", table: "customer", skew: 0.2 },
+                ColSpec::Fk {
+                    name: "c_id",
+                    table: "customer",
+                    skew: 0.2,
+                },
             ],
         },
         TableSpec {
@@ -236,8 +432,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(3000),
             cols: vec![
                 ColSpec::Serial("wi_id"),
-                ColSpec::Fk { name: "wl_id", table: "watch_list", skew: 0.3 },
-                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.5 },
+                ColSpec::Fk {
+                    name: "wl_id",
+                    table: "watch_list",
+                    skew: 0.3,
+                },
+                ColSpec::Fk {
+                    name: "s_symb",
+                    table: "security",
+                    skew: 0.5,
+                },
             ],
         },
         // ── trading ─────────────────────────────────────────────────────────
@@ -246,12 +450,36 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(2500),
             cols: vec![
                 ColSpec::Serial("t_id"),
-                ColSpec::Fk { name: "ca_id", table: "customer_account", skew: 0.5 },
-                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.5 },
-                ColSpec::Fk { name: "tt_id", table: "trade_type", skew: 0.3 },
-                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.3 },
-                ColSpec::Money { name: "t_trade_price", lo: 1.0, hi: 500.0 },
-                ColSpec::Qty { name: "t_qty", lo: 1, hi: 1000 },
+                ColSpec::Fk {
+                    name: "ca_id",
+                    table: "customer_account",
+                    skew: 0.5,
+                },
+                ColSpec::Fk {
+                    name: "s_symb",
+                    table: "security",
+                    skew: 0.5,
+                },
+                ColSpec::Fk {
+                    name: "tt_id",
+                    table: "trade_type",
+                    skew: 0.3,
+                },
+                ColSpec::Fk {
+                    name: "st_id",
+                    table: "status_type",
+                    skew: 0.3,
+                },
+                ColSpec::Money {
+                    name: "t_trade_price",
+                    lo: 1.0,
+                    hi: 500.0,
+                },
+                ColSpec::Qty {
+                    name: "t_qty",
+                    lo: 1,
+                    hi: 1000,
+                },
             ],
         },
         TableSpec {
@@ -259,8 +487,16 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(2000),
             cols: vec![
                 ColSpec::Serial("th_id"),
-                ColSpec::Fk { name: "t_id", table: "trade", skew: 0.2 },
-                ColSpec::Fk { name: "st_id", table: "status_type", skew: 0.2 },
+                ColSpec::Fk {
+                    name: "t_id",
+                    table: "trade",
+                    skew: 0.2,
+                },
+                ColSpec::Fk {
+                    name: "st_id",
+                    table: "status_type",
+                    skew: 0.2,
+                },
             ],
         },
         TableSpec {
@@ -268,9 +504,21 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(1200),
             cols: vec![
                 ColSpec::Serial("se_id"),
-                ColSpec::Fk { name: "t_id", table: "trade", skew: 0.2 },
-                ColSpec::Money { name: "se_amt", lo: 1.0, hi: 500_000.0 },
-                ColSpec::Label { name: "se_cash_type", labels: &["CASH", "MARGIN"], skew: 0.3 },
+                ColSpec::Fk {
+                    name: "t_id",
+                    table: "trade",
+                    skew: 0.2,
+                },
+                ColSpec::Money {
+                    name: "se_amt",
+                    lo: 1.0,
+                    hi: 500_000.0,
+                },
+                ColSpec::Label {
+                    name: "se_cash_type",
+                    labels: &["CASH", "MARGIN"],
+                    skew: 0.3,
+                },
             ],
         },
         TableSpec {
@@ -278,10 +526,26 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(1000),
             cols: vec![
                 ColSpec::Serial("ct_id"),
-                ColSpec::Fk { name: "t_id", table: "trade", skew: 0.2 },
-                ColSpec::Money { name: "ct_amt", lo: -100_000.0, hi: 100_000.0 },
-                ColSpec::Cat { name: "ct_kind", card: 6, skew: 0.3 },
-                ColSpec::Derived { name: "ct_class", from: "ct_kind", card: 3 },
+                ColSpec::Fk {
+                    name: "t_id",
+                    table: "trade",
+                    skew: 0.2,
+                },
+                ColSpec::Money {
+                    name: "ct_amt",
+                    lo: -100_000.0,
+                    hi: 100_000.0,
+                },
+                ColSpec::Cat {
+                    name: "ct_kind",
+                    card: 6,
+                    skew: 0.3,
+                },
+                ColSpec::Derived {
+                    name: "ct_class",
+                    from: "ct_kind",
+                    card: 3,
+                },
             ],
         },
         TableSpec {
@@ -289,9 +553,21 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 15,
             cols: vec![
                 ColSpec::Serial("ch_id"),
-                ColSpec::Fk { name: "tt_id", table: "trade_type", skew: 0.0 },
-                ColSpec::Cat { name: "ch_c_tier", card: 3, skew: 0.0 },
-                ColSpec::Money { name: "ch_chrg", lo: 0.0, hi: 100.0 },
+                ColSpec::Fk {
+                    name: "tt_id",
+                    table: "trade_type",
+                    skew: 0.0,
+                },
+                ColSpec::Cat {
+                    name: "ch_c_tier",
+                    card: 3,
+                    skew: 0.0,
+                },
+                ColSpec::Money {
+                    name: "ch_chrg",
+                    lo: 0.0,
+                    hi: 100.0,
+                },
             ],
         },
         TableSpec {
@@ -299,9 +575,21 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: 240,
             cols: vec![
                 ColSpec::Serial("cr_id"),
-                ColSpec::Fk { name: "tt_id", table: "trade_type", skew: 0.0 },
-                ColSpec::Fk { name: "ex_id", table: "exchange", skew: 0.0 },
-                ColSpec::Money { name: "cr_rate", lo: 0.0, hi: 2.0 },
+                ColSpec::Fk {
+                    name: "tt_id",
+                    table: "trade_type",
+                    skew: 0.0,
+                },
+                ColSpec::Fk {
+                    name: "ex_id",
+                    table: "exchange",
+                    skew: 0.0,
+                },
+                ColSpec::Money {
+                    name: "cr_rate",
+                    lo: 0.0,
+                    hi: 2.0,
+                },
             ],
         },
         // ── holdings ────────────────────────────────────────────────────────
@@ -310,10 +598,26 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(1000),
             cols: vec![
                 ColSpec::Serial("h_id"),
-                ColSpec::Fk { name: "ca_id", table: "customer_account", skew: 0.4 },
-                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.4 },
-                ColSpec::Money { name: "h_price", lo: 1.0, hi: 500.0 },
-                ColSpec::Qty { name: "h_qty", lo: 1, hi: 1000 },
+                ColSpec::Fk {
+                    name: "ca_id",
+                    table: "customer_account",
+                    skew: 0.4,
+                },
+                ColSpec::Fk {
+                    name: "s_symb",
+                    table: "security",
+                    skew: 0.4,
+                },
+                ColSpec::Money {
+                    name: "h_price",
+                    lo: 1.0,
+                    hi: 500.0,
+                },
+                ColSpec::Qty {
+                    name: "h_qty",
+                    lo: 1,
+                    hi: 1000,
+                },
             ],
         },
         TableSpec {
@@ -321,9 +625,21 @@ pub fn tpce_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(700),
             cols: vec![
                 ColSpec::Serial("hs_id"),
-                ColSpec::Fk { name: "ca_id", table: "customer_account", skew: 0.3 },
-                ColSpec::Fk { name: "s_symb", table: "security", skew: 0.3 },
-                ColSpec::Qty { name: "hs_qty", lo: 1, hi: 5000 },
+                ColSpec::Fk {
+                    name: "ca_id",
+                    table: "customer_account",
+                    skew: 0.3,
+                },
+                ColSpec::Fk {
+                    name: "s_symb",
+                    table: "security",
+                    skew: 0.3,
+                },
+                ColSpec::Qty {
+                    name: "hs_qty",
+                    lo: 1,
+                    hi: 5000,
+                },
             ],
         },
     ]
@@ -388,8 +704,7 @@ mod tests {
     fn twenty_nine_tables() {
         let tables = tpce(&cfg()).unwrap();
         assert_eq!(tables.len(), 29);
-        let names: std::collections::HashSet<&str> =
-            tables.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<&str> = tables.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), 29, "table names must be unique");
     }
 
@@ -432,8 +747,8 @@ mod tests {
         // A corrupted Int FK column contains the garbage sentinel range.
         let wi = tables.iter().find(|t| t.name() == "watch_item").unwrap();
         let col = wi.attr_indices(&AttrSet::from_names(["wl_id"])).unwrap()[0];
-        let has_garbage = (0..wi.num_rows())
-            .any(|r| wi.value(r, col).as_i64().is_some_and(|v| v < -999_999));
+        let has_garbage =
+            (0..wi.num_rows()).any(|r| wi.value(r, col).as_i64().is_some_and(|v| v < -999_999));
         assert!(has_garbage);
     }
 

@@ -46,8 +46,16 @@ pub fn tpch_specs(scale: f64) -> Vec<TableSpec> {
             rows: 5,
             cols: vec![
                 ColSpec::Serial("regionkey"),
-                ColSpec::Derived { name: "r_name", from: "regionkey", card: 5 },
-                ColSpec::Label { name: "r_zone", labels: &["east", "west", "north"], skew: 0.2 },
+                ColSpec::Derived {
+                    name: "r_name",
+                    from: "regionkey",
+                    card: 5,
+                },
+                ColSpec::Label {
+                    name: "r_zone",
+                    labels: &["east", "west", "north"],
+                    skew: 0.2,
+                },
             ],
         },
         TableSpec {
@@ -55,10 +63,26 @@ pub fn tpch_specs(scale: f64) -> Vec<TableSpec> {
             rows: 25,
             cols: vec![
                 ColSpec::Serial("nationkey"),
-                ColSpec::Fk { name: "regionkey", table: "region", skew: 0.0 },
-                ColSpec::Derived { name: "n_name", from: "nationkey", card: 25 },
-                ColSpec::Cat { name: "n_zone", card: 6, skew: 0.3 },
-                ColSpec::Derived { name: "n_zonegrp", from: "n_zone", card: 3 },
+                ColSpec::Fk {
+                    name: "regionkey",
+                    table: "region",
+                    skew: 0.0,
+                },
+                ColSpec::Derived {
+                    name: "n_name",
+                    from: "nationkey",
+                    card: 25,
+                },
+                ColSpec::Cat {
+                    name: "n_zone",
+                    card: 6,
+                    skew: 0.3,
+                },
+                ColSpec::Derived {
+                    name: "n_zonegrp",
+                    from: "n_zone",
+                    card: 3,
+                },
             ],
         },
         TableSpec {
@@ -66,11 +90,31 @@ pub fn tpch_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(100),
             cols: vec![
                 ColSpec::Serial("suppkey"),
-                ColSpec::Fk { name: "nationkey", table: "nation", skew: 0.3 },
-                ColSpec::Cat { name: "h", card: 30, skew: 0.3 },
-                ColSpec::Money { name: "s_acctbal", lo: -999.0, hi: 9999.0 },
-                ColSpec::Cat { name: "s_city", card: 40, skew: 0.4 },
-                ColSpec::Derived { name: "s_state", from: "s_city", card: 15 },
+                ColSpec::Fk {
+                    name: "nationkey",
+                    table: "nation",
+                    skew: 0.3,
+                },
+                ColSpec::Cat {
+                    name: "h",
+                    card: 30,
+                    skew: 0.3,
+                },
+                ColSpec::Money {
+                    name: "s_acctbal",
+                    lo: -999.0,
+                    hi: 9999.0,
+                },
+                ColSpec::Cat {
+                    name: "s_city",
+                    card: 40,
+                    skew: 0.4,
+                },
+                ColSpec::Derived {
+                    name: "s_state",
+                    from: "s_city",
+                    card: 15,
+                },
             ],
         },
         TableSpec {
@@ -78,16 +122,42 @@ pub fn tpch_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(300),
             cols: vec![
                 ColSpec::Serial("custkey"),
-                ColSpec::Fk { name: "nationkey", table: "nation", skew: 0.3 },
-                ColSpec::Cat { name: "h", card: 30, skew: 0.3 },
-                ColSpec::Money { name: "c_acctbal", lo: -999.0, hi: 9999.0 },
+                ColSpec::Fk {
+                    name: "nationkey",
+                    table: "nation",
+                    skew: 0.3,
+                },
+                ColSpec::Cat {
+                    name: "h",
+                    card: 30,
+                    skew: 0.3,
+                },
+                ColSpec::Money {
+                    name: "c_acctbal",
+                    lo: -999.0,
+                    hi: 9999.0,
+                },
                 ColSpec::Label {
                     name: "c_mktsegment",
-                    labels: &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"],
+                    labels: &[
+                        "AUTOMOBILE",
+                        "BUILDING",
+                        "FURNITURE",
+                        "HOUSEHOLD",
+                        "MACHINERY",
+                    ],
                     skew: 0.5,
                 },
-                ColSpec::Cat { name: "c_city", card: 50, skew: 0.4 },
-                ColSpec::Derived { name: "c_state", from: "c_city", card: 15 },
+                ColSpec::Cat {
+                    name: "c_city",
+                    card: 50,
+                    skew: 0.4,
+                },
+                ColSpec::Derived {
+                    name: "c_state",
+                    from: "c_city",
+                    card: 15,
+                },
             ],
         },
         TableSpec {
@@ -100,9 +170,21 @@ pub fn tpch_specs(scale: f64) -> Vec<TableSpec> {
                     labels: &["B11", "B12", "B21", "B22", "B31"],
                     skew: 0.4,
                 },
-                ColSpec::Cat { name: "p_size", card: 50, skew: 0.0 },
-                ColSpec::Derived { name: "p_container", from: "p_size", card: 8 },
-                ColSpec::Money { name: "p_retailprice", lo: 900.0, hi: 2000.0 },
+                ColSpec::Cat {
+                    name: "p_size",
+                    card: 50,
+                    skew: 0.0,
+                },
+                ColSpec::Derived {
+                    name: "p_container",
+                    from: "p_size",
+                    card: 8,
+                },
+                ColSpec::Money {
+                    name: "p_retailprice",
+                    lo: 900.0,
+                    hi: 2000.0,
+                },
             ],
         },
         TableSpec {
@@ -110,10 +192,26 @@ pub fn tpch_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(500),
             cols: vec![
                 ColSpec::Serial("pskey"),
-                ColSpec::Fk { name: "partkey", table: "part", skew: 0.2 },
-                ColSpec::Fk { name: "suppkey", table: "supplier", skew: 0.2 },
-                ColSpec::Qty { name: "ps_availqty", lo: 1, hi: 9999 },
-                ColSpec::Money { name: "ps_supplycost", lo: 1.0, hi: 1000.0 },
+                ColSpec::Fk {
+                    name: "partkey",
+                    table: "part",
+                    skew: 0.2,
+                },
+                ColSpec::Fk {
+                    name: "suppkey",
+                    table: "supplier",
+                    skew: 0.2,
+                },
+                ColSpec::Qty {
+                    name: "ps_availqty",
+                    lo: 1,
+                    hi: 9999,
+                },
+                ColSpec::Money {
+                    name: "ps_supplycost",
+                    lo: 1.0,
+                    hi: 1000.0,
+                },
             ],
         },
         TableSpec {
@@ -121,11 +219,31 @@ pub fn tpch_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(600),
             cols: vec![
                 ColSpec::Serial("orderkey"),
-                ColSpec::Fk { name: "custkey", table: "customer", skew: 0.5 },
-                ColSpec::Money { name: "o_totalprice", lo: 800.0, hi: 450_000.0 },
-                ColSpec::Label { name: "o_orderstatus", labels: &["F", "O", "P"], skew: 0.4 },
-                ColSpec::Cat { name: "o_month", card: 12, skew: 0.0 },
-                ColSpec::Derived { name: "o_quarter", from: "o_month", card: 4 },
+                ColSpec::Fk {
+                    name: "custkey",
+                    table: "customer",
+                    skew: 0.5,
+                },
+                ColSpec::Money {
+                    name: "o_totalprice",
+                    lo: 800.0,
+                    hi: 450_000.0,
+                },
+                ColSpec::Label {
+                    name: "o_orderstatus",
+                    labels: &["F", "O", "P"],
+                    skew: 0.4,
+                },
+                ColSpec::Cat {
+                    name: "o_month",
+                    card: 12,
+                    skew: 0.0,
+                },
+                ColSpec::Derived {
+                    name: "o_quarter",
+                    from: "o_month",
+                    card: 4,
+                },
             ],
         },
         TableSpec {
@@ -133,13 +251,41 @@ pub fn tpch_specs(scale: f64) -> Vec<TableSpec> {
             rows: s(1500),
             cols: vec![
                 ColSpec::Serial("linekey"),
-                ColSpec::Fk { name: "orderkey", table: "orders", skew: 0.4 },
-                ColSpec::Fk { name: "partkey", table: "part", skew: 0.3 },
-                ColSpec::Fk { name: "suppkey", table: "supplier", skew: 0.3 },
-                ColSpec::Qty { name: "l_quantity", lo: 1, hi: 50 },
-                ColSpec::Money { name: "l_extendedprice", lo: 900.0, hi: 100_000.0 },
-                ColSpec::Label { name: "l_returnflag", labels: &["A", "N", "R"], skew: 0.3 },
-                ColSpec::Derived { name: "l_status", from: "l_returnflag", card: 2 },
+                ColSpec::Fk {
+                    name: "orderkey",
+                    table: "orders",
+                    skew: 0.4,
+                },
+                ColSpec::Fk {
+                    name: "partkey",
+                    table: "part",
+                    skew: 0.3,
+                },
+                ColSpec::Fk {
+                    name: "suppkey",
+                    table: "supplier",
+                    skew: 0.3,
+                },
+                ColSpec::Qty {
+                    name: "l_quantity",
+                    lo: 1,
+                    hi: 50,
+                },
+                ColSpec::Money {
+                    name: "l_extendedprice",
+                    lo: 900.0,
+                    hi: 100_000.0,
+                },
+                ColSpec::Label {
+                    name: "l_returnflag",
+                    labels: &["A", "N", "R"],
+                    skew: 0.3,
+                },
+                ColSpec::Derived {
+                    name: "l_status",
+                    from: "l_returnflag",
+                    card: 2,
+                },
             ],
         },
     ]
@@ -195,7 +341,10 @@ mod tests {
         let names: Vec<&str> = tables.iter().map(|t| t.name()).collect();
         assert_eq!(
             names,
-            vec!["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+            vec![
+                "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+                "lineitem"
+            ]
         );
         // lineitem is the largest, region the smallest — as in the benchmark.
         let rows: Vec<usize> = tables.iter().map(|t| t.num_rows()).collect();
@@ -208,9 +357,18 @@ mod tests {
         let tables = tpch(&cfg()).unwrap();
         let by_name = |n: &str| tables.iter().find(|t| t.name() == n).unwrap();
         let common = |a: &str, b: &str| by_name(a).schema().common(by_name(b).schema());
-        assert_eq!(common("region", "nation"), AttrSet::from_names(["regionkey"]));
-        assert_eq!(common("orders", "customer"), AttrSet::from_names(["custkey"]));
-        assert_eq!(common("customer", "supplier"), AttrSet::from_names(["h", "nationkey"]));
+        assert_eq!(
+            common("region", "nation"),
+            AttrSet::from_names(["regionkey"])
+        );
+        assert_eq!(
+            common("orders", "customer"),
+            AttrSet::from_names(["custkey"])
+        );
+        assert_eq!(
+            common("customer", "supplier"),
+            AttrSet::from_names(["h", "nationkey"])
+        );
         assert!(common("region", "lineitem").is_empty());
     }
 

@@ -136,11 +136,19 @@ mod tests {
         for q in &w.queries {
             let src = w.table(q.source_table).expect("source table exists");
             for a in q.source.iter() {
-                assert!(src.schema().index_of(a).is_some(), "{a} in {}", q.source_table);
+                assert!(
+                    src.schema().index_of(a).is_some(),
+                    "{a} in {}",
+                    q.source_table
+                );
             }
             let tgt = w.table(q.target_table).expect("target table exists");
             for a in q.target.iter() {
-                assert!(tgt.schema().index_of(a).is_some(), "{a} in {}", q.target_table);
+                assert!(
+                    tgt.schema().index_of(a).is_some(),
+                    "{a} in {}",
+                    q.target_table
+                );
             }
         }
         assert_eq!(

@@ -86,7 +86,11 @@ mod tests {
             }
         }
         // With θ=1.2 the top-10 of 100 carries well over half the mass.
-        assert!(head as f64 / n as f64 > 0.6, "head mass {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.6,
+            "head mass {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]

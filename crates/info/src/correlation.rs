@@ -16,9 +16,9 @@
 //! In both cases `Y`'s numeric attributes are discretized for the `p(y)`
 //! grouping (see [`crate::discretize`]).
 
-use crate::cumulative::{conditional_cumulative_entropy, condition_groups, cumulative_entropy};
+use crate::cumulative::{condition_groups, conditional_cumulative_entropy, cumulative_entropy};
 use crate::entropy::entropy_from_counts;
-use dance_relation::{AttrSet, FxHashMap, Result, Table};
+use dance_relation::{AttrSet, Result, Table};
 
 /// Tuning knobs for [`correlation_with`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -74,25 +74,45 @@ pub fn correlation_with(t: &Table, x: &AttrSet, y: &AttrSet, opts: CorrOptions) 
     }
 }
 
-/// `I(X; Y)` between two dense code vectors (plug-in, bits).
+/// `I(X; Y)` between two code vectors (plug-in, bits).
+///
+/// Codes produced by [`condition_groups`] or the group-id kernel are dense
+/// and count straight into plain arrays; sparse inputs (legal for this public
+/// entry point) are first re-densified via
+/// [`dance_relation::group::fold_codes`], so a large code value can never
+/// force a proportionally-sized allocation. The joint distribution is built
+/// with the same `fold_codes` combination step the kernel itself uses.
 pub fn mutual_information_of_codes(x: &[u32], y: &[u32]) -> f64 {
-    debug_assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), y.len(), "code vectors cover different row sets");
     let n = x.len() as u64;
     if n == 0 {
         return 0.0;
     }
-    let mut cx: FxHashMap<u32, u64> = FxHashMap::default();
-    let mut cy: FxHashMap<u32, u64> = FxHashMap::default();
-    let mut cxy: FxHashMap<(u32, u32), u64> = FxHashMap::default();
-    for (&a, &b) in x.iter().zip(y) {
-        *cx.entry(a).or_insert(0) += 1;
-        *cy.entry(b).or_insert(0) += 1;
-        *cxy.entry((a, b)).or_insert(0) += 1;
+    let cx = dense_code_counts(x);
+    let cy = dense_code_counts(y);
+    // Joint: fold y's codes into x's ids — fold_codes handles sparse codes.
+    let mut joint = x.to_vec();
+    let mut num_joint = 0u32;
+    dance_relation::group::fold_codes(&mut joint, &mut num_joint, y);
+    let mut cxy = vec![0u64; num_joint as usize];
+    for &g in &joint {
+        cxy[g as usize] += 1;
     }
-    let hx = entropy_from_counts(cx.into_values(), n);
-    let hy = entropy_from_counts(cy.into_values(), n);
-    let hxy = entropy_from_counts(cxy.into_values(), n);
+    let hx = entropy_from_counts(cx, n);
+    let hy = entropy_from_counts(cy, n);
+    let hxy = entropy_from_counts(cxy, n);
     (hx + hy - hxy).max(0.0)
+}
+
+/// Histogram of a code vector, via [`dance_relation::group::ensure_dense`] so
+/// the allocation is always bounded by the row count.
+fn dense_code_counts(codes: &[u32]) -> Vec<u64> {
+    let (labels, num_groups) = dance_relation::group::ensure_dense(codes);
+    let mut counts = vec![0u64; num_groups as usize];
+    for &g in labels.iter() {
+        counts[g as usize] += 1;
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -117,6 +137,37 @@ mod tests {
                 .collect(),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn sparse_codes_are_handled_without_huge_allocations() {
+        // Public entry point: code values far above the row count must not
+        // allocate proportionally to the max code (u32::MAX here).
+        let x = [0u32, u32::MAX, 0, u32::MAX];
+        let y = [7u32, 1_000_000, 7, 1_000_000];
+        let mi = mutual_information_of_codes(&x, &y);
+        assert!(
+            (mi - 1.0).abs() < 1e-12,
+            "two perfectly aligned binary codes: {mi}"
+        );
+        // And sparse conditioning labels take the re-densify path too.
+        let t = Table::from_rows(
+            "sp",
+            &[("spc_x", ValueType::Float)],
+            vec![
+                vec![Value::Float(1.0)],
+                vec![Value::Float(2.0)],
+                vec![Value::Float(3.0)],
+            ],
+        )
+        .unwrap();
+        let sparse_labels = [5u32, 4_000_000_000, 5];
+        let dense_labels = [0u32, 1, 0];
+        let hs = conditional_cumulative_entropy(&t, dance_relation::attr("spc_x"), &sparse_labels)
+            .unwrap();
+        let hd = conditional_cumulative_entropy(&t, dance_relation::attr("spc_x"), &dense_labels)
+            .unwrap();
+        assert!((hs - hd).abs() < 1e-12, "{hs} vs {hd}");
     }
 
     #[test]

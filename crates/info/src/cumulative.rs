@@ -21,7 +21,7 @@
 //! missing measurement contributes no length to the CDF integral.
 
 use crate::discretize::{default_bin_count, equal_frequency_bins};
-use dance_relation::{AttrId, AttrSet, Result, Table, Value};
+use dance_relation::{AttrId, AttrSet, Result, Table};
 
 /// Plug-in cumulative entropy of a sample (sorted internally; bits × units).
 pub fn cumulative_entropy_of(values: &mut Vec<f64>) -> f64 {
@@ -48,7 +48,7 @@ pub fn cumulative_entropy(t: &Table, a: AttrId) -> Result<f64> {
 
 /// Conditional cumulative entropy `h(A | Y) = Σ_y p(y) · h(A | Y = y)`.
 ///
-/// `groups` assigns each row a conditioning-group code (produced by
+/// `groups` assigns each row a dense conditioning-group code (produced by
 /// [`condition_groups`]); rows with non-finite `A` are dropped *within* their
 /// group, and `p(y)` is taken over rows with usable `A` so that the weights
 /// sum to one.
@@ -61,13 +61,16 @@ pub fn conditional_cumulative_entropy(t: &Table, a: AttrId, groups: &[u32]) -> R
             t.num_rows()
         )));
     }
-    let mut by_group: dance_relation::FxHashMap<u32, Vec<f64>> =
-        dance_relation::FxHashMap::default();
+    // Group codes from condition_groups are dense, so a Vec replaces the old
+    // hash-map binning; sparse labels (legal for this public entry point) are
+    // re-densified first so the allocation stays bounded by the row count.
+    let (labels, num_groups) = dance_relation::group::ensure_dense(groups);
+    let mut by_group: Vec<Vec<f64>> = vec![Vec::new(); num_groups as usize];
     let mut usable = 0usize;
-    for (r, &g) in groups.iter().enumerate() {
+    for (r, &g) in labels.iter().enumerate() {
         if let Some(v) = col.value(r).as_f64() {
             if v.is_finite() {
-                by_group.entry(g).or_default().push(v);
+                by_group[g as usize].push(v);
                 usable += 1;
             }
         }
@@ -76,23 +79,31 @@ pub fn conditional_cumulative_entropy(t: &Table, a: AttrId, groups: &[u32]) -> R
         return Ok(0.0);
     }
     let mut h = 0.0;
-    for (_, mut vals) in by_group {
+    for mut vals in by_group {
+        if vals.is_empty() {
+            continue;
+        }
         let w = vals.len() as f64 / usable as f64;
         h += w * cumulative_entropy_of(&mut vals);
     }
     Ok(h)
 }
 
-/// Group labels for conditioning on attribute set `Y` (Definition 2.5's `p(y)`).
+/// Dense group labels for conditioning on attribute set `Y` (Definition 2.5's
+/// `p(y)`).
 ///
-/// Categorical attributes contribute their value; numeric attributes are
-/// discretized into `bins` equal-frequency bins first (see [`crate::discretize`]).
-/// NULL is its own group along every attribute.
+/// Categorical attributes contribute their dictionary codes (via
+/// [`dance_relation::group::column_codes`] — no per-value hashing); numeric
+/// attributes are discretized into `bins` equal-frequency bins first (see
+/// [`crate::discretize`]). NULL is its own group along every attribute.
+/// Per-attribute codes are folded with
+/// [`dance_relation::group::fold_codes`], the same combination step the dense
+/// group-id kernel uses, so the output is a compact id in `0..num_groups`
+/// assigned in first-occurrence order.
 pub fn condition_groups(t: &Table, y: &AttrSet, bins: usize) -> Result<Vec<u32>> {
     let n = t.num_rows();
-    // Per-attribute code vectors, then combine into joint group codes.
-    let mut combined: Vec<u64> = vec![0; n];
-    let mut stride: u64 = 1;
+    let mut ids: Vec<u32> = vec![0; n];
+    let mut num_groups: u32 = u32::from(n > 0);
     for id in y.iter() {
         let col = t.column_by_attr(id)?;
         let codes: Vec<u32> = if col.value_type().is_numeric() {
@@ -100,7 +111,9 @@ pub fn condition_groups(t: &Table, y: &AttrSet, bins: usize) -> Result<Vec<u32>>
                 .map(|r| col.value(r).as_f64().unwrap_or(f64::NAN))
                 .collect();
             let mut b = equal_frequency_bins(
-                &raw.iter().map(|v| if v.is_finite() { *v } else { 0.0 }).collect::<Vec<_>>(),
+                &raw.iter()
+                    .map(|v| if v.is_finite() { *v } else { 0.0 })
+                    .collect::<Vec<_>>(),
                 bins,
             );
             // NULL / NaN rows become a dedicated extra bin.
@@ -111,32 +124,11 @@ pub fn condition_groups(t: &Table, y: &AttrSet, bins: usize) -> Result<Vec<u32>>
             }
             b
         } else {
-            // Dense codes per distinct categorical value (NULL included).
-            let mut index: dance_relation::FxHashMap<Value, u32> =
-                dance_relation::FxHashMap::default();
-            (0..n)
-                .map(|r| {
-                    let v = col.value(r);
-                    let next = index.len() as u32;
-                    *index.entry(v).or_insert(next)
-                })
-                .collect()
+            dance_relation::group::column_codes(col).0
         };
-        let card = codes.iter().copied().max().unwrap_or(0) as u64 + 1;
-        for (c, comb) in codes.iter().zip(combined.iter_mut()) {
-            *comb += *c as u64 * stride;
-        }
-        stride = stride.saturating_mul(card);
+        dance_relation::group::fold_codes(&mut ids, &mut num_groups, &codes);
     }
-    // Re-densify joint codes to u32.
-    let mut dense: dance_relation::FxHashMap<u64, u32> = dance_relation::FxHashMap::default();
-    Ok(combined
-        .into_iter()
-        .map(|c| {
-            let next = dense.len() as u32;
-            *dense.entry(c).or_insert(next)
-        })
-        .collect())
+    Ok(ids)
 }
 
 /// Default conditioning-bin count for a table.
@@ -200,7 +192,10 @@ mod tests {
             (0..40)
                 .map(|i| {
                     let g = if i % 2 == 0 { "a" } else { "b" };
-                    vec![Value::Float(if i % 2 == 0 { 1.0 } else { 9.0 }), Value::str(g)]
+                    vec![
+                        Value::Float(if i % 2 == 0 { 1.0 } else { 9.0 }),
+                        Value::str(g),
+                    ]
                 })
                 .collect(),
         )
@@ -210,8 +205,7 @@ mod tests {
     #[test]
     fn perfect_dependence_zeroes_conditional() {
         let t = xy_table();
-        let groups =
-            condition_groups(&t, &AttrSet::from_names(["cum_y"]), 8).unwrap();
+        let groups = condition_groups(&t, &AttrSet::from_names(["cum_y"]), 8).unwrap();
         let h_cond = conditional_cumulative_entropy(&t, attr("cum_x"), &groups).unwrap();
         assert_eq!(h_cond, 0.0);
         let h = cumulative_entropy(&t, attr("cum_x")).unwrap();

@@ -96,8 +96,7 @@ mod tests {
         v.extend(std::iter::repeat_n(1.0, 40));
         v.extend((0..30).map(|i| 2.0 + i as f64));
         let bins = equal_frequency_bins(&v, 4);
-        let one_bins: std::collections::HashSet<u32> =
-            (30..70).map(|i| bins[i]).collect();
+        let one_bins: std::collections::HashSet<u32> = (30..70).map(|i| bins[i]).collect();
         assert_eq!(one_bins.len(), 1);
     }
 

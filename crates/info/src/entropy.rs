@@ -4,8 +4,12 @@
 //! **bits**. NULL is treated as an ordinary category: dirty marketplace data
 //! carries information in its missingness, and Definition 2.4 explicitly
 //! builds distributions containing NULL coordinates.
+//!
+//! Entropy only consumes *counts*, never key values, so everything here runs
+//! on the dense group-id kernel ([`dance_relation::group_ids`]): no boxed
+//! keys are materialized at any point.
 
-use dance_relation::{joint_counts, value_counts, AttrSet, Result, Table};
+use dance_relation::{group_ids, AttrSet, Result, Table};
 
 /// Entropy (bits) of a discrete distribution given by `counts` with total `n`.
 ///
@@ -29,11 +33,8 @@ pub fn entropy_from_counts(counts: impl IntoIterator<Item = u64>, n: u64) -> f64
 
 /// Empirical Shannon entropy `H(attrs)` of a table (compound key).
 pub fn shannon_entropy(t: &Table, attrs: &AttrSet) -> Result<f64> {
-    let counts = value_counts(t, attrs)?;
-    Ok(entropy_from_counts(
-        counts.values().copied(),
-        t.num_rows() as u64,
-    ))
+    let g = group_ids(t, attrs)?;
+    Ok(entropy_from_counts(g.counts(), t.num_rows() as u64))
 }
 
 /// Joint entropy `H(X, Y)`.
@@ -48,10 +49,13 @@ pub fn conditional_entropy(t: &Table, x: &AttrSet, y: &AttrSet) -> Result<f64> {
 
 /// Mutual information `I(X; Y) = H(X) + H(Y) − H(X, Y)` (never negative).
 pub fn mutual_information(t: &Table, x: &AttrSet, y: &AttrSet) -> Result<f64> {
-    let j = joint_counts(t, x, y)?;
-    let hx = entropy_from_counts(j.x.values().copied(), j.n);
-    let hy = entropy_from_counts(j.y.values().copied(), j.n);
-    let hxy = entropy_from_counts(j.xy.values().copied(), j.n);
+    let gx = group_ids(t, x)?;
+    let gy = group_ids(t, y)?;
+    let joint = gx.zip(&gy);
+    let n = t.num_rows() as u64;
+    let hx = entropy_from_counts(gx.counts(), n);
+    let hy = entropy_from_counts(gy.counts(), n);
+    let hxy = entropy_from_counts(joint.grouping().counts(), n);
     Ok((hx + hy - hxy).max(0.0))
 }
 
@@ -130,10 +134,7 @@ mod tests {
         let t = Table::from_rows(
             "n",
             &[("nul_x", ValueType::Str)],
-            vec![
-                vec![Value::Null],
-                vec![Value::str("a")],
-            ],
+            vec![vec![Value::Null], vec![Value::str("a")]],
         )
         .unwrap();
         let h = shannon_entropy(&t, &AttrSet::from_names(["nul_x"])).unwrap();

@@ -20,6 +20,13 @@
 //! Keys containing NULL never match (SQL semantics) and land in the unmatched
 //! branches. [`ji_from_counts`] works straight off two key histograms — the
 //! same code path serves exact computation and sampled estimation (§3.1).
+//!
+//! JI is the one measure that genuinely needs materialized key *values*:
+//! matching happens **across two tables**, whose dense group ids are not
+//! comparable. The histograms therefore stay [`GroupKey`]-keyed, but they are
+//! built by the dense kernel ([`dance_relation::group_ids`] under
+//! [`value_counts`]), which materializes one boxed key per distinct group
+//! instead of hashing one per row.
 
 use dance_relation::{value_counts, AttrSet, FxHashMap, GroupKey, Result, Table, Value};
 
@@ -38,10 +45,7 @@ fn degenerate_ji(matched_pairs: u128, total_pairs: u128) -> f64 {
 }
 
 /// JI from per-table key histograms (counts of each distinct `J`-key).
-pub fn ji_from_counts(
-    left: &FxHashMap<GroupKey, u64>,
-    right: &FxHashMap<GroupKey, u64>,
-) -> f64 {
+pub fn ji_from_counts(left: &FxHashMap<GroupKey, u64>, right: &FxHashMap<GroupKey, u64>) -> f64 {
     // Pair categories and their sizes.
     let mut joint: Vec<u128> = Vec::new();
     let mut matched_pairs: u128 = 0;
@@ -157,11 +161,22 @@ mod tests {
         // For n disjoint keys per side, JI = (log2(2n) − 1)/log2(2n) → 1.
         let keys_l: Vec<String> = (0..64).map(|i| format!("l{i}")).collect();
         let keys_r: Vec<String> = (0..64).map(|i| format!("r{i}")).collect();
-        let l = table("L", "ji_k", &keys_l.iter().map(String::as_str).collect::<Vec<_>>());
-        let r = table("R", "ji_k", &keys_r.iter().map(String::as_str).collect::<Vec<_>>());
+        let l = table(
+            "L",
+            "ji_k",
+            &keys_l.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        let r = table(
+            "R",
+            "ji_k",
+            &keys_r.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
         let ji = join_informativeness(&l, &r, &AttrSet::from_names(["ji_k"])).unwrap();
         let expected = ((128f64).log2() - 1.0) / (128f64).log2();
-        assert!((ji - expected).abs() < 1e-9, "ji = {ji}, expected {expected}");
+        assert!(
+            (ji - expected).abs() < 1e-9,
+            "ji = {ji}, expected {expected}"
+        );
         assert!(ji > 0.85);
     }
 

@@ -1,8 +1,10 @@
 //! Property tests of the information-theoretic measures.
 
 use dance_info::{
-    conditional_entropy, join_informativeness, mutual_information, shannon_entropy,
+    conditional_entropy, entropy_from_counts, ji_from_counts, join_informativeness,
+    mutual_information, shannon_entropy,
 };
+use dance_relation::histogram::legacy;
 use dance_relation::{AttrSet, Table, Value, ValueType};
 use proptest::prelude::*;
 
@@ -24,6 +26,39 @@ fn arb_table() -> impl Strategy<Value = Table> {
         )
         .unwrap()
     })
+}
+
+/// Random tables with string/float keys and NULLs, to pin the dense kernels
+/// against the legacy path on every encoding.
+fn arb_typed_table() -> impl Strategy<Value = Table> {
+    (1usize..8, 1usize..60, 0u64..500).prop_map(|(k, n, seed)| {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                let h = dance_relation::hash::stable_hash64(seed, &(i as u64));
+                let s = match h % (k as u64 + 1) {
+                    0 => Value::Null,
+                    v => Value::str(format!("k{v}")),
+                };
+                let f = match (h >> 24) % 4 {
+                    0 => Value::Null,
+                    v => Value::Float(v as f64 * 0.5),
+                };
+                vec![s, f]
+            })
+            .collect();
+        Table::from_rows(
+            "pt",
+            &[("pt_x", ValueType::Str), ("pt_y", ValueType::Float)],
+            rows,
+        )
+        .unwrap()
+    })
+}
+
+/// H over the legacy per-row `GroupKey` histogram (reference implementation).
+fn legacy_entropy(t: &Table, attrs: &AttrSet) -> f64 {
+    let counts = legacy::value_counts(t, attrs).unwrap();
+    entropy_from_counts(counts.values().copied(), t.num_rows() as u64)
 }
 
 proptest! {
@@ -57,6 +92,37 @@ proptest! {
             let self_ji = join_informativeness(&a, &a, &j).unwrap();
             prop_assert!(self_ji.abs() < 1e-9, "self-join fully matched: {}", self_ji);
         }
+    }
+
+    /// Dense-kernel entropies equal the legacy `GroupKey` path exactly:
+    /// `H(X)`, `H(Y)`, joint `H(X,Y)` and the derived `I(X;Y)`.
+    #[test]
+    fn dense_entropy_matches_legacy(t in arb_typed_table()) {
+        let x = AttrSet::from_names(["pt_x"]);
+        let y = AttrSet::from_names(["pt_y"]);
+        let xy = x.union(&y);
+        for attrs in [&x, &y, &xy] {
+            let dense = shannon_entropy(&t, attrs).unwrap();
+            let slow = legacy_entropy(&t, attrs);
+            prop_assert!((dense - slow).abs() < 1e-12, "H({}) {} vs {}", attrs, dense, slow);
+        }
+        let mi_dense = mutual_information(&t, &x, &y).unwrap();
+        let mi_slow =
+            (legacy_entropy(&t, &x) + legacy_entropy(&t, &y) - legacy_entropy(&t, &xy)).max(0.0);
+        prop_assert!((mi_dense - mi_slow).abs() < 1e-12, "MI {} vs {}", mi_dense, mi_slow);
+    }
+
+    /// JI computed from dense-kernel histograms equals JI from legacy
+    /// per-row histograms on random table pairs.
+    #[test]
+    fn dense_ji_matches_legacy(a in arb_typed_table(), b in arb_typed_table()) {
+        let j = AttrSet::from_names(["pt_x"]);
+        let dense = join_informativeness(&a, &b, &j).unwrap();
+        let slow = ji_from_counts(
+            &legacy::value_counts(&a, &j).unwrap(),
+            &legacy::value_counts(&b, &j).unwrap(),
+        );
+        prop_assert!((dense - slow).abs() < 1e-12, "JI {} vs {}", dense, slow);
     }
 
     /// Self-correlation is non-negative and bounded by the relevant entropy:

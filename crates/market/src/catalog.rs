@@ -64,8 +64,16 @@ mod tests {
 
     #[test]
     fn common_attrs_by_name() {
-        let a = meta(0, "a", &[("cat_j", ValueType::Int), ("cat_x", ValueType::Str)]);
-        let b = meta(1, "b", &[("cat_j", ValueType::Int), ("cat_y", ValueType::Str)]);
+        let a = meta(
+            0,
+            "a",
+            &[("cat_j", ValueType::Int), ("cat_x", ValueType::Str)],
+        );
+        let b = meta(
+            1,
+            "b",
+            &[("cat_j", ValueType::Int), ("cat_y", ValueType::Str)],
+        );
         assert_eq!(a.common_attrs(&b), AttrSet::from_names(["cat_j"]));
         assert_eq!(a.attr_set().len(), 2);
     }

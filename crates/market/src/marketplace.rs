@@ -235,7 +235,9 @@ mod tests {
     #[test]
     fn unknown_dataset_is_error() {
         let mut m = market();
-        assert!(m.quote(DatasetId(9), &AttrSet::from_names(["mk_zip"])).is_err());
+        assert!(m
+            .quote(DatasetId(9), &AttrSet::from_names(["mk_zip"]))
+            .is_err());
         assert!(m
             .buy_sample(DatasetId(9), &AttrSet::from_names(["mk_zip"]), 0.5, 1)
             .is_err());
@@ -244,7 +246,9 @@ mod tests {
     #[test]
     fn projection_price_cheaper_than_whole_dataset() {
         let m = market();
-        let part = m.quote(DatasetId(0), &AttrSet::from_names(["mk_state"])).unwrap();
+        let part = m
+            .quote(DatasetId(0), &AttrSet::from_names(["mk_state"]))
+            .unwrap();
         let whole = m
             .quote(DatasetId(0), &AttrSet::from_names(["mk_zip", "mk_state"]))
             .unwrap();

@@ -19,8 +19,8 @@
 //! both. The property tests at the bottom check exactly these two laws on
 //! random tables.
 
-use dance_relation::{AttrSet, Result, Table};
 use dance_info::entropy::shannon_entropy;
+use dance_relation::{AttrSet, Result, Table};
 
 /// A model that prices projection queries against a concrete instance.
 pub trait PricingModel {

@@ -33,7 +33,11 @@ impl ProjectionQuery {
 
 impl fmt::Display for ProjectionQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: π_{}({})", self.dataset, self.attrs, self.dataset_name)
+        write!(
+            f,
+            "{}: π_{}({})",
+            self.dataset, self.attrs, self.dataset_name
+        )
     }
 }
 

@@ -100,10 +100,7 @@ pub fn correct_rows(t: &Table, fd: &Fd) -> Result<Vec<bool>> {
     Ok(mask)
 }
 
-fn pick(
-    best: Option<(usize, u32, u32)>,
-    cand: (usize, u32, u32),
-) -> Option<(usize, u32, u32)> {
+fn pick(best: Option<(usize, u32, u32)>, cand: (usize, u32, u32)) -> Option<(usize, u32, u32)> {
     match best {
         None => Some(cand),
         Some(b) => {

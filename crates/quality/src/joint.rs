@@ -130,7 +130,11 @@ mod tests {
     fn join_can_improve_quality() {
         let dirty = Table::from_rows(
             "dirty",
-            &[("up_k", ValueType::Int), ("up_x", ValueType::Str), ("up_y", ValueType::Str)],
+            &[
+                ("up_k", ValueType::Int),
+                ("up_x", ValueType::Str),
+                ("up_y", ValueType::Str),
+            ],
             vec![
                 vec![Value::Int(1), Value::str("x"), Value::str("ok")],
                 vec![Value::Int(1), Value::str("x"), Value::str("ok")],
@@ -143,14 +147,15 @@ mod tests {
         assert!((q_before - 2.0 / 3.0).abs() < 1e-12);
 
         // Joining with a filter table that only matches k = 1 drops the violator.
-        let filter = Table::from_rows(
-            "f",
-            &[("up_k", ValueType::Int)],
-            vec![vec![Value::Int(1)]],
+        let filter =
+            Table::from_rows("f", &[("up_k", ValueType::Int)], vec![vec![Value::Int(1)]]).unwrap();
+        let j = hash_join(
+            &dirty,
+            &filter,
+            &AttrSet::from_names(["up_k"]),
+            JoinKind::Inner,
         )
         .unwrap();
-        let j = hash_join(&dirty, &filter, &AttrSet::from_names(["up_k"]), JoinKind::Inner)
-            .unwrap();
         let q_after = joint_quality(&j, &[fd]).unwrap();
         assert_eq!(q_after, 1.0);
     }
@@ -167,9 +172,24 @@ mod tests {
             ],
             vec![
                 // a→b violated by row 2; c→d violated by row 0.
-                vec![Value::str("a1"), Value::str("b1"), Value::str("c1"), Value::str("dX")],
-                vec![Value::str("a1"), Value::str("b1"), Value::str("c1"), Value::str("d1")],
-                vec![Value::str("a1"), Value::str("b2"), Value::str("c1"), Value::str("d1")],
+                vec![
+                    Value::str("a1"),
+                    Value::str("b1"),
+                    Value::str("c1"),
+                    Value::str("dX"),
+                ],
+                vec![
+                    Value::str("a1"),
+                    Value::str("b1"),
+                    Value::str("c1"),
+                    Value::str("d1"),
+                ],
+                vec![
+                    Value::str("a1"),
+                    Value::str("b2"),
+                    Value::str("c1"),
+                    Value::str("d1"),
+                ],
             ],
         )
         .unwrap();
@@ -197,7 +217,11 @@ mod tests {
         // Table where zip→state holds approximately; quality < 1 but > 0.8.
         let rows: Vec<Vec<Value>> = (0..100)
             .map(|i| {
-                let state = if i < 8 { "BAD".into() } else { format!("s{}", i % 5) };
+                let state = if i < 8 {
+                    "BAD".into()
+                } else {
+                    format!("s{}", i % 5)
+                };
                 vec![Value::str(format!("z{}", i % 5)), Value::str(state)]
             })
             .collect();

@@ -9,7 +9,7 @@
 //! without touching values, which is what makes TANE tractable on the
 //! marketplace instances.
 
-use dance_relation::{group_rows, AttrSet, Result, Table};
+use dance_relation::{group_ids, AttrSet, Result, Table};
 
 /// Sentinel class id for rows in singleton classes.
 pub const SINGLETON: u32 = u32::MAX;
@@ -24,16 +24,29 @@ pub struct Partition {
 }
 
 impl Partition {
-    /// Build `π_attrs` of `t`.
+    /// Build `π_attrs` of `t` via the dense group-id kernel: rows are binned
+    /// by compact id and only multi-row groups are materialized, so no keys
+    /// are boxed or hashed.
     pub fn by(t: &Table, attrs: &AttrSet) -> Result<Partition> {
-        let groups = group_rows(t, attrs)?;
-        let mut classes: Vec<Vec<u32>> = groups
-            .into_values()
-            .filter(|rows| rows.len() >= 2)
-            .collect();
-        for c in &mut classes {
-            c.sort_unstable();
+        let g = group_ids(t, attrs)?;
+        let counts = g.counts();
+        // Map multi-row groups to class slots; singletons are stripped.
+        let mut class_of = vec![u32::MAX; counts.len()];
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for (gid, &c) in counts.iter().enumerate() {
+            if c >= 2 {
+                class_of[gid] = classes.len() as u32;
+                classes.push(Vec::with_capacity(c as usize));
+            }
         }
+        for (r, &gid) in g.ids().iter().enumerate() {
+            let cid = class_of[gid as usize];
+            if cid != u32::MAX {
+                classes[cid as usize].push(r as u32);
+            }
+        }
+        // Row-order filling leaves each class ascending; only the cross-class
+        // order needs normalizing to keep the representation canonical.
         classes.sort_unstable();
         Ok(Partition {
             classes,

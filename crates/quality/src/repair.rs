@@ -14,7 +14,8 @@ use dance_relation::{Result, Table};
 /// Delete every row violating any of `fds`; returns the cleaned table.
 pub fn clean(t: &Table, fds: &[Fd]) -> Result<Table> {
     let mask = joint_correct_rows(t, fds)?;
-    Ok(t.filter(|r| mask[r]).with_name(format!("{}∥clean", t.name())))
+    Ok(t.filter(|r| mask[r])
+        .with_name(format!("{}∥clean", t.name())))
 }
 
 /// Fraction of rows a cleaning pass would delete.

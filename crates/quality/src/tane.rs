@@ -231,7 +231,9 @@ mod tests {
         assert!(rhs.contains(&attr("tn_zip")));
         assert!(rhs.contains(&attr("tn_state")));
         // Key LHS is never extended: no FD has a superset of {id} as LHS.
-        assert!(found.iter().all(|d| !(d.fd.lhs.len() > 1 && id.is_subset(&d.fd.lhs))));
+        assert!(found
+            .iter()
+            .all(|d| !(d.fd.lhs.len() > 1 && id.is_subset(&d.fd.lhs))));
     }
 
     #[test]

@@ -66,6 +66,30 @@ proptest! {
         }
     }
 
+    /// The dense-kernel partition equals the partition built from the legacy
+    /// per-row `GroupKey` grouping: identical stripped classes, and mutual
+    /// refinement on every attribute set.
+    #[test]
+    fn dense_partition_matches_legacy(t in arb_table()) {
+        for attrs in [
+            AttrSet::from_names(["pq_x"]),
+            AttrSet::from_names(["pq_y"]),
+            AttrSet::from_names(["pq_x", "pq_y"]),
+        ] {
+            let dense = Partition::by(&t, &attrs).unwrap();
+            let legacy_classes: Vec<Vec<u32>> =
+                dance_relation::histogram::legacy::group_rows(&t, &attrs)
+                    .unwrap()
+                    .into_values()
+                    .collect();
+            let slow = Partition::from_classes(legacy_classes, t.num_rows());
+            prop_assert_eq!(dense.classes(), slow.classes(), "classes diverged on {}", attrs);
+            prop_assert!(dense.refines(&slow) && slow.refines(&dense));
+            prop_assert_eq!(dense.num_classes(), slow.num_classes());
+            prop_assert_eq!(dense.support(), slow.support());
+        }
+    }
+
     /// Partition product is the partition of the union attribute set.
     #[test]
     fn product_law(t in arb_table()) {

@@ -189,9 +189,7 @@ impl Column {
             out
         });
         let data = match &self.data {
-            ColumnData::Int(v) => {
-                ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect())
-            }
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect()),
             ColumnData::Float(v) => {
                 ColumnData::Float(indices.iter().map(|&i| v[i as usize]).collect())
             }
@@ -234,7 +232,11 @@ impl Column {
                 Arc::clone(d),
             ),
         };
-        let validity = if validity.all_set() { None } else { Some(validity) };
+        let validity = if validity.all_set() {
+            None
+        } else {
+            Some(validity)
+        };
         Column { data, validity }
     }
 }
@@ -359,7 +361,12 @@ mod tests {
             ),
             (
                 ValueType::Str,
-                vec![Value::str("NJ"), Value::str("NY"), Value::Null, Value::str("NJ")],
+                vec![
+                    Value::str("NJ"),
+                    Value::str("NY"),
+                    Value::Null,
+                    Value::str("NJ"),
+                ],
             ),
         ] {
             let c = Column::from_values(ty, &vals).unwrap();

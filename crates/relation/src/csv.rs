@@ -208,8 +208,14 @@ mod tests {
         assert_eq!(t.num_rows(), 3);
         assert_eq!(t.schema().type_of(attr("csv_id")), Some(ValueType::Int));
         assert_eq!(t.schema().type_of(attr("csv_name")), Some(ValueType::Str));
-        assert_eq!(t.schema().type_of(attr("csv_score")), Some(ValueType::Float));
-        assert_eq!(t.value_by_attr(1, attr("csv_name")).unwrap(), Value::str("bob,jr"));
+        assert_eq!(
+            t.schema().type_of(attr("csv_score")),
+            Some(ValueType::Float)
+        );
+        assert_eq!(
+            t.value_by_attr(1, attr("csv_name")).unwrap(),
+            Value::str("bob,jr")
+        );
         assert!(t.value_by_attr(1, attr("csv_score")).unwrap().is_null());
         assert!(t.value_by_attr(2, attr("csv_name")).unwrap().is_null());
 

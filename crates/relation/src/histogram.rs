@@ -1,10 +1,21 @@
 //! Grouped counts over attribute sets.
 //!
 //! Entropy, correlation, join informativeness and partitions all reduce to
-//! "count rows per distinct key of an attribute set". These helpers centralize
-//! that, keyed by materialized [`GroupKey`]s (small boxed value slices).
+//! "count rows per distinct key of an attribute set". These helpers keep their
+//! historical [`GroupKey`]-keyed signatures — some consumers (cross-table JI
+//! matching) genuinely need materialized values — but are now backed by the
+//! dense group-id kernel of [`crate::group`]: one cheap columnar pass assigns
+//! each row a compact id, counts accumulate in a dense array, and a boxed key
+//! is materialized once per *group* instead of once per row.
+//!
+//! Consumers that never need values (entropy, partitions) should use
+//! [`crate::group::group_ids`] directly and skip key materialization
+//! entirely. The original per-row implementation survives in [`legacy`] as
+//! the executable reference: property tests pin the dense path to it, and the
+//! kernel benches measure the gap.
 
 use crate::error::Result;
+use crate::group::group_ids;
 use crate::hash::FxHashMap;
 use crate::schema::AttrSet;
 use crate::table::Table;
@@ -15,22 +26,18 @@ pub type GroupKey = Box<[Value]>;
 
 /// Count of rows per distinct key of `attrs`.
 pub fn value_counts(t: &Table, attrs: &AttrSet) -> Result<FxHashMap<GroupKey, u64>> {
-    let cols = t.attr_indices(attrs)?;
-    let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
-    for r in 0..t.num_rows() {
-        *counts.entry(t.key(r, &cols)).or_insert(0) += 1;
-    }
-    Ok(counts)
+    let g = group_ids(t, attrs)?;
+    let counts = g.counts();
+    let keys = g.materialize_keys(t, attrs)?;
+    Ok(keys.into_iter().zip(counts).collect())
 }
 
 /// Row indices per distinct key of `attrs` (the equivalence classes of Def 2.1).
 pub fn group_rows(t: &Table, attrs: &AttrSet) -> Result<FxHashMap<GroupKey, Vec<u32>>> {
-    let cols = t.attr_indices(attrs)?;
-    let mut groups: FxHashMap<GroupKey, Vec<u32>> = FxHashMap::default();
-    for r in 0..t.num_rows() {
-        groups.entry(t.key(r, &cols)).or_default().push(r as u32);
-    }
-    Ok(groups)
+    let g = group_ids(t, attrs)?;
+    let rows = g.rows_by_group();
+    let keys = g.materialize_keys(t, attrs)?;
+    Ok(keys.into_iter().zip(rows).collect())
 }
 
 /// Joint and marginal counts of two attribute sets over the same table.
@@ -48,25 +55,84 @@ pub struct JointCounts {
 
 /// Compute [`JointCounts`] for attribute sets `x` and `y` of `t`.
 pub fn joint_counts(t: &Table, x: &AttrSet, y: &AttrSet) -> Result<JointCounts> {
-    let xc = t.attr_indices(x)?;
-    let yc = t.attr_indices(y)?;
+    let gx = group_ids(t, x)?;
+    let gy = group_ids(t, y)?;
+    let joint = gx.zip(&gy);
+
+    let x_keys = gx.materialize_keys(t, x)?;
+    let y_keys = gy.materialize_keys(t, y)?;
+
     let mut out = JointCounts {
         n: t.num_rows() as u64,
         ..JointCounts::default()
     };
-    for r in 0..t.num_rows() {
-        let kx = t.key(r, &xc);
-        let ky = t.key(r, &yc);
-        *out.x.entry(kx.clone()).or_insert(0) += 1;
-        *out.y.entry(ky.clone()).or_insert(0) += 1;
-        *out.xy.entry((kx, ky)).or_insert(0) += 1;
+    for (key, count) in x_keys.iter().zip(gx.counts()) {
+        out.x.insert(key.clone(), count);
+    }
+    for (key, count) in y_keys.iter().zip(gy.counts()) {
+        out.y.insert(key.clone(), count);
+    }
+    for (g, count) in joint.grouping().counts().into_iter().enumerate() {
+        let kx = x_keys[joint.x_of(g) as usize].clone();
+        let ky = y_keys[joint.y_of(g) as usize].clone();
+        out.xy.insert((kx, ky), count);
     }
     Ok(out)
 }
 
-/// Number of distinct keys of `attrs`.
+/// Number of distinct keys of `attrs` (no key materialization at all).
 pub fn distinct_count(t: &Table, attrs: &AttrSet) -> Result<usize> {
-    Ok(value_counts(t, attrs)?.len())
+    Ok(group_ids(t, attrs)?.num_groups())
+}
+
+/// The original per-row `GroupKey` implementations, kept as the executable
+/// reference for the dense kernels: property tests assert equivalence and
+/// `cargo bench -p dance-bench` (kernels) measures the speedup. Not for
+/// production call sites.
+pub mod legacy {
+    use super::{GroupKey, JointCounts};
+    use crate::error::Result;
+    use crate::hash::FxHashMap;
+    use crate::schema::AttrSet;
+    use crate::table::Table;
+
+    /// Per-row reference implementation of [`super::value_counts`].
+    pub fn value_counts(t: &Table, attrs: &AttrSet) -> Result<FxHashMap<GroupKey, u64>> {
+        let cols = t.attr_indices(attrs)?;
+        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
+        for r in 0..t.num_rows() {
+            *counts.entry(t.key(r, &cols)).or_insert(0) += 1;
+        }
+        Ok(counts)
+    }
+
+    /// Per-row reference implementation of [`super::group_rows`].
+    pub fn group_rows(t: &Table, attrs: &AttrSet) -> Result<FxHashMap<GroupKey, Vec<u32>>> {
+        let cols = t.attr_indices(attrs)?;
+        let mut groups: FxHashMap<GroupKey, Vec<u32>> = FxHashMap::default();
+        for r in 0..t.num_rows() {
+            groups.entry(t.key(r, &cols)).or_default().push(r as u32);
+        }
+        Ok(groups)
+    }
+
+    /// Per-row reference implementation of [`super::joint_counts`].
+    pub fn joint_counts(t: &Table, x: &AttrSet, y: &AttrSet) -> Result<JointCounts> {
+        let xc = t.attr_indices(x)?;
+        let yc = t.attr_indices(y)?;
+        let mut out = JointCounts {
+            n: t.num_rows() as u64,
+            ..JointCounts::default()
+        };
+        for r in 0..t.num_rows() {
+            let kx = t.key(r, &xc);
+            let ky = t.key(r, &yc);
+            *out.x.entry(kx.clone()).or_insert(0) += 1;
+            *out.y.entry(ky.clone()).or_insert(0) += 1;
+            *out.xy.entry((kx, ky)).or_insert(0) += 1;
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +193,40 @@ mod tests {
     fn multi_attribute_keys() {
         let c = value_counts(&t(), &AttrSet::from_names(["hist_a", "hist_b"])).unwrap();
         assert_eq!(c.len(), 4);
-        assert_eq!(distinct_count(&t(), &AttrSet::from_names(["hist_a", "hist_b"])).unwrap(), 4);
+        assert_eq!(
+            distinct_count(&t(), &AttrSet::from_names(["hist_a", "hist_b"])).unwrap(),
+            4
+        );
+    }
+
+    #[test]
+    fn dense_paths_match_legacy_reference() {
+        let table = t();
+        let on = AttrSet::from_names(["hist_a", "hist_b"]);
+        assert_eq!(
+            value_counts(&table, &on).unwrap(),
+            legacy::value_counts(&table, &on).unwrap()
+        );
+        let mut dense = group_rows(&table, &on).unwrap();
+        let mut slow = legacy::group_rows(&table, &on).unwrap();
+        for rows in dense.values_mut().chain(slow.values_mut()) {
+            rows.sort_unstable();
+        }
+        assert_eq!(dense, slow);
+        let dj = joint_counts(
+            &table,
+            &AttrSet::from_names(["hist_a"]),
+            &AttrSet::from_names(["hist_b"]),
+        )
+        .unwrap();
+        let lj = legacy::joint_counts(
+            &table,
+            &AttrSet::from_names(["hist_a"]),
+            &AttrSet::from_names(["hist_b"]),
+        )
+        .unwrap();
+        assert_eq!(dj.xy, lj.xy);
+        assert_eq!(dj.x, lj.x);
+        assert_eq!(dj.y, lj.y);
     }
 }

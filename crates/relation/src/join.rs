@@ -41,12 +41,8 @@ pub fn hash_join(left: &Table, right: &Table, on: &AttrSet, kind: JoinKind) -> R
             "join attribute set is empty".into(),
         ));
     }
-    let lcols = left
-        .attr_indices(on)
-        .map_err(|_| missing(on, left))?;
-    let rcols = right
-        .attr_indices(on)
-        .map_err(|_| missing(on, right))?;
+    let lcols = left.attr_indices(on).map_err(|_| missing(on, left))?;
+    let rcols = right.attr_indices(on).map_err(|_| missing(on, right))?;
     for (l, r) in lcols.iter().zip(&rcols) {
         let lt = left.schema().attributes()[*l].ty;
         let rt = right.schema().attributes()[*r].ty;
@@ -204,27 +200,31 @@ pub fn join_tree(
     let mut joined = vec![false; tables.len()];
     let mut used = vec![false; edges.len()];
     let start = edges[0].a;
-    let mut acc = (*tables[start]).clone();
+    // The accumulator starts as a *borrow* of the first table: the opening
+    // join reads it in place, so no full-table copy happens on any chain.
+    let mut acc: Option<Table> = None;
     joined[start] = true;
     for _ in 0..edges.len() {
-        let next = edges.iter().enumerate().find(|(i, e)| {
-            !used[*i] && (joined[e.a] ^ joined[e.b])
-        });
+        let next = edges
+            .iter()
+            .enumerate()
+            .find(|(i, e)| !used[*i] && (joined[e.a] ^ joined[e.b]));
         let (i, edge) = next.ok_or_else(|| {
             RelationError::InvalidJoin("join edges do not form a connected tree".into())
         })?;
         used[i] = true;
         let new_side = if joined[edge.a] { edge.b } else { edge.a };
         joined[new_side] = true;
-        acc = hash_join(&acc, tables[new_side], &edge.on, JoinKind::Inner)?;
-        acc = intermediate(acc);
+        let left: &Table = acc.as_ref().unwrap_or(tables[start]);
+        let step = hash_join(left, tables[new_side], &edge.on, JoinKind::Inner)?;
+        acc = Some(intermediate(step));
     }
     if joined.iter().any(|j| !j) {
         return Err(RelationError::InvalidJoin(
             "join edges leave some tables unreached".into(),
         ));
     }
-    Ok(acc)
+    Ok(acc.expect("at least one edge was joined"))
 }
 
 #[cfg(test)]
@@ -251,7 +251,10 @@ mod tests {
     fn disease_table() -> Table {
         Table::from_rows(
             "D2",
-            &[("join_state", ValueType::Str), ("join_cases", ValueType::Int)],
+            &[
+                ("join_state", ValueType::Str),
+                ("join_cases", ValueType::Int),
+            ],
             vec![
                 vec![Value::str("MA"), Value::Int(300)],
                 vec![Value::str("NJ"), Value::Int(400)],
@@ -327,12 +330,8 @@ mod tests {
 
     #[test]
     fn join_type_mismatch_rejected() {
-        let l = Table::from_rows(
-            "l",
-            &[("tm_k", ValueType::Int)],
-            vec![vec![Value::Int(1)]],
-        )
-        .unwrap();
+        let l =
+            Table::from_rows("l", &[("tm_k", ValueType::Int)], vec![vec![Value::Int(1)]]).unwrap();
         let r = Table::from_rows(
             "r",
             &[("tm_k", ValueType::Str)],
@@ -399,8 +398,16 @@ mod tests {
         let j = join_tree(
             &[&a, &b, &c],
             &[
-                JoinEdge { a: 0, b: 1, on: AttrSet::from_names(["tw_y"]) },
-                JoinEdge { a: 1, b: 2, on: AttrSet::from_names(["tw_z"]) },
+                JoinEdge {
+                    a: 0,
+                    b: 1,
+                    on: AttrSet::from_names(["tw_y"]),
+                },
+                JoinEdge {
+                    a: 1,
+                    b: 2,
+                    on: AttrSet::from_names(["tw_z"]),
+                },
             ],
             |t| {
                 hook_calls += 1;
@@ -415,17 +422,25 @@ mod tests {
 
     #[test]
     fn disconnected_tree_rejected() {
-        let a = Table::from_rows("A", &[("dj_x", ValueType::Int)], vec![vec![Value::Int(1)]])
-            .unwrap();
-        let b = Table::from_rows("B", &[("dj_x", ValueType::Int)], vec![vec![Value::Int(1)]])
-            .unwrap();
-        let c = Table::from_rows("C", &[("dj_y", ValueType::Int)], vec![vec![Value::Int(1)]])
-            .unwrap();
+        let a =
+            Table::from_rows("A", &[("dj_x", ValueType::Int)], vec![vec![Value::Int(1)]]).unwrap();
+        let b =
+            Table::from_rows("B", &[("dj_x", ValueType::Int)], vec![vec![Value::Int(1)]]).unwrap();
+        let c =
+            Table::from_rows("C", &[("dj_y", ValueType::Int)], vec![vec![Value::Int(1)]]).unwrap();
         let r = join_tree(
             &[&a, &b, &c],
             &[
-                JoinEdge { a: 0, b: 1, on: AttrSet::from_names(["dj_x"]) },
-                JoinEdge { a: 0, b: 1, on: AttrSet::from_names(["dj_x"]) },
+                JoinEdge {
+                    a: 0,
+                    b: 1,
+                    on: AttrSet::from_names(["dj_x"]),
+                },
+                JoinEdge {
+                    a: 0,
+                    b: 1,
+                    on: AttrSet::from_names(["dj_x"]),
+                },
             ],
             |t| t,
         );

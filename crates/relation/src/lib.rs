@@ -42,6 +42,7 @@ pub mod bitmap;
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod group;
 pub mod hash;
 pub mod histogram;
 pub mod join;
@@ -52,8 +53,9 @@ pub mod value;
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder, ColumnData, StrDict};
 pub use error::{RelationError, Result};
+pub use group::{group_ids, Grouping, JointGrouping};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use histogram::{group_rows, joint_counts, value_counts, GroupKey};
+pub use histogram::{distinct_count, group_rows, joint_counts, value_counts, GroupKey};
 pub use schema::{attr, AttrId, AttrSet, Attribute, Schema};
 pub use table::Table;
 pub use value::{Value, ValueType};

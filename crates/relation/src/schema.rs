@@ -259,21 +259,14 @@ impl Schema {
     pub fn new(attrs: Vec<Attribute>) -> Result<Schema> {
         let set = AttrSet::from_ids(attrs.iter().map(|a| a.id));
         if set.len() != attrs.len() {
-            return Err(RelationError::Shape(
-                "duplicate attribute in schema".into(),
-            ));
+            return Err(RelationError::Shape("duplicate attribute in schema".into()));
         }
         Ok(Schema { attrs })
     }
 
     /// Build from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, ValueType)]) -> Result<Schema> {
-        Schema::new(
-            pairs
-                .iter()
-                .map(|(n, t)| Attribute::new(n, *t))
-                .collect(),
-        )
+        Schema::new(pairs.iter().map(|(n, t)| Attribute::new(n, *t)).collect())
     }
 
     /// Number of attributes.

@@ -149,7 +149,9 @@ impl Table {
 
     /// All values of one row, in schema order.
     pub fn row(&self, row: usize) -> Vec<Value> {
-        (0..self.columns.len()).map(|c| self.value(row, c)).collect()
+        (0..self.columns.len())
+            .map(|c| self.value(row, c))
+            .collect()
     }
 
     /// Projection π_A(D). Keeps this table's column order.
@@ -208,9 +210,11 @@ impl Table {
             .collect();
         let mut rows: Vec<Vec<String>> = vec![header];
         for r in 0..self.nrows.min(limit) {
-            rows.push((0..self.columns.len())
-                .map(|c| self.value(r, c).to_string())
-                .collect());
+            rows.push(
+                (0..self.columns.len())
+                    .map(|c| self.value(r, c).to_string())
+                    .collect(),
+            );
         }
         let ncols = rows[0].len();
         let mut widths = vec![0usize; ncols];
@@ -242,13 +246,7 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}{} [{} rows]",
-            self.name,
-            self.schema,
-            self.nrows
-        )
+        write!(f, "{}{} [{} rows]", self.name, self.schema, self.nrows)
     }
 }
 
@@ -298,9 +296,7 @@ mod tests {
     #[test]
     fn projection_keeps_column_order() {
         let t = sample();
-        let p = t
-            .project(&AttrSet::from_names(["tbl_c", "tbl_a"]))
-            .unwrap();
+        let p = t.project(&AttrSet::from_names(["tbl_c", "tbl_a"])).unwrap();
         assert_eq!(p.num_attrs(), 2);
         assert_eq!(p.schema().attributes()[0].id, attr("tbl_a"));
         assert!(p.project(&AttrSet::from_names(["tbl_b"])).is_err());
@@ -321,10 +317,15 @@ mod tests {
     #[test]
     fn keys_and_rows() {
         let t = sample();
-        let cols = t.attr_indices(&AttrSet::from_names(["tbl_a", "tbl_b"])).unwrap();
+        let cols = t
+            .attr_indices(&AttrSet::from_names(["tbl_a", "tbl_b"]))
+            .unwrap();
         let k = t.key(0, &cols);
         assert_eq!(&*k, &[Value::Int(1), Value::str("x")]);
-        assert_eq!(t.row(2), vec![Value::Int(3), Value::str("x"), Value::Float(2.5)]);
+        assert_eq!(
+            t.row(2),
+            vec![Value::Int(3), Value::str("x"), Value::Float(2.5)]
+        );
     }
 
     #[test]

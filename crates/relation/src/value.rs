@@ -105,9 +105,11 @@ impl Value {
         }
     }
 
-    /// NaNs are collapsed to one canonical bit pattern for Eq/Hash.
+    /// NaNs are collapsed to one canonical bit pattern for Eq/Hash. The dense
+    /// group-id kernel ([`crate::group`]) reuses this so float grouping is
+    /// bit-identical to `Value` equality by construction.
     #[inline]
-    fn canonical_bits(x: f64) -> u64 {
+    pub(crate) fn canonical_bits(x: f64) -> u64 {
         if x.is_nan() {
             f64::NAN.to_bits()
         } else if x == 0.0 {

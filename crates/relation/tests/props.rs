@@ -1,7 +1,10 @@
 //! Property tests of the relational substrate's invariants.
 
+use dance_relation::histogram::legacy;
 use dance_relation::join::{hash_join, JoinKind};
-use dance_relation::{value_counts, AttrSet, Table, Value, ValueType};
+use dance_relation::{
+    group_ids, group_rows, joint_counts, value_counts, AttrSet, Table, Value, ValueType,
+};
 use proptest::prelude::*;
 
 /// Random small keyed tables: key domain 0..k, n rows, payload column.
@@ -10,15 +13,53 @@ fn arb_table(name: &'static str, attr: &'static str) -> impl Strategy<Value = Ta
         let rows: Vec<Vec<Value>> = (0..n)
             .map(|i| {
                 let h = dance_relation::hash::stable_hash64(seed, &(i as u64));
-                vec![
-                    Value::Int((h % k as u64) as i64),
-                    Value::Int(i as i64),
-                ]
+                vec![Value::Int((h % k as u64) as i64), Value::Int(i as i64)]
             })
             .collect();
         Table::from_rows(
             name,
-            &[(attr, ValueType::Int), (&format!("{attr}_{name}_pl"), ValueType::Int)],
+            &[
+                (attr, ValueType::Int),
+                (&format!("{attr}_{name}_pl"), ValueType::Int),
+            ],
+            rows,
+        )
+        .unwrap()
+    })
+}
+
+/// Random mixed-type tables exercising every encoding path of the group-id
+/// kernel: a string column, an int column and a float column, each with
+/// NULLs, plus −0.0 and repeated values.
+fn arb_mixed_table() -> impl Strategy<Value = Table> {
+    (1usize..6, 1usize..5, 0usize..50, 0u64..1000).prop_map(|(ks, ki, n, seed)| {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                let h = dance_relation::hash::stable_hash64(seed, &(i as u64));
+                let s = match h % (ks as u64 + 1) {
+                    0 => Value::Null,
+                    v => Value::str(format!("s{v}")),
+                };
+                let x = match (h >> 8) % (ki as u64 + 1) {
+                    0 => Value::Null,
+                    v => Value::Int(v as i64),
+                };
+                let f = match (h >> 16) % 5 {
+                    0 => Value::Null,
+                    1 => Value::Float(0.0),
+                    2 => Value::Float(-0.0),
+                    v => Value::Float(v as f64 / 2.0),
+                };
+                vec![s, x, f]
+            })
+            .collect();
+        Table::from_rows(
+            "mx",
+            &[
+                ("mx_s", ValueType::Str),
+                ("mx_i", ValueType::Int),
+                ("mx_f", ValueType::Float),
+            ],
             rows,
         )
         .unwrap()
@@ -91,6 +132,62 @@ proptest! {
     fn histogram_total(t in arb_table("ph", "ph_k")) {
         let c = value_counts(&t, &AttrSet::from_names(["ph_k"])).unwrap();
         prop_assert_eq!(c.values().sum::<u64>(), t.num_rows() as u64);
+    }
+
+    /// The dense group-id kernel agrees with the legacy per-row `GroupKey`
+    /// path on every histogram API, across all type/NULL combinations.
+    #[test]
+    fn dense_kernel_matches_legacy_histograms(t in arb_mixed_table()) {
+        for attrs in [
+            AttrSet::from_names(["mx_s"]),
+            AttrSet::from_names(["mx_i"]),
+            AttrSet::from_names(["mx_f"]),
+            AttrSet::from_names(["mx_s", "mx_i"]),
+            AttrSet::from_names(["mx_s", "mx_i", "mx_f"]),
+        ] {
+            let dense = value_counts(&t, &attrs).unwrap();
+            let slow = legacy::value_counts(&t, &attrs).unwrap();
+            prop_assert_eq!(&dense, &slow, "value_counts diverged on {}", attrs);
+
+            let mut dg = group_rows(&t, &attrs).unwrap();
+            let mut sg = legacy::group_rows(&t, &attrs).unwrap();
+            for rows in dg.values_mut().chain(sg.values_mut()) {
+                rows.sort_unstable();
+            }
+            prop_assert_eq!(dg, sg, "group_rows diverged on {}", attrs);
+        }
+    }
+
+    /// Dense joint counts agree with the legacy pairwise accumulation.
+    #[test]
+    fn dense_joint_counts_match_legacy(t in arb_mixed_table()) {
+        let x = AttrSet::from_names(["mx_s"]);
+        let y = AttrSet::from_names(["mx_i", "mx_f"]);
+        let dense = joint_counts(&t, &x, &y).unwrap();
+        let slow = legacy::joint_counts(&t, &x, &y).unwrap();
+        prop_assert_eq!(dense.n, slow.n);
+        prop_assert_eq!(dense.x, slow.x);
+        prop_assert_eq!(dense.y, slow.y);
+        prop_assert_eq!(dense.xy, slow.xy);
+    }
+
+    /// Structural invariants of the group-id encoding itself: ids are dense,
+    /// first-occurrence ordered, and counts total the rows.
+    #[test]
+    fn group_id_encoding_invariants(t in arb_mixed_table()) {
+        let attrs = AttrSet::from_names(["mx_s", "mx_f"]);
+        let g = group_ids(&t, &attrs).unwrap();
+        prop_assert_eq!(g.len(), t.num_rows());
+        let mut seen: u32 = 0;
+        for &id in g.ids() {
+            prop_assert!(id <= seen, "ids must appear in first-occurrence order");
+            if id == seen {
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen as usize, g.num_groups());
+        prop_assert_eq!(g.counts().iter().sum::<u64>(), t.num_rows() as u64);
+        prop_assert_eq!(g.materialize_keys(&t, &attrs).unwrap().len(), g.num_groups());
     }
 }
 

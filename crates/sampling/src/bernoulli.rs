@@ -57,11 +57,7 @@ mod tests {
         let b = bernoulli_sample(&table, 0.5, 7);
         assert_eq!(a.num_rows(), b.num_rows());
         let c = bernoulli_sample(&table, 0.5, 8);
-        let rows = |t: &Table| {
-            (0..t.num_rows())
-                .map(|r| t.value(r, 0))
-                .collect::<Vec<_>>()
-        };
+        let rows = |t: &Table| (0..t.num_rows()).map(|r| t.value(r, 0)).collect::<Vec<_>>();
         assert_eq!(rows(&a), rows(&b));
         assert_ne!(rows(&a), rows(&c));
     }

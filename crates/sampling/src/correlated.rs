@@ -8,7 +8,7 @@
 //! property behind the unbiasedness of the §3 estimators.
 
 use dance_relation::hash::{stable_hash64, unit_interval};
-use dance_relation::{AttrSet, Result, Table};
+use dance_relation::{group_ids, AttrSet, Result, Table};
 
 /// Deterministic correlated sampler: `rate` ∈ \[0, 1\], shared `seed`.
 #[derive(Debug, Clone, Copy)]
@@ -37,11 +37,22 @@ impl CorrelatedSampler {
     ///
     /// Rows whose key hashes below `rate` survive; duplicates of a key live or
     /// die together, here and in every other table sampled with the same seed.
+    ///
+    /// Duplicates share their key's fate by construction, so the key is
+    /// materialized and scored once per *distinct* group (via the dense
+    /// group-id kernel) rather than once per row — the per-row work is a
+    /// `u32` table lookup. The kept set is identical to scoring every row,
+    /// because the score depends only on the key's values.
     pub fn sample(&self, t: &Table, key_attrs: &AttrSet) -> Result<Table> {
-        let cols = t.attr_indices(key_attrs)?;
-        let keep: Vec<u32> = (0..t.num_rows())
-            .filter(|&r| self.score(&t.key(r, &cols)) < self.rate)
-            .map(|r| r as u32)
+        let g = group_ids(t, key_attrs)?;
+        let keys = g.materialize_keys(t, key_attrs)?;
+        let group_kept: Vec<bool> = keys.iter().map(|k| self.score(k) < self.rate).collect();
+        let keep: Vec<u32> = g
+            .ids()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &gid)| group_kept[gid as usize])
+            .map(|(r, _)| r as u32)
             .collect();
         Ok(t.gather(&keep)
             .with_name(format!("{}@{:.2}", t.name(), self.rate)))
@@ -62,7 +73,10 @@ mod tests {
             .collect();
         Table::from_rows(
             name,
-            &[(attr, ValueType::Int), (&format!("{attr}_payload_{name}"), ValueType::Int)],
+            &[
+                (attr, ValueType::Int),
+                (&format!("{attr}_payload_{name}"), ValueType::Int),
+            ],
             rows,
         )
         .unwrap()
@@ -72,10 +86,17 @@ mod tests {
     fn rate_zero_and_one() {
         let t = keyed_table("t", "cs_k", 50, 2);
         let s = CorrelatedSampler::new(0.0, 7);
-        assert_eq!(s.sample(&t, &AttrSet::from_names(["cs_k"])).unwrap().num_rows(), 0);
+        assert_eq!(
+            s.sample(&t, &AttrSet::from_names(["cs_k"]))
+                .unwrap()
+                .num_rows(),
+            0
+        );
         let s = CorrelatedSampler::new(1.0, 7);
         assert_eq!(
-            s.sample(&t, &AttrSet::from_names(["cs_k"])).unwrap().num_rows(),
+            s.sample(&t, &AttrSet::from_names(["cs_k"]))
+                .unwrap()
+                .num_rows(),
             t.num_rows()
         );
     }
@@ -86,8 +107,7 @@ mod tests {
         let s = CorrelatedSampler::new(0.5, 11);
         let sample = s.sample(&t, &AttrSet::from_names(["cs_k"])).unwrap();
         // Every surviving key must appear exactly `dup` times.
-        let counts =
-            dance_relation::value_counts(&sample, &AttrSet::from_names(["cs_k"])).unwrap();
+        let counts = dance_relation::value_counts(&sample, &AttrSet::from_names(["cs_k"])).unwrap();
         for (k, c) in counts {
             assert_eq!(c, 3, "key {k:?} survived partially");
         }

@@ -14,12 +14,12 @@
 
 use crate::correlated::CorrelatedSampler;
 use crate::resample::{join_tree_bounded, ResampleConfig, ResampleStats};
-use dance_relation::hash::stable_hash64;
-use dance_relation::join::JoinEdge;
-use dance_relation::{AttrSet, Result, Table};
 use dance_info::correlation::{correlation_with, CorrOptions};
 use dance_info::ji::join_informativeness;
 use dance_quality::tane::TaneConfig;
+use dance_relation::hash::stable_hash64;
+use dance_relation::join::JoinEdge;
+use dance_relation::{AttrSet, Result, Table};
 
 /// Seed for one edge's shared hash: a function of the base seed and the
 /// edge's join-attribute names (both endpoints must agree).
@@ -50,12 +50,15 @@ impl SampledPath {
     ) -> Result<SampledPath> {
         let mut samples = Vec::with_capacity(tables.len());
         for (i, t) in tables.iter().enumerate() {
-            let mut current: Table = (*t).clone();
+            // First incident edge samples straight off the borrowed input;
+            // the full table is only copied for isolated vertices.
+            let mut current: Option<Table> = None;
             for e in edges.iter().filter(|e| e.a == i || e.b == i) {
                 let s = CorrelatedSampler::new(rate, edge_seed(seed, &e.on));
-                current = s.sample(&current, &e.on)?;
+                current = Some(s.sample(current.as_ref().unwrap_or(t), &e.on)?);
             }
-            samples.push(current.with_name(format!("{}@{rate:.2}", t.name())));
+            let sampled = current.unwrap_or_else(|| (*t).clone());
+            samples.push(sampled.with_name(format!("{}@{rate:.2}", t.name())));
         }
         Ok(SampledPath {
             samples,
@@ -143,8 +146,7 @@ mod tests {
             b: 1,
             on: AttrSet::from_names(["est_k"]),
         }];
-        let path =
-            SampledPath::from_tables(&[&dim, &fact], &edges, 0.5, 7, None).unwrap();
+        let path = SampledPath::from_tables(&[&dim, &fact], &edges, 0.5, 7, None).unwrap();
         let (j, stats) = path.join().unwrap();
         assert_eq!(stats.resampled_steps, 0);
         // Sampled join only contains keys that survived in both samples.
@@ -170,8 +172,7 @@ mod tests {
         let mut mean = 0.0;
         let seeds = 15;
         for seed in 0..seeds {
-            let path =
-                SampledPath::from_tables(&[&dim, &fact], &edges, 0.6, seed, None).unwrap();
+            let path = SampledPath::from_tables(&[&dim, &fact], &edges, 0.6, seed, None).unwrap();
             let (sj, _) = path.join().unwrap();
             mean += estimate_correlation(&sj, &x, &y).unwrap();
         }
@@ -198,7 +199,11 @@ mod tests {
                     } else {
                         format!("g{}", i % 6)
                     };
-                    vec![Value::Int((i % 300) as i64), Value::str(cat), Value::str(grp)]
+                    vec![
+                        Value::Int((i % 300) as i64),
+                        Value::str(cat),
+                        Value::str(grp),
+                    ]
                 })
                 .collect(),
         )
@@ -224,8 +229,7 @@ mod tests {
         let mut mean = 0.0;
         let seeds = 10;
         for seed in 0..seeds {
-            let path =
-                SampledPath::from_tables(&[&dim, &fact], &edges, 0.5, seed, None).unwrap();
+            let path = SampledPath::from_tables(&[&dim, &fact], &edges, 0.5, seed, None).unwrap();
             let (sj, _) = path.join().unwrap();
             mean += estimate_quality(&sj, &cfg).unwrap();
         }

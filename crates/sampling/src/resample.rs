@@ -151,8 +151,7 @@ mod tests {
             rate: 0.25,
             seed: 1,
         };
-        let (bounded, stats) =
-            join_tree_bounded(&[&a, &b, &c], &edges(), Some(&cfg)).unwrap();
+        let (bounded, stats) = join_tree_bounded(&[&a, &b, &c], &edges(), Some(&cfg)).unwrap();
         assert!(stats.resampled_steps >= 1, "{stats:?}");
         assert!(stats.cumulative_rate < 1.0);
         let (full, _) = join_tree_bounded(&[&a, &b, &c], &edges(), None).unwrap();
@@ -167,8 +166,7 @@ mod tests {
             rate: 0.25,
             seed: 1,
         };
-        let (bounded, stats) =
-            join_tree_bounded(&[&a, &b, &c], &edges(), Some(&cfg)).unwrap();
+        let (bounded, stats) = join_tree_bounded(&[&a, &b, &c], &edges(), Some(&cfg)).unwrap();
         assert_eq!(stats.resampled_steps, 0);
         let (full, _) = join_tree_bounded(&[&a, &b, &c], &edges(), None).unwrap();
         assert_eq!(bounded.num_rows(), full.num_rows());
@@ -204,8 +202,7 @@ mod tests {
                 rate: 0.5,
                 seed,
             };
-            let (bounded, stats) =
-                join_tree_bounded(&[&a, &b, &c], &edges(), Some(&cfg)).unwrap();
+            let (bounded, stats) = join_tree_bounded(&[&a, &b, &c], &edges(), Some(&cfg)).unwrap();
             assert!(stats.resampled_steps > 0);
             mean += fraction_w_zero(&bounded);
         }

@@ -43,16 +43,20 @@ fn main() {
         .expect("feasible without budget");
     let ub = unconstrained.estimated.price;
     println!("Q2 unconstrained price (UB) = {ub:.3}\n");
-    println!("{:<8} {:>10} {:>10} {:>8}", "ratio", "budget", "CORR", "price");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8}",
+        "ratio", "budget", "CORR", "price"
+    );
 
     for ratio in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2] {
         let budget = ratio * ub;
-        let request = AcquisitionRequest::new(q.source.clone(), q.target.clone())
-            .with_constraints(Constraints {
+        let request = AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(
+            Constraints {
                 alpha: f64::INFINITY,
                 beta: 0.0,
                 budget,
-            });
+            },
+        );
         match dance.acquire(&mut market, &request).expect("search") {
             Some(plan) => println!(
                 "{:<8.2} {:>10.3} {:>10.3} {:>8.3}",

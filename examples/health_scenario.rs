@@ -20,10 +20,7 @@ fn main() {
     let ds = scenario::source_ds();
     println!("Adam's source instance:\n{}", ds.pretty(10));
 
-    let mut market = Marketplace::new(
-        scenario::marketplace_tables(),
-        EntropyPricing::default(),
-    );
+    let mut market = Marketplace::new(scenario::marketplace_tables(), EntropyPricing::default());
     println!("marketplace instances:");
     for meta in market.catalog() {
         println!(

@@ -19,7 +19,10 @@ fn main() {
         seed: 7,
     })
     .expect("generation succeeds");
-    println!("TPC-H-like marketplace ({} instances):", workload.tables.len());
+    println!(
+        "TPC-H-like marketplace ({} instances):",
+        workload.tables.len()
+    );
     for t in &workload.tables {
         println!("  {t}");
     }

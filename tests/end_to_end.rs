@@ -31,14 +31,19 @@ fn health_scenario_full_loop() {
         AttrSet::from_names(["age"]),
         AttrSet::from_names(["disease"]),
     );
-    let plan = dance.acquire(&mut market, &req).expect("search").expect("plan");
+    let plan = dance
+        .acquire(&mut market, &req)
+        .expect("search")
+        .expect("plan");
     assert!(!plan.queries.is_empty());
     assert!(plan.estimated.price > 0.0);
 
     // Purchase within a generous budget; the marketplace records revenue.
     let revenue_before = market.revenue();
     let mut budget = Budget::new(1_000.0);
-    let data = dance.purchase(&mut market, &plan, &mut budget).expect("affordable");
+    let data = dance
+        .purchase(&mut market, &plan, &mut budget)
+        .expect("affordable");
     assert_eq!(data.len(), plan.queries.len());
     assert!(market.revenue() > revenue_before);
     assert!(budget.spent() > 0.0);
@@ -101,15 +106,17 @@ fn budget_constraint_is_respected_by_plans() {
 
     // First find the unconstrained price, then demand half of it.
     let free_req = AcquisitionRequest::new(q.source.clone(), q.target.clone());
-    let unconstrained = dance.acquire(&mut market, &free_req).unwrap().expect("plan");
+    let unconstrained = dance
+        .acquire(&mut market, &free_req)
+        .unwrap()
+        .expect("plan");
     let cap = unconstrained.estimated.price / 2.0;
-    let tight = AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(
-        Constraints {
+    let tight =
+        AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(Constraints {
             alpha: f64::INFINITY,
             beta: 0.0,
             budget: cap,
-        },
-    );
+        });
     match dance.acquire(&mut market, &tight).unwrap() {
         Some(plan) => assert!(
             plan.estimated.price <= cap + 1e-9,
@@ -142,12 +149,7 @@ fn refinement_buys_more_samples_and_improves_resolution() {
     assert!(market.sales().0 > sales0);
     // Higher-rate samples are strictly larger or equal in rows.
     for v in 0..dance.graph().num_instances() as u32 {
-        assert!(dance.graph().sample(v).num_rows() <= {
-            dance
-                .graph()
-                .meta(v)
-                .num_rows
-        });
+        assert!(dance.graph().sample(v).num_rows() <= { dance.graph().meta(v).num_rows });
     }
 }
 
@@ -163,13 +165,12 @@ fn quality_constraint_filters_dirty_routes() {
     let mut market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
     let mut dance = Dance::offline(&mut market, Vec::new(), quick_config(0.8)).unwrap();
     let q = w.query("Q1").unwrap();
-    let req = AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(
-        Constraints {
+    let req =
+        AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(Constraints {
             alpha: f64::INFINITY,
             beta: 1.01,
             budget: f64::INFINITY,
-        },
-    );
+        });
     assert!(dance.acquire(&mut market, &req).unwrap().is_none());
 }
 
@@ -186,13 +187,12 @@ fn alpha_constraint_prunes_heavy_join_paths() {
     let q = w.query("Q3").unwrap();
     // α = 0: only perfectly informative (JI = 0) paths acceptable; at this
     // dirt level the 5-hop route always carries some weight.
-    let req = AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(
-        Constraints {
+    let req =
+        AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(Constraints {
             alpha: 0.0,
             beta: 0.0,
             budget: f64::INFINITY,
-        },
-    );
+        });
     if let Some(plan) = dance.acquire(&mut market, &req).unwrap() {
         assert!(plan.estimated.join_informativeness <= 1e-9);
     }
