@@ -4,22 +4,28 @@
 //!
 //! The `dense_vs_legacy` group pins the dictionary-encoded group-id kernels
 //! against the retained per-row `GroupKey` reference implementations
-//! (`dance_relation::histogram::legacy`) on the seed TPC-H workloads, so the
-//! speedup of the dense path is measured, not assumed:
+//! (`dance_relation::histogram::legacy`) on the seed TPC-H workloads, and the
+//! `seq_vs_par` group measures the scoped-thread executor at 1/2/4/8 workers
+//! on a larger TPC-H instance (group-id encoding, entropy, JI and the full
+//! `JoinGraph::build`), so the speedups of both layers are measured, not
+//! assumed:
 //!
 //! ```sh
 //! cargo bench -p dance-bench --bench kernels
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dance_core::{JoinGraph, JoinGraphConfig};
 use dance_datagen::tpch::{tpch, TpchConfig};
 use dance_info::{
-    correlation, entropy_from_counts, ji_from_counts, join_informativeness, shannon_entropy,
+    correlation, entropy_from_counts, ji_from_counts, join_informativeness,
+    join_informativeness_with, shannon_entropy, shannon_entropy_with,
 };
+use dance_market::{DatasetId, DatasetMeta, EntropyPricing};
 use dance_quality::{discover_afds, quality, Fd, Partition, TaneConfig};
 use dance_relation::histogram::legacy;
 use dance_relation::join::{hash_join, JoinKind};
-use dance_relation::{group_ids, value_counts, AttrSet, Table};
+use dance_relation::{group_ids, group_ids_with, value_counts, AttrSet, Executor, Table};
 use dance_sampling::CorrelatedSampler;
 use std::hint::black_box;
 
@@ -32,8 +38,32 @@ fn tables() -> Vec<Table> {
     .expect("generation")
 }
 
+/// A catalog big enough that the executor actually chunks it (lineitem is
+/// ~150k rows at scale 100; the default grain is 4096 rows per worker).
+fn par_tables() -> Vec<Table> {
+    tpch(&TpchConfig {
+        scale: 100.0,
+        dirty_fraction: 0.3,
+        seed: 42,
+    })
+    .expect("generation")
+}
+
 fn by_name<'a>(ts: &'a [Table], n: &str) -> &'a Table {
     ts.iter().find(|t| t.name() == n).expect("table exists")
+}
+
+fn metas_of(ts: &[Table]) -> Vec<DatasetMeta> {
+    ts.iter()
+        .enumerate()
+        .map(|(i, t)| DatasetMeta {
+            id: DatasetId(i as u32),
+            name: t.name().to_string(),
+            schema: t.schema().clone(),
+            num_rows: t.num_rows(),
+            default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+        })
+        .collect()
 }
 
 /// Dense group-id kernels vs. the legacy per-row `GroupKey` reference, on the
@@ -149,6 +179,81 @@ fn bench_dense_vs_legacy(c: &mut Criterion) {
     g.finish();
 }
 
+/// The scoped-thread executor at 1/2/4/8 workers on the scale-100 TPC-H
+/// catalog. Entries with the same name and different thread suffixes compute
+/// identical (bit-for-bit) results; only wall-clock may differ. `threads=1`
+/// is exactly the sequential code path, so it doubles as the baseline.
+fn bench_seq_vs_par(c: &mut Criterion) {
+    let ts = par_tables();
+    let lineitem = by_name(&ts, "lineitem");
+    let orders = by_name(&ts, "orders");
+    let customer = by_name(&ts, "customer");
+    let metas = metas_of(&ts);
+
+    let mut g = c.benchmark_group("seq_vs_par");
+
+    // `JoinGraph::build` consumes its inputs, so the build entries below pay
+    // one catalog clone per iteration — a constant sequential cost identical
+    // at every thread count. This entry measures that clone alone; subtract
+    // it from the build times before computing speedup ratios.
+    g.bench_with_input(
+        BenchmarkId::new("catalog_clone_baseline", 0),
+        &ts,
+        |b, ts| b.iter(|| (metas.clone(), ts.to_vec())),
+    );
+
+    for threads in [1usize, 2, 4, 8] {
+        let exec = Executor::new(threads);
+
+        // The raw group-id encode on the largest table (Int key).
+        let on = AttrSet::from_names(["orderkey"]);
+        g.bench_with_input(
+            BenchmarkId::new("group_ids_lineitem_orderkey", threads),
+            lineitem,
+            |b, t| b.iter(|| group_ids_with(&exec, black_box(t), &on).unwrap()),
+        );
+
+        // Compound Str entropy: encode + fold + count.
+        let compound = AttrSet::from_names(["c_city", "c_state"]);
+        g.bench_with_input(
+            BenchmarkId::new("entropy_customer_city_state", threads),
+            customer,
+            |b, t| b.iter(|| shannon_entropy_with(&exec, black_box(t), &compound).unwrap()),
+        );
+
+        // JI: two chunked histogram builds + the sequential fold.
+        let custkey = AttrSet::from_names(["custkey"]);
+        g.bench_with_input(
+            BenchmarkId::new("ji_orders_customer", threads),
+            orders,
+            |b, t| {
+                b.iter(|| {
+                    join_informativeness_with(&exec, black_box(t), black_box(customer), &custkey)
+                        .unwrap()
+                })
+            },
+        );
+
+        // Whole-graph construction: histogram + JI tasks fanned out over the
+        // executor (the offline phase of §4 on the full catalog).
+        let cfg = JoinGraphConfig {
+            executor: exec,
+            ..JoinGraphConfig::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("join_graph_build", threads),
+            &ts,
+            |b, ts| {
+                b.iter(|| {
+                    JoinGraph::build(metas.clone(), ts.to_vec(), EntropyPricing::default(), &cfg)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let ts = tables();
     let orders = by_name(&ts, "orders");
@@ -207,6 +312,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_dense_vs_legacy, bench_kernels
+    targets = bench_dense_vs_legacy, bench_seq_vs_par, bench_kernels
 }
 criterion_main!(kernels);

@@ -12,15 +12,38 @@
 //! All weights are §3 estimates from the samples the offline phase bought;
 //! AS-vertex prices are estimated from the same samples via the marketplace's
 //! (public) pricing model.
+//!
+//! ## Parallel construction
+//!
+//! [`JoinGraph::build`] fans out across the [`Executor`] threaded in through
+//! [`JoinGraphConfig`]: first one histogram task per distinct
+//! (instance, candidate-join-set), then one JI task per
+//! (instance-pair, candidate-join-set). Both phases read a shared,
+//! per-instance histogram cache; results are folded back in the sequential
+//! pair-enumeration order, so the produced edges and weights are identical at
+//! every thread count. The cache outlives the build (it becomes the
+//! [`JoinGraph`]'s own), and [`JoinGraph::refresh_sample`] draws partner-side
+//! histograms from it instead of recounting partner samples on every
+//! refinement round. Eviction mirrors the build's staleness rule: an
+//! instance's entries are dropped exactly when its sample is replaced.
 
 use dance_info::ji::ji_from_counts;
 use dance_market::{DatasetMeta, EntropyPricing, PricingModel};
-use dance_relation::{value_counts, AttrSet, FxHashMap, GroupKey, RelationError, Result, Table};
+use dance_relation::{
+    value_counts_with, AttrSet, Executor, FxHashMap, FxHashSet, GroupKey, RelationError, Result,
+    Table,
+};
 
 /// Key histogram of one (instance, attribute-set) pair, as consumed by
-/// [`ji_from_counts`]. Built once per pair via the dense group-id kernel and
-/// shared across every I-edge that probes the same candidate join set.
+/// [`ji_from_counts`]. Built once via the dense group-id kernel and shared —
+/// across every I-edge that probes the same candidate join set, across the
+/// build's worker threads, and across refinement rounds (the per-instance
+/// cache persists inside [`JoinGraph`]).
 type KeyHistogram = FxHashMap<GroupKey, u64>;
+
+/// Per-instance cache of grouping-derived key histograms, keyed by candidate
+/// join attribute set.
+type HistCache = FxHashMap<AttrSet, KeyHistogram>;
 
 /// Construction knobs for [`JoinGraph::build`].
 #[derive(Debug, Clone, Copy)]
@@ -29,14 +52,58 @@ pub struct JoinGraphConfig {
     /// candidate while the shared set has at most this many attributes;
     /// larger shared sets fall back to singletons + the full set.
     pub max_enum_join_attrs: usize,
+    /// Executor the build/refresh fan-outs run on (defaults to
+    /// [`Executor::global`], i.e. `DANCE_THREADS`). Stored in the graph so
+    /// refinement rounds reuse it.
+    pub executor: Executor,
 }
 
 impl Default for JoinGraphConfig {
     fn default() -> Self {
         JoinGraphConfig {
             max_enum_join_attrs: 4,
+            executor: Executor::global(),
         }
     }
+}
+
+/// One I-edge's worth of work during construction: the pair, its shared
+/// attributes, and the candidate join sets to weigh.
+struct PairWork {
+    i: u32,
+    j: u32,
+    common: AttrSet,
+    cands: Vec<AttrSet>,
+}
+
+/// Compute every histogram in `needed` that is not already cached, in
+/// parallel over `exec`, and insert the results. The pool is split between
+/// the two levels: with at least `threads` work items every counting kernel
+/// runs sequentially inside its `par_map` worker (fan-out alone saturates the
+/// pool, and nested chunking would oversubscribe it); with fewer items —
+/// e.g. a refresh touching one or two candidate sets of a large sample —
+/// each item gets `threads / items` workers for its own chunked passes, so
+/// `active outer workers × inner workers ≤ threads` either way.
+fn fill_hist_cache(
+    exec: &Executor,
+    hists: &mut [HistCache],
+    samples: &[Table],
+    needed: Vec<(u32, AttrSet)>,
+) -> Result<()> {
+    if needed.is_empty() {
+        return Ok(());
+    }
+    let inner = Executor::new((exec.threads() / needed.len()).max(1));
+    let computed: Result<Vec<KeyHistogram>> = exec
+        .par_map(&needed, |_, (side, cand)| {
+            value_counts_with(&inner, &samples[*side as usize], cand)
+        })
+        .into_iter()
+        .collect();
+    for ((side, cand), h) in needed.into_iter().zip(computed?) {
+        hists[side as usize].insert(cand, h);
+    }
+    Ok(())
 }
 
 /// An I-layer edge.
@@ -65,6 +132,14 @@ pub struct JoinGraph {
     /// Candidate join attribute sets per edge (aligned with `i_edges`).
     candidates: Vec<Vec<AttrSet>>,
     pricing: EntropyPricing,
+    /// Executor the build ran on; refresh fan-outs reuse it.
+    exec: Executor,
+    /// Per-instance histogram cache (one entry per candidate join set ever
+    /// probed against that instance's sample). Shared read-only across
+    /// workers during build/refresh; an instance's entries are evicted when
+    /// its sample is refreshed — the same staleness rule that scoped the
+    /// build-local cache before the cache was persisted.
+    hists: Vec<HistCache>,
 }
 
 impl JoinGraph {
@@ -86,20 +161,11 @@ impl JoinGraph {
             )));
         }
         let n = metas.len();
-        let mut i_edges = Vec::new();
-        let mut adj = vec![Vec::new(); n];
-        let mut weights = FxHashMap::default();
-        let mut candidates = Vec::new();
-        // Candidate join sets repeat heavily across partners (every pair
-        // sharing an attribute probes its singleton), so key histograms are
-        // computed once per (instance, candidate set) and reused for every
-        // incident pair, instead of re-counting inside each JI call. The
-        // cache is per-instance and instance i's entries are dropped once its
-        // outer iteration ends (no later pair references them) — that frees
-        // the processed prefix, but instances > i accumulate until their own
-        // turn, so worst-case peak is still most of the catalog's histograms.
-        let mut hists: Vec<FxHashMap<AttrSet, KeyHistogram>> =
-            (0..n).map(|_| FxHashMap::default()).collect();
+        let exec = cfg.executor;
+
+        // Pair enumeration stays sequential (schema intersections are cheap);
+        // it fixes the deterministic edge order everything below folds into.
+        let mut pairs: Vec<PairWork> = Vec::new();
         for i in 0..n {
             for j in (i + 1)..n {
                 let common = metas[i].schema.common(&metas[j].schema);
@@ -107,30 +173,72 @@ impl JoinGraph {
                     continue;
                 }
                 let cands = candidate_sets(&common, cfg.max_enum_join_attrs);
-                let mut best = f64::INFINITY;
-                for cand in &cands {
-                    for side in [i, j] {
-                        if !hists[side].contains_key(cand) {
-                            let h = value_counts(&samples[side], cand)?;
-                            hists[side].insert(cand.clone(), h);
-                        }
-                    }
-                    let w = ji_from_counts(&hists[i][cand], &hists[j][cand]);
-                    weights.insert((i as u32, j as u32, cand.clone()), w);
-                    best = best.min(w);
-                }
-                let edge_idx = i_edges.len() as u32;
-                i_edges.push(IEdge {
-                    a: i as u32,
-                    b: j as u32,
+                pairs.push(PairWork {
+                    i: i as u32,
+                    j: j as u32,
                     common,
-                    weight: best,
+                    cands,
                 });
-                candidates.push(cands);
-                adj[i].push(edge_idx);
-                adj[j].push(edge_idx);
             }
-            hists[i] = FxHashMap::default();
+        }
+
+        // Candidate join sets repeat heavily across partners (every pair
+        // sharing an attribute probes its singleton), so key histograms are
+        // one task per *distinct* (instance, candidate set) and every
+        // incident pair reads the shared result. The cache holds the whole
+        // catalog's probed histograms at once — the price of sharing it
+        // across workers and, after build, across refinement rounds.
+        let mut needed: Vec<(u32, AttrSet)> = Vec::new();
+        let mut seen: FxHashSet<(u32, AttrSet)> = FxHashSet::default();
+        for p in &pairs {
+            for cand in &p.cands {
+                for side in [p.i, p.j] {
+                    if seen.insert((side, cand.clone())) {
+                        needed.push((side, cand.clone()));
+                    }
+                }
+            }
+        }
+        let mut hists: Vec<HistCache> = (0..n).map(|_| HistCache::default()).collect();
+        fill_hist_cache(&exec, &mut hists, &samples, needed)?;
+
+        // One JI task per (pair, candidate) work item, all reading the shared
+        // cache; `par_map` returns in item order, so the fold below consumes
+        // the flat result exactly as the sequential double loop would.
+        let items: Vec<(u32, u32)> = pairs
+            .iter()
+            .enumerate()
+            .flat_map(|(p, pair)| (0..pair.cands.len() as u32).map(move |c| (p as u32, c)))
+            .collect();
+        let jis: Vec<f64> = exec.par_map(&items, |_, &(p, c)| {
+            let pair = &pairs[p as usize];
+            let cand = &pair.cands[c as usize];
+            ji_from_counts(&hists[pair.i as usize][cand], &hists[pair.j as usize][cand])
+        });
+
+        let mut i_edges = Vec::with_capacity(pairs.len());
+        let mut adj = vec![Vec::new(); n];
+        let mut weights = FxHashMap::default();
+        let mut candidates = Vec::with_capacity(pairs.len());
+        let mut k = 0;
+        for pair in pairs {
+            let mut best = f64::INFINITY;
+            for cand in &pair.cands {
+                let w = jis[k];
+                k += 1;
+                weights.insert((pair.i, pair.j, cand.clone()), w);
+                best = best.min(w);
+            }
+            let edge_idx = i_edges.len() as u32;
+            i_edges.push(IEdge {
+                a: pair.i,
+                b: pair.j,
+                common: pair.common,
+                weight: best,
+            });
+            candidates.push(pair.cands);
+            adj[pair.i as usize].push(edge_idx);
+            adj[pair.j as usize].push(edge_idx);
         }
         Ok(JoinGraph {
             metas,
@@ -140,6 +248,8 @@ impl JoinGraph {
             weights,
             candidates,
             pricing,
+            exec,
+            hists,
         })
     }
 
@@ -164,30 +274,62 @@ impl JoinGraph {
     }
 
     /// Replace the sample of instance `i` (iterative refinement, §2.1) and
-    /// re-estimate the weights of its incident edges.
+    /// re-estimate the weights of its incident edges, fanning the partner
+    /// work items out over the graph's executor.
     ///
-    /// The refreshed instance's histograms are computed once per candidate
-    /// set and reused across all incident edges; only the partner side is
-    /// counted per edge.
+    /// Only the refreshed instance's cache entries are evicted; partner-side
+    /// histograms come straight from the persistent cache (they were built
+    /// against samples that have not changed), so a refresh re-counts exactly
+    /// one instance no matter how many partners it touches.
     pub fn refresh_sample(&mut self, i: u32, sample: Table) -> Result<()> {
         self.samples[i as usize] = sample;
-        let mut own_hists: FxHashMap<AttrSet, KeyHistogram> = FxHashMap::default();
-        for &e in &self.adj[i as usize].clone() {
-            let edge = self.i_edges[e as usize].clone();
-            let partner = if edge.a == i { edge.b } else { edge.a };
+        self.hists[i as usize] = HistCache::default(); // evict stale entries
+        let exec = self.exec;
+        let incident: Vec<u32> = self.adj[i as usize].clone();
+
+        // Histograms missing from the cache: everything just evicted, plus
+        // any partner-side gap (possible only if a partner sample was never
+        // probed with this candidate — e.g. graphs deserialized or mutated in
+        // unusual orders; normally a no-op).
+        let mut needed: Vec<(u32, AttrSet)> = Vec::new();
+        let mut seen: FxHashSet<(u32, AttrSet)> = FxHashSet::default();
+        for &e in &incident {
+            let edge = &self.i_edges[e as usize];
+            for cand in &self.candidates[e as usize] {
+                for side in [edge.a, edge.b] {
+                    if !self.hists[side as usize].contains_key(cand)
+                        && seen.insert((side, cand.clone()))
+                    {
+                        needed.push((side, cand.clone()));
+                    }
+                }
+            }
+        }
+        fill_hist_cache(&exec, &mut self.hists, &self.samples, needed)?;
+
+        // One JI task per (incident edge, candidate), partner instances
+        // re-weighed in parallel off the shared cache.
+        let items: Vec<(u32, u32)> = incident
+            .iter()
+            .flat_map(|&e| (0..self.candidates[e as usize].len() as u32).map(move |c| (e, c)))
+            .collect();
+        let jis: Vec<f64> = {
+            let (hists, i_edges, candidates) = (&self.hists, &self.i_edges, &self.candidates);
+            exec.par_map(&items, |_, &(e, c)| {
+                let edge = &i_edges[e as usize];
+                let cand = &candidates[e as usize][c as usize];
+                ji_from_counts(&hists[edge.a as usize][cand], &hists[edge.b as usize][cand])
+            })
+        };
+
+        let mut k = 0;
+        for &e in &incident {
+            let (a, b) = (self.i_edges[e as usize].a, self.i_edges[e as usize].b);
             let mut best = f64::INFINITY;
             for cand in &self.candidates[e as usize] {
-                if !own_hists.contains_key(cand) {
-                    let h = value_counts(&self.samples[i as usize], cand)?;
-                    own_hists.insert(cand.clone(), h);
-                }
-                let partner_hist = value_counts(&self.samples[partner as usize], cand)?;
-                let w = if edge.a == i {
-                    ji_from_counts(&own_hists[cand], &partner_hist)
-                } else {
-                    ji_from_counts(&partner_hist, &own_hists[cand])
-                };
-                self.weights.insert((edge.a, edge.b, cand.clone()), w);
+                let w = jis[k];
+                k += 1;
+                self.weights.insert((a, b, cand.clone()), w);
                 best = best.min(w);
             }
             self.i_edges[e as usize].weight = best;
@@ -430,6 +572,79 @@ mod tests {
         g.refresh_sample(1, perfect).unwrap();
         let after = g.i_edges()[0].weight;
         assert!(after <= before + 1e-12, "{after} vs {before}");
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let build = |threads: usize| {
+            let g = toy_graph();
+            JoinGraph::build(
+                g.metas.clone(),
+                g.samples.clone(),
+                EntropyPricing::default(),
+                &JoinGraphConfig {
+                    executor: Executor::with_grain(threads, 1),
+                    ..JoinGraphConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let reference = build(1);
+        for threads in [2usize, 3, 8] {
+            let g = build(threads);
+            assert_eq!(g.i_edges.len(), reference.i_edges.len());
+            for (a, b) in g.i_edges.iter().zip(&reference.i_edges) {
+                assert_eq!((a.a, a.b), (b.a, b.b));
+                assert_eq!(
+                    a.weight.to_bits(),
+                    b.weight.to_bits(),
+                    "edge weight diverged at {threads} threads"
+                );
+            }
+            assert_eq!(g.weights.len(), reference.weights.len());
+            for (key, w) in &reference.weights {
+                assert_eq!(g.weights[key].to_bits(), w.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_cache_persists_and_evicts_on_refresh() {
+        let mut g = toy_graph();
+        // Build populated both endpoint caches of the (0, 1) edge.
+        let probed_0 = g.hists[0].len();
+        let probed_1 = g.hists[1].len();
+        assert!(probed_0 > 0 && probed_1 > 0, "cache persists past build");
+        assert!(g.hists[2].is_empty(), "isolated vertex has no histograms");
+
+        let fresh = Table::from_rows(
+            "D2",
+            &[
+                ("jg_b", ValueType::Int),
+                ("jg_c", ValueType::Int),
+                ("jg_y", ValueType::Int),
+            ],
+            (0..20)
+                .map(|i| vec![Value::Int(i % 2), Value::Int(i % 4), Value::Int(i)])
+                .collect(),
+        )
+        .unwrap();
+        g.refresh_sample(1, fresh).unwrap();
+        // The refreshed side was evicted and recounted; the partner side kept
+        // its entries (refresh no longer recounts partner samples).
+        assert_eq!(g.hists[1].len(), probed_1);
+        assert_eq!(g.hists[0].len(), probed_0);
+        // Refreshed weights equal a from-scratch build over the new samples.
+        let rebuilt = JoinGraph::build(
+            g.metas.clone(),
+            g.samples.clone(),
+            EntropyPricing::default(),
+            &JoinGraphConfig::default(),
+        )
+        .unwrap();
+        for (key, w) in &rebuilt.weights {
+            assert_eq!(g.weights[key].to_bits(), w.to_bits());
+        }
     }
 
     #[test]

@@ -2,9 +2,47 @@
 
 use dance_core::lattice;
 use dance_core::target::enumerate_covers;
-use dance_core::Constraints;
-use dance_relation::AttrSet;
+use dance_core::{Constraints, JoinGraph, JoinGraphConfig};
+use dance_market::{DatasetId, DatasetMeta, EntropyPricing};
+use dance_relation::{AttrSet, Executor, Table, Value, ValueType};
 use proptest::prelude::*;
+
+/// Random small marketplace catalogs: 3 instances over overlapping schemas
+/// (`a,b`), (`b,c`), (`a,c`) so every pair shares exactly one attribute and
+/// the join graph is a triangle with varying key distributions.
+fn arb_catalog() -> impl Strategy<Value = (Vec<DatasetMeta>, Vec<Table>)> {
+    (1usize..6, 1usize..50, 0u64..500).prop_map(|(k, n, seed)| {
+        let schemas: [(&str, &str); 3] = [("pg_a", "pg_b"), ("pg_b", "pg_c"), ("pg_a", "pg_c")];
+        let mut metas = Vec::new();
+        let mut samples = Vec::new();
+        for (idx, (u, v)) in schemas.into_iter().enumerate() {
+            let rows: Vec<Vec<Value>> = (0..n)
+                .map(|r| {
+                    let h = dance_relation::hash::stable_hash64(seed + idx as u64, &(r as u64));
+                    vec![
+                        Value::Int((h % k as u64) as i64),
+                        Value::Int(((h >> 16) % (k as u64 + 1)) as i64),
+                    ]
+                })
+                .collect();
+            let t = Table::from_rows(
+                format!("pg_d{idx}"),
+                &[(u, ValueType::Int), (v, ValueType::Int)],
+                rows,
+            )
+            .unwrap();
+            metas.push(DatasetMeta {
+                id: DatasetId(idx as u32),
+                name: t.name().to_string(),
+                schema: t.schema().clone(),
+                num_rows: t.num_rows(),
+                default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+            });
+            samples.push(t);
+        }
+        (metas, samples)
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -42,6 +80,49 @@ proptest! {
             }
             prop_assert_eq!(union, want.clone());
             prop_assert_eq!(total, want.len());
+        }
+    }
+
+    /// Join graphs built on chunked parallel executors carry bit-identical
+    /// edge weights and Property-4.1 weight tables at thread counts
+    /// {1, 2, 3, 8}, and refreshing a sample through the persistent histogram
+    /// cache equals rebuilding from scratch.
+    #[test]
+    fn parallel_join_graph_bit_identical(catalog in arb_catalog()) {
+        let (metas, samples) = catalog;
+        let build = |threads: usize| {
+            JoinGraph::build(
+                metas.clone(),
+                samples.clone(),
+                EntropyPricing::default(),
+                &JoinGraphConfig {
+                    executor: Executor::with_grain(threads, 1),
+                    ..JoinGraphConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let reference = build(1);
+        for threads in [2usize, 3, 8] {
+            let g = build(threads);
+            prop_assert_eq!(g.i_edges().len(), reference.i_edges().len());
+            for (a, b) in g.i_edges().iter().zip(reference.i_edges()) {
+                prop_assert_eq!((a.a, a.b), (b.a, b.b));
+                prop_assert_eq!(&a.common, &b.common);
+                prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+                for cand in g.candidate_join_sets(a.a, a.b) {
+                    let wa = g.weight(a.a, a.b, cand).unwrap();
+                    let wb = reference.weight(a.a, a.b, cand).unwrap();
+                    prop_assert_eq!(wa.to_bits(), wb.to_bits());
+                }
+            }
+        }
+        // Refresh instance 1 with its own (unchanged) sample: cached partner
+        // histograms are reused, and every weight must stay bit-identical.
+        let mut refreshed = build(2);
+        refreshed.refresh_sample(1, samples[1].clone()).unwrap();
+        for (a, b) in refreshed.i_edges().iter().zip(reference.i_edges()) {
+            prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
         }
     }
 

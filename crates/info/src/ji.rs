@@ -28,7 +28,9 @@
 //! [`value_counts`]), which materializes one boxed key per distinct group
 //! instead of hashing one per row.
 
-use dance_relation::{value_counts, AttrSet, FxHashMap, GroupKey, Result, Table, Value};
+use dance_relation::{
+    value_counts_with, AttrSet, Executor, FxHashMap, GroupKey, Result, Table, Value,
+};
 
 /// Degenerate-distribution conventions for JI (documented edge cases).
 ///
@@ -121,15 +123,28 @@ fn entropy_u128(counts: &[u128], n: u128) -> f64 {
     h.max(0.0)
 }
 
-/// `JI(D, D')` on join attributes `j` (Definition 2.4).
+/// `JI(D, D')` on join attributes `j` (Definition 2.4), on the global
+/// executor.
 pub fn join_informativeness(d1: &Table, d2: &Table, j: &AttrSet) -> Result<f64> {
+    join_informativeness_with(&Executor::global(), d1, d2, j)
+}
+
+/// [`join_informativeness`] on an explicit executor: both per-table key
+/// histograms are built on its workers; the JI fold itself is a cheap pass
+/// over the distinct keys and stays sequential.
+pub fn join_informativeness_with(
+    exec: &Executor,
+    d1: &Table,
+    d2: &Table,
+    j: &AttrSet,
+) -> Result<f64> {
     if j.is_empty() {
         return Err(dance_relation::RelationError::InvalidJoin(
             "join informativeness needs a non-empty join attribute set".into(),
         ));
     }
-    let lc = value_counts(d1, j)?;
-    let rc = value_counts(d2, j)?;
+    let lc = value_counts_with(exec, d1, j)?;
+    let rc = value_counts_with(exec, d2, j)?;
     Ok(ji_from_counts(&lc, &rc))
 }
 

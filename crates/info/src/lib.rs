@@ -27,6 +27,7 @@ pub mod ji;
 pub use correlation::{correlation, correlation_with, CorrOptions};
 pub use cumulative::{conditional_cumulative_entropy, cumulative_entropy};
 pub use entropy::{
-    conditional_entropy, entropy_from_counts, joint_entropy, mutual_information, shannon_entropy,
+    conditional_entropy, entropy_from_counts, joint_entropy, mutual_information,
+    mutual_information_with, shannon_entropy, shannon_entropy_with,
 };
-pub use ji::{ji_from_counts, join_informativeness};
+pub use ji::{ji_from_counts, join_informativeness, join_informativeness_with};

@@ -7,9 +7,13 @@
 //! The **partition product** `π_X · π_Y = π_{X∪Y}` is the workhorse of
 //! levelwise FD discovery: it refines one partition by another in `O(n)`
 //! without touching values, which is what makes TANE tractable on the
-//! marketplace instances.
+//! marketplace instances. The product runs on the same dense id-pair fold as
+//! multi-column grouping ([`dance_relation::group::fold_codes`]) rather than a
+//! per-class hash map; the original hash implementation survives under
+//! `#[cfg(test)]` as the pinning reference.
 
-use dance_relation::{group_ids, AttrSet, Result, Table};
+use dance_relation::group::fold_codes_with;
+use dance_relation::{group_ids_with, AttrSet, Executor, Result, Table};
 
 /// Sentinel class id for rows in singleton classes.
 pub const SINGLETON: u32 = u32::MAX;
@@ -26,10 +30,16 @@ pub struct Partition {
 impl Partition {
     /// Build `π_attrs` of `t` via the dense group-id kernel: rows are binned
     /// by compact id and only multi-row groups are materialized, so no keys
-    /// are boxed or hashed.
+    /// are boxed or hashed. Runs on the global executor.
     pub fn by(t: &Table, attrs: &AttrSet) -> Result<Partition> {
-        let g = group_ids(t, attrs)?;
-        let counts = g.counts();
+        Partition::by_with(&Executor::global(), t, attrs)
+    }
+
+    /// [`Partition::by`] on an explicit executor (the grouping and counting
+    /// passes are chunked across its workers).
+    pub fn by_with(exec: &Executor, t: &Table, attrs: &AttrSet) -> Result<Partition> {
+        let g = group_ids_with(exec, t, attrs)?;
+        let counts = g.counts_with(exec);
         // Map multi-row groups to class slots; singletons are stripped.
         let mut class_of = vec![u32::MAX; counts.len()];
         let mut classes: Vec<Vec<u32>> = Vec::new();
@@ -96,7 +106,73 @@ impl Partition {
     }
 
     /// Partition product: `self · other = π_{X∪Y}` when `self = π_X`, `other = π_Y`.
+    ///
+    /// Only `self`'s support rows can land in a product class, so the fold
+    /// runs over them alone: each support row's `(self class, other class)`
+    /// id pair is densified by [`fold_codes`] — the same dense id-pair trick
+    /// as multi-column grouping — and multi-row pair groups become the
+    /// product's classes. Rows that are singletons in `other` get a unique
+    /// synthetic code, which isolates them in the fold exactly as the product
+    /// demands. No per-class hash maps are built. Runs on the global
+    /// executor.
     pub fn product(&self, other: &Partition) -> Partition {
+        self.product_with(&Executor::global(), other)
+    }
+
+    /// [`Partition::product`] on an explicit executor (the id-pair fold is
+    /// chunked across its workers), so callers that pin a sequential executor
+    /// — e.g. to nest TANE's levelwise loop inside their own thread pool —
+    /// never fan out behind their back.
+    pub fn product_with(&self, exec: &Executor, other: &Partition) -> Partition {
+        assert_eq!(self.n, other.n, "partitions over different tables");
+        let other_map = other.row_class();
+        let support = self.support();
+        let mut ids: Vec<u32> = Vec::with_capacity(support);
+        let mut rows: Vec<u32> = Vec::with_capacity(support);
+        let mut codes: Vec<u32> = Vec::with_capacity(support);
+        let other_classes = other.classes.len() as u32;
+        for (cid, class) in self.classes.iter().enumerate() {
+            for &r in class {
+                ids.push(cid as u32);
+                rows.push(r);
+                let oc = other_map[r as usize];
+                codes.push(if oc == SINGLETON {
+                    // Unique per row, disjoint from real class ids.
+                    other_classes + codes.len() as u32
+                } else {
+                    oc
+                });
+            }
+        }
+        let mut num_groups = self.classes.len() as u32;
+        fold_codes_with(exec, &mut ids, &mut num_groups, &codes);
+        let mut counts = vec![0u32; num_groups as usize];
+        for &g in &ids {
+            counts[g as usize] += 1;
+        }
+        let mut class_of = vec![u32::MAX; num_groups as usize];
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        for (g, &c) in counts.iter().enumerate() {
+            if c >= 2 {
+                class_of[g] = out.len() as u32;
+                out.push(Vec::with_capacity(c as usize));
+            }
+        }
+        for (k, &g) in ids.iter().enumerate() {
+            let cid = class_of[g as usize];
+            if cid != u32::MAX {
+                out[cid as usize].push(rows[k]);
+            }
+        }
+        Partition::from_classes(out, self.n)
+    }
+
+    /// The original per-class hash-map product, retained as the executable
+    /// reference the dense fold is pinned against (see
+    /// `product_matches_hash_reference` below). Not for production call
+    /// sites.
+    #[cfg(test)]
+    pub fn product_hash(&self, other: &Partition) -> Partition {
         assert_eq!(self.n, other.n, "partitions over different tables");
         let other_map = other.row_class();
         let mut out: Vec<Vec<u32>> = Vec::new();
@@ -263,6 +339,43 @@ mod tests {
         assert_eq!(p.num_rows(), 0);
         assert_eq!(p.num_classes(), 0);
         assert_eq!(p.g3_error(&p), 0.0);
+    }
+
+    #[test]
+    fn product_matches_hash_reference() {
+        // The dense id-pair fold is pinned to the retained hash-map product
+        // on tables exercising singleton isolation in both operands.
+        let t = Table::from_rows(
+            "pin",
+            &[("ppin_x", ValueType::Int), ("ppin_y", ValueType::Int)],
+            (0..37)
+                .map(|i| vec![Value::Int(i % 7), Value::Int((i * 5) % 11)])
+                .collect(),
+        )
+        .unwrap();
+        for (a, b) in [("ppin_x", "ppin_y"), ("ppin_y", "ppin_x")] {
+            let pa = Partition::by(&t, &AttrSet::from_names([a])).unwrap();
+            let pb = Partition::by(&t, &AttrSet::from_names([b])).unwrap();
+            let dense = pa.product(&pb);
+            let hash = pa.product_hash(&pb);
+            assert_eq!(dense.classes(), hash.classes());
+            assert_eq!(dense.num_rows(), hash.num_rows());
+        }
+        // Degenerate operands: empty partitions and all-singleton partitions.
+        let empty = Partition::from_classes(vec![], 37);
+        assert_eq!(
+            empty.product(&empty).classes(),
+            empty.product_hash(&empty).classes()
+        );
+        let pa = Partition::by(&t, &AttrSet::from_names(["ppin_x"])).unwrap();
+        assert_eq!(
+            pa.product(&empty).classes(),
+            pa.product_hash(&empty).classes()
+        );
+        assert_eq!(
+            empty.product(&pa).classes(),
+            empty.product_hash(&pa).classes()
+        );
     }
 
     #[test]

@@ -24,10 +24,21 @@ use crate::value::Value;
 /// Materialized group-by key: the row's values over an attribute set.
 pub type GroupKey = Box<[Value]>;
 
-/// Count of rows per distinct key of `attrs`.
+/// Count of rows per distinct key of `attrs`, on the global executor.
 pub fn value_counts(t: &Table, attrs: &AttrSet) -> Result<FxHashMap<GroupKey, u64>> {
-    let g = group_ids(t, attrs)?;
-    let counts = g.counts();
+    value_counts_with(&crate::Executor::global(), t, attrs)
+}
+
+/// [`value_counts`] on an explicit executor: the group-id and counting passes
+/// are chunked across its workers; key materialization (one boxed key per
+/// *group*) stays sequential.
+pub fn value_counts_with(
+    exec: &crate::Executor,
+    t: &Table,
+    attrs: &AttrSet,
+) -> Result<FxHashMap<GroupKey, u64>> {
+    let g = crate::group::group_ids_with(exec, t, attrs)?;
+    let counts = g.counts_with(exec);
     let keys = g.materialize_keys(t, attrs)?;
     Ok(keys.into_iter().zip(counts).collect())
 }

@@ -52,10 +52,13 @@ pub mod value;
 
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder, ColumnData, StrDict};
+pub use dance_executor::Executor;
 pub use error::{RelationError, Result};
-pub use group::{group_ids, Grouping, JointGrouping};
+pub use group::{group_ids, group_ids_with, Grouping, JointGrouping};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use histogram::{distinct_count, group_rows, joint_counts, value_counts, GroupKey};
+pub use histogram::{
+    distinct_count, group_rows, joint_counts, value_counts, value_counts_with, GroupKey,
+};
 pub use schema::{attr, AttrId, AttrSet, Attribute, Schema};
 pub use table::Table;
 pub use value::{Value, ValueType};
