@@ -16,16 +16,19 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dance_core::{JoinGraph, JoinGraphConfig};
-use dance_datagen::tpch::{tpch, TpchConfig};
+use dance_datagen::tpch::{tpch, tpch_interned, TpchConfig};
 use dance_info::{
     correlation, entropy_from_counts, ji_from_counts, join_informativeness,
-    join_informativeness_with, shannon_entropy, shannon_entropy_with,
+    join_informativeness_keyed, join_informativeness_with, shannon_entropy, shannon_entropy_with,
 };
 use dance_market::{DatasetId, DatasetMeta, EntropyPricing};
 use dance_quality::{discover_afds, quality, Fd, Partition, TaneConfig};
 use dance_relation::histogram::legacy;
 use dance_relation::join::{hash_join, JoinKind};
-use dance_relation::{group_ids, group_ids_with, value_counts, AttrSet, Executor, Table};
+use dance_relation::{
+    group_ids, group_ids_with, sym_counts, value_counts, AttrSet, Executor, InternerRegistry,
+    Table, Value, ValueType,
+};
 use dance_sampling::CorrelatedSampler;
 use std::hint::black_box;
 
@@ -179,6 +182,114 @@ fn bench_dense_vs_legacy(c: &mut Criterion) {
     g.finish();
 }
 
+/// Interned-symbol cross-table kernels vs. the materialized-`GroupKey` path
+/// on identical logical inputs (both compute bit-identical values). `keyed/…`
+/// entries materialize one boxed `Value` key per group and hash those;
+/// `interned/…` entries run on dense symbol words via registry-shared
+/// dictionaries — the PR-3 tentpole's claimed win.
+fn bench_interned_vs_keyed(c: &mut Criterion) {
+    let reg = InternerRegistry::new();
+    let ts = tpch(&TpchConfig {
+        scale: 20.0,
+        dirty_fraction: 0.3,
+        seed: 42,
+    })
+    .expect("generation");
+    let tsi = tpch_interned(
+        &reg,
+        &TpchConfig {
+            scale: 20.0,
+            dirty_fraction: 0.3,
+            seed: 42,
+        },
+    )
+    .expect("generation");
+    let orders = by_name(&ts, "orders");
+    let customer = by_name(&ts, "customer");
+    let orders_i = by_name(&tsi, "orders");
+    let customer_i = by_name(&tsi, "customer");
+
+    // A high-cardinality Str-keyed pair (overlapping halves of a 30k-string
+    // domain) — the case where boxed keys hurt most: per-group `Arc` clones
+    // plus string-byte hashing on both histogram build and JI fold.
+    let str_table = |reg: Option<&InternerRegistry>, name: &str, lo: usize, hi: usize| {
+        let rows: Vec<Vec<Value>> = (0..60_000)
+            .map(|i| vec![Value::str(format!("key{}", lo + i % (hi - lo)))])
+            .collect();
+        let attrs = [("bk_key", ValueType::Str)];
+        match reg {
+            Some(reg) => Table::from_rows_interned(reg, name, &attrs, rows).unwrap(),
+            None => Table::from_rows(name, &attrs, rows).unwrap(),
+        }
+    };
+    let sl = str_table(None, "SL", 0, 20_000);
+    let sr = str_table(None, "SR", 10_000, 30_000);
+    let sl_i = str_table(Some(&reg), "SL", 0, 20_000);
+    let sr_i = str_table(Some(&reg), "SR", 10_000, 30_000);
+
+    let mut g = c.benchmark_group("interned_vs_keyed");
+    let custkey = AttrSet::from_names(["custkey"]);
+    g.bench_with_input(
+        BenchmarkId::new("keyed", "ji_orders_customer"),
+        orders,
+        |b, t| b.iter(|| join_informativeness_keyed(black_box(t), black_box(customer), &custkey)),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("interned", "ji_orders_customer"),
+        orders_i,
+        |b, t| b.iter(|| join_informativeness(black_box(t), black_box(customer_i), &custkey)),
+    );
+
+    let bk = AttrSet::from_names(["bk_key"]);
+    g.bench_with_input(BenchmarkId::new("keyed", "ji_str_30k_keys"), &sl, |b, t| {
+        b.iter(|| join_informativeness_keyed(black_box(t), black_box(&sr), &bk))
+    });
+    g.bench_with_input(
+        BenchmarkId::new("interned", "ji_str_30k_keys"),
+        &sl_i,
+        |b, t| b.iter(|| join_informativeness(black_box(t), black_box(&sr_i), &bk)),
+    );
+
+    g.bench_with_input(
+        BenchmarkId::new("keyed", "hist_str_30k_keys"),
+        &sl,
+        |b, t| b.iter(|| value_counts(black_box(t), &bk).unwrap()),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("interned", "hist_str_30k_keys"),
+        &sl_i,
+        |b, t| b.iter(|| sym_counts(black_box(t), &bk).unwrap()),
+    );
+
+    // Whole-graph construction over the interned vs plain catalog (same
+    // weights bit-for-bit; plain pays the GroupKey materialization in every
+    // histogram, interned runs on symbols end to end — both go through the
+    // current sym build, so the delta here is dictionary sharing itself).
+    let metas = metas_of(&ts);
+    let cfg = JoinGraphConfig::default();
+    g.bench_with_input(
+        BenchmarkId::new("keyed_dicts", "join_graph_build"),
+        &ts,
+        |b, ts| {
+            b.iter(|| {
+                JoinGraph::build(metas.clone(), ts.to_vec(), EntropyPricing::default(), &cfg)
+                    .unwrap()
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("interned", "join_graph_build"),
+        &tsi,
+        |b, ts| {
+            b.iter(|| {
+                JoinGraph::build(metas.clone(), ts.to_vec(), EntropyPricing::default(), &cfg)
+                    .unwrap()
+            })
+        },
+    );
+    g.finish();
+}
+
 /// The scoped-thread executor at 1/2/4/8 workers on the scale-100 TPC-H
 /// catalog. Entries with the same name and different thread suffixes compute
 /// identical (bit-for-bit) results; only wall-clock may differ. `threads=1`
@@ -312,6 +423,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_dense_vs_legacy, bench_seq_vs_par, bench_kernels
+    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_seq_vs_par, bench_kernels
 }
 criterion_main!(kernels);

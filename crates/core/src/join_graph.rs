@@ -24,26 +24,42 @@
 //! every thread count. The cache outlives the build (it becomes the
 //! [`JoinGraph`]'s own), and [`JoinGraph::refresh_sample`] draws partner-side
 //! histograms from it instead of recounting partner samples on every
-//! refinement round. Eviction mirrors the build's staleness rule: an
-//! instance's entries are dropped exactly when its sample is replaced.
+//! refinement round. Eviction is two-fold: an instance's entries are dropped
+//! when its sample is replaced (staleness), and after every build/refresh the
+//! cache is trimmed to [`JoinGraphConfig::hist_cache_cap`] total entries,
+//! least-recently-used first (memory bound) — evicted histograms are simply
+//! recounted on the next round that needs them.
+//!
+//! ## Interned symbols
+//!
+//! Histograms are [`SymCounts`]: keys are interned-symbol word vectors, not
+//! materialized `GroupKey` values. Samples of registry-interned catalogs
+//! (`dance_relation::InternerRegistry`) share per-attribute dictionaries, so
+//! the JI folds compare dictionary codes verbatim; catalogs with private
+//! dictionaries degrade to a per-distinct-value symbol translation inside
+//! [`ji_from_sym_counts`]. Either way no boxed key is built anywhere in
+//! `build`/`refresh_sample`.
 
-use dance_info::ji::ji_from_counts;
+use dance_info::ji::ji_from_sym_counts;
 use dance_market::{DatasetMeta, EntropyPricing, PricingModel};
 use dance_relation::{
-    value_counts_with, AttrSet, Executor, FxHashMap, FxHashSet, GroupKey, RelationError, Result,
+    sym_counts_with, AttrSet, Executor, FxHashMap, FxHashSet, RelationError, Result, SymCounts,
     Table,
 };
 
-/// Key histogram of one (instance, attribute-set) pair, as consumed by
-/// [`ji_from_counts`]. Built once via the dense group-id kernel and shared —
-/// across every I-edge that probes the same candidate join set, across the
-/// build's worker threads, and across refinement rounds (the per-instance
-/// cache persists inside [`JoinGraph`]).
-type KeyHistogram = FxHashMap<GroupKey, u64>;
+/// One cached histogram plus its last-use stamp (for LRU trimming).
+#[derive(Debug)]
+struct CacheEntry {
+    hist: SymCounts,
+    stamp: u64,
+}
 
-/// Per-instance cache of grouping-derived key histograms, keyed by candidate
-/// join attribute set.
-type HistCache = FxHashMap<AttrSet, KeyHistogram>;
+/// Per-instance cache of symbol histograms, keyed by candidate join
+/// attribute set.
+type HistCache = FxHashMap<AttrSet, CacheEntry>;
+
+/// Default total-entry bound of the persistent histogram cache.
+pub const DEFAULT_HIST_CACHE_CAP: usize = 1024;
 
 /// Construction knobs for [`JoinGraph::build`].
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +72,11 @@ pub struct JoinGraphConfig {
     /// [`Executor::global`], i.e. `DANCE_THREADS`). Stored in the graph so
     /// refinement rounds reuse it.
     pub executor: Executor,
+    /// Upper bound on *total* cached histograms across all instances
+    /// (LRU-evicted after every build/refresh). Without a bound the cache
+    /// holds every (instance, candidate-set) histogram ever probed — the
+    /// build-time peak made permanent.
+    pub hist_cache_cap: usize,
 }
 
 impl Default for JoinGraphConfig {
@@ -63,6 +84,7 @@ impl Default for JoinGraphConfig {
         JoinGraphConfig {
             max_enum_join_attrs: 4,
             executor: Executor::global(),
+            hist_cache_cap: DEFAULT_HIST_CACHE_CAP,
         }
     }
 }
@@ -77,33 +99,76 @@ struct PairWork {
 }
 
 /// Compute every histogram in `needed` that is not already cached, in
-/// parallel over `exec`, and insert the results. The pool is split between
-/// the two levels: with at least `threads` work items every counting kernel
-/// runs sequentially inside its `par_map` worker (fan-out alone saturates the
-/// pool, and nested chunking would oversubscribe it); with fewer items —
-/// e.g. a refresh touching one or two candidate sets of a large sample —
-/// each item gets `threads / items` workers for its own chunked passes, so
-/// `active outer workers × inner workers ≤ threads` either way.
+/// parallel over `exec`, and insert the results (stamped off `clock` in item
+/// order). The pool is split between the two levels: with at least `threads`
+/// work items every counting kernel runs sequentially inside its `par_map`
+/// worker (fan-out alone saturates the pool, and nested chunking would
+/// oversubscribe it); with fewer items — e.g. a refresh touching one or two
+/// candidate sets of a large sample — each item gets `threads / items`
+/// workers for its own chunked passes, so `active outer workers × inner
+/// workers ≤ threads` either way.
 fn fill_hist_cache(
     exec: &Executor,
     hists: &mut [HistCache],
     samples: &[Table],
     needed: Vec<(u32, AttrSet)>,
+    clock: &mut u64,
 ) -> Result<()> {
     if needed.is_empty() {
         return Ok(());
     }
     let inner = Executor::new((exec.threads() / needed.len()).max(1));
-    let computed: Result<Vec<KeyHistogram>> = exec
+    let computed: Result<Vec<SymCounts>> = exec
         .par_map(&needed, |_, (side, cand)| {
-            value_counts_with(&inner, &samples[*side as usize], cand)
+            sym_counts_with(&inner, &samples[*side as usize], cand)
         })
         .into_iter()
         .collect();
-    for ((side, cand), h) in needed.into_iter().zip(computed?) {
-        hists[side as usize].insert(cand, h);
+    for ((side, cand), hist) in needed.into_iter().zip(computed?) {
+        *clock += 1;
+        hists[side as usize].insert(
+            cand,
+            CacheEntry {
+                hist,
+                stamp: *clock,
+            },
+        );
     }
     Ok(())
+}
+
+/// Bump the stamps of every already-cached entry this round reads, in the
+/// (deterministic) enumeration order of `used`.
+fn touch_hist_cache(hists: &mut [HistCache], used: &[(u32, AttrSet)], clock: &mut u64) {
+    for (side, cand) in used {
+        if let Some(e) = hists[*side as usize].get_mut(cand) {
+            *clock += 1;
+            e.stamp = *clock;
+        }
+    }
+}
+
+/// Trim the cache to `cap` total entries, evicting the globally
+/// least-recently-stamped first. Stamps are unique, so eviction order is
+/// deterministic.
+fn trim_hist_cache(hists: &mut [HistCache], cap: usize) {
+    let total: usize = hists.iter().map(FxHashMap::len).sum();
+    if total <= cap {
+        return;
+    }
+    let mut entries: Vec<(u64, u32, AttrSet)> = hists
+        .iter()
+        .enumerate()
+        .flat_map(|(side, cache)| {
+            cache
+                .iter()
+                .map(move |(cand, e)| (e.stamp, side as u32, cand.clone()))
+        })
+        .collect();
+    entries.sort_unstable_by_key(|e| e.0);
+    for (_, side, cand) in entries.into_iter().take(total - cap) {
+        hists[side as usize].remove(&cand);
+    }
 }
 
 /// An I-layer edge.
@@ -134,12 +199,16 @@ pub struct JoinGraph {
     pricing: EntropyPricing,
     /// Executor the build ran on; refresh fan-outs reuse it.
     exec: Executor,
-    /// Per-instance histogram cache (one entry per candidate join set ever
-    /// probed against that instance's sample). Shared read-only across
-    /// workers during build/refresh; an instance's entries are evicted when
-    /// its sample is refreshed — the same staleness rule that scoped the
-    /// build-local cache before the cache was persisted.
+    /// Per-instance histogram cache (one entry per candidate join set
+    /// recently probed against that instance's sample). Shared read-only
+    /// across workers during build/refresh. Evicted on staleness (an
+    /// instance's entries drop when its sample is refreshed) and trimmed to
+    /// `cache_cap` total entries LRU-first after every build/refresh.
     hists: Vec<HistCache>,
+    /// Monotone use-stamp source for LRU trimming.
+    clock: u64,
+    /// Total-entry bound on `hists` (from [`JoinGraphConfig`]).
+    cache_cap: usize,
 }
 
 impl JoinGraph {
@@ -200,7 +269,8 @@ impl JoinGraph {
             }
         }
         let mut hists: Vec<HistCache> = (0..n).map(|_| HistCache::default()).collect();
-        fill_hist_cache(&exec, &mut hists, &samples, needed)?;
+        let mut clock = 0u64;
+        fill_hist_cache(&exec, &mut hists, &samples, needed, &mut clock)?;
 
         // One JI task per (pair, candidate) work item, all reading the shared
         // cache; `par_map` returns in item order, so the fold below consumes
@@ -213,7 +283,10 @@ impl JoinGraph {
         let jis: Vec<f64> = exec.par_map(&items, |_, &(p, c)| {
             let pair = &pairs[p as usize];
             let cand = &pair.cands[c as usize];
-            ji_from_counts(&hists[pair.i as usize][cand], &hists[pair.j as usize][cand])
+            ji_from_sym_counts(
+                &hists[pair.i as usize][cand].hist,
+                &hists[pair.j as usize][cand].hist,
+            )
         });
 
         let mut i_edges = Vec::with_capacity(pairs.len());
@@ -240,6 +313,7 @@ impl JoinGraph {
             adj[pair.i as usize].push(edge_idx);
             adj[pair.j as usize].push(edge_idx);
         }
+        trim_hist_cache(&mut hists, cfg.hist_cache_cap);
         Ok(JoinGraph {
             metas,
             samples,
@@ -250,7 +324,15 @@ impl JoinGraph {
             pricing,
             exec,
             hists,
+            clock,
+            cache_cap: cfg.hist_cache_cap,
         })
+    }
+
+    /// Total histograms currently held by the persistent cache (bounded by
+    /// [`JoinGraphConfig::hist_cache_cap`]).
+    pub fn hist_cache_len(&self) -> usize {
+        self.hists.iter().map(FxHashMap::len).sum()
     }
 
     /// Number of I-vertices.
@@ -277,35 +359,46 @@ impl JoinGraph {
     /// re-estimate the weights of its incident edges, fanning the partner
     /// work items out over the graph's executor.
     ///
-    /// Only the refreshed instance's cache entries are evicted; partner-side
-    /// histograms come straight from the persistent cache (they were built
-    /// against samples that have not changed), so a refresh re-counts exactly
-    /// one instance no matter how many partners it touches.
+    /// Only the refreshed instance's cache entries are evicted for staleness;
+    /// partner-side histograms come straight from the persistent cache (they
+    /// were built against samples that have not changed), so a refresh
+    /// re-counts the refreshed instance plus whatever the LRU bound evicted
+    /// since the partner was last probed.
     pub fn refresh_sample(&mut self, i: u32, sample: Table) -> Result<()> {
         self.samples[i as usize] = sample;
         self.hists[i as usize] = HistCache::default(); // evict stale entries
         let exec = self.exec;
         let incident: Vec<u32> = self.adj[i as usize].clone();
 
-        // Histograms missing from the cache: everything just evicted, plus
-        // any partner-side gap (possible only if a partner sample was never
-        // probed with this candidate — e.g. graphs deserialized or mutated in
-        // unusual orders; normally a no-op).
+        // Everything this round reads, in deterministic enumeration order:
+        // cached entries get their LRU stamps bumped, missing ones (the
+        // evicted instance, plus any partner entry the size cap trimmed) are
+        // recounted.
+        let mut used: Vec<(u32, AttrSet)> = Vec::new();
         let mut needed: Vec<(u32, AttrSet)> = Vec::new();
         let mut seen: FxHashSet<(u32, AttrSet)> = FxHashSet::default();
         for &e in &incident {
             let edge = &self.i_edges[e as usize];
             for cand in &self.candidates[e as usize] {
                 for side in [edge.a, edge.b] {
-                    if !self.hists[side as usize].contains_key(cand)
-                        && seen.insert((side, cand.clone()))
-                    {
+                    if !seen.insert((side, cand.clone())) {
+                        continue;
+                    }
+                    used.push((side, cand.clone()));
+                    if !self.hists[side as usize].contains_key(cand) {
                         needed.push((side, cand.clone()));
                     }
                 }
             }
         }
-        fill_hist_cache(&exec, &mut self.hists, &self.samples, needed)?;
+        touch_hist_cache(&mut self.hists, &used, &mut self.clock);
+        fill_hist_cache(
+            &exec,
+            &mut self.hists,
+            &self.samples,
+            needed,
+            &mut self.clock,
+        )?;
 
         // One JI task per (incident edge, candidate), partner instances
         // re-weighed in parallel off the shared cache.
@@ -318,7 +411,10 @@ impl JoinGraph {
             exec.par_map(&items, |_, &(e, c)| {
                 let edge = &i_edges[e as usize];
                 let cand = &candidates[e as usize][c as usize];
-                ji_from_counts(&hists[edge.a as usize][cand], &hists[edge.b as usize][cand])
+                ji_from_sym_counts(
+                    &hists[edge.a as usize][cand].hist,
+                    &hists[edge.b as usize][cand].hist,
+                )
             })
         };
 
@@ -334,6 +430,7 @@ impl JoinGraph {
             }
             self.i_edges[e as usize].weight = best;
         }
+        trim_hist_cache(&mut self.hists, self.cache_cap);
         Ok(())
     }
 
@@ -644,6 +741,66 @@ mod tests {
         .unwrap();
         for (key, w) in &rebuilt.weights {
             assert_eq!(g.weights[key].to_bits(), w.to_bits());
+        }
+    }
+
+    /// The LRU bound holds after build and across refresh rounds, and evicted
+    /// histograms are transparently recounted: weights always equal a
+    /// from-scratch build over the same samples.
+    #[test]
+    fn hist_cache_cap_holds_across_refresh_rounds() {
+        let base = toy_graph();
+        for cap in [1usize, 2, 4] {
+            let mut g = JoinGraph::build(
+                base.metas.clone(),
+                base.samples.clone(),
+                EntropyPricing::default(),
+                &JoinGraphConfig {
+                    hist_cache_cap: cap,
+                    ..JoinGraphConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(g.hist_cache_len() <= cap, "cap {cap} violated after build");
+            for round in 0..3u32 {
+                let fresh = Table::from_rows(
+                    "D2",
+                    &[
+                        ("jg_b", ValueType::Int),
+                        ("jg_c", ValueType::Int),
+                        ("jg_y", ValueType::Int),
+                    ],
+                    (0..30)
+                        .map(|i| {
+                            vec![
+                                Value::Int(i % (2 + round as i64)),
+                                Value::Int(i % 4),
+                                Value::Int(i),
+                            ]
+                        })
+                        .collect(),
+                )
+                .unwrap();
+                g.refresh_sample(1, fresh).unwrap();
+                assert!(
+                    g.hist_cache_len() <= cap,
+                    "cap {cap} violated after refresh {round}"
+                );
+                let rebuilt = JoinGraph::build(
+                    g.metas.clone(),
+                    g.samples.clone(),
+                    EntropyPricing::default(),
+                    &JoinGraphConfig::default(),
+                )
+                .unwrap();
+                for (key, w) in &rebuilt.weights {
+                    assert_eq!(
+                        g.weights[key].to_bits(),
+                        w.to_bits(),
+                        "weights drifted at cap {cap} round {round}"
+                    );
+                }
+            }
         }
     }
 

@@ -36,7 +36,7 @@ pub mod target;
 
 pub use dance::{Dance, DanceConfig};
 pub use igraph::IGraph;
-pub use join_graph::{JoinGraph, JoinGraphConfig};
+pub use join_graph::{JoinGraph, JoinGraphConfig, DEFAULT_HIST_CACHE_CAP};
 pub use mcmc::{McmcConfig, TargetGraph};
 pub use plan::{AcquisitionPlan, PlanMetrics};
 pub use request::{AcquisitionRequest, Constraints};

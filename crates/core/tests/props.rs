@@ -4,7 +4,7 @@ use dance_core::lattice;
 use dance_core::target::enumerate_covers;
 use dance_core::{Constraints, JoinGraph, JoinGraphConfig};
 use dance_market::{DatasetId, DatasetMeta, EntropyPricing};
-use dance_relation::{AttrSet, Executor, Table, Value, ValueType};
+use dance_relation::{AttrSet, Executor, InternerRegistry, Table, Value, ValueType};
 use proptest::prelude::*;
 
 /// Random small marketplace catalogs: 3 instances over overlapping schemas
@@ -28,6 +28,46 @@ fn arb_catalog() -> impl Strategy<Value = (Vec<DatasetMeta>, Vec<Table>)> {
             let t = Table::from_rows(
                 format!("pg_d{idx}"),
                 &[(u, ValueType::Int), (v, ValueType::Int)],
+                rows,
+            )
+            .unwrap();
+            metas.push(DatasetMeta {
+                id: DatasetId(idx as u32),
+                name: t.name().to_string(),
+                schema: t.schema().clone(),
+                num_rows: t.num_rows(),
+                default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+            });
+            samples.push(t);
+        }
+        (metas, samples)
+    })
+}
+
+/// Like [`arb_catalog`] but with **string** join attributes (plus NULLs), so
+/// cross-instance matching exercises the dictionary paths: shared registry
+/// codes, private-dictionary translation, and NULL keys.
+fn arb_str_catalog() -> impl Strategy<Value = (Vec<DatasetMeta>, Vec<Table>)> {
+    (1usize..6, 1usize..40, 0u64..500).prop_map(|(k, n, seed)| {
+        let schemas: [(&str, &str); 3] = [("ps_a", "ps_b"), ("ps_b", "ps_c"), ("ps_a", "ps_c")];
+        let mut metas = Vec::new();
+        let mut samples = Vec::new();
+        for (idx, (u, v)) in schemas.into_iter().enumerate() {
+            let rows: Vec<Vec<Value>> = (0..n)
+                .map(|r| {
+                    let h = dance_relation::hash::stable_hash64(seed + idx as u64, &(r as u64));
+                    let a = match h % (k as u64 + 1) {
+                        0 => Value::Null,
+                        x => Value::str(format!("v{x}")),
+                    };
+                    // Disjoint-ish second domain so some keys never match.
+                    let b = Value::str(format!("w{}", (h >> 16) % (k as u64 + idx as u64 + 1)));
+                    vec![a, b]
+                })
+                .collect();
+            let t = Table::from_rows(
+                format!("ps_d{idx}"),
+                &[(u, ValueType::Str), (v, ValueType::Str)],
                 rows,
             )
             .unwrap();
@@ -122,6 +162,86 @@ proptest! {
         let mut refreshed = build(2);
         refreshed.refresh_sample(1, samples[1].clone()).unwrap();
         for (a, b) in refreshed.i_edges().iter().zip(reference.i_edges()) {
+            prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    /// Interned-catalog builds carry **bit-identical** edge weights to plain
+    /// builds, on string-keyed instances with NULLs, at `DANCE_THREADS`-style
+    /// executors {1, 4} — and every weight equals the keyed JI reference
+    /// directly. This pins the whole symbol path (registry dictionaries,
+    /// translator fallback, sorted JI fold) at the graph level.
+    #[test]
+    fn interned_build_weights_bit_exact(catalog in arb_str_catalog()) {
+        let (metas, samples) = catalog;
+        let reg = InternerRegistry::new();
+        let interned: Vec<Table> = samples.iter().map(|t| t.intern_into(&reg)).collect();
+        let build = |tables: &Vec<Table>, threads: usize| {
+            JoinGraph::build(
+                metas.clone(),
+                tables.clone(),
+                EntropyPricing::default(),
+                &JoinGraphConfig {
+                    executor: Executor::with_grain(threads, 1),
+                    ..JoinGraphConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let plain = build(&samples, 1);
+        for threads in [1usize, 4] {
+            let g = build(&interned, threads);
+            prop_assert_eq!(g.i_edges().len(), plain.i_edges().len());
+            for (a, b) in g.i_edges().iter().zip(plain.i_edges()) {
+                prop_assert_eq!((a.a, a.b), (b.a, b.b));
+                prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits(),
+                    "edge ({}, {}) at {} threads", a.a, a.b, threads);
+                for cand in g.candidate_join_sets(a.a, a.b) {
+                    let w = g.weight(a.a, a.b, cand).unwrap();
+                    prop_assert_eq!(w.to_bits(), plain.weight(a.a, a.b, cand).unwrap().to_bits());
+                    let keyed = dance_info::join_informativeness_keyed(
+                        &samples[a.a as usize], &samples[a.b as usize], cand).unwrap();
+                    prop_assert_eq!(w.to_bits(), keyed.to_bits(), "{} vs keyed {}", w, keyed);
+                }
+            }
+        }
+        // Mixed build (interned pairs with plain partner) rides the
+        // translator and must still agree.
+        let mut mixed = samples.clone();
+        mixed[0] = interned[0].clone();
+        let g = build(&mixed, 1);
+        for (a, b) in g.i_edges().iter().zip(plain.i_edges()) {
+            prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    /// The LRU bound holds for arbitrary caps: after build and after a
+    /// refresh, the cache never exceeds the cap and refreshed weights stay
+    /// bit-identical to a from-scratch rebuild.
+    #[test]
+    fn hist_cache_cap_property(catalog in arb_catalog(), cap in 1usize..8) {
+        let (metas, samples) = catalog;
+        let mut g = JoinGraph::build(
+            metas.clone(),
+            samples.clone(),
+            EntropyPricing::default(),
+            &JoinGraphConfig {
+                hist_cache_cap: cap,
+                ..JoinGraphConfig::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(g.hist_cache_len() <= cap);
+        g.refresh_sample(0, samples[0].clone()).unwrap();
+        prop_assert!(g.hist_cache_len() <= cap);
+        let rebuilt = JoinGraph::build(
+            metas,
+            samples,
+            EntropyPricing::default(),
+            &JoinGraphConfig::default(),
+        )
+        .unwrap();
+        for (a, b) in g.i_edges().iter().zip(rebuilt.i_edges()) {
             prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
         }
     }

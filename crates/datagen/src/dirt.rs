@@ -11,14 +11,24 @@
 //!   `customer ⋈_H supplier`.
 
 use dance_relation::hash::{stable_hash64, unit_interval};
-use dance_relation::{attr, AttrId, Column, ColumnBuilder, Result, Schema, Table, Value};
+use dance_relation::{
+    attr, AttrId, Column, ColumnBuilder, ColumnData, Result, Schema, Table, Value,
+};
+use std::sync::Arc;
 
 /// Corrupt `target` in a `fraction` of rows (deterministic in `seed`).
+///
+/// A `Str` target is rebuilt **through its existing dictionary** (garbage
+/// strings are appended to it), so a registry-interned table stays interned
+/// after dirt injection.
 pub fn corrupt_attr(t: &Table, target: AttrId, fraction: f64, seed: u64) -> Result<Table> {
     let fraction = fraction.clamp(0.0, 1.0);
     let col_idx = t.schema().require(target)?;
     let ty = t.schema().attributes()[col_idx].ty;
-    let mut b = ColumnBuilder::new(ty);
+    let mut b = match t.column(col_idx).data() {
+        ColumnData::Str(_, dict) => ColumnBuilder::with_dict(ty, Arc::clone(dict)),
+        _ => ColumnBuilder::new(ty),
+    };
     for r in 0..t.num_rows() {
         let hit = unit_interval(stable_hash64(seed, &(r as u64))) < fraction;
         let v = if hit {

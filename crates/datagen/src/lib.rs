@@ -32,5 +32,5 @@ pub mod tpch;
 pub mod workload;
 pub mod zipf;
 
-pub use spec::{generate, ColSpec, TableSpec};
+pub use spec::{generate, generate_interned, ColSpec, TableSpec};
 pub use workload::{AcquisitionQuery, Workload};

@@ -5,7 +5,7 @@
 //! last record) and `D5`'s meaningless-join trap (individual records that
 //! would be joined against aggregates).
 
-use dance_relation::{Table, Value, ValueType};
+use dance_relation::{InternerRegistry, Table, Value, ValueType};
 
 /// `DS` — the source instance owned by the shopper (Table 1a).
 pub fn source_ds() -> Table {
@@ -198,6 +198,22 @@ pub fn marketplace_tables() -> Vec<Table> {
         d4_census_nj(),
         d5_insurance(),
     ]
+}
+
+/// [`marketplace_tables`] re-encoded through `reg`, so the scenario's shared
+/// string attributes (`state`, `age`, `disease`, …) carry one code space
+/// across instances.
+pub fn marketplace_tables_interned(reg: &InternerRegistry) -> Vec<Table> {
+    marketplace_tables()
+        .iter()
+        .map(|t| t.intern_into(reg))
+        .collect()
+}
+
+/// [`source_ds`] re-encoded through `reg` (use the same registry as the
+/// marketplace tables so `DS` joins them on shared symbols).
+pub fn source_ds_interned(reg: &InternerRegistry) -> Table {
+    source_ds().intern_into(reg)
 }
 
 #[cfg(test)]

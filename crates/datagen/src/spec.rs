@@ -14,7 +14,7 @@
 use crate::zipf::Zipf;
 use dance_relation::hash::stable_hash64;
 use dance_relation::{
-    attr, AttrSet, Column, ColumnBuilder, Result, Schema, Table, Value, ValueType,
+    attr, AttrSet, Column, ColumnBuilder, InternerRegistry, Result, Schema, Table, Value, ValueType,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -139,11 +139,32 @@ impl TableSpec {
     }
 }
 
-/// Materialize `specs` deterministically under `seed`.
+/// Materialize `specs` deterministically under `seed` (per-column string
+/// dictionaries).
 ///
 /// FK references must point to tables **earlier** in the slice. The same
 /// `(specs, seed)` always produces identical data.
 pub fn generate(specs: &[TableSpec], seed: u64) -> Result<Vec<Table>> {
+    generate_impl(None, specs, seed)
+}
+
+/// [`generate`] with `Str` columns interned at generation time into `reg`'s
+/// shared per-attribute dictionaries, so every generated table's string codes
+/// are directly comparable across the scenario (identical cell values either
+/// way).
+pub fn generate_interned(
+    reg: &InternerRegistry,
+    specs: &[TableSpec],
+    seed: u64,
+) -> Result<Vec<Table>> {
+    generate_impl(Some(reg), specs, seed)
+}
+
+fn generate_impl(
+    reg: Option<&InternerRegistry>,
+    specs: &[TableSpec],
+    seed: u64,
+) -> Result<Vec<Table>> {
     let mut out: Vec<Table> = Vec::with_capacity(specs.len());
     let mut domains: dance_relation::FxHashMap<&'static str, usize> =
         dance_relation::FxHashMap::default();
@@ -162,7 +183,12 @@ pub fn generate(specs: &[TableSpec], seed: u64) -> Result<Vec<Table>> {
             generated.push(vals);
         }
         for (c, vals) in spec.cols.iter().zip(&generated) {
-            let mut b = ColumnBuilder::new(c.value_type());
+            let mut b = match (c.value_type(), reg) {
+                (ValueType::Str, Some(reg)) => {
+                    ColumnBuilder::with_dict(ValueType::Str, reg.dict_for(attr(c.name())))
+                }
+                (ty, _) => ColumnBuilder::new(ty),
+            };
             for v in vals {
                 b.push(v)?;
             }

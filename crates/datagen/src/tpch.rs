@@ -11,9 +11,9 @@
 //! between tables mirror the benchmark (lineitem largest, region smallest).
 
 use crate::dirt::corrupt_attr;
-use crate::spec::{generate, ColSpec, TableSpec};
+use crate::spec::{generate, generate_interned, ColSpec, TableSpec};
 use dance_relation::hash::stable_hash64;
-use dance_relation::{attr, Result, Table};
+use dance_relation::{attr, InternerRegistry, Result, Table};
 
 /// Generation knobs for the TPC-H-like dataset.
 #[derive(Debug, Clone, Copy)]
@@ -302,9 +302,25 @@ const DIRTY_TARGETS: &[(&str, &[&str])] = &[
     ("lineitem", &["l_status"]),
 ];
 
-/// Generate the dirty TPC-H-like dataset per `cfg`.
+/// Generate the dirty TPC-H-like dataset per `cfg` (per-column string
+/// dictionaries — the un-interned pinning reference).
 pub fn tpch(cfg: &TpchConfig) -> Result<Vec<Table>> {
-    let mut tables = generate(&tpch_specs(cfg.scale), cfg.seed)?;
+    tpch_impl(None, cfg)
+}
+
+/// [`tpch`] with cross-table string interning: every `Str` attribute interns
+/// into `reg`'s shared dictionary at generation time, so the eight instances'
+/// string codes are directly comparable (identical cell values either way).
+pub fn tpch_interned(reg: &InternerRegistry, cfg: &TpchConfig) -> Result<Vec<Table>> {
+    tpch_impl(Some(reg), cfg)
+}
+
+fn tpch_impl(reg: Option<&InternerRegistry>, cfg: &TpchConfig) -> Result<Vec<Table>> {
+    let specs = tpch_specs(cfg.scale);
+    let mut tables = match reg {
+        Some(reg) => generate_interned(reg, &specs, cfg.seed)?,
+        None => generate(&specs, cfg.seed)?,
+    };
     for t in &mut tables {
         if let Some((_, rhs_list)) = DIRTY_TARGETS.iter().find(|(n, _)| *n == t.name()) {
             for rhs in *rhs_list {
@@ -406,6 +422,43 @@ mod tests {
             for r in (0..x.num_rows()).step_by(17) {
                 assert_eq!(x.row(r), y.row(r));
             }
+        }
+    }
+
+    /// Generation-time interning changes the physical code space only: cell
+    /// values are identical to the un-interned reference, and tables sharing
+    /// a `Str` attribute really share one dictionary.
+    #[test]
+    fn interned_generation_matches_plain() {
+        let reg = InternerRegistry::new();
+        let plain = tpch(&cfg()).unwrap();
+        let interned = tpch_interned(&reg, &cfg()).unwrap();
+        for (x, y) in plain.iter().zip(&interned) {
+            assert_eq!(x.num_rows(), y.num_rows());
+            for r in (0..x.num_rows()).step_by(13) {
+                assert_eq!(x.row(r), y.row(r), "{} row {r}", x.name());
+            }
+        }
+        // Any Str attribute's column dictionary is the registry's.
+        let customer = interned.iter().find(|t| t.name() == "customer").unwrap();
+        let c = customer.schema().index_of(attr("c_mktsegment")).unwrap();
+        match customer.column(c).data() {
+            dance_relation::ColumnData::Str(_, d) => {
+                assert!(std::sync::Arc::ptr_eq(
+                    d,
+                    &reg.dict_for(attr("c_mktsegment"))
+                ));
+            }
+            _ => panic!("c_mktsegment is Str"),
+        }
+        // The dirtied FD targets stay interned too (corrupt_attr preserves
+        // the shared dictionary).
+        let cs = customer.schema().index_of(attr("c_state")).unwrap();
+        match customer.column(cs).data() {
+            dance_relation::ColumnData::Str(_, d) => {
+                assert!(std::sync::Arc::ptr_eq(d, &reg.dict_for(attr("c_state"))));
+            }
+            _ => panic!("c_state is Str"),
         }
     }
 }

@@ -7,8 +7,8 @@
 //! attribute sets; the search algorithms are free to find any path.
 
 use crate::tpce::{tpce, TpceConfig};
-use crate::tpch::{tpch, TpchConfig};
-use dance_relation::{AttrSet, Result, Table};
+use crate::tpch::{tpch_interned, TpchConfig};
+use dance_relation::{AttrSet, InternerRegistry, Result, Table};
 
 /// One acquisition request of the evaluation.
 #[derive(Debug, Clone)]
@@ -51,11 +51,14 @@ impl Workload {
 }
 
 /// TPC-H workload: Q1 (len 2), Q2 (len 3), Q3 (len 5, routes through the fake
-/// attribute `h` as in the paper's §6.4 example output).
+/// attribute `h` as in the paper's §6.4 example output). Tables are generated
+/// through a per-workload [`InternerRegistry`], so the experiment pipelines
+/// exercise the interned cross-table code paths end to end.
 pub fn tpch_workload(cfg: &TpchConfig) -> Result<Workload> {
+    let reg = InternerRegistry::new();
     Ok(Workload {
         name: "tpch",
-        tables: tpch(cfg)?,
+        tables: tpch_interned(&reg, cfg)?,
         queries: vec![
             AcquisitionQuery {
                 name: "Q1",

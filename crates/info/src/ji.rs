@@ -18,18 +18,29 @@
 //! * `v` only right    → `n_R(v)` pairs `(NULL, v)`.
 //!
 //! Keys containing NULL never match (SQL semantics) and land in the unmatched
-//! branches. [`ji_from_counts`] works straight off two key histograms — the
-//! same code path serves exact computation and sampled estimation (§3.1).
+//! branches. [`ji_from_counts`] / [`ji_from_sym_counts`] work straight off two
+//! key histograms — the same code path serves exact computation and sampled
+//! estimation (§3.1).
 //!
-//! JI is the one measure that genuinely needs materialized key *values*:
-//! matching happens **across two tables**, whose dense group ids are not
-//! comparable. The histograms therefore stay [`GroupKey`]-keyed, but they are
-//! built by the dense kernel ([`dance_relation::group_ids`] under
-//! [`value_counts`]), which materializes one boxed key per distinct group
-//! instead of hashing one per row.
+//! Matching happens **across two tables**, whose dense group ids are not
+//! comparable — historically the one consumer that forced materialized
+//! [`GroupKey`] values. The hot path now matches on **interned symbols**
+//! instead ([`dance_relation::sym`]): registry-interned tables compare
+//! dictionary codes verbatim, tables with private dictionaries fall back to a
+//! per-distinct-value symbol translation, and no boxed key is materialized
+//! either way. The `GroupKey`-keyed [`ji_from_counts`] and
+//! [`join_informativeness_keyed`] survive as the pinning reference (property
+//! tests assert bit-exact agreement) and for §3 estimator call sites that
+//! already hold value histograms.
+//!
+//! Both folds accumulate the pair-category buckets and **sort them before
+//! summing**, so the result is one deterministic float fold regardless of
+//! hash-map iteration order — which is what makes symbol-path and keyed-path
+//! JI bit-identical.
 
 use dance_relation::{
-    value_counts_with, AttrSet, Executor, FxHashMap, GroupKey, Result, Table, Value,
+    sym_counts_with, sym_joinable, AttrSet, Executor, FxHashMap, FxHashSet, GroupKey, Result,
+    SymCounts, SymMatch, Table, Value,
 };
 
 /// Degenerate-distribution conventions for JI (documented edge cases).
@@ -46,65 +57,136 @@ fn degenerate_ji(matched_pairs: u128, total_pairs: u128) -> f64 {
     }
 }
 
-/// JI from per-table key histograms (counts of each distinct `J`-key).
-pub fn ji_from_counts(left: &FxHashMap<GroupKey, u64>, right: &FxHashMap<GroupKey, u64>) -> f64 {
-    // Pair categories and their sizes.
-    let mut joint: Vec<u128> = Vec::new();
-    let mut matched_pairs: u128 = 0;
-    let mut total: u128 = 0;
+/// Accumulator of the outer-join pair categories shared by every JI fold:
+/// matched keys contribute `n_L·n_R` pairs, unmatched keys land in the
+/// NULL-coordinate buckets of the opposite marginal.
+#[derive(Default)]
+struct PairBuckets {
+    joint: Vec<u128>,
+    left_marginal: Vec<u128>,
+    right_marginal: Vec<u128>,
+    left_null_bucket: u128,  // X = NULL (right-only pairs)
+    right_null_bucket: u128, // Y = NULL (left-only pairs)
+    matched_pairs: u128,
+    total: u128,
+}
 
-    // Marginal of the left coordinate: one bucket per present key + NULL bucket.
-    let mut left_marginal: Vec<u128> = Vec::new();
-    let mut right_marginal: Vec<u128> = Vec::new();
-    let mut left_null_bucket: u128 = 0; // X = NULL (right-only pairs)
-    let mut right_null_bucket: u128 = 0; // Y = NULL (left-only pairs)
+impl PairBuckets {
+    fn matched(&mut self, nl: u64, nr: u64) {
+        let c = nl as u128 * nr as u128;
+        self.joint.push(c);
+        self.left_marginal.push(c);
+        self.right_marginal.push(c);
+        self.matched_pairs += c;
+        self.total += c;
+    }
 
-    let joinable = |k: &GroupKey| !k.iter().any(Value::is_null);
-
-    for (k, &nl) in left {
+    fn left_only(&mut self, nl: u64) {
         let nl = nl as u128;
+        self.joint.push(nl);
+        self.left_marginal.push(nl);
+        self.right_null_bucket += nl;
+        self.total += nl;
+    }
+
+    fn right_only(&mut self, nr: u64) {
+        let nr = nr as u128;
+        self.joint.push(nr);
+        self.right_marginal.push(nr);
+        self.left_null_bucket += nr;
+        self.total += nr;
+    }
+
+    /// Sort every bucket list and fold the Def 2.4 formula. Sorting pins the
+    /// float summation order to the bucket *multiset*, so two folds that saw
+    /// the same categories in different (hash-map) orders produce
+    /// bit-identical JI.
+    fn finish(mut self) -> f64 {
+        if self.left_null_bucket > 0 {
+            self.left_marginal.push(self.left_null_bucket);
+        }
+        if self.right_null_bucket > 0 {
+            self.right_marginal.push(self.right_null_bucket);
+        }
+        self.joint.sort_unstable();
+        self.left_marginal.sort_unstable();
+        self.right_marginal.sort_unstable();
+
+        let h_joint = entropy_u128(&self.joint, self.total);
+        if h_joint <= 0.0 {
+            return degenerate_ji(self.matched_pairs, self.total);
+        }
+        let h_x = entropy_u128(&self.left_marginal, self.total);
+        let h_y = entropy_u128(&self.right_marginal, self.total);
+        let mi = (h_x + h_y - h_joint).max(0.0);
+        ((h_joint - mi) / h_joint).clamp(0.0, 1.0)
+    }
+}
+
+/// JI from per-table key histograms (counts of each distinct `J`-key) —
+/// the materialized-value reference path.
+pub fn ji_from_counts(left: &FxHashMap<GroupKey, u64>, right: &FxHashMap<GroupKey, u64>) -> f64 {
+    let joinable = |k: &GroupKey| !k.iter().any(Value::is_null);
+    let mut b = PairBuckets::default();
+    for (k, &nl) in left {
         match (joinable(k)).then(|| right.get(k)).flatten() {
-            Some(&nr) => {
-                let c = nl * nr as u128;
-                joint.push(c);
-                left_marginal.push(c);
-                right_marginal.push(c);
-                matched_pairs += c;
-                total += c;
-            }
-            None => {
-                joint.push(nl);
-                left_marginal.push(nl);
-                right_null_bucket += nl;
-                total += nl;
-            }
+            Some(&nr) => b.matched(nl, nr),
+            None => b.left_only(nl),
         }
     }
     for (k, &nr) in right {
-        let matched = joinable(k) && left.contains_key(k);
-        if !matched {
-            let nr = nr as u128;
-            joint.push(nr);
-            right_marginal.push(nr);
-            left_null_bucket += nr;
-            total += nr;
+        if !(joinable(k) && left.contains_key(k)) {
+            b.right_only(nr);
         }
     }
-    if left_null_bucket > 0 {
-        left_marginal.push(left_null_bucket);
-    }
-    if right_null_bucket > 0 {
-        right_marginal.push(right_null_bucket);
-    }
+    b.finish()
+}
 
-    let h_joint = entropy_u128(&joint, total);
-    if h_joint <= 0.0 {
-        return degenerate_ji(matched_pairs, total);
+/// JI from two symbol histograms — the interned hot path (no [`GroupKey`]
+/// anywhere). Registry-shared dictionaries compare codes verbatim; private
+/// dictionaries translate each distinct symbol once; mismatched types mean
+/// nothing matches, mirroring [`Value`] equality across variants.
+pub fn ji_from_sym_counts(left: &SymCounts, right: &SymCounts) -> f64 {
+    let mut b = PairBuckets::default();
+    let mut l2r = left.match_to(right);
+    // On the translator path, record the right keys hit by matched left keys:
+    // symbol↔string mappings are bijective per dictionary, so a right key is
+    // matched by *some* left key iff the forward pass reached it — no reverse
+    // translator (and no second per-distinct-value string lookup) needed.
+    let mut matched_right: FxHashSet<Box<[u64]>> = FxHashSet::default();
+    for (k, &nl) in left.counts() {
+        let nr = if sym_joinable(k) {
+            match &mut l2r {
+                SymMatch::Direct => right.counts().get(k),
+                SymMatch::Translate(tr) => tr.translate(k).and_then(|rk| {
+                    let hit = right.counts().get(&rk);
+                    if hit.is_some() {
+                        matched_right.insert(rk);
+                    }
+                    hit
+                }),
+                SymMatch::Never => None,
+            }
+        } else {
+            None
+        };
+        match nr {
+            Some(&nr) => b.matched(nl, nr),
+            None => b.left_only(nl),
+        }
     }
-    let h_x = entropy_u128(&left_marginal, total);
-    let h_y = entropy_u128(&right_marginal, total);
-    let mi = (h_x + h_y - h_joint).max(0.0);
-    ((h_joint - mi) / h_joint).clamp(0.0, 1.0)
+    for (k, &nr) in right.counts() {
+        let matched = sym_joinable(k)
+            && match &l2r {
+                SymMatch::Direct => left.counts().contains_key(k),
+                SymMatch::Translate(_) => matched_right.contains(k),
+                SymMatch::Never => false,
+            };
+        if !matched {
+            b.right_only(nr);
+        }
+    }
+    b.finish()
 }
 
 fn entropy_u128(counts: &[u128], n: u128) -> f64 {
@@ -123,13 +205,30 @@ fn entropy_u128(counts: &[u128], n: u128) -> f64 {
     h.max(0.0)
 }
 
+/// Shared input validation for both JI entry points, so the keyed reference
+/// can never silently diverge from the hot path.
+fn check_join_attrs(j: &AttrSet) -> Result<()> {
+    if j.is_empty() {
+        return Err(dance_relation::RelationError::InvalidJoin(
+            "join informativeness needs a non-empty join attribute set".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// `JI(D, D')` on join attributes `j` (Definition 2.4), on the global
-/// executor.
+/// executor. Runs on interned symbols — no key materialization.
+///
+/// Bound inherited from the symbol-key layout: at most 63 join attributes
+/// (the NULL mask is one `u64` word); larger sets return an error. Every
+/// in-tree caller enumerates candidate sets far below that (the join graph
+/// caps enumeration at `max_enum_join_attrs`, default 4); wider keys need
+/// [`join_informativeness_keyed`].
 pub fn join_informativeness(d1: &Table, d2: &Table, j: &AttrSet) -> Result<f64> {
     join_informativeness_with(&Executor::global(), d1, d2, j)
 }
 
-/// [`join_informativeness`] on an explicit executor: both per-table key
+/// [`join_informativeness`] on an explicit executor: both per-table symbol
 /// histograms are built on its workers; the JI fold itself is a cheap pass
 /// over the distinct keys and stays sequential.
 pub fn join_informativeness_with(
@@ -138,13 +237,21 @@ pub fn join_informativeness_with(
     d2: &Table,
     j: &AttrSet,
 ) -> Result<f64> {
-    if j.is_empty() {
-        return Err(dance_relation::RelationError::InvalidJoin(
-            "join informativeness needs a non-empty join attribute set".into(),
-        ));
-    }
-    let lc = value_counts_with(exec, d1, j)?;
-    let rc = value_counts_with(exec, d2, j)?;
+    check_join_attrs(j)?;
+    let lc = sym_counts_with(exec, d1, j)?;
+    let rc = sym_counts_with(exec, d2, j)?;
+    Ok(ji_from_sym_counts(&lc, &rc))
+}
+
+/// The materialized-`GroupKey` reference implementation of
+/// [`join_informativeness`]: value histograms + [`ji_from_counts`]. Kept for
+/// property-test pinning, the `interned_vs_keyed` bench, and join attribute
+/// sets wider than the symbol layout's 63-attribute bound; produces
+/// bit-identical results to the symbol path.
+pub fn join_informativeness_keyed(d1: &Table, d2: &Table, j: &AttrSet) -> Result<f64> {
+    check_join_attrs(j)?;
+    let lc = dance_relation::value_counts(d1, j)?;
+    let rc = dance_relation::value_counts(d2, j)?;
     Ok(ji_from_counts(&lc, &rc))
 }
 

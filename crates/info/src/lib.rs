@@ -30,4 +30,7 @@ pub use entropy::{
     conditional_entropy, entropy_from_counts, joint_entropy, mutual_information,
     mutual_information_with, shannon_entropy, shannon_entropy_with,
 };
-pub use ji::{ji_from_counts, join_informativeness, join_informativeness_with};
+pub use ji::{
+    ji_from_counts, ji_from_sym_counts, join_informativeness, join_informativeness_keyed,
+    join_informativeness_with,
+};

@@ -2,11 +2,11 @@
 
 use dance_info::{
     conditional_entropy, entropy_from_counts, ji_from_counts, join_informativeness,
-    join_informativeness_with, mutual_information, mutual_information_with, shannon_entropy,
-    shannon_entropy_with,
+    join_informativeness_keyed, join_informativeness_with, mutual_information,
+    mutual_information_with, shannon_entropy, shannon_entropy_with,
 };
 use dance_relation::histogram::legacy;
-use dance_relation::{AttrSet, Executor, Table, Value, ValueType};
+use dance_relation::{AttrSet, Executor, InternerRegistry, Table, Value, ValueType};
 use proptest::prelude::*;
 
 fn arb_table() -> impl Strategy<Value = Table> {
@@ -124,6 +124,53 @@ proptest! {
             &legacy::value_counts(&b, &j).unwrap(),
         );
         prop_assert!((dense - slow).abs() < 1e-12, "JI {} vs {}", dense, slow);
+    }
+
+    /// Interned-symbol JI is **bit-exact** against the materialized-GroupKey
+    /// reference on randomized typed/NULL table pairs — on the direct path
+    /// (both sides share registry dictionaries), the translator path (one or
+    /// both sides keep private dictionaries) and at thread counts {1, 4}
+    /// (the CI `DANCE_THREADS` matrix).
+    #[test]
+    fn interned_ji_bit_exact_vs_keyed(a in arb_typed_table(), b in arb_typed_table()) {
+        let reg = InternerRegistry::new();
+        // Pre-populate the shared dictionary so interned codes differ from
+        // per-column codes.
+        for i in (0..9u64).rev() {
+            reg.dict_for(dance_relation::attr("pt_x")).intern(&format!("k{i}"));
+        }
+        let (ia, ib) = (a.intern_into(&reg), b.intern_into(&reg));
+        let j = AttrSet::from_names(["pt_x"]);
+        let keyed = join_informativeness_keyed(&a, &b, &j).unwrap();
+        for (l, r) in [(&ia, &ib), (&ia, &b), (&a, &ib), (&a, &b)] {
+            let sym = join_informativeness(l, r, &j).unwrap();
+            prop_assert_eq!(sym.to_bits(), keyed.to_bits(),
+                "sym {} vs keyed {}", sym, keyed);
+        }
+        for threads in [1usize, 4] {
+            let exec = Executor::with_grain(threads, 1);
+            let sym = join_informativeness_with(&exec, &ia, &ib, &j).unwrap();
+            prop_assert_eq!(sym.to_bits(), keyed.to_bits(), "at {} threads", threads);
+        }
+    }
+
+    /// Interning never moves a single bit of the single-table measures: H,
+    /// joint H and MI on the interned twin equal the plain table's exactly.
+    #[test]
+    fn interned_entropies_bit_exact(t in arb_typed_table()) {
+        let reg = InternerRegistry::new();
+        let it = t.intern_into(&reg);
+        let x = AttrSet::from_names(["pt_x"]);
+        let y = AttrSet::from_names(["pt_y"]);
+        let xy = x.union(&y);
+        for attrs in [&x, &y, &xy] {
+            let plain = shannon_entropy(&t, attrs).unwrap();
+            let interned = shannon_entropy(&it, attrs).unwrap();
+            prop_assert_eq!(plain.to_bits(), interned.to_bits(), "H({})", attrs);
+        }
+        let mi_plain = mutual_information(&t, &x, &y).unwrap();
+        let mi_interned = mutual_information(&it, &x, &y).unwrap();
+        prop_assert_eq!(mi_plain.to_bits(), mi_interned.to_bits());
     }
 
     /// Every measure computed on a chunked parallel executor is

@@ -7,46 +7,155 @@
 //!   copies.
 //! * Validity is an optional [`Bitmap`]; `None` means "all valid" which is the
 //!   overwhelmingly common case for generated marketplace data.
+//!
+//! [`StrDict`] is a **concurrent append-only string pool**: codes are stable
+//! once assigned (never reused or reordered), and interning takes `&self`, so
+//! one dictionary can be shared across many columns — and, via
+//! [`crate::interner::InternerRegistry`], across *tables* that list the same
+//! attribute. Cross-table sharing is what makes dictionary codes directly
+//! comparable between two tables' columns (see [`crate::sym`]), the same trick
+//! dictionary-encoded columnar engines use for cross-partition joins.
 
 use crate::bitmap::Bitmap;
 use crate::error::{RelationError, Result};
 use crate::hash::FxHashMap;
 use crate::value::{Value, ValueType};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
-/// Dictionary of distinct strings for one (or more) columns.
-#[derive(Debug, Default, Clone)]
-pub struct StrDict {
+#[derive(Debug, Default)]
+struct DictInner {
     strings: Vec<Arc<str>>,
     index: FxHashMap<Arc<str>, u32>,
 }
 
+/// Concurrent, append-only dictionary of distinct strings.
+///
+/// Symbols (`u32` codes) are assigned in interning order and are **stable**:
+/// a code, once handed out, always resolves to the same string. Interning and
+/// lookup take `&self`, so a dictionary behind an `Arc` can be appended to by
+/// several columns — or several tables, when owned by an
+/// [`crate::interner::InternerRegistry`] — without cloning.
+#[derive(Debug, Default)]
+pub struct StrDict {
+    inner: RwLock<DictInner>,
+}
+
 impl StrDict {
-    /// Intern `s`, returning its code.
-    pub fn intern(&mut self, s: &str) -> u32 {
-        if let Some(&c) = self.index.get(s) {
+    /// Intern `s`, returning its stable code. Idempotent and thread-safe.
+    pub fn intern(&self, s: &str) -> u32 {
+        if let Some(c) = self.lookup(s) {
             return c;
         }
-        let code = self.strings.len() as u32;
+        let mut inner = self.inner.write().expect("StrDict poisoned");
+        if let Some(&c) = inner.index.get(s) {
+            return c; // raced with another writer
+        }
+        let code = inner.strings.len() as u32;
         let arc: Arc<str> = Arc::from(s);
-        self.strings.push(arc.clone());
-        self.index.insert(arc, code);
+        inner.strings.push(arc.clone());
+        inner.index.insert(arc, code);
         code
     }
 
-    /// Resolve a code.
-    pub fn get(&self, code: u32) -> &Arc<str> {
-        &self.strings[code as usize]
+    /// Code of `s` if already interned (never allocates a new symbol).
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.inner
+            .read()
+            .expect("StrDict poisoned")
+            .index
+            .get(s)
+            .copied()
     }
 
-    /// Number of distinct strings.
+    /// Resolve a code to its (shared) string.
+    pub fn get(&self, code: u32) -> Arc<str> {
+        Arc::clone(&self.inner.read().expect("StrDict poisoned").strings[code as usize])
+    }
+
+    /// Number of distinct strings interned so far.
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.inner.read().expect("StrDict poisoned").strings.len()
     }
 
     /// `true` when no strings are interned.
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.len() == 0
+    }
+
+    /// Lock-once read view for hot loops that resolve many codes. While a
+    /// reader is alive, the holding thread must neither intern into the same
+    /// dictionary (read→write upgrade on an `RwLock` deadlocks) nor acquire
+    /// a *second* reader of it (recursive reads deadlock if a writer queues
+    /// in between — and registry interning makes "the same dictionary" easy
+    /// to reach from two different tables).
+    pub fn reader(&self) -> StrDictReader<'_> {
+        StrDictReader(self.inner.read().expect("StrDict poisoned"))
+    }
+}
+
+impl Clone for StrDict {
+    fn clone(&self) -> StrDict {
+        let inner = self.inner.read().expect("StrDict poisoned");
+        StrDict {
+            inner: RwLock::new(DictInner {
+                strings: inner.strings.clone(),
+                index: inner.index.clone(),
+            }),
+        }
+    }
+}
+
+/// Borrowed raw storage of one column (see [`Column::cells`]): the lock-free
+/// per-row view shared by the join's key materializer and the correlated
+/// sampler's columnar scoring.
+pub enum ColumnCells<'a> {
+    /// Dense integers.
+    Int(&'a [i64]),
+    /// Dense floats.
+    Float(&'a [f64]),
+    /// Dictionary codes plus a read-locked dictionary view.
+    Str(&'a [u32], StrDictReader<'a>),
+}
+
+impl ColumnCells<'_> {
+    /// Value at `row`, which the caller must know to be non-NULL (validity
+    /// lives on the [`Column`], not here).
+    pub fn valid_value(&self, row: usize) -> Value {
+        match self {
+            ColumnCells::Int(v) => Value::Int(v[row]),
+            ColumnCells::Float(v) => Value::Float(v[row]),
+            ColumnCells::Str(v, d) => Value::Str(d.get_arc(v[row]).clone()),
+        }
+    }
+}
+
+/// Read-locked view of a [`StrDict`] (see [`StrDict::reader`]).
+pub struct StrDictReader<'a>(RwLockReadGuard<'a, DictInner>);
+
+impl StrDictReader<'_> {
+    /// Resolve a code without cloning the `Arc`.
+    pub fn get(&self, code: u32) -> &str {
+        &self.0.strings[code as usize]
+    }
+
+    /// Resolve a code to its shared string.
+    pub fn get_arc(&self, code: u32) -> &Arc<str> {
+        &self.0.strings[code as usize]
+    }
+
+    /// Code of `s` if interned.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.0.index.get(s).copied()
+    }
+
+    /// Number of distinct strings at lock time.
+    pub fn len(&self) -> usize {
+        self.0.strings.len()
+    }
+
+    /// `true` when the dictionary held no strings at lock time.
+    pub fn is_empty(&self) -> bool {
+        self.0.strings.is_empty()
     }
 }
 
@@ -103,9 +212,9 @@ impl Column {
         }
     }
 
-    /// All-valid string column (builds a dictionary).
+    /// All-valid string column (builds a fresh per-column dictionary).
     pub fn from_strs<S: AsRef<str>>(v: impl IntoIterator<Item = S>) -> Column {
-        let mut dict = StrDict::default();
+        let dict = StrDict::default();
         let codes: Vec<u32> = v.into_iter().map(|s| dict.intern(s.as_ref())).collect();
         Column {
             data: ColumnData::Str(codes, Arc::new(dict)),
@@ -175,7 +284,71 @@ impl Column {
         match &self.data {
             ColumnData::Int(v) => Value::Int(v[i]),
             ColumnData::Float(v) => Value::Float(v[i]),
-            ColumnData::Str(v, d) => Value::Str(d.get(v[i]).clone()),
+            ColumnData::Str(v, d) => Value::Str(d.get(v[i])),
+        }
+    }
+
+    /// Borrowed raw cell storage, with the `Str` dictionary read-locked once
+    /// — the per-row accessor for hot loops that must not take a per-cell
+    /// lock (joins, sampler scoring). The [`StrDictReader`] lock discipline
+    /// applies: drop the cells before interning into, or re-reading, the
+    /// same dictionary.
+    pub fn cells(&self) -> ColumnCells<'_> {
+        match &self.data {
+            ColumnData::Int(v) => ColumnCells::Int(v),
+            ColumnData::Float(v) => ColumnCells::Float(v),
+            ColumnData::Str(v, d) => ColumnCells::Str(v, d.reader()),
+        }
+    }
+
+    /// Re-encode a `Str` column's codes into `dict` (interning each distinct
+    /// string once); non-`Str` columns and columns already backed by `dict`
+    /// are returned as cheap clones. This is how a table built with local
+    /// dictionaries is migrated into a shared
+    /// [`crate::interner::InternerRegistry`] code space.
+    pub fn reencode_strs(&self, dict: Arc<StrDict>) -> Column {
+        let ColumnData::Str(codes, old) = &self.data else {
+            return self.clone();
+        };
+        if Arc::ptr_eq(old, &dict) {
+            return self.clone();
+        }
+        // Remap lazily, interning only strings that a *valid* row actually
+        // holds: the source dictionary may be shared with a much larger
+        // parent (samples and projections share dictionaries via `Arc`), and
+        // its absent strings must not bloat the registry's code space. NULL
+        // rows are re-dummied to code 0 without resolving their old dummy —
+        // whose code may not even exist in the source dictionary (a
+        // `gather_opt` NULL fill over an empty-dictionary column stores
+        // code 0 with no interned string).
+        let old_r = old.reader();
+        let mut remap: Vec<u32> = vec![u32::MAX; old_r.len()];
+        let mut dummy_ready = false;
+        let new_codes = codes
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| {
+                if self.is_null(r) {
+                    if !dummy_ready {
+                        // Mirror ColumnBuilder's invariant: code 0 resolves
+                        // whenever NULL rows are present.
+                        if dict.is_empty() {
+                            dict.intern("");
+                        }
+                        dummy_ready = true;
+                    }
+                    return 0;
+                }
+                let slot = &mut remap[c as usize];
+                if *slot == u32::MAX {
+                    *slot = dict.intern(old_r.get(c));
+                }
+                *slot
+            })
+            .collect();
+        Column {
+            data: ColumnData::Str(new_codes, dict),
+            validity: self.validity.clone(),
         }
     }
 
@@ -248,20 +421,28 @@ pub struct ColumnBuilder {
     ints: Vec<i64>,
     floats: Vec<f64>,
     codes: Vec<u32>,
-    dict: StrDict,
+    dict: Arc<StrDict>,
     validity: Bitmap,
     has_null: bool,
 }
 
 impl ColumnBuilder {
-    /// New builder for columns of type `ty`.
+    /// New builder for columns of type `ty` (fresh per-column dictionary for
+    /// `Str`).
     pub fn new(ty: ValueType) -> ColumnBuilder {
+        ColumnBuilder::with_dict(ty, Arc::new(StrDict::default()))
+    }
+
+    /// Builder whose `Str` codes intern into a caller-supplied (typically
+    /// registry-shared) dictionary. The dictionary may already hold entries;
+    /// codes of this column simply reuse/extend the shared symbol space.
+    pub fn with_dict(ty: ValueType, dict: Arc<StrDict>) -> ColumnBuilder {
         ColumnBuilder {
             ty,
             ints: Vec::new(),
             floats: Vec::new(),
             codes: Vec::new(),
-            dict: StrDict::default(),
+            dict,
             validity: Bitmap::default(),
             has_null: false,
         }
@@ -321,7 +502,9 @@ impl ColumnBuilder {
             ValueType::Int => self.ints.push(0),
             ValueType::Float => self.floats.push(0.0),
             ValueType::Str => {
-                // Dummy code 0; ensure the dictionary has at least one entry.
+                // Dummy code 0; ensure the dictionary has at least one entry
+                // (a shared dictionary may already have one — any code 0 works
+                // as a dummy since the validity bitmap masks it).
                 if self.dict.is_empty() {
                     self.dict.intern("");
                 }
@@ -335,7 +518,7 @@ impl ColumnBuilder {
         let data = match self.ty {
             ValueType::Int => ColumnData::Int(self.ints),
             ValueType::Float => ColumnData::Float(self.floats),
-            ValueType::Str => ColumnData::Str(self.codes, Arc::new(self.dict)),
+            ValueType::Str => ColumnData::Str(self.codes, self.dict),
         };
         Column {
             data,

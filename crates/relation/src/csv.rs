@@ -8,6 +8,7 @@
 
 use crate::column::ColumnBuilder;
 use crate::error::{RelationError, Result};
+use crate::interner::InternerRegistry;
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::{Value, ValueType};
@@ -103,6 +104,21 @@ fn parse_value(field: &str, quoted: bool, ty: ValueType) -> Result<Value> {
 
 /// Read a CSV (header row required) from any reader, inferring column types.
 pub fn read_csv_from(name: &str, reader: impl Read) -> Result<Table> {
+    read_csv_impl(None, name, reader)
+}
+
+/// [`read_csv_from`] with `Str` columns interning into `reg`'s shared
+/// per-attribute dictionaries — load all instances of a marketplace through
+/// one registry and their string codes become directly comparable.
+pub fn read_csv_from_interned(
+    reg: &InternerRegistry,
+    name: &str,
+    reader: impl Read,
+) -> Result<Table> {
+    read_csv_impl(Some(reg), name, reader)
+}
+
+fn read_csv_impl(reg: Option<&InternerRegistry>, name: &str, reader: impl Read) -> Result<Table> {
     let reader = BufReader::new(reader);
     let mut lines = Vec::new();
     for line in reader.lines() {
@@ -137,7 +153,14 @@ pub fn read_csv_from(name: &str, reader: impl Read) -> Result<Table> {
             .map(|(h, t)| (h.as_str(), *t))
             .collect::<Vec<_>>(),
     )?;
-    let mut builders: Vec<ColumnBuilder> = types.iter().map(|t| ColumnBuilder::new(*t)).collect();
+    let mut builders: Vec<ColumnBuilder> = schema
+        .attributes()
+        .iter()
+        .map(|a| match (a.ty, reg) {
+            (ValueType::Str, Some(reg)) => ColumnBuilder::with_dict(a.ty, reg.dict_for(a.id)),
+            _ => ColumnBuilder::new(a.ty),
+        })
+        .collect();
     for row in &rows {
         for (c, (field, quoted)) in row.iter().enumerate() {
             builders[c].push(&parse_value(field, *quoted, types[c])?)?;
@@ -153,11 +176,19 @@ pub fn read_csv_from(name: &str, reader: impl Read) -> Result<Table> {
 /// Read a CSV file; the table is named after the file stem.
 pub fn read_csv(path: impl AsRef<Path>) -> Result<Table> {
     let path = path.as_ref();
-    let name = path
-        .file_stem()
+    read_csv_from(&stem_name(path), std::fs::File::open(path)?)
+}
+
+/// [`read_csv`] with registry interning (see [`read_csv_from_interned`]).
+pub fn read_csv_interned(reg: &InternerRegistry, path: impl AsRef<Path>) -> Result<Table> {
+    let path = path.as_ref();
+    read_csv_from_interned(reg, &stem_name(path), std::fs::File::open(path)?)
+}
+
+fn stem_name(path: &Path) -> String {
+    path.file_stem()
         .map(|s| s.to_string_lossy().to_string())
-        .unwrap_or_else(|| "csv".into());
-    read_csv_from(&name, std::fs::File::open(path)?)
+        .unwrap_or_else(|| "csv".into())
 }
 
 fn escape(field: &str) -> String {

@@ -360,26 +360,44 @@ pub fn column_codes_with(exec: &Executor, col: &Column) -> (Vec<u32>, u32) {
     // occurrence exactly like any value.
     let (codes, num) = match col.data() {
         ColumnData::Str(raw, dict) => {
+            // The dictionary may be shared across tables (registry interning)
+            // and therefore much larger than this column; `dict.len()` is
+            // still a valid NULL sentinel because codes stored in the column
+            // were assigned while the (append-only) dictionary was no larger.
             let null_slot = dict.len() as u32;
-            // Every chunk's SlotDict holds a dictionary-sized remap, so a
-            // near-unique dictionary would pay `W × dict.len()` zeroing for
-            // rows that mostly appear once per chunk anyway — same fallback
-            // rule as `Grouping::counts_with`.
-            let seq;
-            let workers = exec.workers_for(n);
-            let exec = if workers > 1 && null_slot as usize >= n / workers {
-                seq = Executor::sequential();
-                &seq
+            if null_slot as usize > 4 * n + 64 {
+                // A slot remap would allocate dictionary-sized scratch per
+                // chunk for a column that cannot contain most of those slots;
+                // hash the codes like any other word key instead.
+                let (codes, keys) = encode_with_dict(exec, n, HashDict::<u32>::default, |r| {
+                    if col.is_null(r) {
+                        null_slot
+                    } else {
+                        raw[r]
+                    }
+                });
+                (codes, keys.len())
             } else {
-                exec
-            };
-            let (codes, slots) = encode_with_dict(
-                exec,
-                n,
-                || SlotDict::new(null_slot as usize + 1),
-                |r| if col.is_null(r) { null_slot } else { raw[r] },
-            );
-            (codes, slots.len())
+                // Every chunk's SlotDict holds a dictionary-sized remap, so a
+                // near-unique dictionary would pay `W × dict.len()` zeroing
+                // for rows that mostly appear once per chunk anyway — same
+                // fallback rule as `Grouping::counts_with`.
+                let seq;
+                let workers = exec.workers_for(n);
+                let exec = if workers > 1 && null_slot as usize >= n / workers {
+                    seq = Executor::sequential();
+                    &seq
+                } else {
+                    exec
+                };
+                let (codes, slots) = encode_with_dict(
+                    exec,
+                    n,
+                    || SlotDict::new(null_slot as usize + 1),
+                    |r| if col.is_null(r) { null_slot } else { raw[r] },
+                );
+                (codes, slots.len())
+            }
         }
         ColumnData::Int(raw) => {
             let (codes, keys) = encode_with_dict(exec, n, HashDict::<(bool, i64)>::default, |r| {
@@ -648,6 +666,46 @@ mod tests {
     #[test]
     fn missing_attribute_is_error() {
         assert!(group_ids(&t(), &AttrSet::from_names(["grp_missing"])).is_err());
+    }
+
+    /// A registry-shared dictionary can dwarf the column it encodes; past
+    /// `4n + 64` entries the Str path switches from the SlotDict remap to
+    /// hashed codes. The fallback must produce the identical first-occurrence
+    /// encoding — with NULLs, sequentially and chunked.
+    #[test]
+    fn oversized_shared_dict_hash_fallback_matches_slot_path() {
+        use crate::interner::InternerRegistry;
+
+        let rows: Vec<Vec<Value>> = (0..12)
+            .map(|i| {
+                vec![if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::str(format!("gfb{}", i % 4))
+                }]
+            })
+            .collect();
+        let attrs = [("grp_fallback", ValueType::Str)];
+        let small = Table::from_rows("s", &attrs, rows.clone()).unwrap();
+        let reference = group_ids(&small, &AttrSet::from_names(["grp_fallback"])).unwrap();
+
+        // Shared dictionary with far more than 4·12 + 64 entries pre-interned.
+        let reg = InternerRegistry::new();
+        let dict = reg.dict_for(crate::schema::attr("grp_fallback"));
+        for i in 0..200 {
+            dict.intern(&format!("padding{i}"));
+        }
+        let big = Table::from_rows_interned(&reg, "b", &attrs, rows).unwrap();
+        match big.column(0).data() {
+            ColumnData::Str(_, d) => assert!(d.len() > 4 * 12 + 64, "fallback branch not reached"),
+            _ => unreachable!(),
+        }
+        for exec in [Executor::sequential(), Executor::with_grain(4, 1)] {
+            let g = group_ids_with(&exec, &big, &AttrSet::from_names(["grp_fallback"])).unwrap();
+            assert_eq!(g.ids(), reference.ids());
+            assert_eq!(g.num_groups(), reference.num_groups());
+            assert_eq!(g.counts(), reference.counts());
+        }
     }
 
     /// The chunked encode must reproduce the sequential encoding exactly,

@@ -25,6 +25,17 @@ pub struct FxHasher {
 }
 
 impl FxHasher {
+    /// Hasher starting from an explicit seed state — the streaming form of
+    /// [`stable_hash64`]. Feeding this hasher the exact write sequence a
+    /// `Hash` impl would produce, then finalizing with [`splitmix64`], yields
+    /// bit-identical output to `stable_hash64(seed, value)`; the correlated
+    /// sampler uses this to score dictionary-encoded rows without
+    /// materializing `Value`s.
+    #[inline]
+    pub fn with_seed(seed: u64) -> FxHasher {
+        FxHasher { state: seed }
+    }
+
     #[inline]
     fn add_to_hash(&mut self, word: u64) {
         self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);

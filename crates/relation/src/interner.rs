@@ -1,0 +1,134 @@
+//! Cross-table string interning: one shared [`StrDict`] per attribute name.
+//!
+//! Every cross-table measure in DANCE — join informativeness (Def 2.4) for
+//! edge weights, the joint entropies behind query pricing — must decide
+//! whether a value in table `D` equals a value in table `D'`. With per-column
+//! dictionaries that decision needs materialized strings; with one
+//! **registry-owned dictionary per attribute name**, two `Str` columns that
+//! list the same attribute share a single symbol space, so equality is a
+//! `u32` compare and histograms match on dense codes directly
+//! ([`crate::sym`]). `Int`/`Float` columns are always directly comparable
+//! (their payloads are the values), so the registry only tracks `Str`
+//! dictionaries.
+//!
+//! The registry is concurrency-safe (tables can be generated/loaded in
+//! parallel) and append-only: symbols are never invalidated, so samples,
+//! projections and joins derived from interned tables keep sharing the same
+//! dictionaries via `Arc`.
+//!
+//! ```
+//! use dance_relation::{InternerRegistry, Table, Value, ValueType, AttrSet};
+//!
+//! let reg = InternerRegistry::default();
+//! let l = Table::from_rows_interned(
+//!     &reg,
+//!     "L",
+//!     &[("ir_state", ValueType::Str)],
+//!     vec![vec![Value::str("NJ")], vec![Value::str("NY")]],
+//! ).unwrap();
+//! let r = Table::from_rows_interned(
+//!     &reg,
+//!     "R",
+//!     &[("ir_state", ValueType::Str)],
+//!     vec![vec![Value::str("NY")]],
+//! ).unwrap();
+//! // Same attribute ⇒ same dictionary ⇒ "NY" carries one code in both tables.
+//! let lc = dance_relation::sym_counts(&l, &AttrSet::from_names(["ir_state"])).unwrap();
+//! let rc = dance_relation::sym_counts(&r, &AttrSet::from_names(["ir_state"])).unwrap();
+//! assert!(lc.directly_comparable(&rc));
+//! ```
+
+use crate::column::StrDict;
+use crate::hash::FxHashMap;
+use crate::schema::AttrId;
+use std::sync::{Arc, Mutex};
+
+/// Registry handing out one shared, append-only [`StrDict`] per attribute
+/// name ([`AttrId`]). Cheap to share behind a reference; create one per
+/// marketplace/scenario so all its tables intern into the same code spaces.
+#[derive(Debug, Default)]
+pub struct InternerRegistry {
+    dicts: Mutex<FxHashMap<AttrId, Arc<StrDict>>>,
+}
+
+impl InternerRegistry {
+    /// Fresh registry with no dictionaries.
+    pub fn new() -> InternerRegistry {
+        InternerRegistry::default()
+    }
+
+    /// The shared dictionary of attribute `id`, created on first request.
+    /// Every caller passing the same `id` receives the same `Arc`.
+    pub fn dict_for(&self, id: AttrId) -> Arc<StrDict> {
+        Arc::clone(
+            self.dicts
+                .lock()
+                .expect("InternerRegistry poisoned")
+                .entry(id)
+                .or_default(),
+        )
+    }
+
+    /// Number of attribute dictionaries created so far.
+    pub fn len(&self) -> usize {
+        self.dicts.lock().expect("InternerRegistry poisoned").len()
+    }
+
+    /// `true` when no dictionary has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attr;
+
+    #[test]
+    fn same_attribute_same_dictionary() {
+        let reg = InternerRegistry::new();
+        let a = reg.dict_for(attr("reg_city"));
+        let b = reg.dict_for(attr("reg_city"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = reg.dict_for(attr("reg_state"));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_shared_and_stable() {
+        let reg = InternerRegistry::new();
+        let d = reg.dict_for(attr("reg_sym"));
+        let nj = d.intern("NJ");
+        let ny = d.intern("NY");
+        assert_ne!(nj, ny);
+        // A "different" caller sees the same codes.
+        let d2 = reg.dict_for(attr("reg_sym"));
+        assert_eq!(d2.intern("NJ"), nj);
+        assert_eq!(d2.lookup("NY"), Some(ny));
+        assert_eq!(&*d2.get(nj), "NJ");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let reg = InternerRegistry::new();
+        let dict = reg.dict_for(attr("reg_conc"));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let dict = &dict;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        dict.intern(&format!("v{}", (i * (t + 1)) % 57));
+                    }
+                });
+            }
+        });
+        assert_eq!(dict.len(), 57);
+        // Every code resolves, and resolving + re-interning round-trips.
+        for c in 0..dict.len() as u32 {
+            let s = dict.get(c);
+            assert_eq!(dict.intern(&s), c);
+        }
+    }
+}

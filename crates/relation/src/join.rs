@@ -17,13 +17,53 @@
 //! graphs are trees) and exposes a hook that the sampling crate uses to bound
 //! intermediate results (correlated re-sampling, §3.2).
 
-use crate::column::ColumnBuilder;
+use crate::column::{ColumnBuilder, ColumnCells};
 use crate::error::{RelationError, Result};
 use crate::hash::FxHashMap;
 use crate::histogram::GroupKey;
 use crate::schema::{AttrSet, Schema};
 use crate::table::Table;
 use crate::value::Value;
+
+/// Per-row key materializer over a fixed column set, holding one dictionary
+/// read-lock per `Str` column so no per-cell lock is taken in the join's
+/// build/probe/coalesce loops.
+///
+/// Lock discipline: at most **one** `KeyReader` may be alive at a time.
+/// Registry-interned tables share dictionaries across tables, so a left-side
+/// and a right-side reader can guard the *same* `RwLock` — and acquiring a
+/// second read guard while holding one deadlocks if a writer (concurrent
+/// interning) queues in between. Every use below scopes its reader to a
+/// single loop.
+struct KeyReader<'a> {
+    t: &'a Table,
+    cols: Vec<(usize, ColumnCells<'a>)>,
+}
+
+impl<'a> KeyReader<'a> {
+    fn new(t: &'a Table, cols: &[usize]) -> KeyReader<'a> {
+        KeyReader {
+            t,
+            cols: cols.iter().map(|&c| (c, t.column(c).cells())).collect(),
+        }
+    }
+
+    /// Value of key position `pos` at `row` (Arc clone for strings, no lock).
+    fn value(&self, pos: usize, row: usize) -> Value {
+        let (c, cells) = &self.cols[pos];
+        if self.t.column(*c).is_null(row) {
+            return Value::Null;
+        }
+        cells.valid_value(row)
+    }
+
+    /// Materialize the full key of `row`.
+    fn key(&self, row: usize) -> GroupKey {
+        (0..self.cols.len())
+            .map(|pos| self.value(pos, row))
+            .collect()
+    }
+}
 
 /// Join flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,37 +93,43 @@ pub fn hash_join(left: &Table, right: &Table, on: &AttrSet, kind: JoinKind) -> R
         }
     }
 
-    // Build side: right.
+    // Build side: right (reader scoped to this loop — see KeyReader docs).
     let mut build: FxHashMap<GroupKey, Vec<u32>> = FxHashMap::default();
     let mut right_null_rows: Vec<u32> = Vec::new();
-    for r in 0..right.num_rows() {
-        let key = right.key(r, &rcols);
-        if key.iter().any(Value::is_null) {
-            right_null_rows.push(r as u32);
-            continue;
+    {
+        let rkeys = KeyReader::new(right, &rcols);
+        for r in 0..right.num_rows() {
+            let key = rkeys.key(r);
+            if key.iter().any(Value::is_null) {
+                right_null_rows.push(r as u32);
+                continue;
+            }
+            build.entry(key).or_default().push(r as u32);
         }
-        build.entry(key).or_default().push(r as u32);
     }
 
     // Probe side: left.
     let mut li: Vec<Option<u32>> = Vec::new();
     let mut ri: Vec<Option<u32>> = Vec::new();
     let mut right_matched = vec![false; right.num_rows()];
-    for l in 0..left.num_rows() {
-        let key = left.key(l, &lcols);
-        let has_null = key.iter().any(Value::is_null);
-        match (!has_null).then(|| build.get(&key)).flatten() {
-            Some(matches) => {
-                for &r in matches {
-                    li.push(Some(l as u32));
-                    ri.push(Some(r));
-                    right_matched[r as usize] = true;
+    {
+        let lkeys = KeyReader::new(left, &lcols);
+        for l in 0..left.num_rows() {
+            let key = lkeys.key(l);
+            let has_null = key.iter().any(Value::is_null);
+            match (!has_null).then(|| build.get(&key)).flatten() {
+                Some(matches) => {
+                    for &r in matches {
+                        li.push(Some(l as u32));
+                        ri.push(Some(r));
+                        right_matched[r as usize] = true;
+                    }
                 }
-            }
-            None => {
-                if kind == JoinKind::FullOuter {
-                    li.push(Some(l as u32));
-                    ri.push(None);
+                None => {
+                    if kind == JoinKind::FullOuter {
+                        li.push(Some(l as u32));
+                        ri.push(None);
+                    }
                 }
             }
         }
@@ -124,16 +170,35 @@ fn assemble(
     let mut columns = Vec::new();
 
     // Join columns: coalesce(left, right) so outer rows keep their key.
-    for (pos, id) in on.iter().enumerate() {
+    // Two passes with strictly sequential reader lifetimes: under registry
+    // interning the two sides resolve through the *same* dictionary lock, so
+    // the readers must never be alive simultaneously (see KeyReader docs).
+    let mut coalesced: Vec<Vec<Value>> = vec![vec![Value::Null; li.len()]; lcols.len()];
+    {
+        let lkeys = KeyReader::new(left, lcols);
+        for (row, l) in li.iter().enumerate() {
+            if let Some(l) = l {
+                for (pos, vals) in coalesced.iter_mut().enumerate() {
+                    vals[row] = lkeys.value(pos, *l as usize);
+                }
+            }
+        }
+    }
+    {
+        let rkeys = KeyReader::new(right, rcols);
+        for (row, (l, r)) in li.iter().zip(ri).enumerate() {
+            if let (None, Some(r)) = (l, r) {
+                for (pos, vals) in coalesced.iter_mut().enumerate() {
+                    vals[row] = rkeys.value(pos, *r as usize);
+                }
+            }
+        }
+    }
+    for ((pos, id), vals) in on.iter().enumerate().zip(&coalesced) {
         let ty = left.schema().attributes()[lcols[pos]].ty;
         let mut b = ColumnBuilder::new(ty);
-        for (l, r) in li.iter().zip(ri) {
-            let v = match (l, r) {
-                (Some(l), _) => left.value(*l as usize, lcols[pos]),
-                (None, Some(r)) => right.value(*r as usize, rcols[pos]),
-                (None, None) => Value::Null,
-            };
-            b.push(&v)?;
+        for v in vals {
+            b.push(v)?;
         }
         attrs.push(crate::schema::Attribute { id, ty });
         columns.push(b.finish());

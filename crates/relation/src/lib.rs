@@ -45,13 +45,15 @@ pub mod error;
 pub mod group;
 pub mod hash;
 pub mod histogram;
+pub mod interner;
 pub mod join;
 pub mod schema;
+pub mod sym;
 pub mod table;
 pub mod value;
 
 pub use bitmap::Bitmap;
-pub use column::{Column, ColumnBuilder, ColumnData, StrDict};
+pub use column::{Column, ColumnBuilder, ColumnCells, ColumnData, StrDict, StrDictReader};
 pub use dance_executor::Executor;
 pub use error::{RelationError, Result};
 pub use group::{group_ids, group_ids_with, Grouping, JointGrouping};
@@ -59,6 +61,11 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use histogram::{
     distinct_count, group_rows, joint_counts, value_counts, value_counts_with, GroupKey,
 };
+pub use interner::InternerRegistry;
 pub use schema::{attr, AttrId, AttrSet, Attribute, Schema};
+pub use sym::{
+    sym_counts, sym_counts_with, sym_joinable, sym_joint_counts, sym_joint_counts_with, SymCounts,
+    SymJointCounts, SymKey, SymMatch, SymTranslator,
+};
 pub use table::Table;
 pub use value::{Value, ValueType};

@@ -4,8 +4,9 @@
 //! after construction; every operator (projection, filter, gather, join,
 //! sample) produces a new table, sharing string dictionaries via `Arc`.
 
-use crate::column::{Column, ColumnBuilder};
+use crate::column::{Column, ColumnBuilder, ColumnData};
 use crate::error::{RelationError, Result};
+use crate::interner::InternerRegistry;
 use crate::schema::{AttrId, AttrSet, Schema};
 use crate::value::{Value, ValueType};
 use std::fmt;
@@ -61,11 +62,35 @@ impl Table {
         attrs: &[(&str, ValueType)],
         rows: Vec<Vec<Value>>,
     ) -> Result<Table> {
+        Table::from_rows_impl(None, name, attrs, rows)
+    }
+
+    /// [`Table::from_rows`] with `Str` columns interning into the registry's
+    /// per-attribute shared dictionaries, so the table's string codes are
+    /// directly comparable with every other table interned through `reg`.
+    pub fn from_rows_interned(
+        reg: &InternerRegistry,
+        name: impl Into<String>,
+        attrs: &[(&str, ValueType)],
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Table> {
+        Table::from_rows_impl(Some(reg), name, attrs, rows)
+    }
+
+    fn from_rows_impl(
+        reg: Option<&InternerRegistry>,
+        name: impl Into<String>,
+        attrs: &[(&str, ValueType)],
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Table> {
         let schema = Schema::from_pairs(attrs)?;
         let mut builders: Vec<ColumnBuilder> = schema
             .attributes()
             .iter()
-            .map(|a| ColumnBuilder::new(a.ty))
+            .map(|a| match (a.ty, reg) {
+                (ValueType::Str, Some(reg)) => ColumnBuilder::with_dict(a.ty, reg.dict_for(a.id)),
+                _ => ColumnBuilder::new(a.ty),
+            })
             .collect();
         for (r, row) in rows.iter().enumerate() {
             if row.len() != builders.len() {
@@ -95,6 +120,29 @@ impl Table {
     pub fn with_name(mut self, name: impl Into<String>) -> Table {
         self.name = name.into();
         self
+    }
+
+    /// Re-encode every `Str` column into `reg`'s shared per-attribute
+    /// dictionaries (one string lookup per *distinct* value; other columns
+    /// are cheap clones). The result's symbol histograms are directly
+    /// comparable with every other table interned through `reg`.
+    pub fn intern_into(&self, reg: &InternerRegistry) -> Table {
+        let columns = self
+            .schema
+            .attributes()
+            .iter()
+            .zip(&self.columns)
+            .map(|(a, c)| match c.data() {
+                ColumnData::Str(..) => c.reencode_strs(reg.dict_for(a.id)),
+                _ => c.clone(),
+            })
+            .collect();
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            nrows: self.nrows,
+        }
     }
 
     /// Schema.

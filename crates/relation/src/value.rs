@@ -105,11 +105,13 @@ impl Value {
         }
     }
 
-    /// NaNs are collapsed to one canonical bit pattern for Eq/Hash. The dense
-    /// group-id kernel ([`crate::group`]) reuses this so float grouping is
+    /// NaNs are collapsed to one canonical bit pattern for Eq/Hash (and
+    /// −0.0/+0.0 to one word). The dense group-id kernel ([`crate::group`]),
+    /// the symbol histograms ([`crate::sym`]) and the correlated sampler's
+    /// columnar scoring all reuse this, so float identity everywhere is
     /// bit-identical to `Value` equality by construction.
     #[inline]
-    pub(crate) fn canonical_bits(x: f64) -> u64 {
+    pub fn canonical_bits(x: f64) -> u64 {
         if x.is_nan() {
             f64::NAN.to_bits()
         } else if x == 0.0 {

@@ -3,14 +3,23 @@
 use dance_relation::histogram::legacy;
 use dance_relation::join::{hash_join, JoinKind};
 use dance_relation::{
-    group_ids, group_ids_with, group_rows, joint_counts, value_counts, value_counts_with, AttrSet,
-    Executor, Table, Value, ValueType,
+    group_ids, group_ids_with, group_rows, joint_counts, sym_counts_with, sym_joint_counts,
+    value_counts, value_counts_with, AttrSet, Executor, FxHashMap, GroupKey, InternerRegistry,
+    SymCounts, Table, Value, ValueType,
 };
 use proptest::prelude::*;
 
 /// Thread counts the parallel == sequential pinning runs at; grain 1 forces
 /// chunked execution even on tables of a handful of rows.
 const PIN_THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// Materialize a symbol histogram's keys for comparison with `value_counts`.
+fn decode_counts(sc: &SymCounts) -> FxHashMap<GroupKey, u64> {
+    sc.counts()
+        .iter()
+        .map(|(k, &c)| (sc.decode_key(k), c))
+        .collect()
+}
 
 /// Random small keyed tables: key domain 0..k, n rows, payload column.
 fn arb_table(name: &'static str, attr: &'static str) -> impl Strategy<Value = Table> {
@@ -222,6 +231,65 @@ proptest! {
             }
             prop_assert_eq!(&value_counts_with(&exec, &t, &x.union(&y)).unwrap(), &ref_counts);
         }
+    }
+
+    /// Symbol histograms decode to exactly the materialized value histograms
+    /// on every type/NULL combination — interned or not, at every thread
+    /// count.
+    #[test]
+    fn sym_counts_decode_to_value_counts(t in arb_mixed_table()) {
+        let reg = InternerRegistry::new();
+        let seq = Executor::sequential();
+        for table in [t.clone(), t.intern_into(&reg)] {
+            for attrs in [
+                AttrSet::from_names(["mx_s"]),
+                AttrSet::from_names(["mx_i"]),
+                AttrSet::from_names(["mx_f"]),
+                AttrSet::from_names(["mx_s", "mx_i", "mx_f"]),
+            ] {
+                let reference = value_counts(&table, &attrs).unwrap();
+                let sc = sym_counts_with(&seq, &table, &attrs).unwrap();
+                prop_assert_eq!(&decode_counts(&sc), &reference, "{}", attrs);
+                for threads in PIN_THREADS {
+                    let exec = Executor::with_grain(threads, 1);
+                    let sp = sym_counts_with(&exec, &table, &attrs).unwrap();
+                    prop_assert_eq!(sp.counts(), sc.counts(), "{} at {} threads", attrs, threads);
+                }
+            }
+        }
+    }
+
+    /// Interning a table never changes its logical content: group ids, value
+    /// histograms and joint counts are identical before and after
+    /// `intern_into`, and interned joint symbol counts decode to the
+    /// materialized joint counts.
+    #[test]
+    fn interning_preserves_logical_content(t in arb_mixed_table()) {
+        let reg = InternerRegistry::new();
+        // Pre-populate shared dictionaries in reverse order so interned codes
+        // genuinely differ from the per-column codes.
+        for i in (0..8u64).rev() {
+            reg.dict_for(dance_relation::attr("mx_s")).intern(&format!("s{i}"));
+        }
+        let it = t.intern_into(&reg);
+        let attrs = AttrSet::from_names(["mx_s", "mx_i", "mx_f"]);
+        let ga = group_ids(&t, &attrs).unwrap();
+        let gb = group_ids(&it, &attrs).unwrap();
+        prop_assert_eq!(ga.ids(), gb.ids());
+        prop_assert_eq!(&value_counts(&t, &attrs).unwrap(), &value_counts(&it, &attrs).unwrap());
+
+        let x = AttrSet::from_names(["mx_s"]);
+        let y = AttrSet::from_names(["mx_i", "mx_f"]);
+        let vj = joint_counts(&t, &x, &y).unwrap();
+        let sj = sym_joint_counts(&it, &x, &y).unwrap();
+        prop_assert_eq!(&decode_counts(&sj.x), &vj.x);
+        prop_assert_eq!(&decode_counts(&sj.y), &vj.y);
+        let dxy: FxHashMap<(GroupKey, GroupKey), u64> = sj
+            .xy
+            .iter()
+            .map(|((kx, ky), &c)| ((sj.x.decode_key(kx), sj.y.decode_key(ky)), c))
+            .collect();
+        prop_assert_eq!(dxy, vj.xy);
     }
 
     /// Structural invariants of the group-id encoding itself: ids are dense,

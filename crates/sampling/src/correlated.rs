@@ -7,8 +7,9 @@
 //! table or none do — joins of samples are exactly the sampled joins, the
 //! property behind the unbiasedness of the §3 estimators.
 
-use dance_relation::hash::{stable_hash64, unit_interval};
-use dance_relation::{group_ids, AttrSet, Result, Table};
+use dance_relation::hash::{stable_hash64, unit_interval, FxHasher};
+use dance_relation::{group_ids, AttrSet, ColumnCells, Result, Table, Value};
+use std::hash::Hasher;
 
 /// Deterministic correlated sampler: `rate` ∈ \[0, 1\], shared `seed`.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +30,12 @@ impl CorrelatedSampler {
     }
 
     /// The inclusion score of one key (uniform in `[0,1)` over keys).
+    ///
+    /// Depends only on the key's *values* (strings, not dictionary codes), so
+    /// it is identical across tables, registries and runs — the property
+    /// correlated sampling rests on. [`Self::sample`] computes the same score
+    /// straight off the columnar storage; the two paths are pinned
+    /// bit-identical by `columnar_scores_match_value_scores`.
     pub fn score(&self, key: &[dance_relation::Value]) -> f64 {
         unit_interval(stable_hash64(self.seed, key))
     }
@@ -39,14 +46,22 @@ impl CorrelatedSampler {
     /// die together, here and in every other table sampled with the same seed.
     ///
     /// Duplicates share their key's fate by construction, so the key is
-    /// materialized and scored once per *distinct* group (via the dense
-    /// group-id kernel) rather than once per row — the per-row work is a
-    /// `u32` table lookup. The kept set is identical to scoring every row,
-    /// because the score depends only on the key's values.
+    /// scored once per *distinct* group (via the dense group-id kernel)
+    /// rather than once per row — the per-row work is a `u32` table lookup.
+    /// Scoring streams each group's representative cells into the seeded
+    /// hasher directly (dictionary strings resolved under one read lock), so
+    /// no `GroupKey` is materialized; the byte stream fed to the hasher is
+    /// exactly what hashing the materialized `[Value]` key would feed, so the
+    /// kept set equals scoring every row.
     pub fn sample(&self, t: &Table, key_attrs: &AttrSet) -> Result<Table> {
         let g = group_ids(t, key_attrs)?;
-        let keys = g.materialize_keys(t, key_attrs)?;
-        let group_kept: Vec<bool> = keys.iter().map(|k| self.score(k) < self.rate).collect();
+        let cols = t.attr_indices(key_attrs)?;
+        let cells: Vec<ColumnCells<'_>> = cols.iter().map(|&c| t.column(c).cells()).collect();
+        let group_kept: Vec<bool> = g
+            .representatives()
+            .into_iter()
+            .map(|rep| self.score_row(t, &cols, &cells, rep as usize) < self.rate)
+            .collect();
         let keep: Vec<u32> = g
             .ids()
             .iter()
@@ -56,6 +71,35 @@ impl CorrelatedSampler {
             .collect();
         Ok(t.gather(&keep)
             .with_name(format!("{}@{:.2}", t.name(), self.rate)))
+    }
+
+    /// Columnar twin of [`Self::score`]: reproduces, write for write, what
+    /// `stable_hash64(seed, &[Value])` feeds the hasher (slice length prefix,
+    /// then [`Value`]'s tag + payload per cell).
+    fn score_row(&self, t: &Table, cols: &[usize], cells: &[ColumnCells<'_>], row: usize) -> f64 {
+        let mut h = FxHasher::with_seed(self.seed);
+        h.write_usize(cols.len());
+        for (&c, cell) in cols.iter().zip(cells) {
+            if t.column(c).is_null(row) {
+                h.write_u8(0);
+                continue;
+            }
+            match cell {
+                ColumnCells::Int(v) => {
+                    h.write_u8(1);
+                    h.write_u64(v[row] as u64);
+                }
+                ColumnCells::Float(v) => {
+                    h.write_u8(2);
+                    h.write_u64(Value::canonical_bits(v[row]));
+                }
+                ColumnCells::Str(codes, dict) => {
+                    h.write_u8(3);
+                    h.write(dict.get(codes[row]).as_bytes());
+                }
+            }
+        }
+        unit_interval(dance_relation::hash::splitmix64(h.finish()))
     }
 }
 
@@ -181,5 +225,73 @@ mod tests {
         let t = keyed_table("t", "cs_k", 10, 1);
         let s = CorrelatedSampler::new(0.5, 5);
         assert!(s.sample(&t, &AttrSet::from_names(["cs_absent"])).is_err());
+    }
+
+    /// The columnar scoring path must feed the hasher exactly what hashing
+    /// the materialized `[Value]` key feeds it — across every type, NULLs,
+    /// float canonicalization, and regardless of dictionary sharing.
+    #[test]
+    fn columnar_scores_match_value_scores() {
+        let t = Table::from_rows(
+            "mix",
+            &[
+                ("csc_s", ValueType::Str),
+                ("csc_i", ValueType::Int),
+                ("csc_f", ValueType::Float),
+            ],
+            vec![
+                vec![Value::str("u"), Value::Int(1), Value::Float(0.5)],
+                vec![Value::str("v"), Value::Null, Value::Float(-0.0)],
+                vec![Value::Null, Value::Int(-7), Value::Float(f64::NAN)],
+                vec![Value::str("u"), Value::Int(1), Value::Null],
+                vec![Value::str(""), Value::Int(0), Value::Float(0.0)],
+            ],
+        )
+        .unwrap();
+        let reg = dance_relation::InternerRegistry::new();
+        for table in [t.clone(), t.intern_into(&reg)] {
+            let on = AttrSet::from_names(["csc_s", "csc_i", "csc_f"]);
+            let s = CorrelatedSampler::new(0.5, 99);
+            let g = dance_relation::group_ids(&table, &on).unwrap();
+            let cols = table.attr_indices(&on).unwrap();
+            let cells: Vec<ColumnCells<'_>> =
+                cols.iter().map(|&c| table.column(c).cells()).collect();
+            for rep in g.representatives() {
+                let columnar = s.score_row(&table, &cols, &cells, rep as usize);
+                let keyed = s.score(&table.key(rep as usize, &cols));
+                assert_eq!(columnar.to_bits(), keyed.to_bits(), "row {rep}");
+            }
+        }
+    }
+
+    /// Interning must not change which rows a sampler keeps (scores hash
+    /// string values, not dictionary codes).
+    #[test]
+    fn interned_sample_equals_plain_sample() {
+        let rows: Vec<Vec<Value>> = (0..300)
+            .map(|i| vec![Value::str(format!("k{}", i % 60)), Value::Int(i)])
+            .collect();
+        let t = Table::from_rows(
+            "p",
+            &[("csi_k", ValueType::Str), ("csi_v", ValueType::Int)],
+            rows,
+        )
+        .unwrap();
+        let reg = dance_relation::InternerRegistry::new();
+        // Pre-populate the shared dictionary in a different order so codes
+        // genuinely differ from the per-column dictionary's.
+        for i in (0..60).rev() {
+            reg.dict_for(dance_relation::attr("csi_k"))
+                .intern(&format!("k{i}"));
+        }
+        let it = t.intern_into(&reg);
+        let on = AttrSet::from_names(["csi_k"]);
+        let s = CorrelatedSampler::new(0.4, 17);
+        let a = s.sample(&t, &on).unwrap();
+        let b = s.sample(&it, &on).unwrap();
+        assert_eq!(a.num_rows(), b.num_rows());
+        for r in 0..a.num_rows() {
+            assert_eq!(a.row(r), b.row(r));
+        }
     }
 }

@@ -54,6 +54,94 @@ fn health_scenario_full_loop() {
     }
 }
 
+/// Seeded acquisition on the (interned) TPC-H scenario is fully
+/// deterministic and the money adds up: the returned plan satisfies the
+/// request's budget constraint, the marketplace ledger equals sample spend +
+/// purchase spend, the purchase total equals the sum of independent quotes,
+/// and re-running the whole loop with the same seed reproduces the identical
+/// plan (queries, attribute sets, metric bits) and identical ledger.
+#[test]
+fn seeded_acquisition_is_deterministic_and_ledger_consistent() {
+    #[derive(Debug, PartialEq)]
+    struct RunOutcome {
+        query_targets: Vec<(u32, AttrSet)>,
+        estimated_price: u64,
+        estimated_corr: u64,
+        sample_cost: u64,
+        purchase_spend: u64,
+        revenue: u64,
+    }
+
+    let run = |budget_cap: f64| -> RunOutcome {
+        let w = tpch_workload(&TpchConfig {
+            scale: 0.2,
+            dirty_fraction: 0.3,
+            seed: 9,
+        })
+        .unwrap();
+        let mut market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
+        let mut dance = Dance::offline(&mut market, Vec::new(), quick_config(0.8)).unwrap();
+        let q = w.query("Q1").unwrap();
+        let req = AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(
+            Constraints {
+                alpha: f64::INFINITY,
+                beta: 0.0,
+                budget: budget_cap,
+            },
+        );
+        let plan = dance
+            .acquire(&mut market, &req)
+            .unwrap()
+            .expect("plan within budget");
+        assert!(
+            plan.estimated.price <= budget_cap + 1e-9,
+            "plan price {} exceeds budget {budget_cap}",
+            plan.estimated.price
+        );
+
+        // Purchase and reconcile the ledger.
+        let revenue_after_sampling = market.revenue();
+        assert!((revenue_after_sampling - dance.sample_cost()).abs() < 1e-9);
+        let quoted: f64 = plan
+            .queries
+            .iter()
+            .map(|q| market.quote(q.dataset, &q.attrs).unwrap())
+            .sum();
+        let mut budget = Budget::new(quoted + 1.0);
+        let data = dance.purchase(&mut market, &plan, &mut budget).unwrap();
+        assert_eq!(data.len(), plan.queries.len());
+        assert!((budget.spent() - quoted).abs() < 1e-9, "spend == Σ quotes");
+        assert!(
+            (market.revenue() - (dance.sample_cost() + budget.spent())).abs() < 1e-9,
+            "ledger: revenue {} != samples {} + queries {}",
+            market.revenue(),
+            dance.sample_cost(),
+            budget.spent()
+        );
+
+        RunOutcome {
+            query_targets: plan
+                .queries
+                .iter()
+                .map(|q| (q.dataset.0, q.attrs.clone()))
+                .collect(),
+            estimated_price: plan.estimated.price.to_bits(),
+            estimated_corr: plan.estimated.correlation.to_bits(),
+            sample_cost: dance.sample_cost().to_bits(),
+            purchase_spend: budget.spent().to_bits(),
+            revenue: market.revenue().to_bits(),
+        }
+    };
+
+    // Find a satisfiable finite budget, then require two fresh runs under it
+    // to be bit-identical.
+    let unconstrained = run(f64::INFINITY);
+    let cap = f64::from_bits(unconstrained.estimated_price) * 1.5;
+    let a = run(cap);
+    let b = run(cap);
+    assert_eq!(a, b, "same seed must reproduce the identical acquisition");
+}
+
 #[test]
 fn tpch_heuristic_tracks_lp_on_forced_paths() {
     // Q1's route is structurally forced (orders–customer on custkey), so the

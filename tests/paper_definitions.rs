@@ -146,6 +146,110 @@ fn property_4_1_weight_sharing() {
     }
 }
 
+/// Definition 2.4 on **disjoint-domain** join columns: no key ever matches,
+/// so the outer-join pair distribution is `2n` uniform unmatched buckets and
+/// `JI = (log2(2n) − 1) / log2(2n)` exactly — approaching 1 (a useless join)
+/// as the domains grow. Holds identically for string and integer keys, and
+/// for the interned twin of the same tables.
+#[test]
+fn ji_of_disjoint_domain_columns() {
+    for n in [4usize, 32, 128] {
+        let l = Table::from_rows(
+            "L",
+            &[("jidd_k", ValueType::Str)],
+            (0..n).map(|i| vec![Value::str(format!("l{i}"))]).collect(),
+        )
+        .unwrap();
+        let r = Table::from_rows(
+            "R",
+            &[("jidd_k", ValueType::Str)],
+            (0..n).map(|i| vec![Value::str(format!("r{i}"))]).collect(),
+        )
+        .unwrap();
+        let on = AttrSet::from_names(["jidd_k"]);
+        let expected = ((2.0 * n as f64).log2() - 1.0) / (2.0 * n as f64).log2();
+        let ji = dance::info::join_informativeness(&l, &r, &on).unwrap();
+        assert!((ji - expected).abs() < 1e-12, "n={n}: {ji} vs {expected}");
+
+        // Same formula on Int keys with disjoint ranges.
+        let li = Table::from_rows(
+            "LI",
+            &[("jidd_i", ValueType::Int)],
+            (0..n).map(|i| vec![Value::Int(i as i64)]).collect(),
+        )
+        .unwrap();
+        let ri = Table::from_rows(
+            "RI",
+            &[("jidd_i", ValueType::Int)],
+            (0..n).map(|i| vec![Value::Int(-(i as i64) - 1)]).collect(),
+        )
+        .unwrap();
+        let ji_int =
+            dance::info::join_informativeness(&li, &ri, &AttrSet::from_names(["jidd_i"])).unwrap();
+        assert!((ji_int - expected).abs() < 1e-12, "int n={n}: {ji_int}");
+
+        // Interned twins agree bit-for-bit with the keyed reference.
+        let reg = dance::relation::InternerRegistry::new();
+        let ji_interned =
+            dance::info::join_informativeness(&l.intern_into(&reg), &r.intern_into(&reg), &on)
+                .unwrap();
+        let keyed = dance::info::join_informativeness_keyed(&l, &r, &on).unwrap();
+        assert_eq!(ji_interned.to_bits(), keyed.to_bits());
+    }
+}
+
+/// Definition 2.4 on **single-group** (constant) join columns — the 0/0
+/// degenerate corner: one shared constant ⇒ everything matches ⇒ `JI = 0`;
+/// two different constants ⇒ the two NULL-buckets are perfectly
+/// anti-coordinated (`I = H`) ⇒ `JI = 0` by the formula (a documented
+/// small-support artifact); a constant against an empty side ⇒ `H = 0` with
+/// nothing matched ⇒ convention `JI = 1`. Multiplicities must not change any
+/// of it.
+#[test]
+fn ji_of_single_group_columns() {
+    let on = AttrSet::from_names(["jisg_k"]);
+    let constant = |name: &str, v: &str, reps: usize| {
+        Table::from_rows(
+            name,
+            &[("jisg_k", ValueType::Str)],
+            (0..reps).map(|_| vec![Value::str(v)]).collect(),
+        )
+        .unwrap()
+    };
+    // Shared constant, equal and unequal multiplicities.
+    for reps in [1usize, 3, 7] {
+        let l = constant("L", "only", 5);
+        let r = constant("R", "only", reps);
+        assert_eq!(
+            dance::info::join_informativeness(&l, &r, &on).unwrap(),
+            0.0,
+            "reps={reps}"
+        );
+    }
+    // Different constants: anti-coordinated NULL buckets, formula gives 0.
+    let l = constant("L", "left_only", 4);
+    let r = constant("R", "right_only", 6);
+    assert_eq!(dance::info::join_informativeness(&l, &r, &on).unwrap(), 0.0);
+    // Constant vs empty: no pairs matched and H = 0 ⇒ convention 1.
+    let empty = constant("R", "unused", 0);
+    assert_eq!(
+        dance::info::join_informativeness(&l, &empty, &on).unwrap(),
+        1.0
+    );
+    // All-NULL column behaves as one unmatchable group against a constant:
+    // also the anti-coordinated two-bucket artifact.
+    let nulls = Table::from_rows(
+        "N",
+        &[("jisg_k", ValueType::Str)],
+        vec![vec![Value::Null], vec![Value::Null]],
+    )
+    .unwrap();
+    assert_eq!(
+        dance::info::join_informativeness(&l, &nulls, &on).unwrap(),
+        0.0
+    );
+}
+
 /// Definition 2.4's range and monotonicity-in-mismatch on marketplace-shaped
 /// data, plus Definition 2.5's non-negativity for the categorical case.
 #[test]
