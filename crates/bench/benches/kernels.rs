@@ -290,6 +290,87 @@ fn bench_interned_vs_keyed(c: &mut Criterion) {
     g.finish();
 }
 
+/// The symbol-native late-materialization join pipeline vs the per-hop
+/// materializing chain, on string-keyed multi-hop paths — the join-layer
+/// twin of `interned_vs_keyed`. `per_hop/…` gathers a full intermediate
+/// table at every hop (`join_tree_bounded_tables`); `late/…` composes
+/// selection vectors and materializes once (`join_tree_bounded`). Both
+/// produce identical tables (pinned by `tests/join_pipeline.rs`); the
+/// shared-dict entries probe registry-shared `u32` symbols verbatim, the
+/// private-dict entries pay one per-distinct-symbol translation per hop.
+fn bench_join_pipeline(c: &mut Criterion) {
+    use dance_sampling::{join_tree_bounded, join_tree_bounded_tables};
+
+    // A (hops+1)-table chain, 1:1 on high-cardinality string keys, with two
+    // Int payload columns per table so the per-hop gather cost is visible
+    // (the accumulated width grows with every hop).
+    let n = 20_000usize;
+    let chain = |reg: Option<&InternerRegistry>, hops: usize| -> Vec<Table> {
+        (0..=hops)
+            .map(|i| {
+                let mut attrs: Vec<(String, ValueType)> =
+                    vec![(format!("jpb_k{i}"), ValueType::Str)];
+                if i < hops {
+                    attrs.push((format!("jpb_k{}", i + 1), ValueType::Str));
+                }
+                attrs.push((format!("jpb_p{i}a"), ValueType::Int));
+                attrs.push((format!("jpb_p{i}b"), ValueType::Int));
+                let attrs_ref: Vec<(&str, ValueType)> =
+                    attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                let rows: Vec<Vec<Value>> = (0..n)
+                    .map(|r| {
+                        let mut row = vec![Value::str(format!("k{i}_{r}"))];
+                        if i < hops {
+                            row.push(Value::str(format!("k{}_{r}", i + 1)));
+                        }
+                        row.push(Value::Int(r as i64));
+                        row.push(Value::Int((r * 7) as i64));
+                        row
+                    })
+                    .collect();
+                match reg {
+                    Some(reg) => {
+                        Table::from_rows_interned(reg, format!("T{i}"), &attrs_ref, rows).unwrap()
+                    }
+                    None => Table::from_rows(format!("T{i}"), &attrs_ref, rows).unwrap(),
+                }
+            })
+            .collect()
+    };
+    let edges = |hops: usize| -> Vec<dance_relation::join::JoinEdge> {
+        (0..hops)
+            .map(|i| dance_relation::join::JoinEdge {
+                a: i,
+                b: i + 1,
+                on: AttrSet::from_names([format!("jpb_k{}", i + 1).as_str()]),
+            })
+            .collect()
+    };
+
+    let mut g = c.benchmark_group("join_pipeline");
+    for hops in [2usize, 4] {
+        let reg = InternerRegistry::new();
+        for (label, tables) in [
+            ("shared_dicts", chain(Some(&reg), hops)),
+            ("private_dicts", chain(None, hops)),
+        ] {
+            let refs: Vec<&Table> = tables.iter().collect();
+            let es = edges(hops);
+            g.bench_with_input(
+                BenchmarkId::new("per_hop", format!("{hops}hop_{label}")),
+                &refs,
+                |b, refs| b.iter(|| join_tree_bounded_tables(black_box(refs), &es, None).unwrap()),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("late", format!("{hops}hop_{label}")),
+                &refs,
+                |b, refs| b.iter(|| join_tree_bounded(black_box(refs), &es, None).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
 /// The scoped-thread executor at 1/2/4/8 workers on the scale-100 TPC-H
 /// catalog. Entries with the same name and different thread suffixes compute
 /// identical (bit-for-bit) results; only wall-clock may differ. `threads=1`
@@ -423,6 +504,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_seq_vs_par, bench_kernels
+    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_join_pipeline, bench_seq_vs_par, bench_kernels
 }
 criterion_main!(kernels);

@@ -10,6 +10,13 @@
 //! constraint-satisfying plan as SQL projection queries. If no plan exists at
 //! the current sample resolution, buy more samples (higher rate), refresh the
 //! graph and retry — the iterative loop of §2.1.
+//!
+//! Every multi-hop join the middleware evaluates — [`Dance::search`]'s MCMC
+//! candidates, [`Dance::evaluate_true`]'s full-table ground truth, and the
+//! re-joins after [`Dance::refine`] — flows through the selection-vector
+//! pipeline (`dance_relation::sel` via `join_tree_bounded_with`): per-hop
+//! joins compose row-id selections on interned symbols, fan out over the
+//! graph's `dance-executor`, and materialize one table for the estimators.
 
 use crate::igraph::minimal_igraph;
 use crate::join_graph::{JoinGraph, JoinGraphConfig};

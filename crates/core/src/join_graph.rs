@@ -98,15 +98,31 @@ struct PairWork {
     cands: Vec<AttrSet>,
 }
 
+/// Inner (nested-chunking) worker count for one histogram work item: the
+/// **work-size heuristic** that splits giant samples' counting kernels across
+/// otherwise-idle executor workers when the catalog offers fewer
+/// (instance, candidate-set) items than the pool has threads.
+///
+/// With at least `threads` items every kernel runs sequentially inside its
+/// `par_map` worker — the fan-out alone saturates the pool, and nested
+/// chunking would only oversubscribe it. With fewer items, each item's inner
+/// pool is sized by its **row share** of the round's total work, so one giant
+/// sample next to a handful of tiny dimension tables claims (almost) the
+/// whole pool instead of a uniform `threads / items` slice; the sum of
+/// shares stays ≤ `threads` up to the per-item minimum of one. Executor
+/// sizing never affects results — every kernel is bit-identical at every
+/// thread count — so the heuristic is purely a scheduling decision.
+fn inner_workers(threads: usize, items: usize, rows: usize, total_rows: usize) -> usize {
+    if items >= threads || total_rows == 0 {
+        return 1;
+    }
+    ((threads * rows) / total_rows).clamp(1, threads)
+}
+
 /// Compute every histogram in `needed` that is not already cached, in
 /// parallel over `exec`, and insert the results (stamped off `clock` in item
-/// order). The pool is split between the two levels: with at least `threads`
-/// work items every counting kernel runs sequentially inside its `par_map`
-/// worker (fan-out alone saturates the pool, and nested chunking would
-/// oversubscribe it); with fewer items — e.g. a refresh touching one or two
-/// candidate sets of a large sample — each item gets `threads / items`
-/// workers for its own chunked passes, so `active outer workers × inner
-/// workers ≤ threads` either way.
+/// order). Each item's counting kernel runs on a nested executor sized by
+/// [`inner_workers`].
 fn fill_hist_cache(
     exec: &Executor,
     hists: &mut [HistCache],
@@ -117,10 +133,21 @@ fn fill_hist_cache(
     if needed.is_empty() {
         return Ok(());
     }
-    let inner = Executor::new((exec.threads() / needed.len()).max(1));
+    let threads = exec.threads();
+    let total_rows: usize = needed
+        .iter()
+        .map(|(side, _)| samples[*side as usize].num_rows())
+        .sum();
     let computed: Result<Vec<SymCounts>> = exec
         .par_map(&needed, |_, (side, cand)| {
-            sym_counts_with(&inner, &samples[*side as usize], cand)
+            let t = &samples[*side as usize];
+            let inner = Executor::new(inner_workers(
+                threads,
+                needed.len(),
+                t.num_rows(),
+                total_rows,
+            ));
+            sym_counts_with(&inner, t, cand)
         })
         .into_iter()
         .collect();
@@ -478,6 +505,13 @@ impl JoinGraph {
         &self.pricing
     }
 
+    /// The executor the graph was built on — evaluation call sites
+    /// (`evaluate_assignment`'s multi-hop selection joins) fan out over the
+    /// same pool instead of the global one.
+    pub fn executor(&self) -> Executor {
+        self.exec
+    }
+
     /// Instances whose schema contains **all** of `attrs`.
     pub fn instances_containing(&self, attrs: &AttrSet) -> Vec<u32> {
         (0..self.metas.len() as u32)
@@ -800,6 +834,68 @@ mod tests {
                         "weights drifted at cap {cap} round {round}"
                     );
                 }
+            }
+        }
+    }
+
+    /// The work-size heuristic: sequential kernels when the fan-out saturates
+    /// the pool, row-share splitting of idle workers when it does not.
+    #[test]
+    fn inner_workers_follow_row_share() {
+        // Enough items to saturate: strictly sequential kernels.
+        assert_eq!(inner_workers(4, 4, 1_000_000, 1_000_000), 1);
+        assert_eq!(inner_workers(4, 100, 1_000_000, 2_000_000), 1);
+        // One giant sample among tiny ones claims (almost) the whole pool.
+        assert_eq!(inner_workers(8, 3, 1_000_000, 1_020_000), 7);
+        assert_eq!(inner_workers(8, 3, 10_000, 1_020_000), 1);
+        // Uniform sizes degrade to the uniform split.
+        assert_eq!(inner_workers(8, 2, 500, 1000), 4);
+        // Degenerate inputs stay sequential.
+        assert_eq!(inner_workers(8, 2, 0, 0), 1);
+        assert_eq!(inner_workers(1, 1, 100, 100), 1);
+        // Shares sum to at most threads (up to the per-item minimum of one).
+        let rows = [900usize, 50, 30, 20];
+        let total: usize = rows.iter().sum();
+        let sum: usize = rows.iter().map(|&r| inner_workers(8, 4, r, total)).sum();
+        assert!(sum < 8 + rows.len(), "sum = {sum}");
+    }
+
+    /// A small catalog with one giant sample exercises the nested-chunking
+    /// branch end to end: weights must equal the sequential build bit-exact.
+    #[test]
+    fn nested_chunking_build_matches_sequential() {
+        let big: Vec<Vec<Value>> = (0..20_000)
+            .map(|i| vec![Value::Int(i % 40), Value::Int(i)])
+            .collect();
+        let (m1, t1) = inst(
+            "BIG",
+            &[("nw_k", ValueType::Int), ("nw_x", ValueType::Int)],
+            big,
+        );
+        let (m2, t2) = inst(
+            "SMALL",
+            &[("nw_k", ValueType::Int), ("nw_y", ValueType::Int)],
+            (0..50)
+                .map(|i| vec![Value::Int(i % 40), Value::Int(i * 2)])
+                .collect(),
+        );
+        let build = |threads: usize| {
+            JoinGraph::build(
+                vec![m1.clone(), m2.clone()],
+                vec![t1.clone(), t2.clone()],
+                EntropyPricing::default(),
+                &JoinGraphConfig {
+                    executor: Executor::with_grain(threads, 1),
+                    ..JoinGraphConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let reference = build(1);
+        for threads in [2usize, 8] {
+            let g = build(threads);
+            for (key, w) in &reference.weights {
+                assert_eq!(g.weights[key].to_bits(), w.to_bits());
             }
         }
     }

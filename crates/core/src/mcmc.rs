@@ -24,7 +24,7 @@ use dance_info::ji::join_informativeness;
 use dance_quality::tane::TaneConfig;
 use dance_relation::join::JoinEdge;
 use dance_relation::{AttrSet, FxHashSet, RelationError, Result, Table};
-use dance_sampling::resample::{join_tree_bounded, ResampleConfig};
+use dance_sampling::resample::{join_tree_bounded_with, ResampleConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
@@ -208,7 +208,9 @@ pub fn evaluate_assignment(
                 on: on.clone(),
             })
             .collect();
-        join_tree_bounded(&refs, &edges, resample)?.0
+        // Selection-vector tree join: per-hop JoinSels composed on interned
+        // symbols, one materialization, fanned out over the graph's executor.
+        join_tree_bounded_with(&graph.executor(), &refs, &edges, resample)?.0
     };
 
     let corr = if joined.num_rows() == 0 {

@@ -376,31 +376,37 @@ impl Column {
 
     /// Take rows by optional index; `None` produces a NULL row (outer joins).
     pub fn gather_opt(&self, indices: &[Option<u32>]) -> Column {
+        let sel: Vec<u32> = indices.iter().map(|i| i.unwrap_or(u32::MAX)).collect();
+        self.gather_sel(&sel)
+    }
+
+    /// Take rows by selection vector: `u32::MAX` ([`crate::sel::NO_ROW`])
+    /// produces a NULL row. The selection-join form of [`Self::gather_opt`] —
+    /// one flat `u32` per output row, no `Option` layout.
+    pub fn gather_sel(&self, indices: &[u32]) -> Column {
+        const NONE: u32 = u32::MAX;
         let mut validity = Bitmap::default();
         for &i in indices {
-            let valid = match i {
-                None => false,
-                Some(i) => !self.is_null(i as usize),
-            };
+            let valid = i != NONE && !self.is_null(i as usize);
             validity.push(valid);
         }
         let data = match &self.data {
             ColumnData::Int(v) => ColumnData::Int(
                 indices
                     .iter()
-                    .map(|i| i.map(|i| v[i as usize]).unwrap_or(0))
+                    .map(|&i| if i == NONE { 0 } else { v[i as usize] })
                     .collect(),
             ),
             ColumnData::Float(v) => ColumnData::Float(
                 indices
                     .iter()
-                    .map(|i| i.map(|i| v[i as usize]).unwrap_or(0.0))
+                    .map(|&i| if i == NONE { 0.0 } else { v[i as usize] })
                     .collect(),
             ),
             ColumnData::Str(v, d) => ColumnData::Str(
                 indices
                     .iter()
-                    .map(|i| i.map(|i| v[i as usize]).unwrap_or(0))
+                    .map(|&i| if i == NONE { 0 } else { v[i as usize] })
                     .collect(),
                 Arc::clone(d),
             ),

@@ -13,57 +13,25 @@
 //! wins and the right copy is dropped — the same convention SQL `USING` plus
 //! `SELECT left.*` would give. Join-attribute types must agree.
 //!
+//! Both build and probe run on the **symbol layer** ([`crate::sel`]): keys
+//! compare as `u64` words (Int bits, canonical Float bits, `Str` dictionary
+//! symbols — with a per-distinct-symbol translator when the two sides hold
+//! private dictionaries), and the join first produces a
+//! [`crate::sel::JoinSel`] selection vector, materialized by one gather per
+//! output column. No boxed `Value` key exists anywhere in this module; the
+//! retired value-keyed implementation survives as
+//! [`crate::join_legacy::hash_join_keyed`] for property-test pinning.
+//!
 //! [`join_tree`] chains pairwise joins along a join tree (the paper's target
 //! graphs are trees) and exposes a hook that the sampling crate uses to bound
-//! intermediate results (correlated re-sampling, §3.2).
+//! intermediate results (correlated re-sampling, §3.2). It materializes a
+//! table per hop — the pinning reference for the late-materialization tree
+//! join [`crate::sel::join_tree_late`], which production paths use.
 
-use crate::column::{ColumnBuilder, ColumnCells};
 use crate::error::{RelationError, Result};
-use crate::hash::FxHashMap;
-use crate::histogram::GroupKey;
-use crate::schema::{AttrSet, Schema};
+use crate::schema::AttrSet;
+use crate::sel::{join_sel_cols, materialize_join_cols, validate_on};
 use crate::table::Table;
-use crate::value::Value;
-
-/// Per-row key materializer over a fixed column set, holding one dictionary
-/// read-lock per `Str` column so no per-cell lock is taken in the join's
-/// build/probe/coalesce loops.
-///
-/// Lock discipline: at most **one** `KeyReader` may be alive at a time.
-/// Registry-interned tables share dictionaries across tables, so a left-side
-/// and a right-side reader can guard the *same* `RwLock` — and acquiring a
-/// second read guard while holding one deadlocks if a writer (concurrent
-/// interning) queues in between. Every use below scopes its reader to a
-/// single loop.
-struct KeyReader<'a> {
-    t: &'a Table,
-    cols: Vec<(usize, ColumnCells<'a>)>,
-}
-
-impl<'a> KeyReader<'a> {
-    fn new(t: &'a Table, cols: &[usize]) -> KeyReader<'a> {
-        KeyReader {
-            t,
-            cols: cols.iter().map(|&c| (c, t.column(c).cells())).collect(),
-        }
-    }
-
-    /// Value of key position `pos` at `row` (Arc clone for strings, no lock).
-    fn value(&self, pos: usize, row: usize) -> Value {
-        let (c, cells) = &self.cols[pos];
-        if self.t.column(*c).is_null(row) {
-            return Value::Null;
-        }
-        cells.valid_value(row)
-    }
-
-    /// Materialize the full key of `row`.
-    fn key(&self, row: usize) -> GroupKey {
-        (0..self.cols.len())
-            .map(|pos| self.value(pos, row))
-            .collect()
-    }
-}
 
 /// Join flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,156 +42,12 @@ pub enum JoinKind {
     FullOuter,
 }
 
-/// Hash equi-join of `left ⋈_on right`.
+/// Hash equi-join of `left ⋈_on right`: a symbol-native selection join
+/// ([`crate::sel::join_sel`]) plus one materialization, validated once.
 pub fn hash_join(left: &Table, right: &Table, on: &AttrSet, kind: JoinKind) -> Result<Table> {
-    if on.is_empty() {
-        return Err(RelationError::InvalidJoin(
-            "join attribute set is empty".into(),
-        ));
-    }
-    let lcols = left.attr_indices(on).map_err(|_| missing(on, left))?;
-    let rcols = right.attr_indices(on).map_err(|_| missing(on, right))?;
-    for (l, r) in lcols.iter().zip(&rcols) {
-        let lt = left.schema().attributes()[*l].ty;
-        let rt = right.schema().attributes()[*r].ty;
-        if lt != rt {
-            return Err(RelationError::TypeMismatch(format!(
-                "join attribute type mismatch: {lt} vs {rt}"
-            )));
-        }
-    }
-
-    // Build side: right (reader scoped to this loop — see KeyReader docs).
-    let mut build: FxHashMap<GroupKey, Vec<u32>> = FxHashMap::default();
-    let mut right_null_rows: Vec<u32> = Vec::new();
-    {
-        let rkeys = KeyReader::new(right, &rcols);
-        for r in 0..right.num_rows() {
-            let key = rkeys.key(r);
-            if key.iter().any(Value::is_null) {
-                right_null_rows.push(r as u32);
-                continue;
-            }
-            build.entry(key).or_default().push(r as u32);
-        }
-    }
-
-    // Probe side: left.
-    let mut li: Vec<Option<u32>> = Vec::new();
-    let mut ri: Vec<Option<u32>> = Vec::new();
-    let mut right_matched = vec![false; right.num_rows()];
-    {
-        let lkeys = KeyReader::new(left, &lcols);
-        for l in 0..left.num_rows() {
-            let key = lkeys.key(l);
-            let has_null = key.iter().any(Value::is_null);
-            match (!has_null).then(|| build.get(&key)).flatten() {
-                Some(matches) => {
-                    for &r in matches {
-                        li.push(Some(l as u32));
-                        ri.push(Some(r));
-                        right_matched[r as usize] = true;
-                    }
-                }
-                None => {
-                    if kind == JoinKind::FullOuter {
-                        li.push(Some(l as u32));
-                        ri.push(None);
-                    }
-                }
-            }
-        }
-    }
-    if kind == JoinKind::FullOuter {
-        for (r, matched) in right_matched.iter().enumerate() {
-            if !matched && !right_null_rows.contains(&(r as u32)) {
-                li.push(None);
-                ri.push(Some(r as u32));
-            }
-        }
-        for &r in &right_null_rows {
-            li.push(None);
-            ri.push(Some(r));
-        }
-    }
-
-    assemble(left, right, on, &lcols, &rcols, &li, &ri)
-}
-
-fn missing(on: &AttrSet, t: &Table) -> RelationError {
-    RelationError::InvalidJoin(format!(
-        "join attributes {on} not all present in {}",
-        t.name()
-    ))
-}
-
-fn assemble(
-    left: &Table,
-    right: &Table,
-    on: &AttrSet,
-    lcols: &[usize],
-    rcols: &[usize],
-    li: &[Option<u32>],
-    ri: &[Option<u32>],
-) -> Result<Table> {
-    let mut attrs = Vec::new();
-    let mut columns = Vec::new();
-
-    // Join columns: coalesce(left, right) so outer rows keep their key.
-    // Two passes with strictly sequential reader lifetimes: under registry
-    // interning the two sides resolve through the *same* dictionary lock, so
-    // the readers must never be alive simultaneously (see KeyReader docs).
-    let mut coalesced: Vec<Vec<Value>> = vec![vec![Value::Null; li.len()]; lcols.len()];
-    {
-        let lkeys = KeyReader::new(left, lcols);
-        for (row, l) in li.iter().enumerate() {
-            if let Some(l) = l {
-                for (pos, vals) in coalesced.iter_mut().enumerate() {
-                    vals[row] = lkeys.value(pos, *l as usize);
-                }
-            }
-        }
-    }
-    {
-        let rkeys = KeyReader::new(right, rcols);
-        for (row, (l, r)) in li.iter().zip(ri).enumerate() {
-            if let (None, Some(r)) = (l, r) {
-                for (pos, vals) in coalesced.iter_mut().enumerate() {
-                    vals[row] = rkeys.value(pos, *r as usize);
-                }
-            }
-        }
-    }
-    for ((pos, id), vals) in on.iter().enumerate().zip(&coalesced) {
-        let ty = left.schema().attributes()[lcols[pos]].ty;
-        let mut b = ColumnBuilder::new(ty);
-        for v in vals {
-            b.push(v)?;
-        }
-        attrs.push(crate::schema::Attribute { id, ty });
-        columns.push(b.finish());
-    }
-
-    // Left remainder (fast gather path).
-    for (c, a) in left.schema().attributes().iter().enumerate() {
-        if on.contains(a.id) {
-            continue;
-        }
-        attrs.push(*a);
-        columns.push(left.column(c).gather_opt(li));
-    }
-    // Right remainder, skipping names already present.
-    let taken: AttrSet = attrs.iter().map(|a| a.id).collect();
-    for (c, a) in right.schema().attributes().iter().enumerate() {
-        if taken.contains(a.id) {
-            continue;
-        }
-        attrs.push(*a);
-        columns.push(right.column(c).gather_opt(ri));
-    }
-
-    let name = format!("{}⋈{}", left.name(), right.name());
-    Table::new(name, Schema::new(attrs)?, columns)
+    let (lcols, rcols) = validate_on(left, right, on)?;
+    let sel = join_sel_cols(left, right, &lcols, &rcols, kind);
+    materialize_join_cols(left, right, on, &lcols, &rcols, &sel)
 }
 
 /// One edge of a join tree: tables `a` and `b` joined on `on`.
@@ -237,38 +61,31 @@ pub struct JoinEdge {
     pub on: AttrSet,
 }
 
-/// Join `tables` along tree `edges`, calling `intermediate` after each step.
+/// The shared tree-walk scaffold: validate `edges` against `num_tables` and
+/// fix the exact consumption order — the root table (the first edge's `a`)
+/// plus a `(edge index, newly joined table)` sequence where every step joins
+/// a new table onto the accumulated result.
 ///
-/// The hook receives every intermediate join result and may replace it (e.g.
-/// with a sample — §3.2's correlated re-sampling). Edges must connect all
-/// tables; they are consumed in an order that always joins a new table onto
-/// the accumulated result.
-pub fn join_tree(
-    tables: &[&Table],
+/// Both [`join_tree`] (per-hop materializing) and
+/// [`crate::sel::join_tree_late_with`] (late materialization) consume this
+/// one plan, so the two pipelines join tables in lock-step *by construction*
+/// — the bit-exact pinning contract between them depends on it.
+pub(crate) fn tree_join_plan(
+    num_tables: usize,
     edges: &[JoinEdge],
-    mut intermediate: impl FnMut(Table) -> Table,
-) -> Result<Table> {
-    if tables.is_empty() {
-        return Err(RelationError::InvalidJoin("no tables to join".into()));
-    }
-    if tables.len() == 1 {
-        return Ok((*tables[0]).clone());
-    }
-    if edges.len() != tables.len() - 1 {
+) -> Result<(usize, Vec<(usize, usize)>)> {
+    if edges.len() != num_tables - 1 {
         return Err(RelationError::InvalidJoin(format!(
-            "join tree needs {} edges for {} tables, got {}",
-            tables.len() - 1,
-            tables.len(),
+            "join tree needs {} edges for {num_tables} tables, got {}",
+            num_tables - 1,
             edges.len()
         )));
     }
-    let mut joined = vec![false; tables.len()];
+    let mut joined = vec![false; num_tables];
     let mut used = vec![false; edges.len()];
     let start = edges[0].a;
-    // The accumulator starts as a *borrow* of the first table: the opening
-    // join reads it in place, so no full-table copy happens on any chain.
-    let mut acc: Option<Table> = None;
     joined[start] = true;
+    let mut plan = Vec::with_capacity(edges.len());
     for _ in 0..edges.len() {
         let next = edges
             .iter()
@@ -280,14 +97,41 @@ pub fn join_tree(
         used[i] = true;
         let new_side = if joined[edge.a] { edge.b } else { edge.a };
         joined[new_side] = true;
-        let left: &Table = acc.as_ref().unwrap_or(tables[start]);
-        let step = hash_join(left, tables[new_side], &edge.on, JoinKind::Inner)?;
-        acc = Some(intermediate(step));
+        plan.push((i, new_side));
     }
     if joined.iter().any(|j| !j) {
         return Err(RelationError::InvalidJoin(
             "join edges leave some tables unreached".into(),
         ));
+    }
+    Ok((start, plan))
+}
+
+/// Join `tables` along tree `edges`, calling `intermediate` after each step.
+///
+/// The hook receives every intermediate join result and may replace it (e.g.
+/// with a sample — §3.2's correlated re-sampling). Edges must connect all
+/// tables; they are consumed in the order [`tree_join_plan`] fixes, always
+/// joining a new table onto the accumulated result.
+pub fn join_tree(
+    tables: &[&Table],
+    edges: &[JoinEdge],
+    mut intermediate: impl FnMut(Table) -> Table,
+) -> Result<Table> {
+    if tables.is_empty() {
+        return Err(RelationError::InvalidJoin("no tables to join".into()));
+    }
+    if tables.len() == 1 {
+        return Ok((*tables[0]).clone());
+    }
+    let (start, plan) = tree_join_plan(tables.len(), edges)?;
+    // The accumulator starts as a *borrow* of the first table: the opening
+    // join reads it in place, so no full-table copy happens on any chain.
+    let mut acc: Option<Table> = None;
+    for (i, new_side) in plan {
+        let left: &Table = acc.as_ref().unwrap_or(tables[start]);
+        let step = hash_join(left, tables[new_side], &edges[i].on, JoinKind::Inner)?;
+        acc = Some(intermediate(step));
     }
     Ok(acc.expect("at least one edge was joined"))
 }
@@ -296,7 +140,7 @@ pub fn join_tree(
 mod tests {
     use super::*;
     use crate::schema::attr;
-    use crate::value::ValueType;
+    use crate::value::{Value, ValueType};
 
     fn zip_table() -> Table {
         // D1 of Table 1: Zipcode → State with one inconsistent row.

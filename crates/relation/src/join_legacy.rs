@@ -1,0 +1,213 @@
+//! The retired value-keyed equi-join, kept as the executable reference for
+//! the symbol-native selection join ([`crate::sel`] / [`crate::join`]).
+//!
+//! [`hash_join_keyed`] materializes one boxed [`Value`] key per row on both
+//! the build and probe side and rebuilds every output key column through a
+//! [`ColumnBuilder`] — exactly what `join::hash_join` did before the join
+//! pipeline moved onto interned symbols with late materialization. Property
+//! tests pin the symbol path to this implementation bit-for-bit (all join
+//! kinds, NULL keys, multi-attribute `on`, shared and private dictionaries),
+//! and the `join_pipeline` bench group measures the gap. Not for production
+//! call sites.
+
+use crate::column::{ColumnBuilder, ColumnCells};
+use crate::error::{RelationError, Result};
+use crate::hash::FxHashMap;
+use crate::histogram::GroupKey;
+use crate::join::JoinKind;
+use crate::schema::{AttrSet, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Per-row key materializer over a fixed column set, holding one dictionary
+/// read-lock per `Str` column so no per-cell lock is taken in the join's
+/// build/probe/coalesce loops.
+///
+/// Lock discipline: at most **one** `KeyReader` may be alive at a time.
+/// Registry-interned tables share dictionaries across tables, so a left-side
+/// and a right-side reader can guard the *same* `RwLock` — and acquiring a
+/// second read guard while holding one deadlocks if a writer (concurrent
+/// interning) queues in between. Every use below scopes its reader to a
+/// single loop.
+struct KeyReader<'a> {
+    t: &'a Table,
+    cols: Vec<(usize, ColumnCells<'a>)>,
+}
+
+impl<'a> KeyReader<'a> {
+    fn new(t: &'a Table, cols: &[usize]) -> KeyReader<'a> {
+        KeyReader {
+            t,
+            cols: cols.iter().map(|&c| (c, t.column(c).cells())).collect(),
+        }
+    }
+
+    /// Value of key position `pos` at `row` (Arc clone for strings, no lock).
+    fn value(&self, pos: usize, row: usize) -> Value {
+        let (c, cells) = &self.cols[pos];
+        if self.t.column(*c).is_null(row) {
+            return Value::Null;
+        }
+        cells.valid_value(row)
+    }
+
+    /// Materialize the full key of `row`.
+    fn key(&self, row: usize) -> GroupKey {
+        (0..self.cols.len())
+            .map(|pos| self.value(pos, row))
+            .collect()
+    }
+}
+
+/// Per-row value-keyed reference implementation of
+/// [`crate::join::hash_join`].
+pub fn hash_join_keyed(left: &Table, right: &Table, on: &AttrSet, kind: JoinKind) -> Result<Table> {
+    if on.is_empty() {
+        return Err(RelationError::InvalidJoin(
+            "join attribute set is empty".into(),
+        ));
+    }
+    let lcols = left.attr_indices(on).map_err(|_| missing(on, left))?;
+    let rcols = right.attr_indices(on).map_err(|_| missing(on, right))?;
+    for (l, r) in lcols.iter().zip(&rcols) {
+        let lt = left.schema().attributes()[*l].ty;
+        let rt = right.schema().attributes()[*r].ty;
+        if lt != rt {
+            return Err(RelationError::TypeMismatch(format!(
+                "join attribute type mismatch: {lt} vs {rt}"
+            )));
+        }
+    }
+
+    // Build side: right (reader scoped to this loop — see KeyReader docs).
+    let mut build: FxHashMap<GroupKey, Vec<u32>> = FxHashMap::default();
+    let mut right_null_rows: Vec<u32> = Vec::new();
+    {
+        let rkeys = KeyReader::new(right, &rcols);
+        for r in 0..right.num_rows() {
+            let key = rkeys.key(r);
+            if key.iter().any(Value::is_null) {
+                right_null_rows.push(r as u32);
+                continue;
+            }
+            build.entry(key).or_default().push(r as u32);
+        }
+    }
+
+    // Probe side: left.
+    let mut li: Vec<Option<u32>> = Vec::new();
+    let mut ri: Vec<Option<u32>> = Vec::new();
+    let mut right_matched = vec![false; right.num_rows()];
+    {
+        let lkeys = KeyReader::new(left, &lcols);
+        for l in 0..left.num_rows() {
+            let key = lkeys.key(l);
+            let has_null = key.iter().any(Value::is_null);
+            match (!has_null).then(|| build.get(&key)).flatten() {
+                Some(matches) => {
+                    for &r in matches {
+                        li.push(Some(l as u32));
+                        ri.push(Some(r));
+                        right_matched[r as usize] = true;
+                    }
+                }
+                None => {
+                    if kind == JoinKind::FullOuter {
+                        li.push(Some(l as u32));
+                        ri.push(None);
+                    }
+                }
+            }
+        }
+    }
+    if kind == JoinKind::FullOuter {
+        for (r, matched) in right_matched.iter().enumerate() {
+            if !matched && !right_null_rows.contains(&(r as u32)) {
+                li.push(None);
+                ri.push(Some(r as u32));
+            }
+        }
+        for &r in &right_null_rows {
+            li.push(None);
+            ri.push(Some(r));
+        }
+    }
+
+    assemble(left, right, on, &lcols, &rcols, &li, &ri)
+}
+
+fn missing(on: &AttrSet, t: &Table) -> RelationError {
+    RelationError::InvalidJoin(format!(
+        "join attributes {on} not all present in {}",
+        t.name()
+    ))
+}
+
+fn assemble(
+    left: &Table,
+    right: &Table,
+    on: &AttrSet,
+    lcols: &[usize],
+    rcols: &[usize],
+    li: &[Option<u32>],
+    ri: &[Option<u32>],
+) -> Result<Table> {
+    let mut attrs = Vec::new();
+    let mut columns = Vec::new();
+
+    // Join columns: coalesce(left, right) so outer rows keep their key.
+    // Two passes with strictly sequential reader lifetimes: under registry
+    // interning the two sides resolve through the *same* dictionary lock, so
+    // the readers must never be alive simultaneously (see KeyReader docs).
+    let mut coalesced: Vec<Vec<Value>> = vec![vec![Value::Null; li.len()]; lcols.len()];
+    {
+        let lkeys = KeyReader::new(left, lcols);
+        for (row, l) in li.iter().enumerate() {
+            if let Some(l) = l {
+                for (pos, vals) in coalesced.iter_mut().enumerate() {
+                    vals[row] = lkeys.value(pos, *l as usize);
+                }
+            }
+        }
+    }
+    {
+        let rkeys = KeyReader::new(right, rcols);
+        for (row, (l, r)) in li.iter().zip(ri).enumerate() {
+            if let (None, Some(r)) = (l, r) {
+                for (pos, vals) in coalesced.iter_mut().enumerate() {
+                    vals[row] = rkeys.value(pos, *r as usize);
+                }
+            }
+        }
+    }
+    for ((pos, id), vals) in on.iter().enumerate().zip(&coalesced) {
+        let ty = left.schema().attributes()[lcols[pos]].ty;
+        let mut b = ColumnBuilder::new(ty);
+        for v in vals {
+            b.push(v)?;
+        }
+        attrs.push(crate::schema::Attribute { id, ty });
+        columns.push(b.finish());
+    }
+
+    // Left remainder (fast gather path).
+    for (c, a) in left.schema().attributes().iter().enumerate() {
+        if on.contains(a.id) {
+            continue;
+        }
+        attrs.push(*a);
+        columns.push(left.column(c).gather_opt(li));
+    }
+    // Right remainder, skipping names already present.
+    let taken: AttrSet = attrs.iter().map(|a| a.id).collect();
+    for (c, a) in right.schema().attributes().iter().enumerate() {
+        if taken.contains(a.id) {
+            continue;
+        }
+        attrs.push(*a);
+        columns.push(right.column(c).gather_opt(ri));
+    }
+
+    let name = format!("{}⋈{}", left.name(), right.name());
+    Table::new(name, Schema::new(attrs)?, columns)
+}

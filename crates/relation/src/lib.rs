@@ -47,7 +47,9 @@ pub mod hash;
 pub mod histogram;
 pub mod interner;
 pub mod join;
+pub mod join_legacy;
 pub mod schema;
+pub mod sel;
 pub mod sym;
 pub mod table;
 pub mod value;
@@ -63,6 +65,9 @@ pub use histogram::{
 };
 pub use interner::InternerRegistry;
 pub use schema::{attr, AttrId, AttrSet, Attribute, Schema};
+pub use sel::{
+    join_sel, join_tree_late, join_tree_late_with, materialize_join, JoinSel, TreeSel, NO_ROW,
+};
 pub use sym::{
     sym_counts, sym_counts_with, sym_joinable, sym_joint_counts, sym_joint_counts_with, SymCounts,
     SymJointCounts, SymKey, SymMatch, SymTranslator,

@@ -1,0 +1,1021 @@
+//! Selection-vector joins on interned symbols — late materialization.
+//!
+//! [`crate::join::hash_join`] historically materialized a boxed `Value` key
+//! per row on both the build and probe side, and every hop of a multi-table
+//! join gathered a full intermediate [`Table`]. This module replaces both
+//! steps:
+//!
+//! * **Symbol-native keys.** Join keys are compared as fixed-width `u64`
+//!   words straight off the columnar storage: `Int` bits, [`Value`]-canonical
+//!   `Float` bits, and `Str` dictionary symbols. Registry-interned tables
+//!   (shared dictionaries, `Arc`-identical) compare codes verbatim; tables
+//!   with private dictionaries degrade to a **per-distinct-symbol
+//!   translator** that resolves each probe-side symbol into the build side's
+//!   code space once (mirroring `SymCounts::match_to`) — no string is hashed
+//!   or boxed per row on either path. NULL keys never match (SQL semantics),
+//!   so they are excluded before any map is touched and no NULL-mask word is
+//!   needed — which also means selection joins have no 63-attribute key
+//!   limit.
+//! * **Late materialization.** A join produces a [`JoinSel`] — per-output-row
+//!   source indices into the two inputs (`NO_ROW` marks a null-extended outer
+//!   row) — instead of a gathered table. Along a join tree the per-hop
+//!   selections compose into a [`TreeSel`]: one `u32` selection column per
+//!   participating base table. Only when the estimator needs actual values is
+//!   a table materialized, with **one gather per output column** straight
+//!   from the base tables ([`join_tree_late`]).
+//!
+//! Output row order, schema order and values are identical to the per-hop
+//! materializing pipeline (`hash_join` chained by `join::join_tree`), which
+//! survives as the pinning reference; `join_legacy::hash_join_keyed` pins the
+//! value-keyed single join. Probe, composition and materialization fan out
+//! over a [`dance_executor::Executor`] in chunk/item order, so results are
+//! bit-identical at every thread count.
+
+use crate::column::{Column, ColumnData, StrDict};
+use crate::error::{RelationError, Result};
+use crate::hash::FxHashMap;
+use crate::join::{JoinEdge, JoinKind};
+use crate::schema::{AttrSet, Attribute, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use dance_executor::Executor;
+use std::sync::Arc;
+
+/// Row-id sentinel marking a null-extended (outer-join) output row.
+pub const NO_ROW: u32 = u32::MAX;
+
+/// Symbol sentinel: a probe-side string that does not exist in the build
+/// side's dictionary (the key can match nothing).
+const NO_SYM: u32 = u32::MAX;
+
+/// Result of one selection join: aligned per-output-row source indices into
+/// the left and right input ([`NO_ROW`] marks the null-extended side of an
+/// unmatched outer row). Inner joins never contain [`NO_ROW`].
+#[derive(Debug, Clone, Default)]
+pub struct JoinSel {
+    /// Left source row per output row.
+    pub left_rows: Vec<u32>,
+    /// Right source row per output row.
+    pub right_rows: Vec<u32>,
+}
+
+impl JoinSel {
+    /// Number of output rows.
+    pub fn num_rows(&self) -> usize {
+        self.left_rows.len()
+    }
+
+    /// `true` when the join produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.left_rows.is_empty()
+    }
+}
+
+/// Per-attribute key-word reader over one base column, in the *build side's*
+/// symbol space.
+enum Words<'a> {
+    /// Integer bits (always cross-table comparable).
+    Int(&'a [i64]),
+    /// Canonical float bits (−0.0 ≡ +0.0, all NaNs equal — [`Value`] identity).
+    Float(&'a [f64]),
+    /// Dictionary symbols, directly comparable (same `Arc` dictionary).
+    Str(&'a [u32]),
+    /// Private-dictionary symbols remapped into the build dictionary
+    /// ([`NO_SYM`] = the string does not exist over there).
+    StrRemap(&'a [u32], Vec<u32>),
+}
+
+/// One key position: the base column plus its word reader.
+struct KeySource<'a> {
+    col: &'a Column,
+    words: Words<'a>,
+}
+
+impl KeySource<'_> {
+    #[inline]
+    fn is_null(&self, row: usize) -> bool {
+        self.col.is_null(row)
+    }
+
+    /// Key word of a (non-NULL) row; `None` means the value cannot exist on
+    /// the build side (untranslatable private-dictionary symbol).
+    #[inline]
+    fn word(&self, row: usize) -> Option<u64> {
+        match &self.words {
+            Words::Int(v) => Some(v[row] as u64),
+            Words::Float(v) => Some(Value::canonical_bits(v[row])),
+            Words::Str(v) => Some(v[row] as u64),
+            Words::StrRemap(v, remap) => match remap[v[row] as usize] {
+                NO_SYM => None,
+                m => Some(m as u64),
+            },
+        }
+    }
+}
+
+/// Native (build-side) word reader of one column.
+fn native_source(col: &Column) -> KeySource<'_> {
+    let words = match col.data() {
+        ColumnData::Int(v) => Words::Int(v),
+        ColumnData::Float(v) => Words::Float(v),
+        ColumnData::Str(v, _) => Words::Str(v),
+    };
+    KeySource { col, words }
+}
+
+/// Probe-side word reader of `col` in `build_dict`'s symbol space: verbatim
+/// when the dictionaries are `Arc`-identical, per-distinct-symbol translation
+/// otherwise.
+fn probe_source<'a>(col: &'a Column, build_col: &'a Column) -> KeySource<'a> {
+    probe_source_rows(col, build_col, None)
+}
+
+/// [`probe_source`] restricted to the rows a selection actually references:
+/// the translation table resolves only symbols of `sel_rows` (the tree
+/// driver's composed selection may be a re-sampled sliver of the base
+/// column, and translating the whole column would undo the late-
+/// materialization saving).
+fn probe_source_rows<'a>(
+    col: &'a Column,
+    build_col: &'a Column,
+    sel_rows: Option<&[u32]>,
+) -> KeySource<'a> {
+    let words = match (col.data(), build_col.data()) {
+        (ColumnData::Str(v, from), ColumnData::Str(_, to)) if !Arc::ptr_eq(from, to) => {
+            let remap = match sel_rows {
+                None => remap_codes(col, v, from, to),
+                Some(rows) => {
+                    let used = rows
+                        .iter()
+                        .map(|&r| r as usize)
+                        .filter(|&r| !col.is_null(r))
+                        .map(|r| v[r]);
+                    distinct_code_remap(from, used, |s| to.lookup(s))
+                }
+            };
+            Words::StrRemap(v, remap)
+        }
+        _ => match col.data() {
+            ColumnData::Int(v) => Words::Int(v),
+            ColumnData::Float(v) => Words::Float(v),
+            ColumnData::Str(v, _) => Words::Str(v),
+        },
+    };
+    KeySource { col, words }
+}
+
+/// Two-phase per-distinct-code resolution `from`-code → resolved code
+/// ([`NO_SYM`] where `resolve` declines), the one place the cross-dictionary
+/// lock discipline lives.
+///
+/// Phase one collects each distinct code's string under `from`'s reader (an
+/// `Arc` clone each, no copy); phase two — with **no reader alive**, per the
+/// [`StrDict::reader`] contract — runs `resolve` (a lookup or an intern into
+/// another dictionary) per distinct code. `codes` must already exclude NULL
+/// rows: their dummy code may not even exist in `from`.
+fn distinct_code_remap(
+    from: &StrDict,
+    codes: impl Iterator<Item = u32>,
+    mut resolve: impl FnMut(&str) -> Option<u32>,
+) -> Vec<u32> {
+    let mut pending: Vec<(u32, Arc<str>)> = Vec::new();
+    let mut remap: Vec<u32>;
+    {
+        let from_r = from.reader();
+        remap = vec![NO_SYM; from_r.len()];
+        let mut seen = vec![false; from_r.len()];
+        for c in codes {
+            if !seen[c as usize] {
+                seen[c as usize] = true;
+                pending.push((c, Arc::clone(from_r.get_arc(c))));
+            }
+        }
+    }
+    for (c, s) in pending {
+        if let Some(m) = resolve(&s) {
+            remap[c as usize] = m;
+        }
+    }
+    remap
+}
+
+/// Per-distinct-symbol translation table `from`-code → `to`-code ([`NO_SYM`]
+/// when absent), resolving each distinct symbol's string exactly once.
+fn remap_codes(col: &Column, codes: &[u32], from: &Arc<StrDict>, to: &Arc<StrDict>) -> Vec<u32> {
+    let valid_codes = codes
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !col.is_null(*r))
+        .map(|(_, &c)| c);
+    distinct_code_remap(from, valid_codes, |s| to.lookup(s))
+}
+
+/// Build-side hash map: key words → right rows (in ascending row order).
+/// Single-attribute keys index a plain `u64` map (no per-row allocation);
+/// wider keys box the word vector once per row, which is still far cheaper
+/// than the retired per-row `Value` key (no string hashing, no `Arc` churn).
+enum BuildMap {
+    One(FxHashMap<u64, Vec<u32>>),
+    Many(FxHashMap<Box<[u64]>, Vec<u32>>),
+}
+
+impl BuildMap {
+    fn new(width: usize) -> BuildMap {
+        if width == 1 {
+            BuildMap::One(FxHashMap::default())
+        } else {
+            BuildMap::Many(FxHashMap::default())
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: &[u64], row: u32) {
+        match self {
+            BuildMap::One(m) => m.entry(key[0]).or_default().push(row),
+            BuildMap::Many(m) => m.entry(Box::from(key)).or_default().push(row),
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: &[u64]) -> Option<&[u32]> {
+        match self {
+            BuildMap::One(m) => m.get(&key[0]).map(Vec::as_slice),
+            BuildMap::Many(m) => m.get(key).map(Vec::as_slice),
+        }
+    }
+}
+
+/// Build the right-side map over `rcols` in the right table's native symbol
+/// space. Returns the map plus the right rows with a NULL key (they never
+/// match; full-outer joins append them last, in row order).
+fn build_side(right: &Table, rcols: &[usize]) -> (BuildMap, Vec<u32>) {
+    let sources: Vec<KeySource<'_>> = rcols
+        .iter()
+        .map(|&c| native_source(right.column(c)))
+        .collect();
+    let mut map = BuildMap::new(sources.len());
+    let mut null_rows: Vec<u32> = Vec::new();
+    let mut key = vec![0u64; sources.len()];
+    'rows: for r in 0..right.num_rows() {
+        for (pos, s) in sources.iter().enumerate() {
+            if s.is_null(r) {
+                null_rows.push(r as u32);
+                continue 'rows;
+            }
+            key[pos] = s.word(r).expect("native words always resolve");
+        }
+        map.insert(&key, r as u32);
+    }
+    (map, null_rows)
+}
+
+/// Non-empty `on` check — one error string for both join drivers.
+fn ensure_on_nonempty(on: &AttrSet) -> Result<()> {
+    if on.is_empty() {
+        return Err(RelationError::InvalidJoin(
+            "join attribute set is empty".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Per-position join-type agreement — one error string for both join drivers
+/// (the pair join resolves both sides in tables; the tree driver's left side
+/// is the virtual accumulated schema).
+fn check_join_types(lt: crate::value::ValueType, rt: crate::value::ValueType) -> Result<()> {
+    if lt != rt {
+        return Err(RelationError::TypeMismatch(format!(
+            "join attribute type mismatch: {lt} vs {rt}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validate `on` against both sides and return the (left, right) column
+/// indices — shared by [`join_sel`] and [`crate::join::hash_join`].
+pub(crate) fn validate_on(
+    left: &Table,
+    right: &Table,
+    on: &AttrSet,
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    ensure_on_nonempty(on)?;
+    let lcols = left
+        .attr_indices(on)
+        .map_err(|_| missing(on, left.name()))?;
+    let rcols = right
+        .attr_indices(on)
+        .map_err(|_| missing(on, right.name()))?;
+    for (l, r) in lcols.iter().zip(&rcols) {
+        check_join_types(
+            left.schema().attributes()[*l].ty,
+            right.schema().attributes()[*r].ty,
+        )?;
+    }
+    Ok((lcols, rcols))
+}
+
+fn missing(on: &AttrSet, name: &str) -> RelationError {
+    RelationError::InvalidJoin(format!("join attributes {on} not all present in {name}"))
+}
+
+/// Hash equi-join of `left ⋈_on right` at the selection level: symbol-native
+/// build/probe, no value is boxed and no column gathered. Output row order is
+/// identical to [`crate::join::hash_join`] (which is this plus one
+/// [`materialize_join`]).
+pub fn join_sel(left: &Table, right: &Table, on: &AttrSet, kind: JoinKind) -> Result<JoinSel> {
+    let (lcols, rcols) = validate_on(left, right, on)?;
+    Ok(join_sel_cols(left, right, &lcols, &rcols, kind))
+}
+
+/// [`join_sel`] over pre-validated column indices (what `hash_join` calls so
+/// validation runs once per join, not once per phase).
+pub(crate) fn join_sel_cols(
+    left: &Table,
+    right: &Table,
+    lcols: &[usize],
+    rcols: &[usize],
+    kind: JoinKind,
+) -> JoinSel {
+    let (map, right_null_rows) = build_side(right, rcols);
+    let sources: Vec<KeySource<'_>> = lcols
+        .iter()
+        .zip(rcols)
+        .map(|(&lc, &rc)| probe_source(left.column(lc), right.column(rc)))
+        .collect();
+
+    let mut li: Vec<u32> = Vec::new();
+    let mut ri: Vec<u32> = Vec::new();
+    let mut right_matched = vec![false; right.num_rows()];
+    let mut key = vec![0u64; sources.len()];
+    for l in 0..left.num_rows() {
+        let resolved = sources.iter().enumerate().try_for_each(|(pos, s)| {
+            if s.is_null(l) {
+                return Err(());
+            }
+            key[pos] = s.word(l).ok_or(())?;
+            Ok(())
+        });
+        match resolved.ok().and_then(|()| map.get(&key)) {
+            Some(matches) => {
+                for &r in matches {
+                    li.push(l as u32);
+                    ri.push(r);
+                    right_matched[r as usize] = true;
+                }
+            }
+            None => {
+                if kind == JoinKind::FullOuter {
+                    li.push(l as u32);
+                    ri.push(NO_ROW);
+                }
+            }
+        }
+    }
+    if kind == JoinKind::FullOuter {
+        // NULL-keyed rights are appended separately below; pre-marking them
+        // "matched" keeps the unmatched scan linear in the row count.
+        for &r in &right_null_rows {
+            right_matched[r as usize] = true;
+        }
+        for (r, matched) in right_matched.iter().enumerate() {
+            if !matched {
+                li.push(NO_ROW);
+                ri.push(r as u32);
+            }
+        }
+        for &r in &right_null_rows {
+            li.push(NO_ROW);
+            ri.push(r);
+        }
+    }
+    JoinSel {
+        left_rows: li,
+        right_rows: ri,
+    }
+}
+
+/// Coalesced join-key column: the left value where the left side is present,
+/// the right value on right-only (null-extended) rows. Stays in the left
+/// column's symbol space; right-only symbols from a different dictionary are
+/// interned into it per *distinct* symbol (append-only, codes stay stable).
+fn coalesce_key_column(lc: &Column, rc: &Column, li: &[u32], ri: &[u32]) -> Result<Column> {
+    if !li.contains(&NO_ROW) {
+        // Inner joins (and fully matched outer lefts): plain left gather.
+        return Ok(lc.gather(li));
+    }
+    let pick = |out: usize| -> (bool, u32) {
+        // (from_left, source row); every output row has at least one side.
+        if li[out] != NO_ROW {
+            (true, li[out])
+        } else {
+            (false, ri[out])
+        }
+    };
+    let n = li.len();
+    let mut validity = crate::bitmap::Bitmap::default();
+    for out in 0..n {
+        let (from_left, row) = pick(out);
+        let null = if from_left {
+            lc.is_null(row as usize)
+        } else {
+            rc.is_null(row as usize)
+        };
+        validity.push(!null);
+    }
+    let data = match (lc.data(), rc.data()) {
+        (ColumnData::Int(lv), ColumnData::Int(rv)) => ColumnData::Int(
+            (0..n)
+                .map(|out| {
+                    let (from_left, row) = pick(out);
+                    if from_left {
+                        lv[row as usize]
+                    } else {
+                        rv[row as usize]
+                    }
+                })
+                .collect(),
+        ),
+        (ColumnData::Float(lv), ColumnData::Float(rv)) => ColumnData::Float(
+            (0..n)
+                .map(|out| {
+                    let (from_left, row) = pick(out);
+                    if from_left {
+                        lv[row as usize]
+                    } else {
+                        rv[row as usize]
+                    }
+                })
+                .collect(),
+        ),
+        (ColumnData::Str(lv, ld), ColumnData::Str(rv, rd)) => {
+            // Which dictionary backs the output, and how each side's codes
+            // map into it. A join must never mutate its inputs' (possibly
+            // registry-shared) dictionaries, so when the sides disagree the
+            // mixed symbols go into a *fresh* private dictionary — the legacy
+            // ColumnBuilder convention, per distinct symbol instead of per
+            // row. The `Arc`-shared case keeps codes (and the dictionary)
+            // verbatim.
+            let (dict, remaps) = if Arc::ptr_eq(ld, rd) {
+                (Arc::clone(ld), None)
+            } else {
+                let fresh = Arc::new(StrDict::default());
+                let used_left = (0..n).filter_map(|out| {
+                    let (from_left, row) = pick(out);
+                    (from_left && !lc.is_null(row as usize)).then(|| lv[row as usize])
+                });
+                let remap_l = distinct_code_remap(ld, used_left, |s| Some(fresh.intern(s)));
+                let used_right = (0..n).filter_map(|out| {
+                    let (from_left, row) = pick(out);
+                    (!from_left && !rc.is_null(row as usize)).then(|| rv[row as usize])
+                });
+                let remap_r = distinct_code_remap(rd, used_right, |s| Some(fresh.intern(s)));
+                (fresh, Some((remap_l, remap_r)))
+            };
+            let mut dummy_ready = false;
+            let codes: Vec<u32> = (0..n)
+                .map(|out| {
+                    let (from_left, row) = pick(out);
+                    let row = row as usize;
+                    let null = if from_left {
+                        lc.is_null(row)
+                    } else {
+                        rc.is_null(row)
+                    };
+                    if null {
+                        // Mirror ColumnBuilder's invariant: code 0 resolves
+                        // whenever NULL rows are present. (On the shared-dict
+                        // path this can intern "" into an *empty* shared
+                        // dictionary — exactly what ColumnBuilder::with_dict
+                        // does when pushing a NULL.)
+                        if !dummy_ready {
+                            if dict.is_empty() {
+                                dict.intern("");
+                            }
+                            dummy_ready = true;
+                        }
+                        return 0;
+                    }
+                    match (&remaps, from_left) {
+                        (None, true) => lv[row],
+                        (None, false) => rv[row],
+                        (Some((remap_l, _)), true) => remap_l[lv[row] as usize],
+                        (Some((_, remap_r)), false) => remap_r[rv[row] as usize],
+                    }
+                })
+                .collect();
+            ColumnData::Str(codes, dict)
+        }
+        _ => {
+            return Err(RelationError::TypeMismatch(
+                "coalesced join columns disagree on type".into(),
+            ))
+        }
+    };
+    Column::new(data, Some(validity).filter(|b| !b.all_set()))
+}
+
+/// Materialize a [`JoinSel`] into the join's output table: the coalesced
+/// join attributes first, then the left remainder, then the right remainder
+/// (left copy wins on duplicate non-join names) — the exact schema, order
+/// and values of the per-hop materializing pipeline.
+pub fn materialize_join(left: &Table, right: &Table, on: &AttrSet, sel: &JoinSel) -> Result<Table> {
+    let (lcols, rcols) = validate_on(left, right, on)?;
+    materialize_join_cols(left, right, on, &lcols, &rcols, sel)
+}
+
+/// [`materialize_join`] over pre-validated column indices.
+pub(crate) fn materialize_join_cols(
+    left: &Table,
+    right: &Table,
+    on: &AttrSet,
+    lcols: &[usize],
+    rcols: &[usize],
+    sel: &JoinSel,
+) -> Result<Table> {
+    let (li, ri) = (&sel.left_rows, &sel.right_rows);
+
+    let mut attrs = Vec::new();
+    let mut columns = Vec::new();
+    for (pos, id) in on.iter().enumerate() {
+        let ty = left.schema().attributes()[lcols[pos]].ty;
+        attrs.push(Attribute { id, ty });
+        columns.push(coalesce_key_column(
+            left.column(lcols[pos]),
+            right.column(rcols[pos]),
+            li,
+            ri,
+        )?);
+    }
+    for (c, a) in left.schema().attributes().iter().enumerate() {
+        if on.contains(a.id) {
+            continue;
+        }
+        attrs.push(*a);
+        columns.push(left.column(c).gather_sel(li));
+    }
+    let taken: AttrSet = attrs.iter().map(|a| a.id).collect();
+    for (c, a) in right.schema().attributes().iter().enumerate() {
+        if taken.contains(a.id) {
+            continue;
+        }
+        attrs.push(*a);
+        columns.push(right.column(c).gather_sel(ri));
+    }
+    let name = format!("{}⋈{}", left.name(), right.name());
+    Table::new(name, Schema::new(attrs)?, columns)
+}
+
+/// Late-materialization state of a join tree: one selection column per
+/// participating base table, every output row mapping to one source row of
+/// each (tree joins are inner, so no entry is ever [`NO_ROW`]).
+///
+/// The intermediate hook of [`join_tree_late`] receives this instead of a
+/// materialized table; §3.2 re-sampling is [`TreeSel::retain`].
+#[derive(Debug, Clone)]
+pub struct TreeSel {
+    /// Participating base-table indices (into the caller's slice), join order.
+    tabs: Vec<usize>,
+    /// `rows[k][out]` = source row in `tables[tabs[k]]` for output row `out`.
+    rows: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl TreeSel {
+    /// Number of (virtual) output rows of the join so far.
+    pub fn num_rows(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the join so far is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Keep only the output rows in `keep` (ascending or not; indices may
+    /// repeat) — the selection-level equivalent of `Table::gather`, used by
+    /// §3.2 intermediate re-sampling.
+    pub fn retain(&mut self, keep: &[u32]) {
+        for col in &mut self.rows {
+            *col = keep.iter().map(|&i| col[i as usize]).collect();
+        }
+        self.len = keep.len();
+    }
+}
+
+/// One output column of the tree join: its attribute and the base-table
+/// source it gathers from (`slot` indexes [`TreeSel::tabs`]).
+struct OutCol {
+    attr: Attribute,
+    slot: usize,
+    col: usize,
+}
+
+/// Join `tables` along tree `edges` with **late materialization**, on the
+/// global executor: per-hop symbol-native selection joins composed into a
+/// [`TreeSel`], one gather per output column at the end. `intermediate` is
+/// called after every hop with the composed selection (the hook point §3.2
+/// re-sampling uses). Output is identical — schema, row order, values — to
+/// [`crate::join::join_tree`] over the same inputs.
+pub fn join_tree_late(
+    tables: &[&Table],
+    edges: &[JoinEdge],
+    intermediate: impl FnMut(TreeSel) -> TreeSel,
+) -> Result<Table> {
+    join_tree_late_with(&Executor::global(), tables, edges, intermediate)
+}
+
+/// [`join_tree_late`] on an explicit executor: the probe, the selection
+/// composition and the final per-column gathers are chunked/fanned out across
+/// its workers (chunk results in chunk order — bit-identical at every thread
+/// count); inputs below the grain run inline.
+pub fn join_tree_late_with(
+    exec: &Executor,
+    tables: &[&Table],
+    edges: &[JoinEdge],
+    mut intermediate: impl FnMut(TreeSel) -> TreeSel,
+) -> Result<Table> {
+    if tables.is_empty() {
+        return Err(RelationError::InvalidJoin("no tables to join".into()));
+    }
+    if tables.len() == 1 {
+        return Ok((*tables[0]).clone());
+    }
+    // One edge-consumption plan shared with `join_tree`: both pipelines join
+    // tables in lock-step by construction (the pinning contract).
+    let (start, plan) = crate::join::tree_join_plan(tables.len(), edges)?;
+
+    let mut sel = TreeSel {
+        tabs: vec![start],
+        rows: vec![(0..tables[start].num_rows() as u32).collect()],
+        len: tables[start].num_rows(),
+    };
+    let mut cols: Vec<OutCol> = tables[start]
+        .schema()
+        .attributes()
+        .iter()
+        .enumerate()
+        .map(|(c, a)| OutCol {
+            attr: *a,
+            slot: 0,
+            col: c,
+        })
+        .collect();
+    let mut name = tables[start].name().to_string();
+
+    for (i, new_side) in plan {
+        let edge = &edges[i];
+        let right = tables[new_side];
+
+        // Resolve the join attributes on both sides (left = the accumulated
+        // selection's output columns, right = the new base table), through
+        // the same validators as the pair join.
+        ensure_on_nonempty(&edge.on)?;
+        let rcols = right
+            .attr_indices(&edge.on)
+            .map_err(|_| missing(&edge.on, right.name()))?;
+        let lpos: Vec<usize> = edge
+            .on
+            .iter()
+            .map(|id| {
+                cols.iter()
+                    .position(|oc| oc.attr.id == id)
+                    .ok_or_else(|| missing(&edge.on, &name))
+            })
+            .collect::<Result<_>>()?;
+        for (pos, &rc) in lpos.iter().zip(&rcols) {
+            check_join_types(cols[*pos].attr.ty, right.schema().attributes()[rc].ty)?;
+        }
+
+        // Build on the new table, probe the accumulated selection.
+        let (map, _) = build_side(right, &rcols);
+        let key_slots: Vec<usize> = lpos.iter().map(|&p| cols[p].slot).collect();
+        let sources: Vec<KeySource<'_>> = lpos
+            .iter()
+            .zip(&rcols)
+            .map(|(&p, &rc)| {
+                probe_source_rows(
+                    tables[sel.tabs[cols[p].slot]].column(cols[p].col),
+                    right.column(rc),
+                    Some(&sel.rows[cols[p].slot]),
+                )
+            })
+            .collect();
+        let chunks: Vec<(Vec<u32>, Vec<u32>)> = exec.par_ranges(sel.len, |_, range| {
+            let mut li = Vec::new();
+            let mut ri = Vec::new();
+            let mut key = vec![0u64; sources.len()];
+            'out: for out in range {
+                for (pos, s) in sources.iter().enumerate() {
+                    let row = sel.rows[key_slots[pos]][out] as usize;
+                    if s.is_null(row) {
+                        continue 'out;
+                    }
+                    match s.word(row) {
+                        Some(w) => key[pos] = w,
+                        None => continue 'out,
+                    }
+                }
+                if let Some(matches) = map.get(&key) {
+                    for &r in matches {
+                        li.push(out as u32);
+                        ri.push(r);
+                    }
+                }
+            }
+            (li, ri)
+        });
+        let mut li: Vec<u32> = Vec::new();
+        let mut ri: Vec<u32> = Vec::new();
+        for (lc, rc) in chunks {
+            li.extend(lc);
+            ri.extend(rc);
+        }
+        // Selection columns index output rows as u32 (NO_ROW reserved). The
+        // legacy path would OOM long before this; the selection costs only a
+        // few bytes per row, so an over-wide fan-out must fail loudly instead
+        // of wrapping — re-sample earlier (lower η) or join fewer hops.
+        if li.len() >= NO_ROW as usize {
+            return Err(RelationError::Shape(format!(
+                "join fan-out produced {} intermediate rows; the selection \
+                 pipeline supports at most {}",
+                li.len(),
+                NO_ROW - 1
+            )));
+        }
+
+        // Compose: route every existing selection column through `li`, then
+        // adopt the new table's matches as a fresh column.
+        let gathered: Vec<Vec<u32>> = if li.len() >= exec.grain() && exec.threads() > 1 {
+            exec.par_map(&sel.rows, |_, col| {
+                li.iter().map(|&o| col[o as usize]).collect()
+            })
+        } else {
+            sel.rows
+                .iter()
+                .map(|col| li.iter().map(|&o| col[o as usize]).collect())
+                .collect()
+        };
+        sel.rows = gathered;
+        sel.rows.push(ri);
+        sel.tabs.push(new_side);
+        sel.len = li.len();
+
+        // Output schema of this hop: the join attributes first (left copy),
+        // then the previous columns, then the new table's remainder — the
+        // `hash_join` convention, so the chained schema is reproduced exactly.
+        let mut next_cols: Vec<OutCol> = lpos
+            .iter()
+            .map(|&p| OutCol {
+                attr: cols[p].attr,
+                slot: cols[p].slot,
+                col: cols[p].col,
+            })
+            .collect();
+        for (k, oc) in cols.iter().enumerate() {
+            if lpos.contains(&k) {
+                continue;
+            }
+            next_cols.push(OutCol {
+                attr: oc.attr,
+                slot: oc.slot,
+                col: oc.col,
+            });
+        }
+        let taken: AttrSet = next_cols.iter().map(|oc| oc.attr.id).collect();
+        for (c, a) in right.schema().attributes().iter().enumerate() {
+            if taken.contains(a.id) {
+                continue;
+            }
+            next_cols.push(OutCol {
+                attr: *a,
+                slot: sel.tabs.len() - 1,
+                col: c,
+            });
+        }
+        cols = next_cols;
+        name = format!("{name}⋈{}", right.name());
+
+        sel = intermediate(sel);
+    }
+
+    // Materialize once: one gather per output column, straight off the base
+    // tables (fanned out per column when the row count warrants it).
+    let gather_col = |oc: &OutCol| -> Column {
+        tables[sel.tabs[oc.slot]]
+            .column(oc.col)
+            .gather(&sel.rows[oc.slot])
+    };
+    let columns: Vec<Column> = if sel.len * cols.len() >= exec.grain() && exec.threads() > 1 {
+        exec.par_map(&cols, |_, oc| gather_col(oc))
+    } else {
+        cols.iter().map(gather_col).collect()
+    };
+    let attrs: Vec<Attribute> = cols.iter().map(|oc| oc.attr).collect();
+    Table::new(name, Schema::new(attrs)?, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::InternerRegistry;
+    use crate::join::{hash_join, join_tree};
+    use crate::value::ValueType;
+
+    fn rows_of(t: &Table) -> Vec<Vec<Value>> {
+        (0..t.num_rows()).map(|r| t.row(r)).collect()
+    }
+
+    fn assert_tables_equal(a: &Table, b: &Table) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.schema().attributes(), b.schema().attributes());
+        assert_eq!(a.num_rows(), b.num_rows());
+        assert_eq!(rows_of(a), rows_of(b));
+    }
+
+    fn chain() -> (Table, Table, Table) {
+        let a = Table::from_rows(
+            "A",
+            &[("sel_x", ValueType::Int), ("sel_k", ValueType::Str)],
+            (0..40)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        if i % 7 == 0 {
+                            Value::Null
+                        } else {
+                            Value::str(format!("k{}", i % 5))
+                        },
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            &[("sel_k", ValueType::Str), ("sel_m", ValueType::Int)],
+            (0..20)
+                .map(|i| vec![Value::str(format!("k{}", i % 8)), Value::Int(i * 3)])
+                .collect(),
+        )
+        .unwrap();
+        let c = Table::from_rows(
+            "C",
+            &[("sel_m", ValueType::Int), ("sel_w", ValueType::Float)],
+            (0..30)
+                .map(|i| vec![Value::Int(i % 10 * 3), Value::Float(i as f64 / 2.0)])
+                .collect(),
+        )
+        .unwrap();
+        (a, b, c)
+    }
+
+    fn chain_edges() -> Vec<JoinEdge> {
+        vec![
+            JoinEdge {
+                a: 0,
+                b: 1,
+                on: AttrSet::from_names(["sel_k"]),
+            },
+            JoinEdge {
+                a: 1,
+                b: 2,
+                on: AttrSet::from_names(["sel_m"]),
+            },
+        ]
+    }
+
+    #[test]
+    fn join_sel_materializes_to_hash_join() {
+        let (a, b, _) = chain();
+        let on = AttrSet::from_names(["sel_k"]);
+        for kind in [JoinKind::Inner, JoinKind::FullOuter] {
+            let sel = join_sel(&a, &b, &on, kind).unwrap();
+            let mat = materialize_join(&a, &b, &on, &sel).unwrap();
+            let reference = hash_join(&a, &b, &on, kind).unwrap();
+            assert_tables_equal(&mat, &reference);
+        }
+    }
+
+    /// Joining must never mutate the inputs' dictionaries: a full-outer join
+    /// of a registry-interned left against a private-dictionary right builds
+    /// its coalesced key column in a fresh dictionary, leaving the shared
+    /// registry code space untouched.
+    #[test]
+    fn outer_join_never_mutates_input_dictionaries() {
+        let reg = InternerRegistry::new();
+        let (a, b, _) = chain();
+        let a = a.intern_into(&reg);
+        let on = AttrSet::from_names(["sel_k"]);
+        let shared = reg.dict_for(crate::schema::attr("sel_k"));
+        let shared_before = shared.len();
+        let ColumnData::Str(_, rd) = b.column(0).data() else {
+            panic!("expected Str key");
+        };
+        let right_before = rd.len();
+
+        let j = hash_join(&a, &b, &on, JoinKind::FullOuter).unwrap();
+        assert_eq!(shared.len(), shared_before, "shared dictionary mutated");
+        assert_eq!(rd.len(), right_before, "right dictionary mutated");
+        // And the coalesced key column still carries every value.
+        let reference =
+            crate::join_legacy::hash_join_keyed(&a, &b, &on, JoinKind::FullOuter).unwrap();
+        assert_eq!(rows_of(&j), rows_of(&reference));
+    }
+
+    #[test]
+    fn late_tree_matches_per_hop_tree() {
+        let (a, b, c) = chain();
+        let per_hop = join_tree(&[&a, &b, &c], &chain_edges(), |t| t).unwrap();
+        let late = join_tree_late(&[&a, &b, &c], &chain_edges(), |s| s).unwrap();
+        assert_tables_equal(&late, &per_hop);
+    }
+
+    #[test]
+    fn late_tree_matches_with_shared_dictionaries() {
+        let reg = InternerRegistry::new();
+        let (a, b, c) = chain();
+        let (ai, bi, ci) = (
+            a.intern_into(&reg),
+            b.intern_into(&reg),
+            c.intern_into(&reg),
+        );
+        let per_hop = join_tree(&[&ai, &bi, &ci], &chain_edges(), |t| t).unwrap();
+        let late = join_tree_late(&[&ai, &bi, &ci], &chain_edges(), |s| s).unwrap();
+        assert_tables_equal(&late, &per_hop);
+        // And the interned chain joins exactly like the private-dict chain.
+        let plain = join_tree_late(&[&a, &b, &c], &chain_edges(), |s| s).unwrap();
+        assert_eq!(rows_of(&late), rows_of(&plain));
+    }
+
+    #[test]
+    fn retain_is_gather_at_the_selection_level() {
+        let (a, b, c) = chain();
+        let keep: Vec<u32> = (0..1000).step_by(3).collect();
+        let per_hop = join_tree(&[&a, &b, &c], &chain_edges(), |t| {
+            let keep: Vec<u32> = keep
+                .iter()
+                .copied()
+                .filter(|&i| (i as usize) < t.num_rows())
+                .collect();
+            t.gather(&keep)
+        })
+        .unwrap();
+        let late = join_tree_late(&[&a, &b, &c], &chain_edges(), |mut s| {
+            let keep: Vec<u32> = keep
+                .iter()
+                .copied()
+                .filter(|&i| (i as usize) < s.num_rows())
+                .collect();
+            s.retain(&keep);
+            s
+        })
+        .unwrap();
+        assert_tables_equal(&late, &per_hop);
+    }
+
+    #[test]
+    fn parallel_late_tree_is_bit_identical() {
+        let (a, b, c) = chain();
+        let seq = join_tree_late_with(
+            &Executor::sequential(),
+            &[&a, &b, &c],
+            &chain_edges(),
+            |s| s,
+        )
+        .unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = join_tree_late_with(
+                &Executor::with_grain(threads, 1),
+                &[&a, &b, &c],
+                &chain_edges(),
+                |s| s,
+            )
+            .unwrap();
+            assert_tables_equal(&par, &seq);
+        }
+    }
+
+    #[test]
+    fn tree_errors_mirror_join_tree() {
+        let (a, b, c) = chain();
+        // Wrong edge count.
+        assert!(join_tree_late(&[&a, &b, &c], &chain_edges()[..1], |s| s).is_err());
+        // Missing attribute on the accumulated side.
+        let bad = vec![
+            JoinEdge {
+                a: 0,
+                b: 1,
+                on: AttrSet::from_names(["sel_k"]),
+            },
+            JoinEdge {
+                a: 1,
+                b: 2,
+                on: AttrSet::from_names(["sel_absent"]),
+            },
+        ];
+        assert!(join_tree_late(&[&a, &b, &c], &bad, |s| s).is_err());
+        // Single table: a plain clone, no hook call.
+        let solo = join_tree_late(&[&a], &[], |s| s).unwrap();
+        assert_eq!(rows_of(&solo), rows_of(&a));
+    }
+}

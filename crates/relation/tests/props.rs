@@ -331,3 +331,83 @@ proptest! {
         prop_assert_eq!(sa.difference(&sb).len(), sa.len() - sa.intersect(&sb).len());
     }
 }
+
+/// Logical table equality: same name, schema (ids + types), and every row's
+/// values in order — the contract the symbol-native join pipeline pins
+/// against the value-keyed reference (physical dictionary layout may differ).
+fn assert_same_table(a: &Table, b: &Table) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.name(), b.name());
+    prop_assert_eq!(a.schema().attributes(), b.schema().attributes());
+    prop_assert_eq!(a.num_rows(), b.num_rows());
+    for r in 0..a.num_rows() {
+        prop_assert_eq!(a.row(r), b.row(r), "row {} diverged", r);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The symbol-native selection join equals the retained value-keyed join
+    /// bit-exact — every `JoinKind`, NULL join keys, multi-attribute `on`,
+    /// and shared (registry) vs private dictionaries, at forced-chunking
+    /// executors {1, 4} for the late-materialization tree driver.
+    #[test]
+    fn sel_join_matches_legacy_keyed_join(
+        l in arb_mixed_table(),
+        r in arb_mixed_table(),
+    ) {
+        let reg = InternerRegistry::new();
+        // (left, right) dictionary sharing: private/private, shared/shared,
+        // and mixed — the translator path in both directions.
+        let pairs = [
+            (l.clone().with_name("L"), r.clone().with_name("R")),
+            (
+                l.intern_into(&reg).with_name("L"),
+                r.intern_into(&reg).with_name("R"),
+            ),
+            (l.intern_into(&reg).with_name("L"), r.clone().with_name("R")),
+            (l.clone().with_name("L"), r.intern_into(&reg).with_name("R")),
+        ];
+        for (lt, rt) in &pairs {
+            for on in [
+                AttrSet::from_names(["mx_s"]),
+                AttrSet::from_names(["mx_i"]),
+                AttrSet::from_names(["mx_s", "mx_i"]),
+                AttrSet::from_names(["mx_s", "mx_i", "mx_f"]),
+            ] {
+                for kind in [JoinKind::Inner, JoinKind::FullOuter] {
+                    let sym = hash_join(lt, rt, &on, kind).unwrap();
+                    let keyed =
+                        dance_relation::join_legacy::hash_join_keyed(lt, rt, &on, kind).unwrap();
+                    assert_same_table(&sym, &keyed)?;
+                }
+            }
+        }
+    }
+
+    /// The late-materialization tree join equals the per-hop materializing
+    /// chain on random 3-table paths, at every forced-chunking executor.
+    #[test]
+    fn late_tree_join_matches_per_hop_chain(
+        a in arb_mixed_table(),
+        b in arb_mixed_table(),
+        c in arb_mixed_table(),
+    ) {
+        let reg = InternerRegistry::new();
+        let (a, c) = (a.with_name("A"), c.with_name("C"));
+        let b = b.intern_into(&reg).with_name("B"); // mixed dictionaries mid-path
+        let edges = vec![
+            dance_relation::join::JoinEdge { a: 0, b: 1, on: AttrSet::from_names(["mx_s"]) },
+            dance_relation::join::JoinEdge { a: 1, b: 2, on: AttrSet::from_names(["mx_i"]) },
+        ];
+        let tables = [&a, &b, &c];
+        let per_hop = dance_relation::join::join_tree(&tables, &edges, |t| t).unwrap();
+        for threads in [1usize, 4] {
+            let exec = Executor::with_grain(threads, 1);
+            let late =
+                dance_relation::join_tree_late_with(&exec, &tables, &edges, |s| s).unwrap();
+            assert_same_table(&late, &per_hop)?;
+        }
+    }
+}

@@ -50,7 +50,7 @@ impl CorrelatedSampler {
     /// rather than once per row — the per-row work is a `u32` table lookup.
     /// Scoring streams each group's representative cells into the seeded
     /// hasher directly (dictionary strings resolved under one read lock), so
-    /// no `GroupKey` is materialized; the byte stream fed to the hasher is
+    /// no boxed key is materialized; the byte stream fed to the hasher is
     /// exactly what hashing the materialized `[Value]` key would feed, so the
     /// kept set equals scoring every row.
     pub fn sample(&self, t: &Table, key_attrs: &AttrSet) -> Result<Table> {

@@ -17,15 +17,24 @@ use crate::resample::{join_tree_bounded, ResampleConfig, ResampleStats};
 use dance_info::correlation::{correlation_with, CorrOptions};
 use dance_info::ji::join_informativeness;
 use dance_quality::tane::TaneConfig;
-use dance_relation::hash::stable_hash64;
+use dance_relation::hash::{splitmix64, stable_hash64};
 use dance_relation::join::JoinEdge;
 use dance_relation::{AttrSet, Result, Table};
 
 /// Seed for one edge's shared hash: a function of the base seed and the
-/// edge's join-attribute names (both endpoints must agree).
+/// edge's join-attribute *names* (both endpoints must agree).
+///
+/// Per-name hashes combine commutatively, so the seed is **order-stable**: it
+/// does not depend on the order the names were interned (the process-global
+/// id order `AttrSet` sorts by) or enumerated in — only on the set of names.
+/// No per-call string buffer is allocated; each name streams straight into
+/// the seeded hasher (`AttrId::name` hands out the interned `Arc<str>`).
 fn edge_seed(base: u64, on: &AttrSet) -> u64 {
-    let names: Vec<String> = on.iter().map(|a| a.name().to_string()).collect();
-    stable_hash64(base, &names)
+    let mut acc = 0u64;
+    for a in on.iter() {
+        acc = acc.wrapping_add(stable_hash64(base, &*a.name()));
+    }
+    splitmix64(base ^ acc)
 }
 
 /// A join path (tree) over correlated samples of marketplace instances.
@@ -68,6 +77,10 @@ impl SampledPath {
     }
 
     /// Join the samples along the path (with re-sampling if configured).
+    ///
+    /// Runs on the late-materialization selection pipeline: per-hop
+    /// [`dance_relation::sel::JoinSel`]s compose across the tree and one
+    /// table is materialized for the estimator.
     pub fn join(&self) -> Result<(Table, ResampleStats)> {
         let refs: Vec<&Table> = self.samples.iter().collect();
         join_tree_bounded(&refs, &self.edges, self.resample.as_ref())
@@ -119,6 +132,42 @@ mod tests {
         )
         .unwrap();
         (dim, fact)
+    }
+
+    /// The edge seed must depend only on the *set of names* — not the order
+    /// they were interned or enumerated in — and must be allocation-free to
+    /// recompute (it runs once per edge per table on every sampling pass).
+    #[test]
+    fn edge_seed_is_order_stable_and_name_keyed() {
+        // Intern in reverse-lexicographic order so the id order `AttrSet`
+        // sorts by disagrees with the name order.
+        dance_relation::attr("es_zz_probe");
+        dance_relation::attr("es_aa_probe");
+        let set = AttrSet::from_names(["es_zz_probe", "es_aa_probe"]);
+        let manual = |base: u64, names: &[&str]| {
+            let mut acc = 0u64;
+            for n in names {
+                acc = acc.wrapping_add(stable_hash64(base, *n));
+            }
+            splitmix64(base ^ acc)
+        };
+        // Same seed from every enumeration order of the same names.
+        assert_eq!(
+            edge_seed(7, &set),
+            manual(7, &["es_aa_probe", "es_zz_probe"])
+        );
+        assert_eq!(
+            edge_seed(7, &set),
+            manual(7, &["es_zz_probe", "es_aa_probe"])
+        );
+        // Sensitive to the base seed and to the name set.
+        assert_ne!(edge_seed(7, &set), edge_seed(8, &set));
+        assert_ne!(
+            edge_seed(7, &set),
+            edge_seed(7, &AttrSet::from_names(["es_aa_probe"]))
+        );
+        // Stable across calls (what makes both endpoints agree).
+        assert_eq!(edge_seed(7, &set), edge_seed(7, &set));
     }
 
     #[test]

@@ -9,10 +9,19 @@
 //!
 //! Re-sampling here is uniform over intermediate rows and deterministic in
 //! `(seed, step, row)`, so whole experiments replay bit-for-bit.
+//!
+//! The bounded join runs on the **selection-vector pipeline**
+//! ([`dance_relation::sel`]): every hop composes row-id selections on
+//! interned symbols, the size check and the re-sampling filter operate on the
+//! composed selection (`TreeSel::num_rows` / `TreeSel::retain`), and one
+//! table is materialized at the very end for the estimator. The per-hop
+//! materializing path survives as [`join_tree_bounded_tables`] — the pinning
+//! reference tests compare against; both produce identical tables and stats.
 
 use dance_relation::hash::{stable_hash64, unit_interval};
 use dance_relation::join::{join_tree, JoinEdge};
-use dance_relation::{Result, Table};
+use dance_relation::sel::join_tree_late_with;
+use dance_relation::{Executor, Result, Table};
 
 /// Configuration of §3.2 re-sampling.
 #[derive(Debug, Clone, Copy)]
@@ -46,11 +55,58 @@ pub struct ResampleStats {
     pub cumulative_rate: f64,
 }
 
-/// Join `tables` along `edges` with §3.2 intermediate re-sampling.
+/// Join `tables` along `edges` with §3.2 intermediate re-sampling, on the
+/// global executor.
 ///
 /// With `cfg = None` this is a plain tree join (the "without re-sampling"
-/// branch of Figure 8).
+/// branch of Figure 8). Runs on the late-materialization selection pipeline:
+/// no intermediate table is ever gathered.
 pub fn join_tree_bounded(
+    tables: &[&Table],
+    edges: &[JoinEdge],
+    cfg: Option<&ResampleConfig>,
+) -> Result<(Table, ResampleStats)> {
+    join_tree_bounded_with(&Executor::global(), tables, edges, cfg)
+}
+
+/// [`join_tree_bounded`] on an explicit executor (probe/compose/materialize
+/// fan out across its workers; output is bit-identical at every thread
+/// count).
+pub fn join_tree_bounded_with(
+    exec: &Executor,
+    tables: &[&Table],
+    edges: &[JoinEdge],
+    cfg: Option<&ResampleConfig>,
+) -> Result<(Table, ResampleStats)> {
+    let mut stats = ResampleStats {
+        cumulative_rate: 1.0,
+        ..ResampleStats::default()
+    };
+    let mut step: u64 = 0;
+    let joined = join_tree_late_with(exec, tables, edges, |mut sel| {
+        step += 1;
+        stats.max_intermediate = stats.max_intermediate.max(sel.num_rows());
+        if let Some(c) = cfg {
+            if sel.num_rows() > c.eta {
+                stats.resampled_steps += 1;
+                stats.cumulative_rate *= c.rate;
+                let seed = c.seed ^ step;
+                let keep: Vec<u32> = (0..sel.num_rows() as u32)
+                    .filter(|&r| unit_interval(stable_hash64(seed, &(r as u64))) < c.rate)
+                    .collect();
+                sel.retain(&keep);
+            }
+        }
+        sel
+    })?;
+    Ok((joined, stats))
+}
+
+/// The per-hop materializing reference: identical output and stats, one full
+/// intermediate [`Table`] gathered per hop. Kept for property-test pinning
+/// and the `join_pipeline` bench baseline — production paths use
+/// [`join_tree_bounded`].
+pub fn join_tree_bounded_tables(
     tables: &[&Table],
     edges: &[JoinEdge],
     cfg: Option<&ResampleConfig>,
