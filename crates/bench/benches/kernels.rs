@@ -15,7 +15,9 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dance_core::{JoinGraph, JoinGraphConfig};
+use dance_core::mcmc::find_optimal_target_graph;
+use dance_core::target::Cover;
+use dance_core::{Constraints, JoinGraph, JoinGraphConfig, McmcConfig};
 use dance_datagen::tpch::{tpch, tpch_interned, TpchConfig};
 use dance_info::{
     correlation, entropy_from_counts, ji_from_counts, join_informativeness,
@@ -446,6 +448,215 @@ fn bench_seq_vs_par(c: &mut Criterion) {
     g.finish();
 }
 
+/// One MCMC search workload: a join graph, a tree, covers, and request
+/// attribute sets.
+struct SearchSetup {
+    graph: JoinGraph,
+    tree_edges: Vec<(u32, u32)>,
+    sc: Cover,
+    tc: Cover,
+    source: AttrSet,
+    target: AttrSet,
+}
+
+impl SearchSetup {
+    fn run(&self, incremental: bool, iterations: usize) {
+        let best = find_optimal_target_graph(
+            &self.graph,
+            &Default::default(),
+            &self.tree_edges,
+            &self.sc,
+            &self.tc,
+            &self.source,
+            &self.target,
+            &Constraints::unbounded(),
+            &McmcConfig {
+                iterations,
+                seed: 17,
+                incremental,
+                ..McmcConfig::default()
+            },
+        )
+        .unwrap();
+        black_box(best);
+    }
+}
+
+/// The two-key graph the MCMC unit tests search: two instances sharing a
+/// correlation-preserving and a correlation-killing join attribute.
+/// `caps` sets both evaluation-cache bounds — 0 builds the cache-disabled
+/// graph the uncached arms measure (the genuine pre-PR path, where every
+/// evaluation recomputes its projections and prices).
+fn two_key_setup(workers: usize, caps: usize) -> SearchSetup {
+    let n = 240;
+    let left: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i % 12),
+                Value::Int(i % 5),
+                Value::str(format!("s{}", i % 12)),
+            ]
+        })
+        .collect();
+    let right: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i % 12),
+                Value::Int((i * 7 + 3) % 5),
+                Value::str(format!("t{}", i % 12)),
+            ]
+        })
+        .collect();
+    let lt = Table::from_rows(
+        "L",
+        &[
+            ("mb_good", ValueType::Int),
+            ("mb_noise", ValueType::Int),
+            ("mb_src", ValueType::Str),
+        ],
+        left,
+    )
+    .unwrap();
+    let rt = Table::from_rows(
+        "R",
+        &[
+            ("mb_good", ValueType::Int),
+            ("mb_noise", ValueType::Int),
+            ("mb_tgt", ValueType::Str),
+        ],
+        right,
+    )
+    .unwrap();
+    let tables = vec![lt, rt];
+    let graph = JoinGraph::build(
+        metas_of(&tables),
+        tables,
+        EntropyPricing::default(),
+        &JoinGraphConfig {
+            executor: Executor::new(workers),
+            sel_cache_cap: caps,
+            proj_cache_cap: caps,
+            ..JoinGraphConfig::default()
+        },
+    )
+    .unwrap();
+    let mut sc = Cover::new();
+    sc.insert(0, AttrSet::from_names(["mb_src"]));
+    let mut tc = Cover::new();
+    tc.insert(1, AttrSet::from_names(["mb_tgt"]));
+    SearchSetup {
+        graph,
+        tree_edges: vec![(0, 1)],
+        sc,
+        tc,
+        source: AttrSet::from_names(["mb_src"]),
+        target: AttrSet::from_names(["mb_tgt"]),
+    }
+}
+
+/// Scale-100 TPC-H: `lineitem ⋈ partsupp` over the shared
+/// `{partkey, suppkey}` pair (3 candidate join sets), `l_quantity` as the
+/// source side and `ps_availqty` as the target. `caps` as in
+/// [`two_key_setup`]; `ts` is the pre-generated catalog (so the cached and
+/// uncached graphs share one generation pass).
+fn tpch_search_setup(workers: usize, caps: usize, ts: &[Table]) -> SearchSetup {
+    let tables = vec![
+        by_name(ts, "lineitem").clone(),
+        by_name(ts, "partsupp").clone(),
+    ];
+    let graph = JoinGraph::build(
+        metas_of(&tables),
+        tables,
+        EntropyPricing::default(),
+        &JoinGraphConfig {
+            executor: Executor::new(workers),
+            sel_cache_cap: caps,
+            proj_cache_cap: caps,
+            ..JoinGraphConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        graph.candidate_join_sets(0, 1).len() >= 3,
+        "lineitem/partsupp share partkey and suppkey"
+    );
+    let mut sc = Cover::new();
+    sc.insert(0, AttrSet::from_names(["l_quantity"]));
+    let mut tc = Cover::new();
+    tc.insert(1, AttrSet::from_names(["ps_availqty"]));
+    SearchSetup {
+        graph,
+        tree_edges: vec![(0, 1)],
+        sc,
+        tc,
+        source: AttrSet::from_names(["l_quantity"]),
+        target: AttrSet::from_names(["ps_availqty"]),
+    }
+}
+
+/// `find_optimal_target_graph` throughput (a full seeded walk per
+/// iteration): the uncached reference path vs the incremental engine with
+/// cold caches (cleared per iteration) vs warm caches (persisting across
+/// iterations — the steady state of `Dance::search`), at 1 and 4 workers,
+/// on the two-key toy graph and a scale-100 TPC-H pair.
+fn bench_mcmc_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcmc_search");
+    let ts = par_tables();
+    for workers in [1usize, 4] {
+        // The uncached arm runs on a cache-disabled graph (caps 0): with the
+        // evaluation caches off, evaluate_assignment recomputes projections
+        // and prices per proposal — the genuine pre-PR reference path.
+        let two_key_plain = two_key_setup(workers, 0);
+        let two_key = two_key_setup(workers, dance_core::DEFAULT_SEL_CACHE_CAP);
+        let iters = 40;
+        g.bench_with_input(
+            BenchmarkId::new("two_key_uncached", format!("{workers}w")),
+            &two_key_plain,
+            |b, s| b.iter(|| s.run(false, iters)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("two_key_cold", format!("{workers}w")),
+            &two_key,
+            |b, s| {
+                b.iter(|| {
+                    s.graph.clear_eval_caches();
+                    s.run(true, iters)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("two_key_warm", format!("{workers}w")),
+            &two_key,
+            |b, s| b.iter(|| s.run(true, iters)),
+        );
+
+        let tpch_plain = tpch_search_setup(workers, 0, &ts);
+        let tpch = tpch_search_setup(workers, dance_core::DEFAULT_SEL_CACHE_CAP, &ts);
+        let iters = 8;
+        g.bench_with_input(
+            BenchmarkId::new("tpch_li_ps_uncached", format!("{workers}w")),
+            &tpch_plain,
+            |b, s| b.iter(|| s.run(false, iters)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("tpch_li_ps_cold", format!("{workers}w")),
+            &tpch,
+            |b, s| {
+                b.iter(|| {
+                    s.graph.clear_eval_caches();
+                    s.run(true, iters)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("tpch_li_ps_warm", format!("{workers}w")),
+            &tpch,
+            |b, s| b.iter(|| s.run(true, iters)),
+        );
+    }
+    g.finish();
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let ts = tables();
     let orders = by_name(&ts, "orders");
@@ -504,6 +715,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_join_pipeline, bench_seq_vs_par, bench_kernels
+    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_join_pipeline, bench_seq_vs_par, bench_mcmc_search, bench_kernels
 }
 criterion_main!(kernels);

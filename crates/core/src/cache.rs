@@ -1,0 +1,145 @@
+//! Stamped-LRU bounded maps — the one eviction discipline every evaluation
+//! cache in this crate shares (mirroring the join graph's `hist_cache_cap`):
+//! every read bumps a monotone use-stamp, inserts trim the map back to its
+//! cap by evicting the smallest stamp first, and a miss simply means the
+//! caller recomputes. Stamps are unique, so eviction order is deterministic
+//! for a deterministic access sequence.
+
+use dance_relation::FxHashMap;
+use std::borrow::Borrow;
+use std::hash::Hash;
+
+/// A capacity-bounded map with monotone use-stamps and evict-least-stamped
+/// overflow. A cap of 0 disables the cache (every insert is immediately
+/// evicted, every get misses).
+#[derive(Debug)]
+pub(crate) struct StampedLru<K, V> {
+    map: FxHashMap<K, (V, u64)>,
+    clock: u64,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> StampedLru<K, V> {
+    pub fn new(cap: usize) -> StampedLru<K, V> {
+        StampedLru {
+            map: FxHashMap::default(),
+            clock: 0,
+            cap,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Look up `k`, bumping its use-stamp on a hit.
+    pub fn get<Q>(&mut self, k: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(k).map(|e| {
+            e.1 = clock;
+            &e.0
+        })
+    }
+
+    /// Mutable lookup (also bumps the stamp) — for entries whose fields fill
+    /// in lazily.
+    pub fn get_mut<Q>(&mut self, k: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(k).map(|e| {
+            e.1 = clock;
+            &mut e.0
+        })
+    }
+
+    /// Insert (replacing any previous value), then trim back to the cap by
+    /// evicting least-recently-stamped entries. The caps here are small
+    /// enough that the linear min-stamp scan is noise next to what a single
+    /// cache miss costs to recompute.
+    pub fn insert(&mut self, k: K, v: V) {
+        self.clock += 1;
+        self.map.insert(k, (v, self.clock));
+        while self.map.len() > self.cap {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over cap");
+            self.map.remove(&oldest);
+        }
+    }
+
+    /// Keep only the entries whose key satisfies `f` (staleness eviction —
+    /// e.g. dropping everything that references a refreshed sample).
+    pub fn retain(&mut self, mut f: impl FnMut(&K) -> bool) {
+        self.map.retain(|k, _| f(k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_holds_and_lru_evicts_least_recent() {
+        let mut c: StampedLru<u32, u32> = StampedLru::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // 1 is now fresher than 2
+        c.insert(3, 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None, "least-recently-used entry evicted");
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn zero_cap_disables_the_cache() {
+        let mut c: StampedLru<u32, u32> = StampedLru::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn retain_drops_stale_keys() {
+        let mut c: StampedLru<(u32, u32), u32> = StampedLru::new(8);
+        c.insert((0, 1), 1);
+        c.insert((1, 2), 2);
+        c.insert((2, 0), 3);
+        c.retain(|&(a, b)| a != 0 && b != 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&(1, 2)), Some(&2));
+    }
+
+    #[test]
+    fn replacing_insert_does_not_grow() {
+        let mut c: StampedLru<u32, u32> = StampedLru::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn borrowed_key_lookup_works() {
+        let mut c: StampedLru<Box<[u32]>, u32> = StampedLru::new(4);
+        c.insert(Box::from([1u32, 2, 3].as_slice()), 7);
+        let probe: &[u32] = &[1, 2, 3];
+        assert_eq!(c.get(probe), Some(&7));
+    }
+}

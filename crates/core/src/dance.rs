@@ -17,6 +17,15 @@
 //! pipeline (`dance_relation::sel` via `join_tree_bounded_with`): per-hop
 //! joins compose row-id selections on interned symbols, fan out over the
 //! graph's `dance-executor`, and materialize one table for the estimators.
+//!
+//! The MCMC search additionally rides the graph's bounded evaluation caches
+//! (see `crate::mcmc`'s module docs): per-hop pair selections, projected
+//! sample tables and price estimates persist inside the [`JoinGraph`] across
+//! proposals *and* across `search` calls, and [`Dance::refine`] invalidates
+//! exactly the refreshed instances' entries via
+//! [`JoinGraph::refresh_sample`]. Caching never changes a search result —
+//! plans, metrics and seeded reports are byte-identical with
+//! `McmcConfig::incremental` on or off.
 
 use crate::igraph::minimal_igraph;
 use crate::join_graph::{JoinGraph, JoinGraphConfig};

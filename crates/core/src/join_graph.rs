@@ -40,12 +40,15 @@
 //! [`ji_from_sym_counts`]. Either way no boxed key is built anywhere in
 //! `build`/`refresh_sample`.
 
+use crate::cache::StampedLru;
 use dance_info::ji::ji_from_sym_counts;
 use dance_market::{DatasetMeta, EntropyPricing, PricingModel};
+use dance_relation::sel::pair_sel_with;
 use dance_relation::{
-    sym_counts_with, AttrSet, Executor, FxHashMap, FxHashSet, RelationError, Result, SymCounts,
-    Table,
+    sym_counts_with, AttrSet, Executor, FxHashMap, FxHashSet, PairSel, RelationError, Result,
+    SymCounts, Table,
 };
+use std::sync::{Arc, Mutex};
 
 /// One cached histogram plus its last-use stamp (for LRU trimming).
 #[derive(Debug)]
@@ -60,6 +63,13 @@ type HistCache = FxHashMap<AttrSet, CacheEntry>;
 
 /// Default total-entry bound of the persistent histogram cache.
 pub const DEFAULT_HIST_CACHE_CAP: usize = 1024;
+
+/// Default bound on cached per-hop pair selections ([`JoinGraph::pair_sel`]).
+pub const DEFAULT_SEL_CACHE_CAP: usize = 256;
+
+/// Default bound on cached per-(instance, attr-set) projections + prices
+/// ([`JoinGraph::projected_for_eval`] / [`JoinGraph::price_for_eval`]).
+pub const DEFAULT_PROJ_CACHE_CAP: usize = 256;
 
 /// Construction knobs for [`JoinGraph::build`].
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +87,12 @@ pub struct JoinGraphConfig {
     /// holds every (instance, candidate-set) histogram ever probed — the
     /// build-time peak made permanent.
     pub hist_cache_cap: usize,
+    /// Upper bound on cached per-hop pair selections (the MCMC search's
+    /// selection cache, stamped-LRU like the histogram cache; 0 disables).
+    pub sel_cache_cap: usize,
+    /// Upper bound on cached sample projections / price estimates per
+    /// (instance, attribute set) (stamped-LRU; 0 disables).
+    pub proj_cache_cap: usize,
 }
 
 impl Default for JoinGraphConfig {
@@ -85,6 +101,8 @@ impl Default for JoinGraphConfig {
             max_enum_join_attrs: 4,
             executor: Executor::global(),
             hist_cache_cap: DEFAULT_HIST_CACHE_CAP,
+            sel_cache_cap: DEFAULT_SEL_CACHE_CAP,
+            proj_cache_cap: DEFAULT_PROJ_CACHE_CAP,
         }
     }
 }
@@ -236,6 +254,24 @@ pub struct JoinGraph {
     clock: u64,
     /// Total-entry bound on `hists` (from [`JoinGraphConfig`]).
     cache_cap: usize,
+    /// Per-hop selection cache: `(probe instance, build instance, join
+    /// attrs) → PairSel` over the two samples. Filled through `&self` during
+    /// the MCMC search (hence the mutex), stamped-LRU bounded, and evicted
+    /// for staleness the moment either side's sample refreshes — the key's
+    /// implicit "sample generation".
+    sel_cache: Mutex<StampedLru<(u32, u32, AttrSet), Arc<PairSel>>>,
+    /// Projection/price cache per `(instance, attribute set)`: the projected
+    /// sample table and its entropy-price estimate, each filled lazily by
+    /// whichever evaluation path first needs it. Same locking, bounding and
+    /// staleness rules as `sel_cache`.
+    proj_cache: Mutex<StampedLru<(u32, AttrSet), ProjEntry>>,
+}
+
+/// One projection-cache entry; both fields fill in lazily.
+#[derive(Debug, Default)]
+struct ProjEntry {
+    table: Option<Arc<Table>>,
+    price: Option<f64>,
 }
 
 impl JoinGraph {
@@ -353,6 +389,8 @@ impl JoinGraph {
             hists,
             clock,
             cache_cap: cfg.hist_cache_cap,
+            sel_cache: Mutex::new(StampedLru::new(cfg.sel_cache_cap)),
+            proj_cache: Mutex::new(StampedLru::new(cfg.proj_cache_cap)),
         })
     }
 
@@ -394,6 +432,17 @@ impl JoinGraph {
     pub fn refresh_sample(&mut self, i: u32, sample: Table) -> Result<()> {
         self.samples[i as usize] = sample;
         self.hists[i as usize] = HistCache::default(); // evict stale entries
+                                                       // The evaluation caches key on sample identity: every selection,
+                                                       // projection and price touching the refreshed instance is stale now.
+                                                       // Partner-side entries survive (their samples did not change).
+        self.sel_cache
+            .lock()
+            .expect("sel cache lock")
+            .retain(|&(a, b, _)| a != i && b != i);
+        self.proj_cache
+            .lock()
+            .expect("proj cache lock")
+            .retain(|&(v, _)| v != i);
         let exec = self.exec;
         let incident: Vec<u32> = self.adj[i as usize].clone();
 
@@ -503,6 +552,132 @@ impl JoinGraph {
     /// The pricing model used for AS-vertex price estimates.
     pub fn pricing(&self) -> &EntropyPricing {
         &self.pricing
+    }
+
+    /// Cached inner pair selection between the samples of `probe` and
+    /// `build` on `on`: every probe-side row's ascending match list in the
+    /// build side. Computed once per `(probe, build, on, sample generation)`
+    /// — [`Self::refresh_sample`] evicts entries touching the refreshed
+    /// instance — and re-composed by every MCMC proposal whose tree keeps
+    /// this hop. Misses recompute transparently (parallel partitioned build
+    /// plus chunked probe on the graph's executor); the cache is stamped-LRU
+    /// bounded by [`JoinGraphConfig::sel_cache_cap`].
+    pub fn pair_sel(&self, probe: u32, build: u32, on: &AttrSet) -> Result<Arc<PairSel>> {
+        let key = (probe, build, on.clone());
+        if let Some(p) = self.sel_cache.lock().expect("sel cache lock").get(&key) {
+            return Ok(Arc::clone(p));
+        }
+        // Compute outside the lock: a miss costs a full build + probe, and
+        // concurrent searches must not serialize on it (a racing duplicate
+        // computes the identical selection).
+        let pair = Arc::new(pair_sel_with(
+            &self.exec,
+            &self.samples[probe as usize],
+            &self.samples[build as usize],
+            on,
+        )?);
+        self.sel_cache
+            .lock()
+            .expect("sel cache lock")
+            .insert(key, Arc::clone(&pair));
+        Ok(pair)
+    }
+
+    /// The projected table evaluation joins for vertex `v`: a cached `Arc`
+    /// projection of the sample when `full` is `None` (the search path —
+    /// repeated proposals stop re-cloning column data every iteration), a
+    /// fresh projection of the caller's full table otherwise (the GP /
+    /// ground-truth path; full-table evaluations are rare and never cached).
+    pub fn projected_for_eval(
+        &self,
+        v: u32,
+        attrs: &AttrSet,
+        full: Option<&[Table]>,
+    ) -> Result<Arc<Table>> {
+        if let Some(full) = full {
+            return Ok(Arc::new(full[v as usize].project(attrs)?));
+        }
+        let key = (v, attrs.clone());
+        {
+            let mut cache = self.proj_cache.lock().expect("proj cache lock");
+            if let Some(t) = cache.get(&key).and_then(|e| e.table.as_ref()) {
+                return Ok(Arc::clone(t));
+            }
+        }
+        let t = Arc::new(self.samples[v as usize].project(attrs)?);
+        let mut cache = self.proj_cache.lock().expect("proj cache lock");
+        match cache.get_mut(&key) {
+            Some(e) => e.table = Some(Arc::clone(&t)),
+            None => cache.insert(
+                key,
+                ProjEntry {
+                    table: Some(Arc::clone(&t)),
+                    price: None,
+                },
+            ),
+        }
+        Ok(t)
+    }
+
+    /// The price evaluation charges for `(v, attrs)`: the cached
+    /// [`Self::price`] estimate on the sample when `full` is `None`, the
+    /// exact price on the caller's full table otherwise. Shares the
+    /// projection cache's entries (same key), so one knob bounds both.
+    pub fn price_for_eval(&self, v: u32, attrs: &AttrSet, full: Option<&[Table]>) -> Result<f64> {
+        if let Some(full) = full {
+            return self.pricing.price(&full[v as usize], attrs);
+        }
+        let key = (v, attrs.clone());
+        {
+            let mut cache = self.proj_cache.lock().expect("proj cache lock");
+            if let Some(p) = cache.get(&key).and_then(|e| e.price) {
+                return Ok(p);
+            }
+        }
+        let p = self.price(v, attrs)?;
+        let mut cache = self.proj_cache.lock().expect("proj cache lock");
+        match cache.get_mut(&key) {
+            Some(e) => e.price = Some(p),
+            None => cache.insert(
+                key,
+                ProjEntry {
+                    table: None,
+                    price: Some(p),
+                },
+            ),
+        }
+        Ok(p)
+    }
+
+    /// Entries currently held by the selection cache (tests/benches).
+    pub fn sel_cache_len(&self) -> usize {
+        self.sel_cache.lock().expect("sel cache lock").len()
+    }
+
+    /// The selection cache's entry bound ([`JoinGraphConfig::sel_cache_cap`])
+    /// — the MCMC engine sizes its per-walk handle table to it, so the knob
+    /// bounds resident pair selections during a walk too.
+    pub fn sel_cache_cap(&self) -> usize {
+        self.sel_cache.lock().expect("sel cache lock").cap()
+    }
+
+    /// Entries currently held by the projection/price cache (tests/benches).
+    pub fn proj_cache_len(&self) -> usize {
+        self.proj_cache.lock().expect("proj cache lock").len()
+    }
+
+    /// Drop every cached selection, projection and price — the cold-path
+    /// baseline for benches and the fresh-vs-cached pinning tests.
+    /// Production code never needs this: staleness eviction is automatic.
+    pub fn clear_eval_caches(&self) {
+        self.sel_cache
+            .lock()
+            .expect("sel cache lock")
+            .retain(|_| false);
+        self.proj_cache
+            .lock()
+            .expect("proj cache lock")
+            .retain(|_| false);
     }
 
     /// The executor the graph was built on — evaluation call sites
@@ -898,6 +1073,84 @@ mod tests {
                 assert_eq!(g.weights[key].to_bits(), w.to_bits());
             }
         }
+    }
+
+    /// The evaluation caches obey their caps, refresh-evict staleness, and
+    /// recompute transparently: every cached pair selection and price equals
+    /// a fresh computation before and after caps/evictions bite.
+    #[test]
+    fn eval_caches_capped_and_evicted_on_refresh() {
+        let base = toy_graph();
+        for cap in [0usize, 1, 2, 8] {
+            let mut g = JoinGraph::build(
+                base.metas.clone(),
+                base.samples.clone(),
+                EntropyPricing::default(),
+                &JoinGraphConfig {
+                    sel_cache_cap: cap,
+                    proj_cache_cap: cap,
+                    ..JoinGraphConfig::default()
+                },
+            )
+            .unwrap();
+            let on_b = AttrSet::from_names(["jg_b"]);
+            let on_bc = AttrSet::from_names(["jg_b", "jg_c"]);
+            let fresh_pairs = [
+                dance_relation::pair_sel(g.sample(0), g.sample(1), &on_b).unwrap(),
+                dance_relation::pair_sel(g.sample(0), g.sample(1), &on_bc).unwrap(),
+                dance_relation::pair_sel(g.sample(1), g.sample(0), &on_b).unwrap(),
+            ];
+            for round in 0..3 {
+                for (pair, on, (p, b)) in [
+                    (&fresh_pairs[0], &on_b, (0u32, 1u32)),
+                    (&fresh_pairs[1], &on_bc, (0, 1)),
+                    (&fresh_pairs[2], &on_b, (1, 0)),
+                ] {
+                    let cached = g.pair_sel(p, b, on).unwrap();
+                    assert_eq!(cached.num_matches(), pair.num_matches(), "round {round}");
+                    for l in 0..pair.num_left() as u32 {
+                        assert_eq!(cached.matches_of(l), pair.matches_of(l));
+                    }
+                    let price = g.price_for_eval(p, on, None).unwrap();
+                    assert_eq!(price.to_bits(), g.price(p, on).unwrap().to_bits());
+                    let proj = g.projected_for_eval(p, on, None).unwrap();
+                    assert_eq!(proj.num_rows(), g.sample(p).num_rows());
+                    assert!(g.sel_cache_len() <= cap, "sel cap {cap} violated");
+                    assert!(g.proj_cache_len() <= cap, "proj cap {cap} violated");
+                }
+                // Refreshing instance 1 drops every entry that touches it.
+                g.refresh_sample(1, base.samples[1].clone()).unwrap();
+                assert_eq!(
+                    g.sel_cache_len(),
+                    0,
+                    "all cached selections touched instance 1"
+                );
+                let survivors = g.proj_cache_len();
+                assert!(survivors <= cap);
+                // Only instance-0 entries may survive a refresh of 1.
+                g.refresh_sample(0, base.samples[0].clone()).unwrap();
+                assert_eq!(g.proj_cache_len(), 0);
+            }
+        }
+    }
+
+    /// `clear_eval_caches` resets to the cold state; recomputation after a
+    /// clear equals the original values.
+    #[test]
+    fn clear_eval_caches_is_transparent() {
+        let g = toy_graph();
+        let on = AttrSet::from_names(["jg_b"]);
+        let first = g.pair_sel(0, 1, &on).unwrap();
+        let price = g.price_for_eval(0, &on, None).unwrap();
+        assert!(g.sel_cache_len() > 0 && g.proj_cache_len() > 0);
+        g.clear_eval_caches();
+        assert_eq!(g.sel_cache_len() + g.proj_cache_len(), 0);
+        let again = g.pair_sel(0, 1, &on).unwrap();
+        assert_eq!(again.num_matches(), first.num_matches());
+        assert_eq!(
+            g.price_for_eval(0, &on, None).unwrap().to_bits(),
+            price.to_bits()
+        );
     }
 
     #[test]

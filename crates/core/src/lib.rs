@@ -23,6 +23,7 @@
 //! reference); the [`mcmc`] heuristic is the production path.
 
 pub mod baseline;
+mod cache;
 pub mod dance;
 pub mod igraph;
 pub mod join_graph;
@@ -36,7 +37,10 @@ pub mod target;
 
 pub use dance::{Dance, DanceConfig};
 pub use igraph::IGraph;
-pub use join_graph::{JoinGraph, JoinGraphConfig, DEFAULT_HIST_CACHE_CAP};
+pub use join_graph::{
+    JoinGraph, JoinGraphConfig, DEFAULT_HIST_CACHE_CAP, DEFAULT_PROJ_CACHE_CAP,
+    DEFAULT_SEL_CACHE_CAP,
+};
 pub use mcmc::{McmcConfig, TargetGraph};
 pub use plan::{AcquisitionPlan, PlanMetrics};
 pub use request::{AcquisitionRequest, Constraints};

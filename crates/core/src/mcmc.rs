@@ -15,7 +15,34 @@
 //!
 //! [`evaluate_assignment`] is the shared evaluation kernel: it is also what
 //! the LP/GP baselines call, with full tables instead of samples for GP.
+//!
+//! ## Incremental evaluation
+//!
+//! A proposal flips exactly one edge's join attribute set, and the walk
+//! revisits states constantly, so [`find_optimal_target_graph`] evaluates
+//! through an incremental engine instead of re-running the whole pipeline
+//! per proposal (disable with [`McmcConfig::incremental`] — the bit-exact
+//! reference path the property tests pin against):
+//!
+//! * **Per-hop selection cache** — each tree hop re-probes a
+//!   [`JoinGraph::pair_sel`] cached per `(instance pair, join set)`, so a
+//!   flipped edge re-probes only its own hop while unchanged hops re-compose
+//!   cached match lists ([`dance_relation::sel::TreeJoin`]).
+//! * **Projection / price cache** — projected sample tables and entropy
+//!   prices come from [`JoinGraph::projected_for_eval`] /
+//!   [`JoinGraph::price_for_eval`], cached per `(instance, attr set)`; only
+//!   the flipped edge's endpoints recompute, and the final price/weight
+//!   folds re-run over the cached components in canonical order, so every
+//!   float is bit-equal to a fresh full re-sum.
+//! * **Evaluation memo** — full [`TargetGraph`]s memoized per assignment
+//!   (stamped-LRU, [`McmcConfig::eval_memo_cap`]), so a revisited state
+//!   costs one hash lookup.
+//!
+//! §3.2 re-sampling keeps firing on the *composed* selection via
+//! [`dance_sampling::resample::BoundedHook`] with unchanged step/seed
+//! derivation, so seeded experiment reports stay byte-identical.
 
+use crate::cache::StampedLru;
 use crate::join_graph::JoinGraph;
 use crate::request::Constraints;
 use crate::target::Cover;
@@ -23,11 +50,16 @@ use dance_info::correlation::{correlation_with, CorrOptions};
 use dance_info::ji::join_informativeness;
 use dance_quality::tane::TaneConfig;
 use dance_relation::join::JoinEdge;
-use dance_relation::{AttrSet, FxHashSet, RelationError, Result, Table};
-use dance_sampling::resample::{join_tree_bounded_with, ResampleConfig};
+use dance_relation::sel::TreeJoin;
+use dance_relation::{AttrSet, FxHashMap, FxHashSet, RelationError, Result, Table};
+use dance_sampling::resample::{join_tree_bounded_with, BoundedHook, ResampleConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Default bound on the per-walk evaluation memo.
+pub const DEFAULT_EVAL_MEMO_CAP: usize = 512;
 
 /// Tuning for Algorithm 1.
 #[derive(Debug, Clone)]
@@ -40,6 +72,16 @@ pub struct McmcConfig {
     pub resample: Option<ResampleConfig>,
     /// AFD discovery settings for the quality estimate (Def 2.3).
     pub tane: TaneConfig,
+    /// Evaluate proposals through the incremental engine (cached per-hop
+    /// selections, cached projections/prices, per-walk memo). `false`
+    /// re-runs the full [`evaluate_assignment`] pipeline per proposal — the
+    /// reference the pinning tests compare bit-exact and the uncached bench
+    /// baseline. Both paths visit identical states: evaluation caching never
+    /// changes a single proposal, acceptance, or report byte.
+    pub incremental: bool,
+    /// Stamped-LRU bound on the per-walk `assignment → TargetGraph` memo
+    /// (0 disables memoization; hop/projection caches still apply).
+    pub eval_memo_cap: usize,
 }
 
 impl Default for McmcConfig {
@@ -53,6 +95,8 @@ impl Default for McmcConfig {
                 max_lhs: 1,
                 max_attrs: 12,
             },
+            incremental: true,
+            eval_memo_cap: DEFAULT_EVAL_MEMO_CAP,
         }
     }
 }
@@ -127,13 +171,75 @@ pub fn evaluate_assignment(
         return Err(RelationError::Shape("empty target graph".into()));
     }
 
-    // Projection attribute sets (incident join attrs ∪ cover contributions).
+    let attr_refs: Vec<&AttrSet> = join_attrs.iter().collect();
+    let projections = projection_sets(
+        vertices.iter().copied(),
+        tree_edges,
+        &attr_refs,
+        source_cover,
+        target_cover,
+    )?;
+    let weight = weight_fold(graph, tree_edges, &attr_refs, tables)?;
+    let price = price_fold(graph, free, &projections, tables)?;
+
+    // Join the projected instances along the tree. Projections come from the
+    // graph's cache layer: the sample tier returns shared Arc projections so
+    // repeated evaluations stop re-cloning column data.
+    let order: Vec<u32> = projections.keys().copied().collect();
+    let pos: FxHashMap<u32, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let projected: Vec<Arc<Table>> = order
+        .iter()
+        .map(|&v| graph.projected_for_eval(v, &projections[&v], tables))
+        .collect::<Result<Vec<_>>>()?;
+    let refs: Vec<&Table> = projected.iter().map(Arc::as_ref).collect();
+    let joined = if tree_edges.is_empty() {
+        (*projected[0]).clone()
+    } else {
+        let edges: Vec<JoinEdge> = tree_edges
+            .iter()
+            .zip(join_attrs)
+            .map(|(&(a, b), on)| JoinEdge {
+                a: pos[&a],
+                b: pos[&b],
+                on: on.clone(),
+            })
+            .collect();
+        // Selection-vector tree join: per-hop JoinSels composed on interned
+        // symbols, one materialization, fanned out over the graph's executor.
+        join_tree_bounded_with(&graph.executor(), &refs, &edges, resample)?.0
+    };
+
+    let corr = eval_corr(&joined, source_attrs, target_attrs, tables.is_some())?;
+    let quality = dance_quality::joint::instance_set_quality(&joined, tane)?;
+
+    Ok(TargetGraph {
+        tree_edges: tree_edges.to_vec(),
+        join_attrs: join_attrs.to_vec(),
+        projections,
+        corr,
+        weight,
+        quality,
+        price,
+    })
+}
+
+/// Projection attribute sets (incident join attrs ∪ cover contributions) of
+/// every participating vertex — the one definition [`evaluate_assignment`]
+/// and the incremental engine share (a `BTreeMap` makes the caller's vertex
+/// iteration order irrelevant).
+fn projection_sets(
+    vertices: impl Iterator<Item = u32>,
+    tree_edges: &[(u32, u32)],
+    join_attrs: &[&AttrSet],
+    source_cover: &Cover,
+    target_cover: &Cover,
+) -> Result<BTreeMap<u32, AttrSet>> {
     let mut projections: BTreeMap<u32, AttrSet> = BTreeMap::new();
-    for &v in &vertices {
+    for v in vertices {
         let mut p = AttrSet::empty();
         for (e, &(a, b)) in tree_edges.iter().enumerate() {
             if a == v || b == v {
-                p = p.union(&join_attrs[e]);
+                p = p.union(join_attrs[e]);
             }
         }
         if let Some(s) = source_cover.get(&v) {
@@ -149,105 +255,269 @@ pub fn evaluate_assignment(
         }
         projections.insert(v, p);
     }
+    Ok(projections)
+}
 
-    let table_of = |v: u32| -> &Table {
-        match tables {
-            Some(full) => &full[v as usize],
-            None => graph.sample(v),
-        }
-    };
-
-    // Weight: Property 4.1 lookup on samples, exact JI on full data.
+/// `w(TG)`: Property 4.1 lookups on the sample tier, exact JI on full data —
+/// folded in edge order (the canonical summation order both evaluation paths
+/// share, so the result is bit-stable).
+fn weight_fold(
+    graph: &JoinGraph,
+    tree_edges: &[(u32, u32)],
+    join_attrs: &[&AttrSet],
+    tables: Option<&[Table]>,
+) -> Result<f64> {
     let mut weight = 0.0;
     for (e, &(a, b)) in tree_edges.iter().enumerate() {
         weight += match tables {
-            None => graph.weight(a, b, &join_attrs[e]).ok_or_else(|| {
+            None => graph.weight(a, b, join_attrs[e]).ok_or_else(|| {
                 RelationError::InvalidJoin(format!(
                     "no candidate weight for edge ({a},{b}) on {}",
                     join_attrs[e]
                 ))
             })?,
             Some(full) => {
-                join_informativeness(&full[a as usize], &full[b as usize], &join_attrs[e])?
+                join_informativeness(&full[a as usize], &full[b as usize], join_attrs[e])?
             }
         };
     }
+    Ok(weight)
+}
 
-    // Price: non-free instances only; evaluated on the same data tier.
+/// `p(TG)`: non-free instances only, folded in ascending vertex order (the
+/// shared canonical order), each component from the graph's price cache on
+/// the sample tier.
+fn price_fold(
+    graph: &JoinGraph,
+    free: &FxHashSet<u32>,
+    projections: &BTreeMap<u32, AttrSet>,
+    tables: Option<&[Table]>,
+) -> Result<f64> {
     let mut price = 0.0;
-    for (&v, attrs) in &projections {
+    for (&v, attrs) in projections {
         if free.contains(&v) {
             continue;
         }
-        price += match tables {
-            None => graph.price(v, attrs)?,
-            Some(full) => {
-                use dance_market::PricingModel;
-                graph.pricing().price(&full[v as usize], attrs)?
-            }
-        };
+        price += graph.price_for_eval(v, attrs, tables)?;
+    }
+    Ok(price)
+}
+
+/// `CORR(AS, AT)` on the joined result: the plug-in value on full data.
+/// Sample-tier estimates are shrunk by n/(n + 20): plug-in correlation is
+/// inflated on tiny joins (few rows per conditioning group force
+/// H(X|Y) → 0), which would make the search prefer sparse detours; the
+/// shrink vanishes as the sampled join grows and applies uniformly to every
+/// candidate the search compares.
+fn eval_corr(
+    joined: &Table,
+    source_attrs: &AttrSet,
+    target_attrs: &AttrSet,
+    full_data: bool,
+) -> Result<f64> {
+    if joined.num_rows() == 0 {
+        return Ok(0.0);
+    }
+    let raw = correlation_with(joined, source_attrs, target_attrs, CorrOptions::default())?;
+    if full_data {
+        return Ok(raw);
+    }
+    let n = joined.num_rows() as f64;
+    Ok(raw * n / (n + 20.0))
+}
+
+/// The incremental evaluation engine behind [`find_optimal_target_graph`].
+///
+/// Everything invariant across the walk is computed once at construction:
+/// the participating vertex order (and its position map, replacing the
+/// retired O(n) scan per edge endpoint), and the candidate list per edge.
+/// Per evaluation, hop selections come from the graph's [`PairSel`] cache,
+/// projected tables and prices from its projection cache, and whole
+/// [`TargetGraph`]s from a per-walk stamped-LRU memo keyed by the assignment
+/// (as candidate indices) — so a revisited state costs one hash lookup and a
+/// fresh state re-probes only hops no cached selection covers.
+///
+/// Weight and price are folded from cached per-component values (a
+/// Property 4.1 lookup per edge, a cached price per vertex): a proposal only
+/// recomputes the flipped edge's components, but the final folds always run
+/// over all components in the reference's canonical order (edge order /
+/// vertex order), keeping every sum bit-equal to a fresh
+/// [`evaluate_assignment`].
+struct EvalEngine<'a> {
+    graph: &'a JoinGraph,
+    free: &'a FxHashSet<u32>,
+    tree_edges: &'a [(u32, u32)],
+    /// Candidate join sets per edge, fetched once before the walk.
+    cands: Vec<&'a [AttrSet]>,
+    source_cover: &'a Cover,
+    target_cover: &'a Cover,
+    source_attrs: &'a AttrSet,
+    target_attrs: &'a AttrSet,
+    resample: Option<&'a ResampleConfig>,
+    tane: &'a TaneConfig,
+    /// Participating vertices, ascending (= the reference's projection
+    /// iteration order).
+    vertices: Vec<u32>,
+    /// vertex id → position in `vertices` (the prebuilt index map).
+    pos: FxHashMap<u32, usize>,
+    /// Assignment (candidate indices) → fully evaluated target graph.
+    memo: StampedLru<Box<[u32]>, TargetGraph>,
+    /// `(edge, candidate index, probe base)` → the graph's cached pair
+    /// selection, held locally so repeat hops skip the graph lock *and* the
+    /// attr-set key clone. Entries are `Arc` handles into
+    /// [`JoinGraph::pair_sel`]'s cache (samples are immutable behind
+    /// `&JoinGraph` for the walk's lifetime, so a handle can never go
+    /// stale), and the table shares the graph's `sel_cache_cap` bound so the
+    /// one knob also limits the pair selections a walk keeps resident.
+    pair_handles: StampedLru<(usize, u32, usize), Arc<dance_relation::PairSel>>,
+}
+
+impl<'a> EvalEngine<'a> {
+    #[allow(clippy::too_many_arguments)] // mirrors evaluate_assignment's surface
+    fn new(
+        graph: &'a JoinGraph,
+        free: &'a FxHashSet<u32>,
+        tree_edges: &'a [(u32, u32)],
+        cands: Vec<&'a [AttrSet]>,
+        source_cover: &'a Cover,
+        target_cover: &'a Cover,
+        source_attrs: &'a AttrSet,
+        target_attrs: &'a AttrSet,
+        cfg: &'a McmcConfig,
+    ) -> Result<EvalEngine<'a>> {
+        let mut vs: FxHashSet<u32> = FxHashSet::default();
+        for &(a, b) in tree_edges {
+            vs.insert(a);
+            vs.insert(b);
+        }
+        for v in source_cover.keys().chain(target_cover.keys()) {
+            vs.insert(*v);
+        }
+        if vs.is_empty() {
+            return Err(RelationError::Shape("empty target graph".into()));
+        }
+        let mut vertices: Vec<u32> = vs.into_iter().collect();
+        vertices.sort_unstable();
+        let pos: FxHashMap<u32, usize> =
+            vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        Ok(EvalEngine {
+            graph,
+            free,
+            tree_edges,
+            cands,
+            source_cover,
+            target_cover,
+            source_attrs,
+            target_attrs,
+            resample: cfg.resample.as_ref(),
+            tane: &cfg.tane,
+            vertices,
+            pos,
+            memo: StampedLru::new(cfg.eval_memo_cap),
+            pair_handles: StampedLru::new(graph.sel_cache_cap()),
+        })
     }
 
-    // Join the projected instances along the tree.
-    let order: Vec<u32> = projections.keys().copied().collect();
-    let index_of = |v: u32| order.iter().position(|&x| x == v).expect("vertex in order");
-    let projected: Vec<Table> = order
-        .iter()
-        .map(|&v| table_of(v).project(&projections[&v]))
-        .collect::<Result<Vec<_>>>()?;
-    let refs: Vec<&Table> = projected.iter().collect();
-    let joined = if tree_edges.is_empty() {
-        projected[0].clone()
-    } else {
-        let edges: Vec<JoinEdge> = tree_edges
-            .iter()
-            .zip(join_attrs)
-            .map(|(&(a, b), on)| JoinEdge {
-                a: index_of(a),
-                b: index_of(b),
-                on: on.clone(),
-            })
-            .collect();
-        // Selection-vector tree join: per-hop JoinSels composed on interned
-        // symbols, one materialization, fanned out over the graph's executor.
-        join_tree_bounded_with(&graph.executor(), &refs, &edges, resample)?.0
-    };
-
-    let corr = if joined.num_rows() == 0 {
-        0.0
-    } else {
-        let raw = correlation_with(&joined, source_attrs, target_attrs, CorrOptions::default())?;
-        match tables {
-            // Full-data evaluation: report the plug-in value as-is.
-            Some(_) => raw,
-            // Sample-based estimate: plug-in correlation is inflated on tiny
-            // joins (few rows per conditioning group force H(X|Y) → 0), which
-            // would make the search prefer sparse detours. Shrink by
-            // n/(n + 20) — vanishes as the sampled join grows, and applies
-            // uniformly to every candidate the search compares.
-            None => {
-                let n = joined.num_rows() as f64;
-                raw * n / (n + 20.0)
-            }
+    /// Evaluate one assignment (candidate index per edge) into a
+    /// [`TargetGraph`], bit-identical to [`evaluate_assignment`] over the
+    /// resolved attribute sets.
+    fn evaluate(&mut self, idxs: &[u32]) -> Result<TargetGraph> {
+        if let Some(tg) = self.memo.get(idxs) {
+            return Ok(tg.clone());
         }
-    };
-    let quality = dance_quality::joint::instance_set_quality(&joined, tane)?;
+        let join_attrs: Vec<&AttrSet> = idxs
+            .iter()
+            .zip(&self.cands)
+            .map(|(&i, c)| &c[i as usize])
+            .collect();
 
-    Ok(TargetGraph {
-        tree_edges: tree_edges.to_vec(),
-        join_attrs: join_attrs.to_vec(),
-        projections,
-        corr,
-        weight,
-        quality,
-        price,
-    })
+        // The reference's exact construction and folds, over cached
+        // components (only the flipped edge's components recompute; the
+        // folds re-run in canonical order, so every sum is bit-equal).
+        let projections = projection_sets(
+            self.vertices.iter().copied(),
+            self.tree_edges,
+            &join_attrs,
+            self.source_cover,
+            self.target_cover,
+        )?;
+        let weight = weight_fold(self.graph, self.tree_edges, &join_attrs, None)?;
+        let price = price_fold(self.graph, self.free, &projections, None)?;
+
+        // Join the projected instances along the tree, sourcing every hop
+        // whose probe key lives in one base table from the graph's selection
+        // cache (a flipped edge only misses on its own hop).
+        let projected: Vec<Arc<Table>> = self
+            .vertices
+            .iter()
+            .map(|&v| self.graph.projected_for_eval(v, &projections[&v], None))
+            .collect::<Result<Vec<_>>>()?;
+        let refs: Vec<&Table> = projected.iter().map(Arc::as_ref).collect();
+        let joined_owned: Option<Table> = if self.tree_edges.is_empty() {
+            None
+        } else {
+            let edges: Vec<JoinEdge> = self
+                .tree_edges
+                .iter()
+                .zip(&join_attrs)
+                .map(|(&(a, b), on)| JoinEdge {
+                    a: self.pos[&a],
+                    b: self.pos[&b],
+                    on: (*on).clone(),
+                })
+                .collect();
+            let exec = self.graph.executor();
+            let mut tj = TreeJoin::new(&refs, &edges)?;
+            let mut hook = BoundedHook::new(self.resample);
+            while let Some(hop) = tj.next_hop()? {
+                match hop.key_base {
+                    Some(kb) => {
+                        let key = (hop.edge, idxs[hop.edge], kb);
+                        let pair = match self.pair_handles.get(&key) {
+                            Some(p) => Arc::clone(p),
+                            None => {
+                                let p = self.graph.pair_sel(
+                                    self.vertices[kb],
+                                    self.vertices[hop.right],
+                                    hop.on,
+                                )?;
+                                self.pair_handles.insert(key, Arc::clone(&p));
+                                p
+                            }
+                        };
+                        tj.advance_with_pair(&exec, &hop, &pair)?;
+                    }
+                    None => tj.advance(&exec, &hop)?,
+                }
+                tj.map_sel(|s| hook.apply(s));
+            }
+            Some(tj.materialize(&exec)?)
+        };
+        let joined: &Table = joined_owned.as_ref().unwrap_or_else(|| &projected[0]);
+
+        let corr = eval_corr(joined, self.source_attrs, self.target_attrs, false)?;
+        let quality = dance_quality::joint::instance_set_quality(joined, self.tane)?;
+
+        let tg = TargetGraph {
+            tree_edges: self.tree_edges.to_vec(),
+            join_attrs: join_attrs.into_iter().cloned().collect(),
+            projections,
+            corr,
+            weight,
+            quality,
+            price,
+        };
+        self.memo.insert(Box::from(idxs), tg.clone());
+        Ok(tg)
+    }
 }
 
 /// Algorithm 1: find the optimal target graph at the AS-layer of `ig`.
 ///
 /// Returns the best constraint-satisfying state visited, or `None` when no
-/// visited state satisfied the constraints.
+/// visited state satisfied the constraints. Proposals evaluate through the
+/// incremental engine unless [`McmcConfig::incremental`] is off; the two
+/// paths visit bit-identical states (see the module docs).
 #[allow(clippy::too_many_arguments)]
 pub fn find_optimal_target_graph(
     graph: &JoinGraph,
@@ -260,41 +530,79 @@ pub fn find_optimal_target_graph(
     constraints: &Constraints,
     cfg: &McmcConfig,
 ) -> Result<Option<TargetGraph>> {
-    // Initial assignment: the minimum-weight candidate per edge (the same
-    // choice Definition 4.2 uses for I-edge weights).
-    let mut assignment: Vec<AttrSet> = Vec::with_capacity(tree_edges.len());
+    // Candidate join sets, fetched once per edge before the walk.
+    let mut cands: Vec<&[AttrSet]> = Vec::with_capacity(tree_edges.len());
     for &(a, b) in tree_edges {
-        let cands = graph.candidate_join_sets(a, b);
-        if cands.is_empty() {
+        let c = graph.candidate_join_sets(a, b);
+        if c.is_empty() {
             return Err(RelationError::InvalidJoin(format!(
                 "no join candidates between instances {a} and {b}"
             )));
         }
-        let best = cands
-            .iter()
-            .min_by(|x, y| {
-                let wx = graph.weight(a, b, x).unwrap_or(f64::INFINITY);
-                let wy = graph.weight(a, b, y).unwrap_or(f64::INFINITY);
-                wx.total_cmp(&wy)
-            })
-            .expect("non-empty candidates");
-        assignment.push(best.clone());
+        cands.push(c);
     }
 
-    let evaluate = |assign: &[AttrSet]| {
-        evaluate_assignment(
+    // Initial assignment: the minimum-weight candidate per edge (the same
+    // choice Definition 4.2 uses for I-edge weights; first minimum on ties,
+    // as `min_by` with `total_cmp` resolved them).
+    let mut assignment: Vec<u32> = cands
+        .iter()
+        .zip(tree_edges)
+        .map(|(c, &(a, b))| {
+            let mut best = 0usize;
+            let mut best_w = f64::INFINITY;
+            for (i, cand) in c.iter().enumerate() {
+                let w = graph.weight(a, b, cand).unwrap_or(f64::INFINITY);
+                if w.total_cmp(&best_w) == std::cmp::Ordering::Less {
+                    best_w = w;
+                    best = i;
+                }
+            }
+            best as u32
+        })
+        .collect();
+
+    let mut engine = if cfg.incremental {
+        Some(EvalEngine::new(
             graph,
             free,
             tree_edges,
-            assign,
+            cands.clone(),
             source_cover,
             target_cover,
             source_attrs,
             target_attrs,
-            None,
-            cfg.resample.as_ref(),
-            &cfg.tane,
-        )
+            cfg,
+        )?)
+    } else {
+        None
+    };
+    let mut evaluate = |idxs: &[u32]| -> Result<TargetGraph> {
+        match engine.as_mut() {
+            Some(engine) => engine.evaluate(idxs),
+            None => {
+                // The uncached reference: resolve the attribute sets and run
+                // the full evaluation pipeline.
+                let attrs: Vec<AttrSet> = idxs
+                    .iter()
+                    .zip(&cands)
+                    .map(|(&i, c)| c[i as usize].clone())
+                    .collect();
+                evaluate_assignment(
+                    graph,
+                    free,
+                    tree_edges,
+                    &attrs,
+                    source_cover,
+                    target_cover,
+                    source_attrs,
+                    target_attrs,
+                    None,
+                    cfg.resample.as_ref(),
+                    &cfg.tane,
+                )
+            }
+        }
     };
 
     let mut current = evaluate(&assignment)?;
@@ -305,17 +613,24 @@ pub fn find_optimal_target_graph(
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for _ in 0..cfg.iterations {
-        // Line 5–6: random edge, random different candidate.
+        // Line 5–6: random edge, random different candidate. Candidates are
+        // distinct, so "a different candidate" is a draw over k − 1 indices
+        // skipping the current one — the same distribution (and the same RNG
+        // consumption) as the retired filtered-Vec scheme, without the
+        // per-iteration allocation.
         let e = rng.random_range(0..tree_edges.len());
-        let (a, b) = tree_edges[e];
-        let cands = graph.candidate_join_sets(a, b);
-        let others: Vec<&AttrSet> = cands.iter().filter(|c| **c != assignment[e]).collect();
-        if others.is_empty() {
+        let k = cands[e].len();
+        if k <= 1 {
             continue;
         }
-        let proposal_attr = others[rng.random_range(0..others.len())].clone();
+        let draw = rng.random_range(0..k - 1);
+        let pick = if draw >= assignment[e] as usize {
+            draw + 1
+        } else {
+            draw
+        };
         let mut proposal_assign = assignment.clone();
-        proposal_assign[e] = proposal_attr;
+        proposal_assign[e] = pick as u32;
         let proposal = evaluate(&proposal_assign)?;
 
         // Line 8: constraint gate.
@@ -573,6 +888,61 @@ mod tests {
         let b = run(9);
         assert_eq!(a.join_attrs, b.join_attrs);
         assert!((a.corr - b.corr).abs() < 1e-12);
+    }
+
+    /// The incremental engine and the fresh-evaluation reference walk to the
+    /// bit-identical best state on the two-key graph — with re-sampling
+    /// firing, across memo caps (including 0 = memo disabled), cold and warm.
+    #[test]
+    fn incremental_walk_matches_reference_walk() {
+        let g = two_key_graph();
+        let (sc, tc) = covers();
+        let run = |incremental: bool, memo_cap: usize| {
+            find_optimal_target_graph(
+                &g,
+                &FxHashSet::default(),
+                &[(0, 1)],
+                &sc,
+                &tc,
+                &AttrSet::from_names(["mc_src"]),
+                &AttrSet::from_names(["mc_tgt"]),
+                &Constraints::unbounded(),
+                &McmcConfig {
+                    iterations: 50,
+                    seed: 17,
+                    resample: Some(dance_sampling::ResampleConfig {
+                        eta: 64,
+                        rate: 0.5,
+                        seed: 9,
+                    }),
+                    incremental,
+                    eval_memo_cap: memo_cap,
+                    ..McmcConfig::default()
+                },
+            )
+            .unwrap()
+            .expect("unconstrained search finds something")
+        };
+        let reference = run(false, 0);
+        // The reference walk warmed the projection/price caches; start the
+        // incremental comparison from a genuinely cold graph.
+        g.clear_eval_caches();
+        for memo_cap in [0usize, 1, 512] {
+            for _ in 0..2 {
+                let inc = run(true, memo_cap);
+                assert_eq!(inc.join_attrs, reference.join_attrs, "cap {memo_cap}");
+                assert_eq!(inc.projections, reference.projections);
+                assert_eq!(inc.corr.to_bits(), reference.corr.to_bits());
+                assert_eq!(inc.weight.to_bits(), reference.weight.to_bits());
+                assert_eq!(inc.quality.to_bits(), reference.quality.to_bits());
+                assert_eq!(inc.price.to_bits(), reference.price.to_bits());
+            }
+        }
+        assert!(g.sel_cache_len() > 0, "walk populated the selection cache");
+        assert!(
+            g.proj_cache_len() > 0,
+            "walk populated the projection cache"
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Property tests of the search-layer data structures.
 
 use dance_core::lattice;
-use dance_core::target::enumerate_covers;
-use dance_core::{Constraints, JoinGraph, JoinGraphConfig};
+use dance_core::mcmc::find_optimal_target_graph;
+use dance_core::target::{enumerate_covers, Cover};
+use dance_core::{Constraints, JoinGraph, JoinGraphConfig, McmcConfig};
 use dance_market::{DatasetId, DatasetMeta, EntropyPricing};
-use dance_relation::{AttrSet, Executor, InternerRegistry, Table, Value, ValueType};
+use dance_relation::{AttrSet, Executor, FxHashSet, InternerRegistry, Table, Value, ValueType};
+use dance_sampling::ResampleConfig;
 use proptest::prelude::*;
 
 /// Random small marketplace catalogs: 3 instances over overlapping schemas
@@ -82,6 +84,109 @@ fn arb_str_catalog() -> impl Strategy<Value = (Vec<DatasetMeta>, Vec<Table>)> {
         }
         (metas, samples)
     })
+}
+
+/// Random 3-instance catalogs shaped for the MCMC search: both path edges
+/// share **two** attributes (one Int, one Str, both with NULLs and private
+/// per-table dictionaries), so every edge has 3 candidate join sets and the
+/// walk actually proposes flips; instance 0 carries the source attribute,
+/// instance 2 the target.
+fn arb_search_catalog() -> impl Strategy<Value = (Vec<DatasetMeta>, Vec<Table>)> {
+    (2usize..7, 8usize..40, 0u64..500).prop_map(|(k, n, seed)| {
+        let mk_key = |h: u64, shift: u32, idx: usize| {
+            let v = (h >> shift) % (k as u64 + 1);
+            (
+                if v == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(v as i64)
+                },
+                if (h >> (shift + 3)).is_multiple_of(k as u64 + 1) {
+                    Value::Null
+                } else {
+                    Value::str(format!("s{}", (h >> (shift + 3)) % (k as u64 + idx as u64)))
+                },
+            )
+        };
+        let mut metas = Vec::new();
+        let mut samples = Vec::new();
+        // d0(ik, sk, src) — d1(ik, sk, jk, jl) — d2(jk, jl, tgt).
+        let specs: [(&str, &[(&str, ValueType)]); 3] = [
+            (
+                "sc_d0",
+                &[
+                    ("sc_ik", ValueType::Int),
+                    ("sc_sk", ValueType::Str),
+                    ("sc_src", ValueType::Int),
+                ],
+            ),
+            (
+                "sc_d1",
+                &[
+                    ("sc_ik", ValueType::Int),
+                    ("sc_sk", ValueType::Str),
+                    ("sc_jk", ValueType::Int),
+                    ("sc_jl", ValueType::Str),
+                ],
+            ),
+            (
+                "sc_d2",
+                &[
+                    ("sc_jk", ValueType::Int),
+                    ("sc_jl", ValueType::Str),
+                    ("sc_tgt", ValueType::Str),
+                ],
+            ),
+        ];
+        for (idx, (name, attrs)) in specs.into_iter().enumerate() {
+            let rows: Vec<Vec<Value>> = (0..n)
+                .map(|r| {
+                    let h = dance_relation::hash::stable_hash64(seed + idx as u64, &(r as u64));
+                    let (ik, sk) = mk_key(h, 0, idx + 1);
+                    let (jk, jl) = mk_key(h, 16, idx + 2);
+                    match idx {
+                        0 => vec![ik, sk, Value::Int((h % 7) as i64)],
+                        1 => vec![ik, sk, jk, jl],
+                        _ => vec![jk, jl, Value::str(format!("t{}", h % 5))],
+                    }
+                })
+                .collect();
+            let t = Table::from_rows(name, attrs, rows).unwrap();
+            metas.push(DatasetMeta {
+                id: DatasetId(idx as u32),
+                name: t.name().to_string(),
+                schema: t.schema().clone(),
+                num_rows: t.num_rows(),
+                default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+            });
+            samples.push(t);
+        }
+        (metas, samples)
+    })
+}
+
+/// Bit-exact equality of two optional target graphs.
+fn assert_same_target(
+    a: &Option<dance_core::TargetGraph>,
+    b: &Option<dance_core::TargetGraph>,
+) -> Result<(), TestCaseError> {
+    match (a, b) {
+        (None, None) => Ok(()),
+        (Some(x), Some(y)) => {
+            prop_assert_eq!(&x.tree_edges, &y.tree_edges);
+            prop_assert_eq!(&x.join_attrs, &y.join_attrs);
+            prop_assert_eq!(&x.projections, &y.projections);
+            prop_assert_eq!(x.corr.to_bits(), y.corr.to_bits(), "corr diverged");
+            prop_assert_eq!(x.weight.to_bits(), y.weight.to_bits(), "weight diverged");
+            prop_assert_eq!(x.quality.to_bits(), y.quality.to_bits(), "quality diverged");
+            prop_assert_eq!(x.price.to_bits(), y.price.to_bits(), "price diverged");
+            Ok(())
+        }
+        _ => {
+            prop_assert_eq!(a.is_some(), b.is_some(), "one search found a graph");
+            Ok(())
+        }
+    }
 }
 
 proptest! {
@@ -243,6 +348,74 @@ proptest! {
         .unwrap();
         for (a, b) in g.i_edges().iter().zip(rebuilt.i_edges()) {
             prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    /// The incremental MCMC engine (cached per-hop selections, cached
+    /// projections/prices, evaluation memo) visits bit-identical states to
+    /// the fresh `evaluate_assignment` walk: same best target graph — join
+    /// attributes, projections, and every metric bit-exact — over full
+    /// seeded walks on randomized typed/NULL catalogs, with §3.2 re-sampling
+    /// firing mid-walk, at executors {1, 4}, cold *and* warm caches.
+    #[test]
+    fn incremental_search_matches_fresh_search(
+        catalog in arb_search_catalog(),
+        seed in 0u64..1000,
+        resample_on in 0u64..2,
+    ) {
+        let resample = resample_on == 1;
+        let (metas, samples) = catalog;
+        let tree_edges = [(0u32, 1u32), (1u32, 2u32)];
+        let mut sc = Cover::new();
+        sc.insert(0, AttrSet::from_names(["sc_src"]));
+        let mut tc = Cover::new();
+        tc.insert(2, AttrSet::from_names(["sc_tgt"]));
+        let source = AttrSet::from_names(["sc_src"]);
+        let target = AttrSet::from_names(["sc_tgt"]);
+        let cfg = |incremental: bool| McmcConfig {
+            iterations: 30,
+            seed,
+            // A tiny η forces TreeSel::retain on the composed selection.
+            resample: resample.then_some(ResampleConfig { eta: 16, rate: 0.5, seed: seed ^ 7 }),
+            incremental,
+            ..McmcConfig::default()
+        };
+        for threads in [1usize, 4] {
+            let graph = JoinGraph::build(
+                metas.clone(),
+                samples.clone(),
+                EntropyPricing::default(),
+                &JoinGraphConfig {
+                    executor: Executor::with_grain(threads, 1),
+                    ..JoinGraphConfig::default()
+                },
+            )
+            .unwrap();
+            let run = |incremental: bool| {
+                find_optimal_target_graph(
+                    &graph,
+                    &FxHashSet::default(),
+                    &tree_edges,
+                    &sc,
+                    &tc,
+                    &source,
+                    &target,
+                    &Constraints::unbounded(),
+                    &cfg(incremental),
+                )
+                .unwrap()
+            };
+            let fresh = run(false);
+            // The fresh reference itself populated the projection/price
+            // caches; clear so the first incremental run is genuinely cold.
+            graph.clear_eval_caches();
+            let cold = run(true);
+            assert_same_target(&cold, &fresh)?;
+            // Second incremental run rides fully warm caches.
+            let warm = run(true);
+            assert_same_target(&warm, &fresh)?;
+            prop_assert!(graph.sel_cache_len() > 0, "selection cache populated");
+            prop_assert!(graph.proj_cache_len() > 0, "projection cache populated");
         }
     }
 

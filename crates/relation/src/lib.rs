@@ -66,7 +66,8 @@ pub use histogram::{
 pub use interner::InternerRegistry;
 pub use schema::{attr, AttrId, AttrSet, Attribute, Schema};
 pub use sel::{
-    join_sel, join_tree_late, join_tree_late_with, materialize_join, JoinSel, TreeSel, NO_ROW,
+    join_sel, join_sel_with, join_tree_late, join_tree_late_with, materialize_join, pair_sel,
+    pair_sel_with, HopPlan, JoinSel, PairSel, TreeJoin, TreeSel, NO_ROW,
 };
 pub use sym::{
     sym_counts, sym_counts_with, sym_joinable, sym_joint_counts, sym_joint_counts_with, SymCounts,

@@ -243,12 +243,33 @@ impl BuildMap {
             BuildMap::Many(m) => m.get(key).map(Vec::as_slice),
         }
     }
+
+    /// Fold `other` (built over a strictly later row range) into `self`:
+    /// per-key row lists concatenate in chunk order, so the merged map is
+    /// indistinguishable from a sequential build over the union of ranges.
+    fn merge(&mut self, other: BuildMap) {
+        match (self, other) {
+            (BuildMap::One(a), BuildMap::One(b)) => {
+                for (k, rows) in b {
+                    a.entry(k).or_default().extend(rows);
+                }
+            }
+            (BuildMap::Many(a), BuildMap::Many(b)) => {
+                for (k, rows) in b {
+                    a.entry(k).or_default().extend(rows);
+                }
+            }
+            _ => unreachable!("merged build maps always share the key width"),
+        }
+    }
 }
 
-/// Build the right-side map over `rcols` in the right table's native symbol
-/// space. Returns the map plus the right rows with a NULL key (they never
-/// match; full-outer joins append them last, in row order).
-fn build_side(right: &Table, rcols: &[usize]) -> (BuildMap, Vec<u32>) {
+/// Sequential build of the right-side map over one row range.
+fn build_side_range(
+    right: &Table,
+    rcols: &[usize],
+    rows: std::ops::Range<usize>,
+) -> (BuildMap, Vec<u32>) {
     let sources: Vec<KeySource<'_>> = rcols
         .iter()
         .map(|&c| native_source(right.column(c)))
@@ -256,7 +277,7 @@ fn build_side(right: &Table, rcols: &[usize]) -> (BuildMap, Vec<u32>) {
     let mut map = BuildMap::new(sources.len());
     let mut null_rows: Vec<u32> = Vec::new();
     let mut key = vec![0u64; sources.len()];
-    'rows: for r in 0..right.num_rows() {
+    'rows: for r in rows {
         for (pos, s) in sources.iter().enumerate() {
             if s.is_null(r) {
                 null_rows.push(r as u32);
@@ -265,6 +286,29 @@ fn build_side(right: &Table, rcols: &[usize]) -> (BuildMap, Vec<u32>) {
             key[pos] = s.word(r).expect("native words always resolve");
         }
         map.insert(&key, r as u32);
+    }
+    (map, null_rows)
+}
+
+/// Build the right-side map over `rcols` in the right table's native symbol
+/// space, partitioned across `exec`: each worker builds a local map over a
+/// contiguous (ascending) row range and the per-chunk maps are merged in
+/// chunk order, so every key's row list — and the NULL-row list — is
+/// bit-identical to the sequential build at any thread count. Returns the
+/// map plus the right rows with a NULL key (they never match; full-outer
+/// joins append them last, in row order).
+fn build_side_with(exec: &Executor, right: &Table, rcols: &[usize]) -> (BuildMap, Vec<u32>) {
+    let n = right.num_rows();
+    if exec.workers_for(n) <= 1 {
+        return build_side_range(right, rcols, 0..n);
+    }
+    let chunks: Vec<(BuildMap, Vec<u32>)> =
+        exec.par_ranges(n, |_, range| build_side_range(right, rcols, range));
+    let mut chunks = chunks.into_iter();
+    let (mut map, mut null_rows) = chunks.next().expect("at least one chunk");
+    for (m, nulls) in chunks {
+        map.merge(m);
+        null_rows.extend(nulls);
     }
     (map, null_rows)
 }
@@ -321,54 +365,97 @@ fn missing(on: &AttrSet, name: &str) -> RelationError {
 /// Hash equi-join of `left ⋈_on right` at the selection level: symbol-native
 /// build/probe, no value is boxed and no column gathered. Output row order is
 /// identical to [`crate::join::hash_join`] (which is this plus one
-/// [`materialize_join`]).
+/// [`materialize_join`]). Runs on the global executor — see
+/// [`join_sel_with`].
 pub fn join_sel(left: &Table, right: &Table, on: &AttrSet, kind: JoinKind) -> Result<JoinSel> {
-    let (lcols, rcols) = validate_on(left, right, on)?;
-    Ok(join_sel_cols(left, right, &lcols, &rcols, kind))
+    join_sel_with(&Executor::global(), left, right, on, kind)
 }
 
-/// [`join_sel`] over pre-validated column indices (what `hash_join` calls so
-/// validation runs once per join, not once per phase).
+/// [`join_sel`] on an explicit executor: the build side is partitioned into
+/// per-chunk maps merged in chunk order, and the probe is chunked over the
+/// left rows with chunk results concatenated in chunk order — output is
+/// bit-identical at every thread count (inputs below the grain run inline).
+pub fn join_sel_with(
+    exec: &Executor,
+    left: &Table,
+    right: &Table,
+    on: &AttrSet,
+    kind: JoinKind,
+) -> Result<JoinSel> {
+    let (lcols, rcols) = validate_on(left, right, on)?;
+    Ok(join_sel_cols(exec, left, right, &lcols, &rcols, kind))
+}
+
+/// [`join_sel_with`] over pre-validated column indices (what `hash_join`
+/// calls so validation runs once per join, not once per phase).
 pub(crate) fn join_sel_cols(
+    exec: &Executor,
     left: &Table,
     right: &Table,
     lcols: &[usize],
     rcols: &[usize],
     kind: JoinKind,
 ) -> JoinSel {
-    let (map, right_null_rows) = build_side(right, rcols);
+    let (map, right_null_rows) = build_side_with(exec, right, rcols);
     let sources: Vec<KeySource<'_>> = lcols
         .iter()
         .zip(rcols)
         .map(|(&lc, &rc)| probe_source(left.column(lc), right.column(rc)))
         .collect();
 
+    // Chunked probe: each chunk emits its matches (and, for full-outer, the
+    // right rows it matched) for an ascending row range; concatenating in
+    // chunk order reproduces the sequential probe exactly.
+    let chunks: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> =
+        exec.par_ranges(left.num_rows(), |_, range| {
+            let mut li: Vec<u32> = Vec::new();
+            let mut ri: Vec<u32> = Vec::new();
+            let mut matched: Vec<u32> = Vec::new();
+            let mut key = vec![0u64; sources.len()];
+            for l in range {
+                let resolved = sources.iter().enumerate().try_for_each(|(pos, s)| {
+                    if s.is_null(l) {
+                        return Err(());
+                    }
+                    key[pos] = s.word(l).ok_or(())?;
+                    Ok(())
+                });
+                match resolved.ok().and_then(|()| map.get(&key)) {
+                    Some(matches) => {
+                        for &r in matches {
+                            li.push(l as u32);
+                            ri.push(r);
+                            if kind == JoinKind::FullOuter {
+                                matched.push(r);
+                            }
+                        }
+                    }
+                    None => {
+                        if kind == JoinKind::FullOuter {
+                            li.push(l as u32);
+                            ri.push(NO_ROW);
+                        }
+                    }
+                }
+            }
+            (li, ri, matched)
+        });
+
     let mut li: Vec<u32> = Vec::new();
     let mut ri: Vec<u32> = Vec::new();
-    let mut right_matched = vec![false; right.num_rows()];
-    let mut key = vec![0u64; sources.len()];
-    for l in 0..left.num_rows() {
-        let resolved = sources.iter().enumerate().try_for_each(|(pos, s)| {
-            if s.is_null(l) {
-                return Err(());
-            }
-            key[pos] = s.word(l).ok_or(())?;
-            Ok(())
-        });
-        match resolved.ok().and_then(|()| map.get(&key)) {
-            Some(matches) => {
-                for &r in matches {
-                    li.push(l as u32);
-                    ri.push(r);
-                    right_matched[r as usize] = true;
-                }
-            }
-            None => {
-                if kind == JoinKind::FullOuter {
-                    li.push(l as u32);
-                    ri.push(NO_ROW);
-                }
-            }
+    let mut right_matched = vec![
+        false;
+        if kind == JoinKind::FullOuter {
+            right.num_rows()
+        } else {
+            0
+        }
+    ];
+    for (lc, rc, m) in chunks {
+        li.extend(lc);
+        ri.extend(rc);
+        for r in m {
+            right_matched[r as usize] = true;
         }
     }
     if kind == JoinKind::FullOuter {
@@ -392,6 +479,78 @@ pub(crate) fn join_sel_cols(
         left_rows: li,
         right_rows: ri,
     }
+}
+
+/// Per-left-row match lists of the **inner** pair join `left ⋈_on right`, in
+/// CSR form over *all* rows of both base tables: [`PairSel::matches_of`]`(l)`
+/// is the ascending list of right rows matching left row `l` (empty for NULL
+/// or untranslatable keys).
+///
+/// This is [`join_sel`] reshaped so a tree driver can re-probe any *subset*
+/// of left rows — in any order, any number of times — without touching a
+/// build map again: exactly the unit the MCMC search caches per
+/// `(instance pair, join attribute set)` and re-composes on every proposal
+/// ([`TreeJoin::advance_with_pair`]).
+#[derive(Debug, Clone)]
+pub struct PairSel {
+    /// CSR offsets into `matches`; length = left rows + 1.
+    starts: Vec<u32>,
+    /// Concatenated match lists, grouped by left row, ascending within each.
+    matches: Vec<u32>,
+}
+
+impl PairSel {
+    /// Number of left-side base rows this selection was built over.
+    pub fn num_left(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of matching row pairs.
+    pub fn num_matches(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// Right rows matching left row `l`, ascending.
+    #[inline]
+    pub fn matches_of(&self, l: u32) -> &[u32] {
+        &self.matches[self.starts[l as usize] as usize..self.starts[l as usize + 1] as usize]
+    }
+}
+
+/// Build a [`PairSel`] on the global executor.
+pub fn pair_sel(left: &Table, right: &Table, on: &AttrSet) -> Result<PairSel> {
+    pair_sel_with(&Executor::global(), left, right, on)
+}
+
+/// Build a [`PairSel`] on an explicit executor (parallel partitioned build +
+/// chunked probe via [`join_sel_with`]; bit-identical at every thread count).
+pub fn pair_sel_with(
+    exec: &Executor,
+    left: &Table,
+    right: &Table,
+    on: &AttrSet,
+) -> Result<PairSel> {
+    let (lcols, rcols) = validate_on(left, right, on)?;
+    let sel = join_sel_cols(exec, left, right, &lcols, &rcols, JoinKind::Inner);
+    if sel.right_rows.len() >= NO_ROW as usize {
+        return Err(RelationError::Shape(format!(
+            "pair join produced {} matches; selection row ids are u32",
+            sel.right_rows.len()
+        )));
+    }
+    // Inner-join output is grouped by ascending left row, so the right rows
+    // are already in CSR order; only the offsets need counting.
+    let mut starts = vec![0u32; left.num_rows() + 1];
+    for &l in &sel.left_rows {
+        starts[l as usize + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    Ok(PairSel {
+        starts,
+        matches: sel.right_rows,
+    })
 }
 
 /// Coalesced join-key column: the left value where the left side is present,
@@ -627,7 +786,8 @@ pub fn join_tree_late(
 /// [`join_tree_late`] on an explicit executor: the probe, the selection
 /// composition and the final per-column gathers are chunked/fanned out across
 /// its workers (chunk results in chunk order — bit-identical at every thread
-/// count); inputs below the grain run inline.
+/// count); inputs below the grain run inline. Implemented as the
+/// all-direct-hops drive of [`TreeJoin`].
 pub fn join_tree_late_with(
     exec: &Executor,
     tables: &[&Table],
@@ -640,31 +800,112 @@ pub fn join_tree_late_with(
     if tables.len() == 1 {
         return Ok((*tables[0]).clone());
     }
-    // One edge-consumption plan shared with `join_tree`: both pipelines join
-    // tables in lock-step by construction (the pinning contract).
-    let (start, plan) = crate::join::tree_join_plan(tables.len(), edges)?;
+    let mut tj = TreeJoin::new(tables, edges)?;
+    while let Some(hop) = tj.next_hop()? {
+        tj.advance(exec, &hop)?;
+        tj.map_sel(&mut intermediate);
+    }
+    tj.materialize(exec)
+}
 
-    let mut sel = TreeSel {
-        tabs: vec![start],
-        rows: vec![(0..tables[start].num_rows() as u32).collect()],
-        len: tables[start].num_rows(),
-    };
-    let mut cols: Vec<OutCol> = tables[start]
-        .schema()
-        .attributes()
-        .iter()
-        .enumerate()
-        .map(|(c, a)| OutCol {
-            attr: *a,
-            slot: 0,
-            col: c,
+/// Resolved description of one tree-join hop, produced by
+/// [`TreeJoin::next_hop`] and consumed by exactly one `advance*` call.
+pub struct HopPlan<'a> {
+    /// Index (into the driver's `edges`) of the edge this hop consumes —
+    /// stable across drives of the same tree, so callers can key per-hop
+    /// caches on it.
+    pub edge: usize,
+    /// Index (into the driver's `tables`) of the base table this hop joins.
+    pub right: usize,
+    /// When every probe-side key column resolves to a single base table, its
+    /// index into the driver's `tables` — the precondition for sourcing the
+    /// hop from a cached [`PairSel`] over that table. `None` when the key
+    /// spans base tables (only a direct probe is correct then).
+    pub key_base: Option<usize>,
+    /// The hop's join attribute set.
+    pub on: &'a AttrSet,
+    /// Which hop this plan was made for (guards against stale reuse).
+    step: usize,
+    /// Right-side key column indices.
+    rcols: Vec<usize>,
+    /// Probe-side key positions into the accumulated output columns.
+    lpos: Vec<usize>,
+}
+
+/// Incremental driver of the late-materialization tree join: one hop at a
+/// time, with the per-hop matches sourced either from a direct symbol-native
+/// build + probe ([`TreeJoin::advance`]) or from a pre-built [`PairSel`] over
+/// the probe-side base table ([`TreeJoin::advance_with_pair`]) — the two
+/// produce bit-identical compositions, which is what lets the MCMC search
+/// cache pair selections across proposals. [`join_tree_late_with`] is the
+/// all-direct drive of this type; after each hop the caller may filter the
+/// composed selection ([`TreeJoin::map_sel`] — §3.2 re-sampling), and
+/// [`TreeJoin::materialize`] gathers the final table.
+pub struct TreeJoin<'a> {
+    tables: &'a [&'a Table],
+    edges: &'a [JoinEdge],
+    /// `(edge index, newly joined table)` consumption order, from
+    /// [`crate::join::tree_join_plan`] — the lock-step contract with
+    /// [`crate::join::join_tree`].
+    plan: Vec<(usize, usize)>,
+    /// Next plan entry to consume.
+    step: usize,
+    sel: TreeSel,
+    cols: Vec<OutCol>,
+    name: String,
+}
+
+impl<'a> TreeJoin<'a> {
+    /// Start a tree join over at least two tables (single-table "joins" are
+    /// the caller's early return — there is no hop to drive).
+    pub fn new(tables: &'a [&'a Table], edges: &'a [JoinEdge]) -> Result<TreeJoin<'a>> {
+        if tables.len() < 2 {
+            return Err(RelationError::InvalidJoin(
+                "tree join driver needs at least two tables".into(),
+            ));
+        }
+        let (start, plan) = crate::join::tree_join_plan(tables.len(), edges)?;
+        let sel = TreeSel {
+            tabs: vec![start],
+            rows: vec![(0..tables[start].num_rows() as u32).collect()],
+            len: tables[start].num_rows(),
+        };
+        let cols: Vec<OutCol> = tables[start]
+            .schema()
+            .attributes()
+            .iter()
+            .enumerate()
+            .map(|(c, a)| OutCol {
+                attr: *a,
+                slot: 0,
+                col: c,
+            })
+            .collect();
+        Ok(TreeJoin {
+            tables,
+            edges,
+            plan,
+            step: 0,
+            sel,
+            cols,
+            name: tables[start].name().to_string(),
         })
-        .collect();
-    let mut name = tables[start].name().to_string();
+    }
 
-    for (i, new_side) in plan {
-        let edge = &edges[i];
-        let right = tables[new_side];
+    /// Rows of the composed selection so far.
+    pub fn num_rows(&self) -> usize {
+        self.sel.num_rows()
+    }
+
+    /// Validate and resolve the next hop, or `None` when every edge has been
+    /// consumed. The returned plan must be passed to the very next
+    /// `advance`/`advance_with_pair` call.
+    pub fn next_hop(&self) -> Result<Option<HopPlan<'a>>> {
+        let Some(&(i, new_side)) = self.plan.get(self.step) else {
+            return Ok(None);
+        };
+        let edge = &self.edges[i];
+        let right = self.tables[new_side];
 
         // Resolve the join attributes on both sides (left = the accumulated
         // selection's output columns, right = the new base table), through
@@ -677,29 +918,51 @@ pub fn join_tree_late_with(
             .on
             .iter()
             .map(|id| {
-                cols.iter()
+                self.cols
+                    .iter()
                     .position(|oc| oc.attr.id == id)
-                    .ok_or_else(|| missing(&edge.on, &name))
+                    .ok_or_else(|| missing(&edge.on, &self.name))
             })
             .collect::<Result<_>>()?;
         for (pos, &rc) in lpos.iter().zip(&rcols) {
-            check_join_types(cols[*pos].attr.ty, right.schema().attributes()[rc].ty)?;
+            check_join_types(self.cols[*pos].attr.ty, right.schema().attributes()[rc].ty)?;
         }
-
-        // Build on the new table, probe the accumulated selection.
-        let (map, _) = build_side(right, &rcols);
-        let key_slots: Vec<usize> = lpos.iter().map(|&p| cols[p].slot).collect();
-        let sources: Vec<KeySource<'_>> = lpos
+        let slot = self.cols[lpos[0]].slot;
+        let key_base = lpos
             .iter()
-            .zip(&rcols)
+            .all(|&p| self.cols[p].slot == slot)
+            .then(|| self.sel.tabs[slot]);
+        Ok(Some(HopPlan {
+            edge: i,
+            right: new_side,
+            key_base,
+            on: &edge.on,
+            step: self.step,
+            rcols,
+            lpos,
+        }))
+    }
+
+    /// Consume `hop` with a direct build + probe: build the symbol map on the
+    /// new base table, probe the accumulated selection (chunked over `exec`).
+    pub fn advance(&mut self, exec: &Executor, hop: &HopPlan<'a>) -> Result<()> {
+        self.check_step(hop)?;
+        let right = self.tables[hop.right];
+        let (map, _) = build_side_with(exec, right, &hop.rcols);
+        let key_slots: Vec<usize> = hop.lpos.iter().map(|&p| self.cols[p].slot).collect();
+        let sources: Vec<KeySource<'_>> = hop
+            .lpos
+            .iter()
+            .zip(&hop.rcols)
             .map(|(&p, &rc)| {
                 probe_source_rows(
-                    tables[sel.tabs[cols[p].slot]].column(cols[p].col),
+                    self.tables[self.sel.tabs[self.cols[p].slot]].column(self.cols[p].col),
                     right.column(rc),
-                    Some(&sel.rows[cols[p].slot]),
+                    Some(&self.sel.rows[self.cols[p].slot]),
                 )
             })
             .collect();
+        let sel = &self.sel;
         let chunks: Vec<(Vec<u32>, Vec<u32>)> = exec.par_ranges(sel.len, |_, range| {
             let mut li = Vec::new();
             let mut ri = Vec::new();
@@ -724,6 +987,85 @@ pub fn join_tree_late_with(
             }
             (li, ri)
         });
+        self.compose(exec, hop, chunks)
+    }
+
+    /// Consume `hop` by re-probing a pre-built [`PairSel`] between the
+    /// probe-side base table (`hop.key_base`, which must be `Some`) and the
+    /// new base table on `hop.on`: per accumulated row, the cached match
+    /// list replaces the hash-map probe. Produces the identical composition
+    /// to [`TreeJoin::advance`] — the cached lists are exactly what the
+    /// direct probe would find per base row.
+    pub fn advance_with_pair(
+        &mut self,
+        exec: &Executor,
+        hop: &HopPlan<'a>,
+        pair: &PairSel,
+    ) -> Result<()> {
+        self.check_step(hop)?;
+        let Some(key_base) = hop.key_base else {
+            return Err(RelationError::InvalidJoin(
+                "hop key spans base tables; only a direct probe is correct".into(),
+            ));
+        };
+        if pair.num_left() != self.tables[key_base].num_rows() {
+            return Err(RelationError::Shape(format!(
+                "pair selection covers {} base rows, probe table has {}",
+                pair.num_left(),
+                self.tables[key_base].num_rows()
+            )));
+        }
+        let slot = self.cols[hop.lpos[0]].slot;
+        let sel = &self.sel;
+        let rows = &sel.rows[slot];
+        let chunks: Vec<(Vec<u32>, Vec<u32>)> = exec.par_ranges(sel.len, |_, range| {
+            let mut li = Vec::new();
+            let mut ri = Vec::new();
+            for out in range {
+                for &r in pair.matches_of(rows[out]) {
+                    li.push(out as u32);
+                    ri.push(r);
+                }
+            }
+            (li, ri)
+        });
+        self.compose(exec, hop, chunks)
+    }
+
+    /// Filter/replace the composed selection (the §3.2 re-sampling hook
+    /// point; called between hops and after the last one).
+    pub fn map_sel(&mut self, f: impl FnOnce(TreeSel) -> TreeSel) {
+        let sel = std::mem::replace(
+            &mut self.sel,
+            TreeSel {
+                tabs: Vec::new(),
+                rows: Vec::new(),
+                len: 0,
+            },
+        );
+        self.sel = f(sel);
+    }
+
+    fn check_step(&self, hop: &HopPlan<'a>) -> Result<()> {
+        if hop.step != self.step {
+            return Err(RelationError::Shape(format!(
+                "stale hop plan: made for hop {}, driver is at hop {}",
+                hop.step, self.step
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fold this hop's `(out, right-row)` match chunks into the accumulated
+    /// selection and advance the output schema — shared by both match
+    /// sources, so the composition is bit-identical regardless of origin.
+    fn compose(
+        &mut self,
+        exec: &Executor,
+        hop: &HopPlan<'a>,
+        chunks: Vec<(Vec<u32>, Vec<u32>)>,
+    ) -> Result<()> {
+        let right = self.tables[hop.right];
         let mut li: Vec<u32> = Vec::new();
         let mut ri: Vec<u32> = Vec::new();
         for (lc, rc) in chunks {
@@ -745,6 +1087,7 @@ pub fn join_tree_late_with(
 
         // Compose: route every existing selection column through `li`, then
         // adopt the new table's matches as a fresh column.
+        let sel = &mut self.sel;
         let gathered: Vec<Vec<u32>> = if li.len() >= exec.grain() && exec.threads() > 1 {
             exec.par_map(&sel.rows, |_, col| {
                 li.iter().map(|&o| col[o as usize]).collect()
@@ -757,13 +1100,15 @@ pub fn join_tree_late_with(
         };
         sel.rows = gathered;
         sel.rows.push(ri);
-        sel.tabs.push(new_side);
+        sel.tabs.push(hop.right);
         sel.len = li.len();
 
         // Output schema of this hop: the join attributes first (left copy),
         // then the previous columns, then the new table's remainder — the
         // `hash_join` convention, so the chained schema is reproduced exactly.
-        let mut next_cols: Vec<OutCol> = lpos
+        let cols = &self.cols;
+        let mut next_cols: Vec<OutCol> = hop
+            .lpos
             .iter()
             .map(|&p| OutCol {
                 attr: cols[p].attr,
@@ -772,7 +1117,7 @@ pub fn join_tree_late_with(
             })
             .collect();
         for (k, oc) in cols.iter().enumerate() {
-            if lpos.contains(&k) {
+            if hop.lpos.contains(&k) {
                 continue;
             }
             next_cols.push(OutCol {
@@ -792,26 +1137,29 @@ pub fn join_tree_late_with(
                 col: c,
             });
         }
-        cols = next_cols;
-        name = format!("{name}⋈{}", right.name());
-
-        sel = intermediate(sel);
+        self.cols = next_cols;
+        self.name = format!("{}⋈{}", self.name, right.name());
+        self.step += 1;
+        Ok(())
     }
 
-    // Materialize once: one gather per output column, straight off the base
-    // tables (fanned out per column when the row count warrants it).
-    let gather_col = |oc: &OutCol| -> Column {
-        tables[sel.tabs[oc.slot]]
-            .column(oc.col)
-            .gather(&sel.rows[oc.slot])
-    };
-    let columns: Vec<Column> = if sel.len * cols.len() >= exec.grain() && exec.threads() > 1 {
-        exec.par_map(&cols, |_, oc| gather_col(oc))
-    } else {
-        cols.iter().map(gather_col).collect()
-    };
-    let attrs: Vec<Attribute> = cols.iter().map(|oc| oc.attr).collect();
-    Table::new(name, Schema::new(attrs)?, columns)
+    /// Materialize once: one gather per output column, straight off the base
+    /// tables (fanned out per column when the row count warrants it).
+    pub fn materialize(self, exec: &Executor) -> Result<Table> {
+        let (sel, cols) = (&self.sel, &self.cols);
+        let gather_col = |oc: &OutCol| -> Column {
+            self.tables[sel.tabs[oc.slot]]
+                .column(oc.col)
+                .gather(&sel.rows[oc.slot])
+        };
+        let columns: Vec<Column> = if sel.len * cols.len() >= exec.grain() && exec.threads() > 1 {
+            exec.par_map(cols, |_, oc| gather_col(oc))
+        } else {
+            cols.iter().map(gather_col).collect()
+        };
+        let attrs: Vec<Attribute> = cols.iter().map(|oc| oc.attr).collect();
+        Table::new(self.name, Schema::new(attrs)?, columns)
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 
 use dance_relation::hash::{stable_hash64, unit_interval};
 use dance_relation::join::{join_tree, JoinEdge};
-use dance_relation::sel::join_tree_late_with;
+use dance_relation::sel::{join_tree_late_with, TreeSel};
 use dance_relation::{Executor, Result, Table};
 
 /// Configuration of §3.2 re-sampling.
@@ -55,6 +55,64 @@ pub struct ResampleStats {
     pub cumulative_rate: f64,
 }
 
+/// The §3.2 re-sampling hook at the selection level, factored out of
+/// [`join_tree_bounded_with`] so that incremental tree drivers — the MCMC
+/// search's cached evaluation engine drives
+/// [`dance_relation::sel::TreeJoin`] hop by hop — apply re-sampling with the
+/// *same* step numbering and seed derivation as the batch pipeline. Composed
+/// selections, stats, and every downstream estimator draw stay byte-identical
+/// between the two drivers.
+#[derive(Debug)]
+pub struct BoundedHook<'a> {
+    cfg: Option<&'a ResampleConfig>,
+    stats: ResampleStats,
+    step: u64,
+}
+
+impl<'a> BoundedHook<'a> {
+    /// Fresh hook state (step 0, empty stats, cumulative rate 1).
+    pub fn new(cfg: Option<&'a ResampleConfig>) -> BoundedHook<'a> {
+        BoundedHook {
+            cfg,
+            stats: ResampleStats {
+                cumulative_rate: 1.0,
+                ..ResampleStats::default()
+            },
+            step: 0,
+        }
+    }
+
+    /// Process one intermediate selection: bump the step counter, record
+    /// stats, and re-sample via [`TreeSel::retain`] when the size threshold
+    /// trips (seed `cfg.seed ^ step`, exactly as the batch pipeline).
+    pub fn apply(&mut self, mut sel: TreeSel) -> TreeSel {
+        self.step += 1;
+        self.stats.max_intermediate = self.stats.max_intermediate.max(sel.num_rows());
+        if let Some(c) = self.cfg {
+            if sel.num_rows() > c.eta {
+                self.stats.resampled_steps += 1;
+                self.stats.cumulative_rate *= c.rate;
+                let seed = c.seed ^ self.step;
+                let keep: Vec<u32> = (0..sel.num_rows() as u32)
+                    .filter(|&r| unit_interval(stable_hash64(seed, &(r as u64))) < c.rate)
+                    .collect();
+                sel.retain(&keep);
+            }
+        }
+        sel
+    }
+
+    /// Stats accumulated so far.
+    pub fn stats(&self) -> &ResampleStats {
+        &self.stats
+    }
+
+    /// Consume the hook, yielding its stats.
+    pub fn into_stats(self) -> ResampleStats {
+        self.stats
+    }
+}
+
 /// Join `tables` along `edges` with §3.2 intermediate re-sampling, on the
 /// global executor.
 ///
@@ -78,28 +136,9 @@ pub fn join_tree_bounded_with(
     edges: &[JoinEdge],
     cfg: Option<&ResampleConfig>,
 ) -> Result<(Table, ResampleStats)> {
-    let mut stats = ResampleStats {
-        cumulative_rate: 1.0,
-        ..ResampleStats::default()
-    };
-    let mut step: u64 = 0;
-    let joined = join_tree_late_with(exec, tables, edges, |mut sel| {
-        step += 1;
-        stats.max_intermediate = stats.max_intermediate.max(sel.num_rows());
-        if let Some(c) = cfg {
-            if sel.num_rows() > c.eta {
-                stats.resampled_steps += 1;
-                stats.cumulative_rate *= c.rate;
-                let seed = c.seed ^ step;
-                let keep: Vec<u32> = (0..sel.num_rows() as u32)
-                    .filter(|&r| unit_interval(stable_hash64(seed, &(r as u64))) < c.rate)
-                    .collect();
-                sel.retain(&keep);
-            }
-        }
-        sel
-    })?;
-    Ok((joined, stats))
+    let mut hook = BoundedHook::new(cfg);
+    let joined = join_tree_late_with(exec, tables, edges, |sel| hook.apply(sel))?;
+    Ok((joined, hook.into_stats()))
 }
 
 /// The per-hop materializing reference: identical output and stats, one full
