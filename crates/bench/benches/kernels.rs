@@ -7,8 +7,10 @@
 //! (`dance_relation::histogram::legacy`) on the seed TPC-H workloads, and the
 //! `seq_vs_par` group measures the scoped-thread executor at 1/2/4/8 workers
 //! on a larger TPC-H instance (group-id encoding, entropy, JI and the full
-//! `JoinGraph::build`), so the speedups of both layers are measured, not
-//! assumed:
+//! `JoinGraph::build`), and the `catalog_update` group pins delta-based
+//! catalog maintenance (`JoinGraph::apply_delta`) against the full
+//! `refresh_sample` rebuild it replaces, so the speedups of every layer are
+//! measured, not assumed:
 //!
 //! ```sh
 //! cargo bench -p dance-bench --bench kernels
@@ -67,6 +69,7 @@ fn metas_of(ts: &[Table]) -> Vec<DatasetMeta> {
             schema: t.schema().clone(),
             num_rows: t.num_rows(),
             default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+            version: 0,
         })
         .collect()
 }
@@ -657,6 +660,70 @@ fn bench_mcmc_search(c: &mut Criterion) {
     g.finish();
 }
 
+/// Catalog maintenance under a seller update: the evict-everything
+/// `refresh_sample` rebuild vs `JoinGraph::apply_delta`, at delta sizes
+/// 0.1% / 1% / 10% of the scale-100 `lineitem` sample (joined to `partsupp`
+/// over 3 candidate join sets). Both arms produce bit-identical graphs
+/// (pinned by `tests/delta_props.rs`); each iteration applies a churn delta
+/// and then its inverse, so every iteration starts from the same base state.
+/// The `pair_sel` call after each step charges the rebuild arm for
+/// reconstructing the cached selection the delta arm patches in place.
+/// Single worker throughout — the speedup claimed is algorithmic, not
+/// parallel.
+fn bench_catalog_update(c: &mut Criterion) {
+    use dance_datagen::churn::churn_delta;
+
+    let ts = par_tables();
+    let tables = vec![
+        by_name(&ts, "lineitem").clone(),
+        by_name(&ts, "partsupp").clone(),
+    ];
+    let metas = metas_of(&tables);
+    let cfg = JoinGraphConfig {
+        executor: Executor::new(1),
+        ..JoinGraphConfig::default()
+    };
+    let build = |tables: &[Table]| {
+        JoinGraph::build(
+            metas.clone(),
+            tables.to_vec(),
+            EntropyPricing::default(),
+            &cfg,
+        )
+        .unwrap()
+    };
+
+    let mut g = c.benchmark_group("catalog_update");
+    for (label, frac) in [("0.1pct", 0.001), ("1pct", 0.01), ("10pct", 0.1)] {
+        let mut rebuild = build(&tables);
+        let mut delta_g = build(&tables);
+        let on = rebuild.candidate_join_sets(0, 1)[0].clone();
+        rebuild.pair_sel(0, 1, &on).unwrap();
+        delta_g.pair_sel(0, 1, &on).unwrap();
+        let fwd = churn_delta(rebuild.sample(0), frac, frac, 42);
+        let bwd = fwd.inverse(rebuild.sample(0)).unwrap();
+
+        g.bench_with_input(BenchmarkId::new("full_rebuild", label), &(), |b, _| {
+            b.iter(|| {
+                for d in [&fwd, &bwd] {
+                    let after = rebuild.sample(0).apply_delta(d).unwrap();
+                    rebuild.refresh_sample(0, after).unwrap();
+                    black_box(rebuild.pair_sel(0, 1, &on).unwrap());
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("apply_delta", label), &(), |b, _| {
+            b.iter(|| {
+                for d in [&fwd, &bwd] {
+                    delta_g.apply_delta(0, d).unwrap();
+                    black_box(delta_g.pair_sel(0, 1, &on).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let ts = tables();
     let orders = by_name(&ts, "orders");
@@ -715,6 +782,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_join_pipeline, bench_seq_vs_par, bench_mcmc_search, bench_kernels
+    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_join_pipeline, bench_seq_vs_par, bench_mcmc_search, bench_catalog_update, bench_kernels
 }
 criterion_main!(kernels);

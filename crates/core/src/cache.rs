@@ -88,6 +88,27 @@ impl<K: Eq + Hash + Clone, V> StampedLru<K, V> {
     pub fn retain(&mut self, mut f: impl FnMut(&K) -> bool) {
         self.map.retain(|k, _| f(k));
     }
+
+    /// Remove and return every entry whose key satisfies `f`, ordered by
+    /// use-stamp ascending (oldest first). Delta maintenance drains the
+    /// entries touching a patched instance with this, patches them, and
+    /// re-`insert`s them under their new generation key — the ascending
+    /// order preserves their relative LRU age across the round trip.
+    pub fn take_matching(&mut self, mut f: impl FnMut(&K) -> bool) -> Vec<(K, V)> {
+        let mut keys: Vec<(u64, K)> = self
+            .map
+            .iter()
+            .filter(|(k, _)| f(k))
+            .map(|(k, (_, stamp))| (*stamp, k.clone()))
+            .collect();
+        keys.sort_unstable_by_key(|e| e.0);
+        keys.into_iter()
+            .map(|(_, k)| {
+                let (v, _) = self.map.remove(&k).expect("key was just enumerated");
+                (k, v)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +154,20 @@ mod tests {
         c.insert(1, 11);
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn take_matching_drains_oldest_first() {
+        let mut c: StampedLru<(u32, u32), u32> = StampedLru::new(8);
+        c.insert((0, 1), 1);
+        c.insert((1, 2), 2);
+        c.insert((0, 3), 3);
+        c.get(&(0, 1)); // (0, 1) is now the freshest 0-entry
+        let taken = c.take_matching(|&(a, _)| a == 0);
+        assert_eq!(taken, vec![((0, 3), 3), ((0, 1), 1)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&(1, 2)), Some(&2));
+        assert!(c.take_matching(|_| false).is_empty());
     }
 
     #[test]

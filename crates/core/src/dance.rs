@@ -35,7 +35,7 @@ use crate::plan::AcquisitionPlan;
 use crate::request::AcquisitionRequest;
 use crate::target::{enumerate_covers, Cover};
 use dance_market::{Budget, DatasetId, DatasetMeta, Marketplace};
-use dance_relation::{AttrSet, FxHashSet, RelationError, Result, Table};
+use dance_relation::{AttrSet, FxHashSet, RelationError, Result, Table, TableDelta};
 
 /// Configuration of the middleware.
 #[derive(Debug, Clone)]
@@ -126,6 +126,7 @@ impl Dance {
                 schema: s.schema().clone(),
                 num_rows: s.num_rows(),
                 default_key: AttrSet::singleton(s.schema().attributes()[0].id),
+                version: 0,
             });
             samples.push(s.clone());
         }
@@ -283,6 +284,17 @@ impl Dance {
             }
         }
         best
+    }
+
+    /// Fold a seller-side update of vertex `v`'s sample into the join graph
+    /// incrementally (`JoinGraph::apply_delta` — O(delta) catalog
+    /// maintenance, bit-identical to a full refresh with the patched table).
+    /// The delta describes row changes *to the sample*; when the seller
+    /// publishes a full-dataset delta via `Marketplace::apply_update`, the
+    /// shopper derives the sample-level delta from the rows its sample
+    /// holds.
+    pub fn apply_sample_delta(&mut self, v: u32, delta: &TableDelta) -> Result<()> {
+        self.graph.apply_delta(v, delta)
     }
 
     /// Buy fresh samples at a higher rate and refresh the graph (§2.1's

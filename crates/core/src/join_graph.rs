@@ -41,7 +41,7 @@
 //! `build`/`refresh_sample`.
 
 use crate::cache::StampedLru;
-use dance_info::ji::ji_from_sym_counts;
+use dance_info::ji::{ji_from_sym_counts, PairPartials};
 use dance_market::{DatasetMeta, EntropyPricing, PricingModel};
 use dance_relation::sel::pair_sel_with;
 use dance_relation::{
@@ -52,14 +52,14 @@ use std::sync::{Arc, Mutex};
 
 /// One cached histogram plus its last-use stamp (for LRU trimming).
 #[derive(Debug)]
-struct CacheEntry {
-    hist: SymCounts,
-    stamp: u64,
+pub(crate) struct CacheEntry {
+    pub(crate) hist: SymCounts,
+    pub(crate) stamp: u64,
 }
 
 /// Per-instance cache of symbol histograms, keyed by candidate join
 /// attribute set.
-type HistCache = FxHashMap<AttrSet, CacheEntry>;
+pub(crate) type HistCache = FxHashMap<AttrSet, CacheEntry>;
 
 /// Default total-entry bound of the persistent histogram cache.
 pub const DEFAULT_HIST_CACHE_CAP: usize = 1024;
@@ -141,7 +141,7 @@ fn inner_workers(threads: usize, items: usize, rows: usize, total_rows: usize) -
 /// parallel over `exec`, and insert the results (stamped off `clock` in item
 /// order). Each item's counting kernel runs on a nested executor sized by
 /// [`inner_workers`].
-fn fill_hist_cache(
+pub(crate) fn fill_hist_cache(
     exec: &Executor,
     hists: &mut [HistCache],
     samples: &[Table],
@@ -184,7 +184,7 @@ fn fill_hist_cache(
 
 /// Bump the stamps of every already-cached entry this round reads, in the
 /// (deterministic) enumeration order of `used`.
-fn touch_hist_cache(hists: &mut [HistCache], used: &[(u32, AttrSet)], clock: &mut u64) {
+pub(crate) fn touch_hist_cache(hists: &mut [HistCache], used: &[(u32, AttrSet)], clock: &mut u64) {
     for (side, cand) in used {
         if let Some(e) = hists[*side as usize].get_mut(cand) {
             *clock += 1;
@@ -196,7 +196,7 @@ fn touch_hist_cache(hists: &mut [HistCache], used: &[(u32, AttrSet)], clock: &mu
 /// Trim the cache to `cap` total entries, evicting the globally
 /// least-recently-stamped first. Stamps are unique, so eviction order is
 /// deterministic.
-fn trim_hist_cache(hists: &mut [HistCache], cap: usize) {
+pub(crate) fn trim_hist_cache(hists: &mut [HistCache], cap: usize) {
     let total: usize = hists.iter().map(FxHashMap::len).sum();
     if total <= cap {
         return;
@@ -232,44 +232,64 @@ pub struct IEdge {
 /// The two-layer join graph built from samples.
 #[derive(Debug)]
 pub struct JoinGraph {
-    metas: Vec<DatasetMeta>,
-    samples: Vec<Table>,
-    i_edges: Vec<IEdge>,
+    pub(crate) metas: Vec<DatasetMeta>,
+    pub(crate) samples: Vec<Table>,
+    pub(crate) i_edges: Vec<IEdge>,
     /// Adjacency: vertex → indices into `i_edges`.
-    adj: Vec<Vec<u32>>,
+    pub(crate) adj: Vec<Vec<u32>>,
     /// Property 4.1 weight table: (min(i,j), max(i,j), J) → estimated JI.
-    weights: FxHashMap<(u32, u32, AttrSet), f64>,
+    pub(crate) weights: FxHashMap<(u32, u32, AttrSet), f64>,
     /// Candidate join attribute sets per edge (aligned with `i_edges`).
-    candidates: Vec<Vec<AttrSet>>,
+    pub(crate) candidates: Vec<Vec<AttrSet>>,
     pricing: EntropyPricing,
     /// Executor the build ran on; refresh fan-outs reuse it.
-    exec: Executor,
+    pub(crate) exec: Executor,
     /// Per-instance histogram cache (one entry per candidate join set
     /// recently probed against that instance's sample). Shared read-only
     /// across workers during build/refresh. Evicted on staleness (an
-    /// instance's entries drop when its sample is refreshed) and trimmed to
-    /// `cache_cap` total entries LRU-first after every build/refresh.
-    hists: Vec<HistCache>,
+    /// instance's entries drop when its sample is refreshed — delta updates
+    /// instead *patch* them in place, see `JoinGraph::apply_delta`) and
+    /// trimmed to `cache_cap` total entries LRU-first after every
+    /// build/refresh/delta round.
+    pub(crate) hists: Vec<HistCache>,
     /// Monotone use-stamp source for LRU trimming.
-    clock: u64,
+    pub(crate) clock: u64,
     /// Total-entry bound on `hists` (from [`JoinGraphConfig`]).
-    cache_cap: usize,
-    /// Per-hop selection cache: `(probe instance, build instance, join
-    /// attrs) → PairSel` over the two samples. Filled through `&self` during
-    /// the MCMC search (hence the mutex), stamped-LRU bounded, and evicted
-    /// for staleness the moment either side's sample refreshes — the key's
-    /// implicit "sample generation".
-    sel_cache: Mutex<StampedLru<(u32, u32, AttrSet), Arc<PairSel>>>,
-    /// Projection/price cache per `(instance, attribute set)`: the projected
-    /// sample table and its entropy-price estimate, each filled lazily by
-    /// whichever evaluation path first needs it. Same locking, bounding and
-    /// staleness rules as `sel_cache`.
-    proj_cache: Mutex<StampedLru<(u32, AttrSet), ProjEntry>>,
+    pub(crate) cache_cap: usize,
+    /// Per-instance sample **generation**: bumped every time instance `i`'s
+    /// sample changes ([`Self::refresh_sample`] and `apply_delta` alike).
+    /// Every evaluation-cache key embeds the generations of the instances it
+    /// reads, so an entry built against a replaced sample can never be
+    /// served again — staleness is structural, not swept.
+    pub(crate) gens: Vec<u64>,
+    /// Materialized per-pair-category partial sums for incident-edge JI
+    /// re-weighing: `(a, b, J) → PairPartials` (directly-comparable pairs
+    /// only). Filled lazily by `apply_delta`, patched from per-candidate
+    /// change lists on later deltas, and dropped whenever a full refresh
+    /// replaces either endpoint's sample.
+    pub(crate) partials: FxHashMap<(u32, u32, AttrSet), PairPartials>,
+    /// Per-hop selection cache: `(probe instance, probe generation, build
+    /// instance, build generation, join attrs) → PairSel` over the two
+    /// samples. Filled through `&self` during the MCMC search (hence the
+    /// mutex) and stamped-LRU bounded. The embedded generations make stale
+    /// entries unreachable the moment either side's sample changes;
+    /// [`Self::refresh_sample`] additionally sweeps them out eagerly, while
+    /// `apply_delta` *patches* them to the new generation instead.
+    pub(crate) sel_cache: Mutex<StampedLru<SelKey, Arc<PairSel>>>,
+    /// Projection/price cache per `(instance, generation, attribute set)`:
+    /// the projected sample table and its entropy-price estimate, each
+    /// filled lazily by whichever evaluation path first needs it. Same
+    /// locking, bounding and staleness rules as `sel_cache`.
+    pub(crate) proj_cache: Mutex<StampedLru<(u32, u64, AttrSet), ProjEntry>>,
 }
+
+/// Selection-cache key: `(probe instance, probe generation, build instance,
+/// build generation, join attrs)`.
+pub(crate) type SelKey = (u32, u64, u32, u64, AttrSet);
 
 /// One projection-cache entry; both fields fill in lazily.
 #[derive(Debug, Default)]
-struct ProjEntry {
+pub(crate) struct ProjEntry {
     table: Option<Arc<Table>>,
     price: Option<f64>,
 }
@@ -378,6 +398,7 @@ impl JoinGraph {
         }
         trim_hist_cache(&mut hists, cfg.hist_cache_cap);
         Ok(JoinGraph {
+            gens: vec![0; metas.len()],
             metas,
             samples,
             i_edges,
@@ -389,6 +410,7 @@ impl JoinGraph {
             hists,
             clock,
             cache_cap: cfg.hist_cache_cap,
+            partials: FxHashMap::default(),
             sel_cache: Mutex::new(StampedLru::new(cfg.sel_cache_cap)),
             proj_cache: Mutex::new(StampedLru::new(cfg.proj_cache_cap)),
         })
@@ -424,25 +446,32 @@ impl JoinGraph {
     /// re-estimate the weights of its incident edges, fanning the partner
     /// work items out over the graph's executor.
     ///
-    /// Only the refreshed instance's cache entries are evicted for staleness;
-    /// partner-side histograms come straight from the persistent cache (they
-    /// were built against samples that have not changed), so a refresh
-    /// re-counts the refreshed instance plus whatever the LRU bound evicted
-    /// since the partner was last probed.
+    /// Staleness follows the **generation-stamp model**: the replacement
+    /// bumps `i`'s sample generation, and since every evaluation-cache key
+    /// embeds the generations of the instances it reads, entries built
+    /// against the old sample can never be served again — correctness does
+    /// not depend on any sweep. The `retain` passes below are purely a
+    /// memory courtesy (unreachable entries would otherwise sit in the
+    /// bounded caches until LRU pressure pushed them out). Partner-side
+    /// entries survive: their samples, and hence their generations, did not
+    /// change. The same holds for histograms — only the refreshed instance's
+    /// entries are dropped and recounted; partner-side histograms come
+    /// straight from the persistent cache. For an *incremental* change to a
+    /// sample, prefer [`Self::apply_delta`], which patches all of this state
+    /// in O(delta) instead of dropping and recounting it.
     pub fn refresh_sample(&mut self, i: u32, sample: Table) -> Result<()> {
         self.samples[i as usize] = sample;
+        self.gens[i as usize] += 1;
         self.hists[i as usize] = HistCache::default(); // evict stale entries
-                                                       // The evaluation caches key on sample identity: every selection,
-                                                       // projection and price touching the refreshed instance is stale now.
-                                                       // Partner-side entries survive (their samples did not change).
+        self.partials.retain(|&(a, b, _), _| a != i && b != i);
         self.sel_cache
             .lock()
             .expect("sel cache lock")
-            .retain(|&(a, b, _)| a != i && b != i);
+            .retain(|&(a, _, b, _, _)| a != i && b != i);
         self.proj_cache
             .lock()
             .expect("proj cache lock")
-            .retain(|&(v, _)| v != i);
+            .retain(|&(v, _, _)| v != i);
         let exec = self.exec;
         let incident: Vec<u32> = self.adj[i as usize].clone();
 
@@ -557,13 +586,21 @@ impl JoinGraph {
     /// Cached inner pair selection between the samples of `probe` and
     /// `build` on `on`: every probe-side row's ascending match list in the
     /// build side. Computed once per `(probe, build, on, sample generation)`
-    /// — [`Self::refresh_sample`] evicts entries touching the refreshed
-    /// instance — and re-composed by every MCMC proposal whose tree keeps
-    /// this hop. Misses recompute transparently (parallel partitioned build
-    /// plus chunked probe on the graph's executor); the cache is stamped-LRU
-    /// bounded by [`JoinGraphConfig::sel_cache_cap`].
+    /// — the key embeds both sides' generations, so entries for replaced
+    /// samples are unreachable, and [`Self::apply_delta`] re-keys patched
+    /// entries to the new generation — and re-composed by every MCMC
+    /// proposal whose tree keeps this hop. Misses recompute transparently
+    /// (parallel partitioned build plus chunked probe on the graph's
+    /// executor); the cache is stamped-LRU bounded by
+    /// [`JoinGraphConfig::sel_cache_cap`].
     pub fn pair_sel(&self, probe: u32, build: u32, on: &AttrSet) -> Result<Arc<PairSel>> {
-        let key = (probe, build, on.clone());
+        let key = (
+            probe,
+            self.gens[probe as usize],
+            build,
+            self.gens[build as usize],
+            on.clone(),
+        );
         if let Some(p) = self.sel_cache.lock().expect("sel cache lock").get(&key) {
             return Ok(Arc::clone(p));
         }
@@ -597,7 +634,7 @@ impl JoinGraph {
         if let Some(full) = full {
             return Ok(Arc::new(full[v as usize].project(attrs)?));
         }
-        let key = (v, attrs.clone());
+        let key = (v, self.gens[v as usize], attrs.clone());
         {
             let mut cache = self.proj_cache.lock().expect("proj cache lock");
             if let Some(t) = cache.get(&key).and_then(|e| e.table.as_ref()) {
@@ -627,7 +664,7 @@ impl JoinGraph {
         if let Some(full) = full {
             return self.pricing.price(&full[v as usize], attrs);
         }
-        let key = (v, attrs.clone());
+        let key = (v, self.gens[v as usize], attrs.clone());
         {
             let mut cache = self.proj_cache.lock().expect("proj cache lock");
             if let Some(p) = cache.get(&key).and_then(|e| e.price) {
@@ -649,6 +686,20 @@ impl JoinGraph {
         Ok(p)
     }
 
+    /// Current sample generation of instance `i`: 0 at build, bumped by
+    /// every [`Self::refresh_sample`] / [`Self::apply_delta`]. Evaluation
+    /// caches key on it, so two equal generations guarantee cache entries
+    /// for `i` built in between are still servable.
+    pub fn sample_gen(&self, i: u32) -> u64 {
+        self.gens[i as usize]
+    }
+
+    /// Materialized per-pair-category partial-sum tables currently held for
+    /// incident-edge JI maintenance (tests/benches).
+    pub fn partials_len(&self) -> usize {
+        self.partials.len()
+    }
+
     /// Entries currently held by the selection cache (tests/benches).
     pub fn sel_cache_len(&self) -> usize {
         self.sel_cache.lock().expect("sel cache lock").len()
@@ -668,7 +719,9 @@ impl JoinGraph {
 
     /// Drop every cached selection, projection and price — the cold-path
     /// baseline for benches and the fresh-vs-cached pinning tests.
-    /// Production code never needs this: staleness eviction is automatic.
+    /// Production code never needs this: stale entries are unreachable by
+    /// construction (cache keys embed the sample generations they were built
+    /// against), so correctness never depends on clearing anything.
     pub fn clear_eval_caches(&self) {
         self.sel_cache
             .lock()
@@ -735,6 +788,7 @@ mod tests {
             schema: t.schema().clone(),
             num_rows: t.num_rows(),
             default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+            version: 0,
         };
         (meta, t)
     }

@@ -215,6 +215,7 @@ pub(crate) mod tests {
                 schema: t.schema().clone(),
                 num_rows: t.num_rows(),
                 default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+                version: 0,
             });
             samples.push(t);
         }

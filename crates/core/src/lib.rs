@@ -25,6 +25,7 @@
 pub mod baseline;
 mod cache;
 pub mod dance;
+pub mod delta;
 pub mod igraph;
 pub mod join_graph;
 pub mod landmark;

@@ -707,6 +707,7 @@ mod tests {
                 schema: lt.schema().clone(),
                 num_rows: lt.num_rows(),
                 default_key: AttrSet::from_names(["mc_good"]),
+                version: 0,
             },
             DatasetMeta {
                 id: DatasetId(1),
@@ -714,6 +715,7 @@ mod tests {
                 schema: rt.schema().clone(),
                 num_rows: rt.num_rows(),
                 default_key: AttrSet::from_names(["mc_good"]),
+                version: 0,
             },
         ];
         JoinGraph::build(

@@ -39,6 +39,7 @@ fn arb_catalog() -> impl Strategy<Value = (Vec<DatasetMeta>, Vec<Table>)> {
                 schema: t.schema().clone(),
                 num_rows: t.num_rows(),
                 default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+                version: 0,
             });
             samples.push(t);
         }
@@ -79,6 +80,7 @@ fn arb_str_catalog() -> impl Strategy<Value = (Vec<DatasetMeta>, Vec<Table>)> {
                 schema: t.schema().clone(),
                 num_rows: t.num_rows(),
                 default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+                version: 0,
             });
             samples.push(t);
         }
@@ -158,6 +160,7 @@ fn arb_search_catalog() -> impl Strategy<Value = (Vec<DatasetMeta>, Vec<Table>)>
                 schema: t.schema().clone(),
                 num_rows: t.num_rows(),
                 default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+                version: 0,
             });
             samples.push(t);
         }

@@ -1,0 +1,155 @@
+//! Seeded churn workloads: reproducible streams of row deltas.
+//!
+//! Marketplace datasets drift — sellers retract rows, append corrected or
+//! new ones. The incremental catalog-maintenance path
+//! (`JoinGraph::apply_delta`) needs a workload that exercises exactly that,
+//! deterministically: every delta here is a pure function of
+//! `(table, fractions, seed)`, drawn with the same
+//! [`stable_hash64`]/[`unit_interval`] discipline as [`crate::dirt`].
+//!
+//! Deletes are independent per-row draws; inserts clone hash-chosen donor
+//! rows and occasionally perturb one column — integer shifts, float nudges,
+//! and *new string symbols*, the case that stresses delta-time interning
+//! through shared dictionaries.
+
+use dance_relation::hash::{stable_hash64, unit_interval};
+use dance_relation::{Result, Table, TableDelta, Value};
+
+/// One churn step over `t`: delete an (expected) `delete_fraction` of rows,
+/// insert `round(insert_fraction · rows)` donor-derived rows. Deterministic
+/// in `(t, fractions, seed)`; an empty table yields an empty delta.
+pub fn churn_delta(t: &Table, delete_fraction: f64, insert_fraction: f64, seed: u64) -> TableDelta {
+    let n = t.num_rows();
+    if n == 0 {
+        return TableDelta::new(Vec::new(), Vec::new());
+    }
+    let delete_fraction = delete_fraction.clamp(0.0, 1.0);
+    let deleted: Vec<u32> = (0..n as u32)
+        .filter(|&r| unit_interval(stable_hash64(seed, &("del", u64::from(r)))) < delete_fraction)
+        .collect();
+    let n_ins = (insert_fraction.max(0.0) * n as f64).round() as u64;
+    let inserted: Vec<Vec<Value>> = (0..n_ins)
+        .map(|k| {
+            let h = stable_hash64(seed, &("ins", k));
+            let mut row = t.row((h % n as u64) as usize);
+            // One in four inserts perturbs a hash-chosen column, so deltas
+            // shift value distributions instead of only resampling them.
+            if h % 4 == 0 && !row.is_empty() {
+                let c = (stable_hash64(seed, &("col", k)) % row.len() as u64) as usize;
+                let m = stable_hash64(seed, &("mut", k));
+                row[c] = match &row[c] {
+                    Value::Int(x) => Value::Int(x + 1 + (m % 5) as i64),
+                    Value::Float(x) => Value::Float(x + 1.0 + (m % 5) as f64),
+                    Value::Str(_) => Value::str(format!("churn~{}", m % 257)),
+                    Value::Null => Value::Null,
+                };
+            }
+            row
+        })
+        .collect();
+    TableDelta::new(inserted, deleted)
+}
+
+/// A `steps`-long churn stream: each delta is drawn against the table state
+/// the previous deltas produced (advanced via [`Table::apply_delta`]).
+/// Returns the deltas and the final table; replaying the deltas over `t`
+/// reproduces that table exactly.
+pub fn churn_stream(
+    t: &Table,
+    steps: usize,
+    delete_fraction: f64,
+    insert_fraction: f64,
+    seed: u64,
+) -> Result<(Vec<TableDelta>, Table)> {
+    let mut current = t.clone();
+    let mut deltas = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let d = churn_delta(
+            &current,
+            delete_fraction,
+            insert_fraction,
+            stable_hash64(seed, &("churn_step", step as u64)),
+        );
+        current = current.apply_delta(&d)?;
+        deltas.push(d);
+    }
+    Ok((deltas, current))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_relation::ValueType;
+
+    fn base(n: usize) -> Table {
+        Table::from_rows(
+            "ch",
+            &[
+                ("ch_k", ValueType::Int),
+                ("ch_s", ValueType::Str),
+                ("ch_x", ValueType::Float),
+            ],
+            (0..n)
+                .map(|i| {
+                    let s = if i % 13 == 0 {
+                        Value::Null
+                    } else {
+                        Value::str(format!("s{}", i % 6))
+                    };
+                    vec![Value::Int((i % 9) as i64), s, Value::Float(i as f64)]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deltas_are_deterministic() {
+        let t = base(300);
+        let a = churn_delta(&t, 0.1, 0.1, 42);
+        let b = churn_delta(&t, 0.1, 0.1, 42);
+        assert_eq!(a.deleted(), b.deleted());
+        assert_eq!(a.inserted(), b.inserted());
+        let c = churn_delta(&t, 0.1, 0.1, 43);
+        assert!(
+            c.deleted() != a.deleted() || c.inserted() != a.inserted(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn fractions_are_respected_in_expectation() {
+        let t = base(2000);
+        let d = churn_delta(&t, 0.1, 0.05, 7);
+        let del_rate = d.deleted().len() as f64 / 2000.0;
+        assert!((del_rate - 0.1).abs() < 0.03, "delete rate {del_rate}");
+        assert_eq!(d.inserted().len(), 100);
+        // Inserted rows match the schema arity and apply cleanly.
+        let after = t.apply_delta(&d).unwrap();
+        assert_eq!(after.num_rows(), 2000 - d.deleted().len() + 100);
+    }
+
+    #[test]
+    fn stream_replays_to_the_same_table() {
+        let t = base(150);
+        let (deltas, fin) = churn_stream(&t, 4, 0.15, 0.2, 99).unwrap();
+        assert_eq!(deltas.len(), 4);
+        let mut replay = t.clone();
+        for d in &deltas {
+            replay = replay.apply_delta(d).unwrap();
+        }
+        assert_eq!(replay.num_rows(), fin.num_rows());
+        for r in 0..fin.num_rows() {
+            assert_eq!(replay.row(r), fin.row(r));
+        }
+    }
+
+    #[test]
+    fn empty_table_and_zero_fractions() {
+        let empty = Table::from_rows("e", &[("ch_k", ValueType::Int)], vec![]).unwrap();
+        assert!(churn_delta(&empty, 0.5, 0.5, 1).is_empty());
+        let t = base(50);
+        let d = churn_delta(&t, 0.0, 0.0, 1);
+        assert!(d.is_empty());
+    }
+}

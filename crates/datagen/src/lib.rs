@@ -23,7 +23,10 @@
 //!   Table 1).
 //! * [`workload`] — the acquisition queries Q1/Q2/Q3 for each dataset.
 //! * [`zipf`] — a small Zipf sampler (no external distribution crates).
+//! * [`churn`] — seeded row-churn delta streams (the incremental catalog
+//!   maintenance workload).
 
+pub mod churn;
 pub mod dirt;
 pub mod scenario;
 pub mod spec;

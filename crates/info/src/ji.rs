@@ -38,9 +38,11 @@
 //! hash-map iteration order — which is what makes symbol-path and keyed-path
 //! JI bit-identical.
 
+use std::collections::{btree_map, BTreeMap};
+
 use dance_relation::{
     sym_counts_with, sym_joinable, AttrSet, Executor, FxHashMap, FxHashSet, GroupKey, Result,
-    SymCounts, SymMatch, Table, Value,
+    SymCounts, SymKey, SymMatch, Table, Value,
 };
 
 /// Degenerate-distribution conventions for JI (documented edge cases).
@@ -187,6 +189,254 @@ pub fn ji_from_sym_counts(left: &SymCounts, right: &SymCounts) -> f64 {
         }
     }
     b.finish()
+}
+
+/// A bucket multiset held sorted as `count → multiplicity`.
+///
+/// [`PairBuckets::finish`] pins the float summation order by sorting a
+/// `Vec<u128>`; iterating this map in key order visits the identical sorted
+/// multiset, and equal counts contribute the identical `−p·log₂p` term, so
+/// folding multiplicity-many repeated subtractions is bit-for-bit the same
+/// sum — without materializing or sorting anything per call.
+#[derive(Debug, Clone, Default)]
+struct BucketMultiset {
+    counts: BTreeMap<u128, u64>,
+}
+
+impl BucketMultiset {
+    fn add(&mut self, c: u128) {
+        *self.counts.entry(c).or_insert(0) += 1;
+    }
+
+    fn remove(&mut self, c: u128) {
+        match self.counts.entry(c) {
+            btree_map::Entry::Occupied(mut e) => {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            btree_map::Entry::Vacant(_) => {
+                panic!("removing a bucket count that was never added")
+            }
+        }
+    }
+
+    /// Entropy of the multiset plus an optional extra bucket (`0` = absent),
+    /// merged at its sorted position — the [`entropy_u128`] fold over the
+    /// equivalent sorted `Vec`, term-for-term.
+    fn entropy(&self, extra: u128, n: u128) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let term = |c: u128| {
+            let p = c as f64 / nf;
+            p * p.log2()
+        };
+        let mut h = 0.0;
+        let mut extra = (extra > 0).then_some(extra);
+        for (&c, &m) in &self.counts {
+            if let Some(v) = extra {
+                if v <= c {
+                    h -= term(v);
+                    extra = None;
+                }
+            }
+            // One log2 per distinct count; repeating the subtraction is
+            // bit-identical to recomputing the (identical) term each time.
+            let t = term(c);
+            for _ in 0..m {
+                h -= t;
+            }
+        }
+        if let Some(v) = extra {
+            h -= term(v);
+        }
+        h.max(0.0)
+    }
+}
+
+/// The [`PairBuckets`] state in delta-maintainable form: sorted bucket
+/// multisets plus the scalar accumulators, patched per changed category.
+#[derive(Debug, Clone, Default)]
+struct MaintainedBuckets {
+    joint: BucketMultiset,
+    left_marginal: BucketMultiset,
+    right_marginal: BucketMultiset,
+    left_null_bucket: u128,
+    right_null_bucket: u128,
+    matched_pairs: u128,
+    total: u128,
+}
+
+impl MaintainedBuckets {
+    /// Add one category's bucket contributions — the [`PairBuckets::matched`]
+    /// / `left_only` / `right_only` classification for a `(n_L, n_R)` pair.
+    fn cat_add(&mut self, joinable: bool, nl: u64, nr: u64) {
+        if joinable && nl > 0 && nr > 0 {
+            let c = nl as u128 * nr as u128;
+            self.joint.add(c);
+            self.left_marginal.add(c);
+            self.right_marginal.add(c);
+            self.matched_pairs += c;
+            self.total += c;
+        } else {
+            // A non-joinable (NULL-bearing) key held by both sides is two
+            // independent unmatched buckets, exactly as the two-loop fold
+            // categorizes it.
+            if nl > 0 {
+                let c = nl as u128;
+                self.joint.add(c);
+                self.left_marginal.add(c);
+                self.right_null_bucket += c;
+                self.total += c;
+            }
+            if nr > 0 {
+                let c = nr as u128;
+                self.joint.add(c);
+                self.right_marginal.add(c);
+                self.left_null_bucket += c;
+                self.total += c;
+            }
+        }
+    }
+
+    /// Exact inverse of [`Self::cat_add`]; `(0, 0)` is a no-op.
+    fn cat_remove(&mut self, joinable: bool, nl: u64, nr: u64) {
+        if joinable && nl > 0 && nr > 0 {
+            let c = nl as u128 * nr as u128;
+            self.joint.remove(c);
+            self.left_marginal.remove(c);
+            self.right_marginal.remove(c);
+            self.matched_pairs -= c;
+            self.total -= c;
+        } else {
+            if nl > 0 {
+                let c = nl as u128;
+                self.joint.remove(c);
+                self.left_marginal.remove(c);
+                self.right_null_bucket -= c;
+                self.total -= c;
+            }
+            if nr > 0 {
+                let c = nr as u128;
+                self.joint.remove(c);
+                self.right_marginal.remove(c);
+                self.left_null_bucket -= c;
+                self.total -= c;
+            }
+        }
+    }
+
+    /// The [`PairBuckets::finish`] fold over the maintained multisets.
+    fn ji(&self) -> f64 {
+        let h_joint = self.joint.entropy(0, self.total);
+        if h_joint <= 0.0 {
+            return degenerate_ji(self.matched_pairs, self.total);
+        }
+        let h_x = self
+            .left_marginal
+            .entropy(self.left_null_bucket, self.total);
+        let h_y = self
+            .right_marginal
+            .entropy(self.right_null_bucket, self.total);
+        let mi = (h_x + h_y - h_joint).max(0.0);
+        ((h_joint - mi) / h_joint).clamp(0.0, 1.0)
+    }
+}
+
+/// Materialized per-pair-category partial sums `key → (n_L, n_R)` for one
+/// (instance pair, join attribute set) — the delta-maintained form of the
+/// [`ji_from_sym_counts`] pair loop.
+///
+/// Only available for **directly comparable** histograms (shared
+/// dictionaries): the pre-joined map then stays valid across deltas because
+/// dictionary `Arc`s — and hence symbol identity — survive
+/// `Table::apply_delta`. [`PairPartials::update_left`] /
+/// [`PairPartials::update_right`] patch both the map and the sorted bucket
+/// multisets from a histogram's net change list in O(changed categories);
+/// [`PairPartials::ji`] folds the maintained multisets in the same sorted
+/// order [`ji_from_sym_counts`]'s sort pins, so the result is bit-identical
+/// to a full re-pair. Translate/Never pairs return `None` — callers fall back
+/// to [`ji_from_sym_counts`] over the patched histograms, which still avoids
+/// the O(rows) recount.
+#[derive(Debug, Clone)]
+pub struct PairPartials {
+    cats: FxHashMap<SymKey, (u64, u64)>,
+    buckets: MaintainedBuckets,
+}
+
+impl PairPartials {
+    /// Pre-join two directly comparable histograms; `None` when their keys
+    /// don't compare verbatim (private dictionaries or type mismatch).
+    pub fn new(left: &SymCounts, right: &SymCounts) -> Option<PairPartials> {
+        if !left.directly_comparable(right) {
+            return None;
+        }
+        let mut cats: FxHashMap<SymKey, (u64, u64)> = FxHashMap::default();
+        for (k, &nl) in left.counts() {
+            cats.entry(k.clone()).or_insert((0, 0)).0 = nl;
+        }
+        for (k, &nr) in right.counts() {
+            cats.entry(k.clone()).or_insert((0, 0)).1 = nr;
+        }
+        let mut buckets = MaintainedBuckets::default();
+        for (k, &(nl, nr)) in &cats {
+            buckets.cat_add(sym_joinable(k), nl, nr);
+        }
+        Some(PairPartials { cats, buckets })
+    }
+
+    /// Number of distinct pair categories currently held.
+    pub fn len(&self) -> usize {
+        self.cats.len()
+    }
+
+    /// `true` when no category has a nonzero count on either side.
+    pub fn is_empty(&self) -> bool {
+        self.cats.is_empty()
+    }
+
+    /// Apply a left-histogram net change list
+    /// ([`SymCounts::apply_delta`]'s return value).
+    pub fn update_left(&mut self, changes: &[(SymKey, i64)]) {
+        self.update(changes, true)
+    }
+
+    /// Apply a right-histogram net change list.
+    pub fn update_right(&mut self, changes: &[(SymKey, i64)]) {
+        self.update(changes, false)
+    }
+
+    fn update(&mut self, changes: &[(SymKey, i64)], left: bool) {
+        for (k, d) in changes {
+            if *d == 0 {
+                continue;
+            }
+            let joinable = sym_joinable(k);
+            let e = self.cats.entry(k.clone()).or_insert((0, 0));
+            let (old_nl, old_nr) = *e;
+            let slot = if left { &mut e.0 } else { &mut e.1 };
+            let n = *slot as i64 + d;
+            assert!(n >= 0, "delta drives a pair-category count negative");
+            *slot = n as u64;
+            let (nl, nr) = *e;
+            if (nl, nr) == (0, 0) {
+                self.cats.remove(k);
+            }
+            self.buckets.cat_remove(joinable, old_nl, old_nr);
+            self.buckets.cat_add(joinable, nl, nr);
+        }
+    }
+
+    /// JI from the maintained sorted bucket multisets — bit-identical to
+    /// re-pairing the two histograms from scratch (same sorted summation
+    /// order as [`ji_from_sym_counts`]), in O(distinct bucket counts) `log2`
+    /// calls with no per-call sort or category pass.
+    pub fn ji(&self) -> f64 {
+        self.buckets.ji()
+    }
 }
 
 fn entropy_u128(counts: &[u128], n: u128) -> f64 {
@@ -368,6 +618,59 @@ mod tests {
         let e1 = table("L", "jid_k", &[]);
         let e2 = table("R", "jid_k", &[]);
         assert_eq!(join_informativeness(&e1, &e2, &on).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn pair_partials_pin_ji_across_deltas() {
+        use dance_relation::{sym_counts, InternerRegistry, TableDelta};
+        let reg = InternerRegistry::new();
+        let l = Table::from_rows_interned(
+            &reg,
+            "L",
+            &[("jip_k", ValueType::Str)],
+            ["a", "a", "b", "x"]
+                .iter()
+                .map(|k| vec![Value::str(*k)])
+                .chain([vec![Value::Null]])
+                .collect(),
+        )
+        .unwrap();
+        let r = Table::from_rows_interned(
+            &reg,
+            "R",
+            &[("jip_k", ValueType::Str)],
+            ["a", "b", "b", "y"]
+                .iter()
+                .map(|k| vec![Value::str(*k)])
+                .collect(),
+        )
+        .unwrap();
+        let on = AttrSet::from_names(["jip_k"]);
+        let mut lc = sym_counts(&l, &on).unwrap();
+        let rc = sym_counts(&r, &on).unwrap();
+        let mut p = PairPartials::new(&lc, &rc).expect("interned twins compare directly");
+        assert_eq!(p.ji().to_bits(), ji_from_sym_counts(&lc, &rc).to_bits());
+
+        // Delete the NULL row and one matched row, insert a new shared symbol
+        // plus a right-only symbol: partials patched from the change list must
+        // keep pinning the two-histogram fold bit-for-bit.
+        let d = TableDelta::new(
+            vec![vec![Value::str("y")], vec![Value::str("zz")]],
+            vec![0, 4],
+        );
+        let changes = lc.apply_delta(&l, &on, &d).unwrap();
+        p.update_left(&changes);
+        assert_eq!(p.ji().to_bits(), ji_from_sym_counts(&lc, &rc).to_bits());
+
+        // Private dictionaries: partials are unavailable, the fallback stays.
+        let priv_r = Table::from_rows(
+            "P",
+            &[("jip_k", ValueType::Str)],
+            vec![vec![Value::str("a")]],
+        )
+        .unwrap();
+        let pc = sym_counts(&priv_r, &on).unwrap();
+        assert!(PairPartials::new(&lc, &pc).is_none());
     }
 
     /// Cross-check the histogram fast path against a materialized outer join.

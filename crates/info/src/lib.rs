@@ -27,10 +27,11 @@ pub mod ji;
 pub use correlation::{correlation, correlation_with, CorrOptions};
 pub use cumulative::{conditional_cumulative_entropy, cumulative_entropy};
 pub use entropy::{
-    conditional_entropy, entropy_from_counts, joint_entropy, mutual_information,
-    mutual_information_with, shannon_entropy, shannon_entropy_with,
+    conditional_entropy, entropy_from_counts, entropy_from_sym_counts, joint_entropy,
+    mi_from_sym_joint, mutual_information, mutual_information_with, shannon_entropy,
+    shannon_entropy_with,
 };
 pub use ji::{
     ji_from_counts, ji_from_sym_counts, join_informativeness, join_informativeness_keyed,
-    join_informativeness_with,
+    join_informativeness_with, PairPartials,
 };

@@ -31,6 +31,11 @@ pub struct DatasetMeta {
     /// The dataset's designated join-key attributes (what correlated samples
     /// are keyed on when a shopper has not yet fixed a join plan).
     pub default_key: AttrSet,
+    /// Monotone update counter: 0 at listing time, bumped by every seller
+    /// update ([`crate::Marketplace::apply_update`]). Shoppers compare it
+    /// against the version their samples were bought at to decide whether
+    /// catalog state is stale.
+    pub version: u64,
 }
 
 impl DatasetMeta {
@@ -59,6 +64,7 @@ mod tests {
             schema,
             num_rows: 100,
             default_key,
+            version: 0,
         }
     }
 

@@ -7,7 +7,7 @@
 use crate::catalog::{DatasetId, DatasetMeta};
 use crate::pricing::{EntropyPricing, PricingModel};
 use crate::query::ProjectionQuery;
-use dance_relation::{AttrSet, RelationError, Result, Table};
+use dance_relation::{AttrSet, RelationError, Result, Table, TableDelta};
 use dance_sampling::CorrelatedSampler;
 
 /// One dataset held by the marketplace.
@@ -45,6 +45,7 @@ impl Marketplace {
                         schema,
                         num_rows: table.num_rows(),
                         default_key,
+                        version: 0,
                     },
                     table,
                 }
@@ -151,6 +152,25 @@ impl Marketplace {
         Ok((data, price))
     }
 
+    /// Seller-side update of a listed dataset: apply `delta` to the listing
+    /// and bump its catalog [`DatasetMeta::version`] (and advertised row
+    /// count). Returns the new version.
+    ///
+    /// This is the marketplace end of the incremental-maintenance path:
+    /// shoppers holding a join graph over samples of this dataset route the
+    /// *same* delta through their graph's `apply_delta` instead of re-buying
+    /// and recounting the sample.
+    pub fn apply_update(&mut self, id: DatasetId, delta: &TableDelta) -> Result<u64> {
+        let listing = self
+            .listings
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))?;
+        listing.table = listing.table.apply_delta(delta)?;
+        listing.meta.num_rows = listing.table.num_rows();
+        listing.meta.version += 1;
+        Ok(listing.meta.version)
+    }
+
     /// Total revenue collected so far.
     pub fn revenue(&self) -> f64 {
         self.revenue
@@ -241,6 +261,30 @@ mod tests {
         assert!(m
             .buy_sample(DatasetId(9), &AttrSet::from_names(["mk_zip"]), 0.5, 1)
             .is_err());
+    }
+
+    #[test]
+    fn apply_update_bumps_version_and_row_count() {
+        let mut m = market();
+        assert_eq!(m.meta(DatasetId(0)).unwrap().version, 0);
+        let delta = TableDelta::new(
+            vec![vec![Value::str("z_new"), Value::str("s0")]],
+            vec![0, 1],
+        );
+        let v = m.apply_update(DatasetId(0), &delta).unwrap();
+        assert_eq!(v, 1);
+        let meta = m.meta(DatasetId(0)).unwrap();
+        assert_eq!(meta.version, 1);
+        assert_eq!(meta.num_rows, 49); // 50 − 2 deleted + 1 inserted
+        assert_eq!(
+            m.full_table_for_evaluation(DatasetId(0))
+                .unwrap()
+                .num_rows(),
+            49
+        );
+        // Unknown datasets are rejected, and other listings are untouched.
+        assert!(m.apply_update(DatasetId(9), &delta).is_err());
+        assert_eq!(m.meta(DatasetId(1)).unwrap().version, 0);
     }
 
     #[test]

@@ -68,6 +68,35 @@ impl Bitmap {
         self.set(i, valid);
     }
 
+    /// Append rows `start..end` of `other` — word-at-a-time where the
+    /// destination is aligned, so long survivor runs copy 64 rows per store
+    /// (the delta-maintenance gather path).
+    pub fn extend_range(&mut self, other: &Bitmap, start: usize, end: usize) {
+        debug_assert!(start <= end && end <= other.len);
+        let mut i = start;
+        // Bit-align the destination to a word boundary.
+        while i < end && !self.len.is_multiple_of(64) {
+            self.push(other.get(i));
+            i += 1;
+        }
+        // Bulk: 64 source rows per pushed word.
+        while i + 64 <= end {
+            let (w, off) = (i / 64, i % 64);
+            let word = if off == 0 {
+                other.words[w]
+            } else {
+                (other.words[w] >> off) | (other.words[w + 1] << (64 - off))
+            };
+            self.words.push(word);
+            self.len += 64;
+            i += 64;
+        }
+        while i < end {
+            self.push(other.get(i));
+            i += 1;
+        }
+    }
+
     /// Number of valid rows.
     pub fn count_valid(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -91,6 +120,46 @@ impl Bitmap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extend_range_matches_per_bit_pushes() {
+        // Pseudo-random validity pattern long enough to cross word bounds.
+        let mut src = Bitmap::default();
+        for i in 0..413usize {
+            src.push(i.wrapping_mul(2654435761) % 7 != 0);
+        }
+        for (start, end) in [
+            (0, 0),
+            (0, 413),
+            (3, 5),
+            (1, 130),
+            (62, 67),
+            (64, 128),
+            (100, 413),
+        ] {
+            for prefix in [0usize, 1, 63, 64, 70] {
+                let mut fast = Bitmap::default();
+                let mut slow = Bitmap::default();
+                for i in 0..prefix {
+                    fast.push(i % 3 == 0);
+                    slow.push(i % 3 == 0);
+                }
+                fast.extend_range(&src, start, end);
+                for i in start..end {
+                    slow.push(src.get(i));
+                }
+                assert_eq!(fast.len(), slow.len());
+                for i in 0..fast.len() {
+                    assert_eq!(
+                        fast.get(i),
+                        slow.get(i),
+                        "bit {i} ({start}..{end}, +{prefix})"
+                    );
+                }
+                assert_eq!(fast.count_valid(), slow.count_valid());
+            }
+        }
+    }
 
     #[test]
     fn all_valid_counts() {

@@ -352,6 +352,51 @@ impl Column {
         }
     }
 
+    /// Append one scalar in place, mirroring [`ColumnBuilder::push`] exactly:
+    /// `Int` widens into `Float` columns, NULL stores a dummy slot and flips
+    /// the validity bitmap on, `Str` interns into the column's existing
+    /// (possibly shared) dictionary. This is the delta-maintenance tail
+    /// append — it must produce the same stored words a fresh
+    /// [`ColumnBuilder`] run over the full row set would.
+    pub(crate) fn append_value(&mut self, v: &Value) -> Result<()> {
+        let was_len = self.len();
+        match (&mut self.data, v) {
+            (data, Value::Null) => {
+                match data {
+                    ColumnData::Int(ints) => ints.push(0),
+                    ColumnData::Float(floats) => floats.push(0.0),
+                    ColumnData::Str(codes, dict) => {
+                        // Dummy code 0; ensure it resolves (see
+                        // ColumnBuilder::push_slot_dummy).
+                        if dict.is_empty() {
+                            dict.intern("");
+                        }
+                        codes.push(0);
+                    }
+                }
+                let b = self
+                    .validity
+                    .get_or_insert_with(|| Bitmap::all_valid(was_len));
+                b.push(false);
+                return Ok(());
+            }
+            (ColumnData::Int(ints), Value::Int(i)) => ints.push(*i),
+            (ColumnData::Float(floats), Value::Float(x)) => floats.push(*x),
+            (ColumnData::Float(floats), Value::Int(i)) => floats.push(*i as f64),
+            (ColumnData::Str(codes, dict), Value::Str(s)) => codes.push(dict.intern(s)),
+            (_, v) => {
+                return Err(RelationError::TypeMismatch(format!(
+                    "cannot store {v:?} in {} column",
+                    self.value_type()
+                )))
+            }
+        }
+        if let Some(b) = &mut self.validity {
+            b.push(true);
+        }
+        Ok(())
+    }
+
     /// Take rows by index. Indices may repeat and reorder.
     pub fn gather(&self, indices: &[u32]) -> Column {
         let validity = self.validity.as_ref().map(|b| {
@@ -370,6 +415,33 @@ impl Column {
                 indices.iter().map(|&i| v[i as usize]).collect(),
                 Arc::clone(d),
             ),
+        };
+        Column { data, validity }
+    }
+
+    /// Take the concatenation of contiguous row ranges `[start, end)` — the
+    /// survivor gather of [`crate::delta::TableDelta`] application: one slice
+    /// copy per run instead of one bounds-checked index per row.
+    pub fn gather_runs(&self, runs: &[(u32, u32)]) -> Column {
+        let total: usize = runs.iter().map(|&(a, b)| (b - a) as usize).sum();
+        let validity = self.validity.as_ref().map(|bm| {
+            let mut out = Bitmap::default();
+            for &(a, b) in runs {
+                out.extend_range(bm, a as usize, b as usize);
+            }
+            out
+        });
+        fn copy<T: Copy>(v: &[T], runs: &[(u32, u32)], total: usize) -> Vec<T> {
+            let mut out = Vec::with_capacity(total);
+            for &(a, b) in runs {
+                out.extend_from_slice(&v[a as usize..b as usize]);
+            }
+            out
+        }
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(copy(v, runs, total)),
+            ColumnData::Float(v) => ColumnData::Float(copy(v, runs, total)),
+            ColumnData::Str(v, d) => ColumnData::Str(copy(v, runs, total), Arc::clone(d)),
         };
         Column { data, validity }
     }

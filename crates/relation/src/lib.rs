@@ -41,6 +41,7 @@
 pub mod bitmap;
 pub mod column;
 pub mod csv;
+pub mod delta;
 pub mod error;
 pub mod group;
 pub mod hash;
@@ -57,6 +58,7 @@ pub mod value;
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder, ColumnCells, ColumnData, StrDict, StrDictReader};
 pub use dance_executor::Executor;
+pub use delta::TableDelta;
 pub use error::{RelationError, Result};
 pub use group::{group_ids, group_ids_with, Grouping, JointGrouping};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};

@@ -515,6 +515,137 @@ impl PairSel {
     pub fn matches_of(&self, l: u32) -> &[u32] {
         &self.matches[self.starts[l as usize] as usize..self.starts[l as usize + 1] as usize]
     }
+
+    /// Patch for a probe-side (left) delta: survivors keep their cached match
+    /// lists verbatim (the build side is untouched), and only the appended
+    /// tail rows are joined fresh against `build`. `kept` is the survivor
+    /// gather list ([`crate::delta::TableDelta::kept`]); `new_probe` is the
+    /// post-delta left table, whose first `kept.len()` rows are the survivors
+    /// in order. Bit-identical to rebuilding over `(new_probe, build)`, in
+    /// O(survivor matches + tail join) instead of a full hash join.
+    pub fn patch_probe(
+        &self,
+        exec: &Executor,
+        kept: &[u32],
+        new_probe: &Table,
+        build: &Table,
+        on: &AttrSet,
+    ) -> Result<PairSel> {
+        let n_surv = kept.len();
+        let n_new = new_probe.num_rows();
+        if n_surv > n_new {
+            return Err(RelationError::Shape(format!(
+                "{n_surv} survivors exceed the patched probe's {n_new} rows"
+            )));
+        }
+        if let Some(&max) = kept.iter().max() {
+            if max as usize >= self.num_left() {
+                return Err(RelationError::Shape(format!(
+                    "survivor row {max} out of bounds for a {}-row pair selection",
+                    self.num_left()
+                )));
+            }
+        }
+        let tail_table = new_probe.gather_runs(&[(n_surv as u32, n_new as u32)]);
+        let tail = pair_sel_with(exec, &tail_table, build, on)?;
+        let mut matches: Vec<u32> = Vec::with_capacity(self.matches.len() + tail.num_matches());
+        let mut bounds: Vec<usize> = Vec::with_capacity(n_new + 1);
+        bounds.push(0);
+        // Copy each maximal run of consecutive survivors as one slice (their
+        // lists are adjacent in the CSR); per-row bounds are offset shifts.
+        let mut k = 0usize;
+        while k < n_surv {
+            let first = kept[k];
+            let mut last = first;
+            let mut j = k + 1;
+            while j < n_surv && kept[j] == last + 1 {
+                last = kept[j];
+                j += 1;
+            }
+            let s = self.starts[first as usize] as usize;
+            let e = self.starts[last as usize + 1] as usize;
+            let out_start = matches.len();
+            matches.extend_from_slice(&self.matches[s..e]);
+            for l in first..=last {
+                bounds.push(out_start + self.starts[l as usize + 1] as usize - s);
+            }
+            k = j;
+        }
+        let out_start = matches.len();
+        matches.extend_from_slice(&tail.matches);
+        for l in 1..tail.starts.len() {
+            bounds.push(out_start + tail.starts[l] as usize);
+        }
+        finish_patched(bounds, matches)
+    }
+
+    /// Patch for a build-side (right) delta: each cached list drops its
+    /// deleted right rows and renumbers the survivors through `remap`
+    /// ([`crate::delta::TableDelta::remap`] — monotone on survivors, so lists
+    /// stay ascending), then gains the matches against the appended build
+    /// tail (rows `n_surv..` of `new_build`, whose post-delta ids sort after
+    /// every survivor). A probe symbol that only exists because the delta
+    /// interned it can match only tail rows, so the tail join also covers
+    /// keys that were untranslatable before the update. Bit-identical to
+    /// rebuilding over `(probe, new_build)`.
+    pub fn patch_build(
+        &self,
+        exec: &Executor,
+        remap: &[u32],
+        probe: &Table,
+        new_build: &Table,
+        n_surv: usize,
+        on: &AttrSet,
+    ) -> Result<PairSel> {
+        if self.num_left() != probe.num_rows() {
+            return Err(RelationError::Shape(format!(
+                "pair selection covers {} probe rows, table has {}",
+                self.num_left(),
+                probe.num_rows()
+            )));
+        }
+        let n_new = new_build.num_rows();
+        if n_surv > n_new {
+            return Err(RelationError::Shape(format!(
+                "{n_surv} survivors exceed the patched build's {n_new} rows"
+            )));
+        }
+        let tail_idx: Vec<u32> = (n_surv as u32..n_new as u32).collect();
+        let tail = pair_sel_with(exec, probe, &new_build.gather(&tail_idx), on)?;
+        let mut matches: Vec<u32> = Vec::new();
+        let mut bounds: Vec<usize> = Vec::with_capacity(self.num_left() + 1);
+        bounds.push(0);
+        for l in 0..self.num_left() as u32 {
+            for &r in self.matches_of(l) {
+                let m = *remap.get(r as usize).ok_or_else(|| {
+                    RelationError::Shape(format!("match row {r} outside the remap table"))
+                })?;
+                if m != NO_ROW {
+                    matches.push(m);
+                }
+            }
+            for &r in tail.matches_of(l) {
+                matches.push(n_surv as u32 + r);
+            }
+            bounds.push(matches.len());
+        }
+        finish_patched(bounds, matches)
+    }
+}
+
+/// Convert usize CSR bounds into the u32 form, rejecting overflow the same
+/// way `pair_sel_with` does.
+fn finish_patched(bounds: Vec<usize>, matches: Vec<u32>) -> Result<PairSel> {
+    if matches.len() >= NO_ROW as usize {
+        return Err(RelationError::Shape(format!(
+            "pair join produced {} matches; selection row ids are u32",
+            matches.len()
+        )));
+    }
+    Ok(PairSel {
+        starts: bounds.into_iter().map(|b| b as u32).collect(),
+        matches,
+    })
 }
 
 /// Build a [`PairSel`] on the global executor.
@@ -1340,6 +1471,71 @@ mod tests {
             )
             .unwrap();
             assert_tables_equal(&par, &seq);
+        }
+    }
+
+    #[test]
+    fn patched_pair_sel_matches_fresh_rebuild() {
+        use crate::delta::TableDelta;
+        let exec = Executor::sequential();
+        let (a, b, _) = chain();
+        let on = AttrSet::from_names(["sel_k"]);
+        // Delete a NULL-keyed and two matched rows, insert a survivor dup, a
+        // NULL key, and a brand-new symbol (untranslatable before the patch).
+        let delta = TableDelta::new(
+            vec![
+                vec![Value::Int(100), Value::str("k1")],
+                vec![Value::Int(101), Value::Null],
+                vec![Value::Int(102), Value::str("fresh_sym")],
+            ],
+            vec![0, 3, 11],
+        );
+
+        // Probe-side delta: patch (A ⋈ B) for a change to A.
+        let a2 = a.apply_delta(&delta).unwrap();
+        let kept = delta.kept(a.num_rows()).unwrap();
+        let cached = pair_sel_with(&exec, &a, &b, &on).unwrap();
+        let patched = cached.patch_probe(&exec, &kept, &a2, &b, &on).unwrap();
+        let fresh = pair_sel_with(&exec, &a2, &b, &on).unwrap();
+        assert_eq!(patched.starts, fresh.starts);
+        assert_eq!(patched.matches, fresh.matches);
+
+        // Build-side delta: patch (B ⋈ A) for the same change to A.
+        let remap = delta.remap(a.num_rows()).unwrap();
+        let cached = pair_sel_with(&exec, &b, &a, &on).unwrap();
+        let patched = cached
+            .patch_build(&exec, &remap, &b, &a2, kept.len(), &on)
+            .unwrap();
+        let fresh = pair_sel_with(&exec, &b, &a2, &on).unwrap();
+        assert_eq!(patched.starts, fresh.starts);
+        assert_eq!(patched.matches, fresh.matches);
+    }
+
+    #[test]
+    fn patched_pair_sel_matches_on_shared_dictionaries() {
+        use crate::delta::TableDelta;
+        let reg = InternerRegistry::new();
+        let (a, b, _) = chain();
+        let (a, b) = (a.intern_into(&reg), b.intern_into(&reg));
+        let on = AttrSet::from_names(["sel_k"]);
+        let delta = TableDelta::new(vec![vec![Value::str("k6"), Value::Int(999)]], vec![2, 4, 5]);
+        let b2 = b.apply_delta(&delta).unwrap();
+        let kept = delta.kept(b.num_rows()).unwrap();
+        let remap = delta.remap(b.num_rows()).unwrap();
+        for exec in [Executor::sequential(), Executor::with_grain(4, 1)] {
+            let cached = pair_sel_with(&exec, &a, &b, &on).unwrap();
+            let patched = cached
+                .patch_build(&exec, &remap, &a, &b2, kept.len(), &on)
+                .unwrap();
+            let fresh = pair_sel_with(&exec, &a, &b2, &on).unwrap();
+            assert_eq!(patched.starts, fresh.starts);
+            assert_eq!(patched.matches, fresh.matches);
+
+            let cached = pair_sel_with(&exec, &b, &a, &on).unwrap();
+            let patched = cached.patch_probe(&exec, &kept, &b2, &a, &on).unwrap();
+            let fresh = pair_sel_with(&exec, &b2, &a, &on).unwrap();
+            assert_eq!(patched.starts, fresh.starts);
+            assert_eq!(patched.matches, fresh.matches);
         }
     }
 

@@ -26,6 +26,7 @@
 //! the last hash-and-box step from the join-graph and JI hot paths.
 
 use crate::column::{ColumnData, StrDict};
+use crate::delta::TableDelta;
 use crate::error::{RelationError, Result};
 use crate::group::Grouping;
 use crate::hash::FxHashMap;
@@ -167,6 +168,64 @@ impl SymCounts {
         }
     }
 
+    /// Patch this histogram in place for `delta` applied to `before` (the
+    /// table it was counted from), returning the net per-key count changes
+    /// sorted by key (zero-net keys omitted — a delete-then-reinsert of the
+    /// same key cancels out). O(|delta|), not O(table).
+    ///
+    /// Inserted `Str` values intern through the histogram's existing shared
+    /// dictionaries — exactly what [`Table::apply_delta`] does — so a patched
+    /// histogram is key-for-key identical to a fresh recount of the patched
+    /// table.
+    pub fn apply_delta(
+        &mut self,
+        before: &Table,
+        attrs: &AttrSet,
+        delta: &TableDelta,
+    ) -> Result<Vec<(SymKey, i64)>> {
+        let cols = before.attr_indices(attrs)?;
+        if cols.len() != self.metas.len() {
+            return Err(RelationError::Shape(format!(
+                "histogram has {} key attributes but the delta targets {}",
+                self.metas.len(),
+                cols.len()
+            )));
+        }
+        let (del_keys, ins_keys) = delta_sym_keys(&self.metas, before, &cols, delta)?;
+        let mut net: FxHashMap<SymKey, i64> = FxHashMap::default();
+        for k in del_keys {
+            *net.entry(k).or_insert(0) -= 1;
+        }
+        for k in ins_keys {
+            *net.entry(k).or_insert(0) += 1;
+        }
+        let mut changes: Vec<(SymKey, i64)> = net.into_iter().filter(|&(_, d)| d != 0).collect();
+        changes.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (k, d) in &changes {
+            let cur = self.counts.get(k).copied().unwrap_or(0) as i64 + d;
+            if cur < 0 {
+                return Err(RelationError::Shape(format!(
+                    "delta drives count of key {:?} negative",
+                    self.decode_key(k)
+                )));
+            }
+            if cur == 0 {
+                self.counts.remove(k);
+            } else {
+                self.counts.insert(k.clone(), cur as u64);
+            }
+        }
+        let removed = delta.deleted().len() as u64;
+        if removed > self.n {
+            return Err(RelationError::Shape(format!(
+                "delta deletes {removed} rows from a {}-row histogram",
+                self.n
+            )));
+        }
+        self.n = self.n - removed + delta.inserted().len() as u64;
+        Ok(changes)
+    }
+
     /// Decode a key back into a materialized [`crate::GroupKey`] — for
     /// pinning tests and diagnostics only; the hot paths never call this.
     pub fn decode_key(&self, key: &[u64]) -> Box<[Value]> {
@@ -258,6 +317,77 @@ fn sym_keys(t: &Table, cols: &[usize], g: &Grouping) -> Vec<SymKey> {
         .collect()
 }
 
+/// Symbol keys of a delta's deleted rows (read straight off `before`'s
+/// columns) and inserted rows (built from scalars, mirroring
+/// [`crate::column::ColumnBuilder`]'s widening/interning so the words equal
+/// what a recount of the patched table would produce).
+fn delta_sym_keys(
+    metas: &[SymColMeta],
+    before: &Table,
+    cols: &[usize],
+    delta: &TableDelta,
+) -> Result<(Vec<SymKey>, Vec<SymKey>)> {
+    let nrows = before.num_rows();
+    let payloads: Vec<Payload<'_>> = cols
+        .iter()
+        .map(|&c| match before.column(c).data() {
+            ColumnData::Int(v) => Payload::Int(v),
+            ColumnData::Float(v) => Payload::Float(v),
+            ColumnData::Str(v, _) => Payload::Str(v),
+        })
+        .collect();
+    let mut del_keys = Vec::with_capacity(delta.deleted().len());
+    for &r in delta.deleted() {
+        if r as usize >= nrows {
+            return Err(RelationError::Shape(format!(
+                "deleted row id {r} out of bounds for table with {nrows} rows"
+            )));
+        }
+        let mut words = vec![0u64; cols.len() + 1];
+        for (i, (&c, p)) in cols.iter().zip(&payloads).enumerate() {
+            if before.column(c).is_null(r as usize) {
+                words[0] |= 1u64 << i;
+            } else {
+                words[i + 1] = p.word(r as usize);
+            }
+        }
+        del_keys.push(words.into_boxed_slice());
+    }
+    let mut ins_keys = Vec::with_capacity(delta.inserted().len());
+    for (ri, row) in delta.inserted().iter().enumerate() {
+        if row.len() != before.num_attrs() {
+            return Err(RelationError::Shape(format!(
+                "inserted row {ri} has {} values, expected {}",
+                row.len(),
+                before.num_attrs()
+            )));
+        }
+        let mut words = vec![0u64; cols.len() + 1];
+        for (i, &c) in cols.iter().enumerate() {
+            let m = &metas[i];
+            match (m.ty, &row[c]) {
+                (_, Value::Null) => words[0] |= 1u64 << i,
+                (ValueType::Int, Value::Int(x)) => words[i + 1] = *x as u64,
+                (ValueType::Float, Value::Float(x)) => words[i + 1] = Value::canonical_bits(*x),
+                (ValueType::Float, Value::Int(x)) => {
+                    words[i + 1] = Value::canonical_bits(*x as f64)
+                }
+                (ValueType::Str, Value::Str(s)) => {
+                    let d = m.dict.as_ref().expect("Str meta carries its dictionary");
+                    words[i + 1] = d.intern(s) as u64;
+                }
+                (ty, v) => {
+                    return Err(RelationError::TypeMismatch(format!(
+                        "cannot store {v:?} in {ty} column"
+                    )))
+                }
+            }
+        }
+        ins_keys.push(words.into_boxed_slice());
+    }
+    Ok((del_keys, ins_keys))
+}
+
 /// Symbol-keyed histogram of `t` over `attrs`, on the global executor.
 pub fn sym_counts(t: &Table, attrs: &AttrSet) -> Result<SymCounts> {
     sym_counts_with(&Executor::global(), t, attrs)
@@ -291,6 +421,50 @@ pub struct SymJointCounts {
     pub xy: FxHashMap<(SymKey, SymKey), u64>,
     /// Total rows.
     pub n: u64,
+}
+
+impl SymJointCounts {
+    /// Patch joint and marginal histograms in place for `delta` applied to
+    /// `before` — the joint counterpart of [`SymCounts::apply_delta`].
+    pub fn apply_delta(
+        &mut self,
+        before: &Table,
+        x: &AttrSet,
+        y: &AttrSet,
+        delta: &TableDelta,
+    ) -> Result<()> {
+        self.x.apply_delta(before, x, delta)?;
+        self.y.apply_delta(before, y, delta)?;
+        let xcols = before.attr_indices(x)?;
+        let ycols = before.attr_indices(y)?;
+        let (xdel, xins) = delta_sym_keys(&self.x.metas, before, &xcols, delta)?;
+        let (ydel, yins) = delta_sym_keys(&self.y.metas, before, &ycols, delta)?;
+        let mut net: FxHashMap<(SymKey, SymKey), i64> = FxHashMap::default();
+        for (kx, ky) in xdel.into_iter().zip(ydel) {
+            *net.entry((kx, ky)).or_insert(0) -= 1;
+        }
+        for (kx, ky) in xins.into_iter().zip(yins) {
+            *net.entry((kx, ky)).or_insert(0) += 1;
+        }
+        for (k, d) in net {
+            if d == 0 {
+                continue;
+            }
+            let cur = self.xy.get(&k).copied().unwrap_or(0) as i64 + d;
+            if cur < 0 {
+                return Err(RelationError::Shape(
+                    "delta drives a joint key count negative".into(),
+                ));
+            }
+            if cur == 0 {
+                self.xy.remove(&k);
+            } else {
+                self.xy.insert(k, cur as u64);
+            }
+        }
+        self.n = self.x.total();
+        Ok(())
+    }
 }
 
 /// Compute [`SymJointCounts`] for attribute sets `x` and `y` of `t`, on the
@@ -472,6 +646,58 @@ mod tests {
         let ca = sym_counts(&a, &on).unwrap();
         let cb = sym_counts(&b, &on).unwrap();
         assert!(matches!(ca.match_to(&cb), SymMatch::Never));
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_recount() {
+        use crate::delta::TableDelta;
+        let base = t();
+        let on = AttrSet::from_names(["sym_s", "sym_i", "sym_f"]);
+        // Delete a NULL-bearing row and a repeated-key row, re-insert one of
+        // them verbatim, add a brand-new string symbol.
+        let d = TableDelta::new(
+            vec![
+                vec![Value::str("u"), Value::Int(1), Value::Float(-0.0)],
+                vec![Value::str("brand_new"), Value::Int(8), Value::Null],
+            ],
+            vec![1, 3],
+        );
+        let mut patched = sym_counts(&base, &on).unwrap();
+        let changes = patched.apply_delta(&base, &on, &d).unwrap();
+        // The verbatim re-insert cancels against its delete.
+        assert!(changes.iter().all(|(_, d)| *d != 0));
+        let after = base.apply_delta(&d).unwrap();
+        let fresh = sym_counts(&after, &on).unwrap();
+        assert_eq!(patched.counts(), fresh.counts());
+        assert_eq!(patched.total(), fresh.total());
+
+        // Joint histograms patch the same way.
+        let x = AttrSet::from_names(["sym_s"]);
+        let y = AttrSet::from_names(["sym_i", "sym_f"]);
+        let mut pj = sym_joint_counts(&base, &x, &y).unwrap();
+        pj.apply_delta(&base, &x, &y, &d).unwrap();
+        let fj = sym_joint_counts(&after, &x, &y).unwrap();
+        assert_eq!(pj.x.counts(), fj.x.counts());
+        assert_eq!(pj.y.counts(), fj.y.counts());
+        assert_eq!(pj.xy, fj.xy);
+        assert_eq!(pj.n, fj.n);
+    }
+
+    #[test]
+    fn apply_delta_to_empty_and_back() {
+        use crate::delta::TableDelta;
+        let base = t();
+        let on = AttrSet::from_names(["sym_s"]);
+        let wipe = TableDelta::new(vec![], (0..base.num_rows() as u32).collect());
+        let mut patched = sym_counts(&base, &on).unwrap();
+        patched.apply_delta(&base, &on, &wipe).unwrap();
+        assert!(patched.is_empty());
+        assert_eq!(patched.total(), 0);
+        // Over-deleting is rejected.
+        let mut again = sym_counts(&base, &on).unwrap();
+        again.apply_delta(&base, &on, &wipe).unwrap();
+        let empty = base.apply_delta(&wipe).unwrap();
+        assert!(again.apply_delta(&empty, &on, &wipe).is_err());
     }
 
     #[test]

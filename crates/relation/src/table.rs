@@ -223,6 +223,42 @@ impl Table {
         }
     }
 
+    /// Take the concatenation of contiguous row ranges `[start, end)` —
+    /// the survivor gather of [`Self::apply_delta`], copying column slices
+    /// run by run (see [`Column::gather_runs`]).
+    pub fn gather_runs(&self, runs: &[(u32, u32)]) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather_runs(runs)).collect(),
+            nrows: runs.iter().map(|&(a, b)| (b - a) as usize).sum(),
+        }
+    }
+
+    /// Apply a [`TableDelta`]: drop its deleted row ids (survivors keep their
+    /// relative order), then append its inserted rows at the tail. Dictionaries
+    /// are shared with `self` via `Arc`, and inserted `Str` values intern into
+    /// that existing code space — so the result's symbol histograms stay
+    /// directly comparable with every table sharing the same registry.
+    pub fn apply_delta(&self, delta: &crate::delta::TableDelta) -> Result<Table> {
+        let runs = delta.kept_runs(self.nrows)?;
+        let mut out = self.gather_runs(&runs);
+        for (r, row) in delta.inserted().iter().enumerate() {
+            if row.len() != out.columns.len() {
+                return Err(RelationError::Shape(format!(
+                    "inserted row {r} has {} values, expected {}",
+                    row.len(),
+                    out.columns.len()
+                )));
+            }
+            for (c, v) in out.columns.iter_mut().zip(row) {
+                c.append_value(v)?;
+            }
+            out.nrows += 1;
+        }
+        Ok(out)
+    }
+
     /// Keep rows whose index satisfies `keep`.
     pub fn filter(&self, mut keep: impl FnMut(usize) -> bool) -> Table {
         let idx: Vec<u32> = (0..self.nrows)

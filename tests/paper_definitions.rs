@@ -128,6 +128,7 @@ fn property_4_1_weight_sharing() {
             schema: t.schema().clone(),
             num_rows: t.num_rows(),
             default_key: AttrSet::singleton(t.schema().attributes()[0].id),
+            version: 0,
         })
         .collect();
     let g = JoinGraph::build(
