@@ -483,6 +483,29 @@ impl SearchSetup {
         .unwrap();
         black_box(best);
     }
+
+    /// A multi-chain search (chains = 1 is exactly the historical single
+    /// walk) with an explicit seed, on the incremental engine.
+    fn run_seeded(&self, seed: u64, chains: usize, iterations: usize) {
+        let best = find_optimal_target_graph(
+            &self.graph,
+            &Default::default(),
+            &self.tree_edges,
+            &self.sc,
+            &self.tc,
+            &self.source,
+            &self.target,
+            &Constraints::unbounded(),
+            &McmcConfig {
+                iterations,
+                seed,
+                chains,
+                ..McmcConfig::default()
+            },
+        )
+        .unwrap();
+        black_box(best);
+    }
 }
 
 /// The two-key graph the MCMC unit tests search: two instances sharing a
@@ -660,6 +683,65 @@ fn bench_mcmc_search(c: &mut Criterion) {
     g.finish();
 }
 
+/// Multi-chain search scaling: 1/2/4/8 chains at 1 and 4 workers on the
+/// two-key toy graph and the scale-100 TPC-H `lineitem ⋈ partsupp` pair,
+/// warm shared caches throughout. The `seqref` arms run the same N chains
+/// strictly sequentially (independent chains-1 searches with the derived
+/// seeds) at 1 worker — the fan-out's overhead budget is measured against
+/// them: N-chain at 1 worker must stay within ~15% of seqref-N, and the
+/// shared memo should push it *below* on the TPC-H pair where evaluations
+/// dominate.
+fn bench_mcmc_multichain(c: &mut Criterion) {
+    // Full multi-chain searches are seconds each on the TPC-H pair; a
+    // smaller sample keeps the CI smoke bounded.
+    let mut c = c.clone().sample_size(5);
+    let mut g = c.benchmark_group("mcmc_multichain");
+    let ts = par_tables();
+    for workers in [1usize, 4] {
+        let two_key = two_key_setup(workers, dance_core::DEFAULT_SEL_CACHE_CAP);
+        let tpch = tpch_search_setup(workers, dance_core::DEFAULT_SEL_CACHE_CAP, &ts);
+        for chains in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new("two_key", format!("{chains}c{workers}w")),
+                &(&two_key, chains),
+                |b, (s, n)| b.iter(|| s.run_seeded(17, *n, 40)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("tpch_li_ps", format!("{chains}c{workers}w")),
+                &(&tpch, chains),
+                |b, (s, n)| b.iter(|| s.run_seeded(17, *n, 8)),
+            );
+            // Sequential reference: the same chains run one after another
+            // as independent searches, at 1 worker only.
+            if workers == 1 && chains > 1 {
+                g.bench_with_input(
+                    BenchmarkId::new("two_key_seqref", format!("{chains}c1w")),
+                    &(&two_key, chains),
+                    |b, (s, n)| {
+                        b.iter(|| {
+                            for k in 0..*n {
+                                s.run_seeded(dance_core::chain_seed(17, k), 1, 40);
+                            }
+                        })
+                    },
+                );
+                g.bench_with_input(
+                    BenchmarkId::new("tpch_li_ps_seqref", format!("{chains}c1w")),
+                    &(&tpch, chains),
+                    |b, (s, n)| {
+                        b.iter(|| {
+                            for k in 0..*n {
+                                s.run_seeded(dance_core::chain_seed(17, k), 1, 8);
+                            }
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
 /// Catalog maintenance under a seller update: the evict-everything
 /// `refresh_sample` rebuild vs `JoinGraph::apply_delta`, at delta sizes
 /// 0.1% / 1% / 10% of the scale-100 `lineitem` sample (joined to `partsupp`
@@ -782,6 +864,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_join_pipeline, bench_seq_vs_par, bench_mcmc_search, bench_catalog_update, bench_kernels
+    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_join_pipeline, bench_seq_vs_par, bench_mcmc_search, bench_mcmc_multichain, bench_catalog_update, bench_kernels
 }
 criterion_main!(kernels);

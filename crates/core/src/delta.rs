@@ -77,8 +77,9 @@ impl JoinGraph {
         // once; they are simply dropped and recomputed on the next miss.
         let gen_new = self.gens[ii] + 1;
         {
-            let mut sel = self.sel_cache.lock().expect("sel cache lock");
-            let taken = sel.take_matching(|&(p, _, b, _, _)| p == i || b == i);
+            let taken = self
+                .sel_cache
+                .take_matching(|&(p, _, b, _, _)| p == i || b == i);
             for ((p, pg, b, bg, on), old) in taken {
                 if p == b {
                     continue;
@@ -98,7 +99,7 @@ impl JoinGraph {
                     )?;
                     ((p, pg, b, gen_new, on), patched)
                 };
-                sel.insert(key, Arc::new(patched));
+                self.sel_cache.insert(key, Arc::new(patched));
             }
         }
 
@@ -107,10 +108,7 @@ impl JoinGraph {
         // generation; dropping them eagerly is a memory courtesy only.
         self.samples[ii] = after;
         self.gens[ii] = gen_new;
-        self.proj_cache
-            .lock()
-            .expect("proj cache lock")
-            .retain(|&(v, _, _)| v != i);
+        self.proj_cache.retain(|&(v, _, _)| v != i);
 
         // Cold-start any incident histogram the LRU bound evicted since it
         // was last probed (same deterministic enumeration as a refresh);
@@ -146,7 +144,12 @@ impl JoinGraph {
         // Maintain the per-pair-category partial sums: fold the change list
         // where one exists (the instance-side histogram was patched), else
         // rebuild from the (re)counted histograms. Directly-comparable pairs
-        // only — private-dictionary pairs keep the translation fallback.
+        // only — private-dictionary pairs keep the translation fallback. The
+        // table is stamped-LRU bounded (`partials_cache_cap`): a pair the cap
+        // evicted simply misses `get_mut` here and is rebuilt — or, if the
+        // rebuild itself is evicted before the fold below reads it, the fold
+        // falls back to the patched histograms. Either path produces the
+        // identical bits.
         for &e in &incident {
             let (a, b) = (self.i_edges[e as usize].a, self.i_edges[e as usize].b);
             for cand in &self.candidates[e as usize] {
@@ -171,7 +174,9 @@ impl JoinGraph {
         // Re-weigh incident edges: one JI task per (edge, candidate) in the
         // exact enumeration order `refresh_sample` uses, folding the
         // maintained category table when one exists and the two-histogram
-        // fold otherwise — both produce identical bits.
+        // fold otherwise — both produce identical bits. The workers `peek`
+        // (non-stamping shared reads); the entries' LRU stamps were already
+        // bumped by the sequential maintenance pass above.
         let items: Vec<(u32, u32)> = incident
             .iter()
             .flat_map(|&e| (0..self.candidates[e as usize].len() as u32).map(move |c| (e, c)))
@@ -182,7 +187,7 @@ impl JoinGraph {
             exec.par_map(&items, |_, &(e, c)| {
                 let edge = &i_edges[e as usize];
                 let cand = &candidates[e as usize][c as usize];
-                match partials.get(&(edge.a, edge.b, cand.clone())) {
+                match partials.peek(&(edge.a, edge.b, cand.clone())) {
                     Some(p) => p.ji(),
                     None => ji_from_sym_counts(
                         &hists[edge.a as usize][cand].hist,
@@ -392,6 +397,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The `partials_cache_cap` bound holds across consecutive delta waves,
+    /// and a capped (even fully disabled) partial-sum table never changes a
+    /// weight bit: evicted pairs fall back to the patched-histogram fold,
+    /// which is bit-identical to the maintained category table.
+    #[test]
+    fn partials_cap_holds_across_delta_waves_bit_equal() {
+        let (metas, samples) = catalog();
+        let mut unbounded = build(metas.clone(), samples.clone());
+        let waves = [
+            churny_delta(),
+            TableDelta::new(
+                vec![vec![
+                    Value::Int(2),
+                    Value::str("s_brand_new"),
+                    Value::Int(9),
+                ]],
+                vec![2, 3, 57],
+            ),
+            TableDelta::new(
+                vec![vec![Value::Int(5), Value::str("s2"), Value::Int(600)]],
+                vec![0, 1],
+            ),
+        ];
+        for d in &waves {
+            unbounded.apply_delta(0, d).unwrap();
+        }
+        assert!(
+            unbounded.partials_len() > 0,
+            "default cap keeps the maintained tables resident"
+        );
+        for cap in [0usize, 1, 2] {
+            let mut g = JoinGraph::build(
+                metas.clone(),
+                samples.clone(),
+                EntropyPricing::default(),
+                &JoinGraphConfig {
+                    executor: Executor::with_grain(4, 1),
+                    partials_cache_cap: cap,
+                    ..JoinGraphConfig::default()
+                },
+            )
+            .unwrap();
+            for (wave, d) in waves.iter().enumerate() {
+                g.apply_delta(0, d).unwrap();
+                assert!(
+                    g.partials_len() <= cap,
+                    "partials cap {cap} violated after wave {wave}: {}",
+                    g.partials_len()
+                );
+                assert_eq!(
+                    g.sample(0).num_rows(),
+                    unbounded_rows_after(&samples, &waves[..=wave])
+                );
+            }
+            for e in unbounded.i_edges() {
+                for cand in unbounded.candidate_join_sets(e.a, e.b) {
+                    assert_eq!(
+                        g.weight(e.a, e.b, cand).unwrap().to_bits(),
+                        unbounded.weight(e.a, e.b, cand).unwrap().to_bits(),
+                        "cap {cap} drifted the weight of ({}, {}) on {cand}",
+                        e.a,
+                        e.b
+                    );
+                }
+            }
+        }
+    }
+
+    fn unbounded_rows_after(samples: &[Table], waves: &[TableDelta]) -> usize {
+        let mut t = samples[0].clone();
+        for d in waves {
+            t = t.apply_delta(d).unwrap();
+        }
+        t.num_rows()
     }
 
     /// Satellite: evaluation-cache entries of untouched instances survive a

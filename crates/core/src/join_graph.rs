@@ -40,7 +40,7 @@
 //! [`ji_from_sym_counts`]. Either way no boxed key is built anywhere in
 //! `build`/`refresh_sample`.
 
-use crate::cache::StampedLru;
+use crate::cache::{ShardedLru, StampedLru};
 use dance_info::ji::{ji_from_sym_counts, PairPartials};
 use dance_market::{DatasetMeta, EntropyPricing, PricingModel};
 use dance_relation::sel::pair_sel_with;
@@ -48,7 +48,7 @@ use dance_relation::{
     sym_counts_with, AttrSet, Executor, FxHashMap, FxHashSet, PairSel, RelationError, Result,
     SymCounts, Table,
 };
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One cached histogram plus its last-use stamp (for LRU trimming).
 #[derive(Debug)]
@@ -70,6 +70,10 @@ pub const DEFAULT_SEL_CACHE_CAP: usize = 256;
 /// Default bound on cached per-(instance, attr-set) projections + prices
 /// ([`JoinGraph::projected_for_eval`] / [`JoinGraph::price_for_eval`]).
 pub const DEFAULT_PROJ_CACHE_CAP: usize = 256;
+
+/// Default bound on materialized per-pair-category partial-sum tables
+/// (`apply_delta`'s incident-edge JI maintenance state).
+pub const DEFAULT_PARTIALS_CACHE_CAP: usize = 256;
 
 /// Construction knobs for [`JoinGraph::build`].
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +97,11 @@ pub struct JoinGraphConfig {
     /// Upper bound on cached sample projections / price estimates per
     /// (instance, attribute set) (stamped-LRU; 0 disables).
     pub proj_cache_cap: usize,
+    /// Upper bound on the materialized per-pair-category partial-sum tables
+    /// `apply_delta` maintains for O(changed categories) incident-edge JI
+    /// updates (stamped-LRU; 0 disables). An evicted pair transparently falls
+    /// back to the patched-histogram fold — same bits, more work per delta.
+    pub partials_cache_cap: usize,
 }
 
 impl Default for JoinGraphConfig {
@@ -103,6 +112,7 @@ impl Default for JoinGraphConfig {
             hist_cache_cap: DEFAULT_HIST_CACHE_CAP,
             sel_cache_cap: DEFAULT_SEL_CACHE_CAP,
             proj_cache_cap: DEFAULT_PROJ_CACHE_CAP,
+            partials_cache_cap: DEFAULT_PARTIALS_CACHE_CAP,
         }
     }
 }
@@ -266,29 +276,36 @@ pub struct JoinGraph {
     /// re-weighing: `(a, b, J) → PairPartials` (directly-comparable pairs
     /// only). Filled lazily by `apply_delta`, patched from per-candidate
     /// change lists on later deltas, and dropped whenever a full refresh
-    /// replaces either endpoint's sample.
-    pub(crate) partials: FxHashMap<(u32, u32, AttrSet), PairPartials>,
+    /// replaces either endpoint's sample. Stamped-LRU bounded by
+    /// [`JoinGraphConfig::partials_cache_cap`]; an evicted pair is rebuilt
+    /// from its patched histograms on the next delta that needs it (bit-equal
+    /// to the maintained table, just O(histogram) instead of O(delta)).
+    pub(crate) partials: StampedLru<(u32, u32, AttrSet), PairPartials>,
     /// Per-hop selection cache: `(probe instance, probe generation, build
     /// instance, build generation, join attrs) → PairSel` over the two
-    /// samples. Filled through `&self` during the MCMC search (hence the
-    /// mutex) and stamped-LRU bounded. The embedded generations make stale
-    /// entries unreachable the moment either side's sample changes;
+    /// samples. Filled through `&self` during the MCMC search and
+    /// stamped-LRU bounded, sharded by key hash (one lock per shard) so
+    /// concurrent chains share each other's selections instead of
+    /// serializing on one lock. The embedded generations make stale entries
+    /// unreachable the moment either side's sample changes;
     /// [`Self::refresh_sample`] additionally sweeps them out eagerly, while
     /// `apply_delta` *patches* them to the new generation instead.
-    pub(crate) sel_cache: Mutex<StampedLru<SelKey, Arc<PairSel>>>,
+    pub(crate) sel_cache: ShardedLru<SelKey, Arc<PairSel>>,
     /// Projection/price cache per `(instance, generation, attribute set)`:
     /// the projected sample table and its entropy-price estimate, each
     /// filled lazily by whichever evaluation path first needs it. Same
-    /// locking, bounding and staleness rules as `sel_cache`.
-    pub(crate) proj_cache: Mutex<StampedLru<(u32, u64, AttrSet), ProjEntry>>,
+    /// sharding, bounding and staleness rules as `sel_cache`.
+    pub(crate) proj_cache: ShardedLru<(u32, u64, AttrSet), ProjEntry>,
 }
 
 /// Selection-cache key: `(probe instance, probe generation, build instance,
 /// build generation, join attrs)`.
 pub(crate) type SelKey = (u32, u64, u32, u64, AttrSet);
 
-/// One projection-cache entry; both fields fill in lazily.
-#[derive(Debug, Default)]
+/// One projection-cache entry; both fields fill in lazily. Cloning is two
+/// `Option` copies (the table is an `Arc` handle), so the sharded cache's
+/// clone-out reads stay cheap.
+#[derive(Debug, Default, Clone)]
 pub(crate) struct ProjEntry {
     table: Option<Arc<Table>>,
     price: Option<f64>,
@@ -410,9 +427,9 @@ impl JoinGraph {
             hists,
             clock,
             cache_cap: cfg.hist_cache_cap,
-            partials: FxHashMap::default(),
-            sel_cache: Mutex::new(StampedLru::new(cfg.sel_cache_cap)),
-            proj_cache: Mutex::new(StampedLru::new(cfg.proj_cache_cap)),
+            partials: StampedLru::new(cfg.partials_cache_cap),
+            sel_cache: ShardedLru::new(cfg.sel_cache_cap),
+            proj_cache: ShardedLru::new(cfg.proj_cache_cap),
         })
     }
 
@@ -463,15 +480,9 @@ impl JoinGraph {
         self.samples[i as usize] = sample;
         self.gens[i as usize] += 1;
         self.hists[i as usize] = HistCache::default(); // evict stale entries
-        self.partials.retain(|&(a, b, _), _| a != i && b != i);
-        self.sel_cache
-            .lock()
-            .expect("sel cache lock")
-            .retain(|&(a, _, b, _, _)| a != i && b != i);
-        self.proj_cache
-            .lock()
-            .expect("proj cache lock")
-            .retain(|&(v, _, _)| v != i);
+        self.partials.retain(|&(a, b, _)| a != i && b != i);
+        self.sel_cache.retain(|&(a, _, b, _, _)| a != i && b != i);
+        self.proj_cache.retain(|&(v, _, _)| v != i);
         let exec = self.exec;
         let incident: Vec<u32> = self.adj[i as usize].clone();
 
@@ -592,7 +603,9 @@ impl JoinGraph {
     /// proposal whose tree keeps this hop. Misses recompute transparently
     /// (parallel partitioned build plus chunked probe on the graph's
     /// executor); the cache is stamped-LRU bounded by
-    /// [`JoinGraphConfig::sel_cache_cap`].
+    /// [`JoinGraphConfig::sel_cache_cap`] and sharded by key hash, so
+    /// concurrent chains reuse each other's selections with contention only
+    /// on same-shard keys.
     pub fn pair_sel(&self, probe: u32, build: u32, on: &AttrSet) -> Result<Arc<PairSel>> {
         let key = (
             probe,
@@ -601,22 +614,19 @@ impl JoinGraph {
             self.gens[build as usize],
             on.clone(),
         );
-        if let Some(p) = self.sel_cache.lock().expect("sel cache lock").get(&key) {
-            return Ok(Arc::clone(p));
+        if let Some(p) = self.sel_cache.get(&key) {
+            return Ok(p);
         }
-        // Compute outside the lock: a miss costs a full build + probe, and
-        // concurrent searches must not serialize on it (a racing duplicate
-        // computes the identical selection).
+        // Compute outside any shard lock: a miss costs a full build + probe,
+        // and concurrent searches must not serialize on it (a racing
+        // duplicate computes the identical selection).
         let pair = Arc::new(pair_sel_with(
             &self.exec,
             &self.samples[probe as usize],
             &self.samples[build as usize],
             on,
         )?);
-        self.sel_cache
-            .lock()
-            .expect("sel cache lock")
-            .insert(key, Arc::clone(&pair));
+        self.sel_cache.insert(key, Arc::clone(&pair));
         Ok(pair)
     }
 
@@ -635,24 +645,20 @@ impl JoinGraph {
             return Ok(Arc::new(full[v as usize].project(attrs)?));
         }
         let key = (v, self.gens[v as usize], attrs.clone());
-        {
-            let mut cache = self.proj_cache.lock().expect("proj cache lock");
-            if let Some(t) = cache.get(&key).and_then(|e| e.table.as_ref()) {
-                return Ok(Arc::clone(t));
-            }
+        if let Some(t) = self.proj_cache.get(&key).and_then(|e| e.table) {
+            return Ok(t);
         }
+        // Project outside any shard lock; a racing duplicate projects the
+        // identical table and the write below folds into whichever entry won.
         let t = Arc::new(self.samples[v as usize].project(attrs)?);
-        let mut cache = self.proj_cache.lock().expect("proj cache lock");
-        match cache.get_mut(&key) {
-            Some(e) => e.table = Some(Arc::clone(&t)),
-            None => cache.insert(
-                key,
-                ProjEntry {
-                    table: Some(Arc::clone(&t)),
-                    price: None,
-                },
-            ),
-        }
+        self.proj_cache.update_or_insert(
+            key,
+            |e| e.table = Some(Arc::clone(&t)),
+            || ProjEntry {
+                table: Some(Arc::clone(&t)),
+                price: None,
+            },
+        );
         Ok(t)
     }
 
@@ -665,24 +671,18 @@ impl JoinGraph {
             return self.pricing.price(&full[v as usize], attrs);
         }
         let key = (v, self.gens[v as usize], attrs.clone());
-        {
-            let mut cache = self.proj_cache.lock().expect("proj cache lock");
-            if let Some(p) = cache.get(&key).and_then(|e| e.price) {
-                return Ok(p);
-            }
+        if let Some(p) = self.proj_cache.get(&key).and_then(|e| e.price) {
+            return Ok(p);
         }
         let p = self.price(v, attrs)?;
-        let mut cache = self.proj_cache.lock().expect("proj cache lock");
-        match cache.get_mut(&key) {
-            Some(e) => e.price = Some(p),
-            None => cache.insert(
-                key,
-                ProjEntry {
-                    table: None,
-                    price: Some(p),
-                },
-            ),
-        }
+        self.proj_cache.update_or_insert(
+            key,
+            |e| e.price = Some(p),
+            || ProjEntry {
+                table: None,
+                price: Some(p),
+            },
+        );
         Ok(p)
     }
 
@@ -695,42 +695,57 @@ impl JoinGraph {
     }
 
     /// Materialized per-pair-category partial-sum tables currently held for
-    /// incident-edge JI maintenance (tests/benches).
+    /// incident-edge JI maintenance (tests/benches), bounded by
+    /// [`JoinGraphConfig::partials_cache_cap`].
     pub fn partials_len(&self) -> usize {
         self.partials.len()
     }
 
-    /// Entries currently held by the selection cache (tests/benches).
+    /// Entries currently held by the selection cache (tests/benches),
+    /// **aggregated across all shards** — the cache is sharded by key hash
+    /// with one lock per shard, and the per-shard caps sum exactly to
+    /// [`JoinGraphConfig::sel_cache_cap`], so this total never exceeds the
+    /// configured bound.
     pub fn sel_cache_len(&self) -> usize {
-        self.sel_cache.lock().expect("sel cache lock").len()
+        self.sel_cache.len()
     }
 
-    /// The selection cache's entry bound ([`JoinGraphConfig::sel_cache_cap`])
-    /// — the MCMC engine sizes its per-walk handle table to it, so the knob
-    /// bounds resident pair selections during a walk too.
+    /// The selection cache's **total** entry bound across all shards
+    /// ([`JoinGraphConfig::sel_cache_cap`]) — the MCMC engine sizes its
+    /// per-walk handle table to it, so the knob bounds resident pair
+    /// selections during a walk too.
     pub fn sel_cache_cap(&self) -> usize {
-        self.sel_cache.lock().expect("sel cache lock").cap()
+        self.sel_cache.cap()
     }
 
-    /// Entries currently held by the projection/price cache (tests/benches).
+    /// Entries currently held by the projection/price cache (tests/benches),
+    /// aggregated across all shards (same layout as the selection cache).
     pub fn proj_cache_len(&self) -> usize {
-        self.proj_cache.lock().expect("proj cache lock").len()
+        self.proj_cache.len()
     }
 
-    /// Drop every cached selection, projection and price — the cold-path
-    /// baseline for benches and the fresh-vs-cached pinning tests.
-    /// Production code never needs this: stale entries are unreachable by
-    /// construction (cache keys embed the sample generations they were built
-    /// against), so correctness never depends on clearing anything.
+    /// Lifetime `(hits, misses)` of the selection cache, summed over shards
+    /// (relaxed counters; observability only — hit-rate deltas for the
+    /// multi-chain bench evidence).
+    pub fn sel_cache_stats(&self) -> (u64, u64) {
+        self.sel_cache.stats()
+    }
+
+    /// Lifetime `(hits, misses)` of the projection/price cache, summed over
+    /// shards (relaxed counters; observability only).
+    pub fn proj_cache_stats(&self) -> (u64, u64) {
+        self.proj_cache.stats()
+    }
+
+    /// Drop every cached selection, projection and price (every shard of
+    /// both caches) — the cold-path baseline for benches and the
+    /// fresh-vs-cached pinning tests. Production code never needs this:
+    /// stale entries are unreachable by construction (cache keys embed the
+    /// sample generations they were built against), so correctness never
+    /// depends on clearing anything.
     pub fn clear_eval_caches(&self) {
-        self.sel_cache
-            .lock()
-            .expect("sel cache lock")
-            .retain(|_| false);
-        self.proj_cache
-            .lock()
-            .expect("proj cache lock")
-            .retain(|_| false);
+        self.sel_cache.retain(|_| false);
+        self.proj_cache.retain(|_| false);
     }
 
     /// The executor the graph was built on — evaluation call sites

@@ -42,7 +42,7 @@
 //! [`dance_sampling::resample::BoundedHook`] with unchanged step/seed
 //! derivation, so seeded experiment reports stay byte-identical.
 
-use crate::cache::StampedLru;
+use crate::cache::{ShardedLru, StampedLru};
 use crate::join_graph::JoinGraph;
 use crate::request::Constraints;
 use crate::target::Cover;
@@ -80,8 +80,23 @@ pub struct McmcConfig {
     /// changes a single proposal, acceptance, or report byte.
     pub incremental: bool,
     /// Stamped-LRU bound on the per-walk `assignment → TargetGraph` memo
-    /// (0 disables memoization; hop/projection caches still apply).
+    /// (0 disables memoization; hop/projection caches still apply). With
+    /// more than one chain this also bounds the memo *shared* across chains.
     pub eval_memo_cap: usize,
+    /// Number of independent MCMC chains ([`crate::multichain`]). `1` (the
+    /// default) is the plain single-chain walk; `N > 1` runs N independently
+    /// seeded chains — seeds derived per chain index from [`Self::seed`] —
+    /// fanned over the graph's executor, and returns the deterministic
+    /// best-of-N (first strict correlation maximum in chain-index order).
+    /// The result for a given `(seed, chains)` is bit-identical at every
+    /// thread count. `0` is treated as `1`.
+    pub chains: usize,
+    /// Temperature-ladder increment for multi-chain search: chain `k` runs
+    /// at `T_k = 1 + k * temperature_step`, accepting with probability
+    /// `min(1, (CORR'/CORR)^(1/T_k))`. Chain 0 always runs at `T = 1`
+    /// (exactly the single-chain acceptance rule); `0.0` (the default) keeps
+    /// every chain at `T = 1`. Ignored when `chains <= 1`.
+    pub temperature_step: f64,
 }
 
 impl Default for McmcConfig {
@@ -97,6 +112,8 @@ impl Default for McmcConfig {
             },
             incremental: true,
             eval_memo_cap: DEFAULT_EVAL_MEMO_CAP,
+            chains: 1,
+            temperature_step: 0.0,
         }
     }
 }
@@ -343,7 +360,7 @@ fn eval_corr(
 /// over all components in the reference's canonical order (edge order /
 /// vertex order), keeping every sum bit-equal to a fresh
 /// [`evaluate_assignment`].
-struct EvalEngine<'a> {
+pub(crate) struct EvalEngine<'a> {
     graph: &'a JoinGraph,
     free: &'a FxHashSet<u32>,
     tree_edges: &'a [(u32, u32)],
@@ -360,8 +377,16 @@ struct EvalEngine<'a> {
     vertices: Vec<u32>,
     /// vertex id → position in `vertices` (the prebuilt index map).
     pos: FxHashMap<u32, usize>,
-    /// Assignment (candidate indices) → fully evaluated target graph.
+    /// Assignment (candidate indices) → fully evaluated target graph
+    /// (unused when a cross-chain `shared_memo` is plugged in).
     memo: StampedLru<Box<[u32]>, TargetGraph>,
+    /// Multi-chain mode: a concurrent memo shared read-mostly across all
+    /// chains of one search, replacing the private `memo`. Safe to share
+    /// because a [`TargetGraph`] is a pure function of the assignment (the
+    /// candidate index space is common to all chains, and §3.2 re-sampling
+    /// seeds derive from the composed selection, not the walk RNG) — a hit
+    /// from another chain is bit-identical to a local recomputation.
+    shared_memo: Option<&'a ShardedLru<Box<[u32]>, TargetGraph>>,
     /// `(edge, candidate index, probe base)` → the graph's cached pair
     /// selection, held locally so repeat hops skip the graph lock *and* the
     /// attr-set key clone. Entries are `Arc` handles into
@@ -384,6 +409,7 @@ impl<'a> EvalEngine<'a> {
         source_attrs: &'a AttrSet,
         target_attrs: &'a AttrSet,
         cfg: &'a McmcConfig,
+        shared_memo: Option<&'a ShardedLru<Box<[u32]>, TargetGraph>>,
     ) -> Result<EvalEngine<'a>> {
         let mut vs: FxHashSet<u32> = FxHashSet::default();
         for &(a, b) in tree_edges {
@@ -413,7 +439,14 @@ impl<'a> EvalEngine<'a> {
             tane: &cfg.tane,
             vertices,
             pos,
-            memo: StampedLru::new(cfg.eval_memo_cap),
+            // The private memo is dead weight when a shared one is plugged
+            // in; cap it to 0 so it never holds a clone.
+            memo: StampedLru::new(if shared_memo.is_some() {
+                0
+            } else {
+                cfg.eval_memo_cap
+            }),
+            shared_memo,
             pair_handles: StampedLru::new(graph.sel_cache_cap()),
         })
     }
@@ -422,8 +455,17 @@ impl<'a> EvalEngine<'a> {
     /// [`TargetGraph`], bit-identical to [`evaluate_assignment`] over the
     /// resolved attribute sets.
     fn evaluate(&mut self, idxs: &[u32]) -> Result<TargetGraph> {
-        if let Some(tg) = self.memo.get(idxs) {
-            return Ok(tg.clone());
+        match self.shared_memo {
+            Some(shared) => {
+                if let Some(tg) = shared.get(idxs) {
+                    return Ok(tg);
+                }
+            }
+            None => {
+                if let Some(tg) = self.memo.get(idxs) {
+                    return Ok(tg.clone());
+                }
+            }
         }
         let join_attrs: Vec<&AttrSet> = idxs
             .iter()
@@ -507,7 +549,10 @@ impl<'a> EvalEngine<'a> {
             quality,
             price,
         };
-        self.memo.insert(Box::from(idxs), tg.clone());
+        match self.shared_memo {
+            Some(shared) => shared.insert(Box::from(idxs), tg.clone()),
+            None => self.memo.insert(Box::from(idxs), tg.clone()),
+        }
         Ok(tg)
     }
 }
@@ -518,6 +563,9 @@ impl<'a> EvalEngine<'a> {
 /// visited state satisfied the constraints. Proposals evaluate through the
 /// incremental engine unless [`McmcConfig::incremental`] is off; the two
 /// paths visit bit-identical states (see the module docs).
+/// [`McmcConfig::chains`] > 1 fans the walk into N independently seeded
+/// parallel chains with a deterministic best-of-N reduction — see
+/// [`crate::multichain`] for the seed/temperature/determinism contract.
 #[allow(clippy::too_many_arguments)]
 pub fn find_optimal_target_graph(
     graph: &JoinGraph,
@@ -545,7 +593,7 @@ pub fn find_optimal_target_graph(
     // Initial assignment: the minimum-weight candidate per edge (the same
     // choice Definition 4.2 uses for I-edge weights; first minimum on ties,
     // as `min_by` with `total_cmp` resolved them).
-    let mut assignment: Vec<u32> = cands
+    let assignment: Vec<u32> = cands
         .iter()
         .zip(tree_edges)
         .map(|(c, &(a, b))| {
@@ -562,17 +610,76 @@ pub fn find_optimal_target_graph(
         })
         .collect();
 
+    if cfg.chains > 1 {
+        return crate::multichain::multichain_search(
+            graph,
+            free,
+            tree_edges,
+            &cands,
+            &assignment,
+            source_cover,
+            target_cover,
+            source_attrs,
+            target_attrs,
+            constraints,
+            cfg,
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    run_single_chain(
+        graph,
+        free,
+        tree_edges,
+        &cands,
+        &assignment,
+        source_cover,
+        target_cover,
+        source_attrs,
+        target_attrs,
+        constraints,
+        cfg,
+        1.0,
+        &mut rng,
+        None,
+    )
+}
+
+/// One seeded chain of Algorithm 1's walk over a prepared candidate space:
+/// builds the evaluation path ([`EvalEngine`] or the uncached reference,
+/// per [`McmcConfig::incremental`]) and runs [`walk_chain`] with it. The
+/// single-chain entry point calls this with temperature 1 and no shared
+/// memo — [`crate::multichain`] calls it once per chain, with the chain's
+/// derived RNG, its ladder temperature, and the cross-chain memo.
+#[allow(clippy::too_many_arguments)] // mirrors find_optimal_target_graph's surface
+pub(crate) fn run_single_chain(
+    graph: &JoinGraph,
+    free: &FxHashSet<u32>,
+    tree_edges: &[(u32, u32)],
+    cands: &[&[AttrSet]],
+    initial: &[u32],
+    source_cover: &Cover,
+    target_cover: &Cover,
+    source_attrs: &AttrSet,
+    target_attrs: &AttrSet,
+    constraints: &Constraints,
+    cfg: &McmcConfig,
+    temperature: f64,
+    rng: &mut StdRng,
+    shared_memo: Option<&ShardedLru<Box<[u32]>, TargetGraph>>,
+) -> Result<Option<TargetGraph>> {
     let mut engine = if cfg.incremental {
         Some(EvalEngine::new(
             graph,
             free,
             tree_edges,
-            cands.clone(),
+            cands.to_vec(),
             source_cover,
             target_cover,
             source_attrs,
             target_attrs,
             cfg,
+            shared_memo,
         )?)
     } else {
         None
@@ -585,7 +692,7 @@ pub fn find_optimal_target_graph(
                 // the full evaluation pipeline.
                 let attrs: Vec<AttrSet> = idxs
                     .iter()
-                    .zip(&cands)
+                    .zip(cands)
                     .map(|(&i, c)| c[i as usize].clone())
                     .collect();
                 evaluate_assignment(
@@ -604,21 +711,45 @@ pub fn find_optimal_target_graph(
             }
         }
     };
+    walk_chain(
+        &mut evaluate,
+        cands,
+        initial,
+        constraints,
+        cfg.iterations,
+        temperature,
+        rng,
+    )
+}
 
+/// The Metropolis walk itself (Algorithm 1 lines 4–13), generic over the
+/// evaluation path. At `temperature == 1.0` the acceptance rule is exactly
+/// the paper's `min(1, CORR'/CORR)` — bit-identical RNG consumption to the
+/// pre-multichain loop — while hotter chains flatten the ratio to
+/// `(CORR'/CORR)^(1/T)` so they cross low-correlation valleys more readily.
+fn walk_chain(
+    evaluate: &mut impl FnMut(&[u32]) -> Result<TargetGraph>,
+    cands: &[&[AttrSet]],
+    initial: &[u32],
+    constraints: &Constraints,
+    iterations: usize,
+    temperature: f64,
+    rng: &mut StdRng,
+) -> Result<Option<TargetGraph>> {
+    let mut assignment = initial.to_vec();
     let mut current = evaluate(&assignment)?;
     let mut best: Option<TargetGraph> = current.admits(constraints).then(|| current.clone());
-    if tree_edges.is_empty() {
+    if cands.is_empty() {
         return Ok(best);
     }
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    for _ in 0..cfg.iterations {
+    for _ in 0..iterations {
         // Line 5–6: random edge, random different candidate. Candidates are
         // distinct, so "a different candidate" is a draw over k − 1 indices
         // skipping the current one — the same distribution (and the same RNG
         // consumption) as the retired filtered-Vec scheme, without the
         // per-iteration allocation.
-        let e = rng.random_range(0..tree_edges.len());
+        let e = rng.random_range(0..cands.len());
         let k = cands[e].len();
         if k <= 1 {
             continue;
@@ -637,8 +768,15 @@ pub fn find_optimal_target_graph(
         if !proposal.admits(constraints) {
             continue;
         }
-        // Line 9: Metropolis acceptance on correlation.
-        let ratio = proposal.corr / current.corr.max(1e-12);
+        // Line 9: Metropolis acceptance on correlation, flattened by the
+        // chain's temperature (T = 1 skips the `powf` entirely so the
+        // single-chain path stays bit-exact with the historical rule).
+        let base = proposal.corr / current.corr.max(1e-12);
+        let ratio = if temperature == 1.0 {
+            base
+        } else {
+            base.powf(1.0 / temperature)
+        };
         if ratio >= 1.0 || rng.random::<f64>() < ratio {
             assignment = proposal_assign;
             current = proposal;

@@ -3,7 +3,7 @@
 use dance_core::lattice;
 use dance_core::mcmc::find_optimal_target_graph;
 use dance_core::target::{enumerate_covers, Cover};
-use dance_core::{Constraints, JoinGraph, JoinGraphConfig, McmcConfig};
+use dance_core::{chain_seed, Constraints, JoinGraph, JoinGraphConfig, McmcConfig};
 use dance_market::{DatasetId, DatasetMeta, EntropyPricing};
 use dance_relation::{AttrSet, Executor, FxHashSet, InternerRegistry, Table, Value, ValueType};
 use dance_sampling::ResampleConfig;
@@ -419,6 +419,81 @@ proptest! {
             assert_same_target(&warm, &fresh)?;
             prop_assert!(graph.sel_cache_len() > 0, "selection cache populated");
             prop_assert!(graph.proj_cache_len() > 0, "projection cache populated");
+        }
+    }
+
+    /// Multi-chain search is exactly best-of-N over N *independently run*
+    /// single chains with the derived seeds (`chain_seed`), bit-exact on
+    /// every metric, at executors {1, 2, 4, 8} — i.e. the shared cross-chain
+    /// memo and the parallel fan-out change nothing but wall-clock. A hot
+    /// temperature ladder must likewise be bit-identical across executor
+    /// widths.
+    #[test]
+    fn multichain_is_best_of_independent_chains(
+        catalog in arb_search_catalog(),
+        seed in 0u64..1000,
+        chains in 2usize..5,
+    ) {
+        let (metas, samples) = catalog;
+        let tree_edges = [(0u32, 1u32), (1u32, 2u32)];
+        let mut sc = Cover::new();
+        sc.insert(0, AttrSet::from_names(["sc_src"]));
+        let mut tc = Cover::new();
+        tc.insert(2, AttrSet::from_names(["sc_tgt"]));
+        let source = AttrSet::from_names(["sc_src"]);
+        let target = AttrSet::from_names(["sc_tgt"]);
+        let mut ladder_pin: Option<Option<dance_core::TargetGraph>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let graph = JoinGraph::build(
+                metas.clone(),
+                samples.clone(),
+                EntropyPricing::default(),
+                &JoinGraphConfig {
+                    executor: Executor::with_grain(threads, 1),
+                    ..JoinGraphConfig::default()
+                },
+            )
+            .unwrap();
+            let run = |n: usize, seed: u64, step: f64| {
+                find_optimal_target_graph(
+                    &graph,
+                    &FxHashSet::default(),
+                    &tree_edges,
+                    &sc,
+                    &tc,
+                    &source,
+                    &target,
+                    &Constraints::unbounded(),
+                    &McmcConfig {
+                        iterations: 20,
+                        seed,
+                        chains: n,
+                        temperature_step: step,
+                        ..McmcConfig::default()
+                    },
+                )
+                .unwrap()
+            };
+            let multi = run(chains, seed, 0.0);
+            // Reference: each chain as its own full single-chain search,
+            // reduced in chain-index order on strictly-greater corr.
+            let mut best: Option<dance_core::TargetGraph> = None;
+            for k in 0..chains {
+                graph.clear_eval_caches();
+                if let Some(tg) = run(1, chain_seed(seed, k), 0.0) {
+                    if best.as_ref().is_none_or(|b| tg.corr > b.corr) {
+                        best = Some(tg);
+                    }
+                }
+            }
+            assert_same_target(&multi, &best)?;
+            // A hot ladder has no sequential oracle, but must still be a
+            // pure function of (seed, N) — identical at every width.
+            let ladder = run(chains, seed, 0.5);
+            match &ladder_pin {
+                None => ladder_pin = Some(ladder),
+                Some(pin) => assert_same_target(&ladder, pin)?,
+            }
         }
     }
 

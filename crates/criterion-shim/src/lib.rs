@@ -113,7 +113,14 @@ impl Criterion {
     }
 
     /// Run one benchmark and print its timing line.
+    ///
+    /// Mirrors criterion's CLI filtering: any non-flag command-line argument
+    /// (`cargo bench -p ... -- <substring>`) restricts the run to benchmarks
+    /// whose full name contains one of the given substrings.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !name_matches_filter(name) {
+            return self;
+        }
         let mut result = None;
         let mut b = Bencher {
             sample_size: self.sample_size,
@@ -155,6 +162,16 @@ impl BenchmarkGroup<'_> {
 
     /// End the group (printing is immediate, so this is a no-op).
     pub fn finish(self) {}
+}
+
+/// True when `name` passes the command-line substring filter (no non-flag
+/// arguments ⇒ everything runs, matching the real crate's default).
+fn name_matches_filter(name: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
 }
 
 fn report(name: &str, stats: Option<Stats>) {

@@ -4,6 +4,10 @@
 //! ```sh
 //! cargo run --release --example tpch_acquisition
 //! ```
+//!
+//! `DANCE_CHAINS=N` runs every search as N parallel MCMC chains
+//! (deterministic best-of-N; default 1 keeps the historical single walk and
+//! byte-identical output).
 
 use dance::core::baseline::{brute_force, BaselineConfig};
 use dance::core::plan::correlation_difference;
@@ -13,6 +17,13 @@ use dance::prelude::*;
 use std::time::Instant;
 
 fn main() {
+    let chains: usize = std::env::var("DANCE_CHAINS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    if chains > 1 {
+        println!("multi-chain search: {chains} chains per request");
+    }
     let workload = tpch_workload(&TpchConfig {
         scale: 0.4,
         dirty_fraction: 0.3,
@@ -37,6 +48,7 @@ fn main() {
             refine_rounds: 0,
             mcmc: McmcConfig {
                 iterations: 60,
+                chains,
                 ..McmcConfig::default()
             },
             ..DanceConfig::default()
