@@ -9,8 +9,10 @@
 //! on a larger TPC-H instance (group-id encoding, entropy, JI and the full
 //! `JoinGraph::build`), and the `catalog_update` group pins delta-based
 //! catalog maintenance (`JoinGraph::apply_delta`) against the full
-//! `refresh_sample` rebuild it replaces, so the speedups of every layer are
-//! measured, not assumed:
+//! `refresh_sample` rebuild it replaces, and the `session_service` group
+//! drives batches of concurrent acquisition sessions (sessions/sec, p99
+//! session latency at 1/4 workers with a seller update landing mid-batch),
+//! so the speedups of every layer are measured, not assumed:
 //!
 //! ```sh
 //! cargo bench -p dance-bench --bench kernels
@@ -25,13 +27,16 @@ use dance_info::{
     correlation, entropy_from_counts, ji_from_counts, join_informativeness,
     join_informativeness_keyed, join_informativeness_with, shannon_entropy, shannon_entropy_with,
 };
-use dance_market::{DatasetId, DatasetMeta, EntropyPricing};
+use dance_market::{
+    DatasetId, DatasetMeta, EntropyPricing, Marketplace, ProjectionQuery, SessionConfig,
+    SessionManager, SessionManagerConfig,
+};
 use dance_quality::{discover_afds, quality, Fd, Partition, TaneConfig};
 use dance_relation::histogram::legacy;
 use dance_relation::join::{hash_join, JoinKind};
 use dance_relation::{
     group_ids, group_ids_with, sym_counts, value_counts, AttrSet, Executor, InternerRegistry,
-    Table, Value, ValueType,
+    Table, TableDelta, Value, ValueType,
 };
 use dance_sampling::CorrelatedSampler;
 use std::hint::black_box;
@@ -508,12 +513,10 @@ impl SearchSetup {
     }
 }
 
-/// The two-key graph the MCMC unit tests search: two instances sharing a
-/// correlation-preserving and a correlation-killing join attribute.
-/// `caps` sets both evaluation-cache bounds — 0 builds the cache-disabled
-/// graph the uncached arms measure (the genuine pre-PR path, where every
-/// evaluation recomputes its projections and prices).
-fn two_key_setup(workers: usize, caps: usize) -> SearchSetup {
+/// The two-instance catalog behind [`two_key_setup`] (and the session
+/// service bench's marketplace): L and R share a correlation-preserving and
+/// a correlation-killing join attribute.
+fn two_key_tables() -> Vec<Table> {
     let n = 240;
     let left: Vec<Vec<Value>> = (0..n)
         .map(|i| {
@@ -553,7 +556,16 @@ fn two_key_setup(workers: usize, caps: usize) -> SearchSetup {
         right,
     )
     .unwrap();
-    let tables = vec![lt, rt];
+    vec![lt, rt]
+}
+
+/// The two-key graph the MCMC unit tests search: two instances sharing a
+/// correlation-preserving and a correlation-killing join attribute.
+/// `caps` sets both evaluation-cache bounds — 0 builds the cache-disabled
+/// graph the uncached arms measure (the genuine pre-PR path, where every
+/// evaluation recomputes its projections and prices).
+fn two_key_setup(workers: usize, caps: usize) -> SearchSetup {
+    let tables = two_key_tables();
     let graph = JoinGraph::build(
         metas_of(&tables),
         tables,
@@ -806,6 +818,122 @@ fn bench_catalog_update(c: &mut Criterion) {
     g.finish();
 }
 
+/// The acquisition-session service under load: a batch of sessions — open,
+/// seeded 2-chain search over the shared two-key graph, one sample and one
+/// projection purchase, close — drained by {1, 4} worker threads off one
+/// shared `Marketplace`, with a seller update (`apply_update` + its inverse)
+/// landing mid-batch. Criterion times whole batches; a manual pass
+/// afterwards prints sessions/sec and p99 session latency per worker count,
+/// since the harness reports batch wall-time only.
+fn bench_session_service(c: &mut Criterion) {
+    use dance_datagen::churn::churn_delta;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const SESSIONS: usize = 16;
+
+    /// Drain one batch of `SESSIONS` sessions across `workers` threads,
+    /// landing the seller update (and its inverse, so every batch starts
+    /// from the same rows) once half the batch has closed. Returns the
+    /// per-session open→close latencies.
+    fn run_batch(
+        market: &Arc<Marketplace>,
+        mgr: &SessionManager,
+        setup: &SearchSetup,
+        workers: usize,
+        fwd: &TableDelta,
+        bwd: &TableDelta,
+    ) -> Vec<Duration> {
+        let done = AtomicUsize::new(0);
+        let mut latencies = Vec::with_capacity(SESSIONS);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let done = &done;
+                handles.push(scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut s = w;
+                    while s < SESSIONS {
+                        let t0 = Instant::now();
+                        let mut session = mgr
+                            .open(SessionConfig {
+                                budget: 1e9,
+                                seed: 100 + s as u64,
+                            })
+                            .expect("under capacity");
+                        setup.run_seeded(session.seed(), 2, 10);
+                        let key = session.meta(DatasetId(0)).unwrap().default_key.clone();
+                        session.buy_sample(DatasetId(0), &key, 0.25).unwrap();
+                        let name = session.meta(DatasetId(1)).unwrap().name.clone();
+                        session
+                            .execute(&ProjectionQuery {
+                                dataset: DatasetId(1),
+                                dataset_name: name,
+                                attrs: AttrSet::from_names(["mb_tgt"]),
+                            })
+                            .unwrap();
+                        black_box(mgr.close(session));
+                        mine.push(t0.elapsed());
+                        done.fetch_add(1, Ordering::SeqCst);
+                        s += workers;
+                    }
+                    mine
+                }));
+            }
+            while done.load(Ordering::SeqCst) < SESSIONS / 2 {
+                std::hint::spin_loop();
+            }
+            market.apply_update(DatasetId(0), fwd).unwrap();
+            market.apply_update(DatasetId(0), bwd).unwrap();
+            for h in handles {
+                latencies.extend(h.join().unwrap());
+            }
+        });
+        latencies
+    }
+
+    let mut c = c.clone().sample_size(10);
+    let mut g = c.benchmark_group("session_service");
+    for workers in [1usize, 4] {
+        let market = Arc::new(Marketplace::new(
+            two_key_tables(),
+            EntropyPricing::default(),
+        ));
+        let mgr = SessionManager::new(Arc::clone(&market), SessionManagerConfig::default());
+        let setup = two_key_setup(workers, dance_core::DEFAULT_SEL_CACHE_CAP);
+        let base = market.full_table_for_evaluation(DatasetId(0)).unwrap();
+        let fwd = churn_delta(&base, 0.01, 0.01, 42);
+        let bwd = fwd.inverse(&base).unwrap();
+
+        g.bench_with_input(
+            BenchmarkId::new("batch16_with_update", format!("{workers}w")),
+            &(),
+            |b, _| b.iter(|| run_batch(&market, &mgr, &setup, workers, &fwd, &bwd)),
+        );
+
+        // Manual service metrics: criterion's shim reports batch wall-time
+        // only, so derive sessions/sec and p99 latency from a few batches.
+        let t0 = Instant::now();
+        let mut lat: Vec<Duration> = Vec::new();
+        let batches = 4;
+        for _ in 0..batches {
+            lat.extend(run_batch(&market, &mgr, &setup, workers, &fwd, &bwd));
+        }
+        let wall = t0.elapsed();
+        lat.sort_unstable();
+        let p99 = lat[(lat.len() * 99).div_ceil(100) - 1];
+        eprintln!(
+            "session_service/{workers}w: {:.1} sessions/sec, p99 session latency {:.3} ms \
+             ({} sessions, seller update mid-batch)",
+            (batches * SESSIONS) as f64 / wall.as_secs_f64(),
+            p99.as_secs_f64() * 1e3,
+            batches * SESSIONS,
+        );
+    }
+    g.finish();
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let ts = tables();
     let orders = by_name(&ts, "orders");
@@ -864,6 +992,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_join_pipeline, bench_seq_vs_par, bench_mcmc_search, bench_mcmc_multichain, bench_catalog_update, bench_kernels
+    targets = bench_dense_vs_legacy, bench_interned_vs_keyed, bench_join_pipeline, bench_seq_vs_par, bench_mcmc_search, bench_mcmc_multichain, bench_catalog_update, bench_session_service, bench_kernels
 }
 criterion_main!(kernels);

@@ -33,8 +33,8 @@ fn bench_fig4(c: &mut Criterion) {
     })
     .expect("generation");
     let names: Vec<&str> = w.tables.iter().map(Table::name).collect();
-    let mut market = marketplace_subset(&w.tables, &names);
-    let dance = offline(&mut market, 0.3, SEED).expect("offline");
+    let market = marketplace_subset(&w.tables, &names);
+    let dance = offline(&market, 0.3, SEED).expect("offline");
     let mut group = c.benchmark_group("fig4");
     for q in &w.queries {
         let req = AcquisitionRequest::new(q.source.clone(), q.target.clone());

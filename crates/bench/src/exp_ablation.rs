@@ -24,8 +24,8 @@ pub fn ablation_steiner(scale: f64, seed: u64) -> String {
     })
     .expect("tpce generation");
     let names: Vec<&str> = w.tables.iter().map(Table::name).collect();
-    let mut market = marketplace_subset(&w.tables, &names);
-    let dance = offline(&mut market, 0.3, seed).expect("offline");
+    let market = marketplace_subset(&w.tables, &names);
+    let dance = offline(&market, 0.3, seed).expect("offline");
     let g = dance.graph();
     let lm_t0 = Instant::now();
     let lm = LandmarkIndex::build(g, 3, seed);

@@ -73,6 +73,7 @@ fn three_way(
             market
                 .full_table_for_evaluation(DatasetId(v))
                 .expect("market dataset")
+                .as_ref()
                 .clone()
         })
         .collect();
@@ -100,8 +101,8 @@ pub fn fig6(scale: f64, seed: u64) -> String {
     let names: Vec<&str> = w.tables.iter().map(Table::name).collect();
     let mut t = TextTable::new(vec!["query", "sampling rate", "CD vs LP", "CD vs GP"]);
     for rate in [0.1, 0.4, 0.7, 1.0] {
-        let mut market = marketplace_subset(&w.tables, &names);
-        let dance = offline(&mut market, rate, seed).expect("offline");
+        let market = marketplace_subset(&w.tables, &names);
+        let dance = offline(&market, rate, seed).expect("offline");
         for q in &w.queries {
             let (heur, lp, gp) = three_way(&dance, &market, q, Constraints::unbounded());
             let cd = |o: Option<f64>| match (o, heur) {
@@ -127,8 +128,8 @@ pub fn fig6(scale: f64, seed: u64) -> String {
 pub fn fig7(scale: f64, seed: u64) -> String {
     let w = tpch(scale, seed);
     let names: Vec<&str> = w.tables.iter().map(Table::name).collect();
-    let mut market = marketplace_subset(&w.tables, &names);
-    let dance = offline(&mut market, 0.5, seed).expect("offline");
+    let market = marketplace_subset(&w.tables, &names);
+    let dance = offline(&market, 0.5, seed).expect("offline");
     let bounds: Vec<Option<(f64, f64)>> =
         w.queries.iter().map(|q| price_bounds(&dance, q)).collect();
 
@@ -173,10 +174,10 @@ pub fn fig8(scale: f64, seed: u64) -> String {
     ]);
     // Without: one offline pass, no re-sampling. Per §6.3 the comparison is
     // between the *estimated* correlations of the heuristic's result.
-    let mut market = marketplace_subset(&w.tables, &names);
+    let market = marketplace_subset(&w.tables, &names);
     let mut plain_cfg = crate::setup::dance_config(0.8, seed);
     plain_cfg.mcmc.resample = None;
-    let dance_plain = Dance::offline(&mut market, Vec::new(), plain_cfg).expect("offline");
+    let dance_plain = Dance::offline(&market, Vec::new(), plain_cfg).expect("offline");
     let without: Vec<Option<f64>> = w
         .queries
         .iter()
@@ -190,14 +191,14 @@ pub fn fig8(scale: f64, seed: u64) -> String {
         .collect();
 
     for rr in [0.1, 0.3, 0.5, 0.7, 0.9] {
-        let mut market = marketplace_subset(&w.tables, &names);
+        let market = marketplace_subset(&w.tables, &names);
         let mut cfg = crate::setup::dance_config(0.8, seed);
         cfg.mcmc.resample = Some(ResampleConfig {
             eta: 60, // low threshold so re-sampling actually triggers
             rate: rr,
             seed,
         });
-        let dance = Dance::offline(&mut market, Vec::new(), cfg).expect("offline");
+        let dance = Dance::offline(&market, Vec::new(), cfg).expect("offline");
         for (qi, q) in w.queries.iter().enumerate() {
             let req = AcquisitionRequest::new(q.source.clone(), q.target.clone());
             let with = dance

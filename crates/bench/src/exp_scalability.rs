@@ -78,8 +78,8 @@ pub fn fig4(scale: f64, seed: u64) -> String {
     let mut t = TextTable::new(vec!["query", "n", "heuristic", "LP", "GP"]);
     for names in TPCH_SUBSETS {
         let n = names.len();
-        let mut market = marketplace_subset(&w.tables, names);
-        let dance = offline(&mut market, 0.3, seed).expect("offline");
+        let market = marketplace_subset(&w.tables, names);
+        let dance = offline(&market, 0.3, seed).expect("offline");
         for q in &w.queries {
             let req = AcquisitionRequest::new(q.source.clone(), q.target.clone());
 
@@ -116,6 +116,7 @@ pub fn fig4(scale: f64, seed: u64) -> String {
                     market
                         .full_table_for_evaluation(DatasetId(v))
                         .expect("market dataset")
+                        .as_ref()
                         .clone()
                 })
                 .collect();
@@ -162,8 +163,8 @@ pub fn fig5(scale: f64, seed: u64) -> String {
     let mut size_t = TextTable::new(vec!["n", "Q1", "Q2", "Q3"]);
     for names in tpce_subsets() {
         let n = names.len();
-        let mut market = marketplace_subset(&w.tables, &names);
-        let dance = offline(&mut market, 0.3, seed).expect("offline");
+        let market = marketplace_subset(&w.tables, &names);
+        let dance = offline(&market, 0.3, seed).expect("offline");
         let mut times = Vec::new();
         let mut sizes = Vec::new();
         for q in &w.queries {
@@ -209,8 +210,8 @@ pub fn fig5c(scale: f64, seed: u64) -> String {
     })
     .expect("tpce generation");
     let names: Vec<&str> = tpce_subsets().pop().expect("29-subset").clone();
-    let mut market = marketplace_subset(&w.tables, &names);
-    let dance = offline(&mut market, 0.3, seed).expect("offline");
+    let market = marketplace_subset(&w.tables, &names);
+    let dance = offline(&market, 0.3, seed).expect("offline");
 
     let mut t = TextTable::new(vec!["budget ratio", "Q1", "Q2", "Q3"]);
     let bounds: Vec<Option<(f64, f64)>> =

@@ -75,8 +75,8 @@ pub fn table6(scale: f64, seed: u64) -> String {
     })
     .expect("tpch generation");
     let names: Vec<&str> = w.tables.iter().map(Table::name).collect();
-    let mut market = marketplace_subset(&w.tables, &names);
-    let dance = offline(&mut market, 0.5, seed).expect("offline");
+    let market = marketplace_subset(&w.tables, &names);
+    let dance = offline(&market, 0.5, seed).expect("offline");
 
     let mut t = TextTable::new(vec![
         "query",
@@ -139,6 +139,7 @@ pub fn table6(scale: f64, seed: u64) -> String {
                 market
                     .full_table_for_evaluation(dance_market::DatasetId(v))
                     .expect("vertex is a market dataset")
+                    .as_ref()
                     .clone()
             })
             .collect();

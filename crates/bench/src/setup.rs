@@ -49,7 +49,7 @@ pub fn marketplace_subset(tables: &[Table], names: &[&str]) -> Marketplace {
 
 /// Offline phase over a marketplace (no shopper-owned sources — the §6
 /// workloads source their attributes from marketplace instances).
-pub fn offline(market: &mut Marketplace, rate: f64, seed: u64) -> Result<Dance> {
+pub fn offline(market: &Marketplace, rate: f64, seed: u64) -> Result<Dance> {
     Dance::offline(market, Vec::new(), dance_config(rate, seed))
 }
 
@@ -123,9 +123,9 @@ mod tests {
             seed: 1,
         })
         .unwrap();
-        let mut market = marketplace_subset(&w.tables, &["orders", "customer", "nation"]);
+        let market = marketplace_subset(&w.tables, &["orders", "customer", "nation"]);
         assert_eq!(market.len(), 3);
-        let dance = offline(&mut market, 0.6, 1).unwrap();
+        let dance = offline(&market, 0.6, 1).unwrap();
         let (lb, ub) = price_bounds(&dance, w.query("Q1").unwrap()).expect("bounds exist");
         assert!(lb > 0.0 && ub >= lb, "lb {lb} ub {ub}");
     }

@@ -97,12 +97,8 @@ impl Dance {
     ///
     /// `sources` are the shopper's own instances `S` — they join the graph as
     /// free (price-0) vertices at full resolution.
-    pub fn offline(
-        market: &mut Marketplace,
-        sources: Vec<Table>,
-        cfg: DanceConfig,
-    ) -> Result<Dance> {
-        let catalog: Vec<DatasetMeta> = market.catalog().into_iter().cloned().collect();
+    pub fn offline(market: &Marketplace, sources: Vec<Table>, cfg: DanceConfig) -> Result<Dance> {
+        let catalog: Vec<DatasetMeta> = market.catalog();
         let mut metas = Vec::with_capacity(catalog.len() + sources.len());
         let mut samples = Vec::with_capacity(catalog.len() + sources.len());
         let mut dataset_ids = Vec::with_capacity(catalog.len() + sources.len());
@@ -181,7 +177,7 @@ impl Dance {
     /// Online phase: search; on failure, refine samples and retry.
     pub fn acquire(
         &mut self,
-        market: &mut Marketplace,
+        market: &Marketplace,
         req: &AcquisitionRequest,
     ) -> Result<Option<AcquisitionPlan>> {
         for round in 0..=self.cfg.refine_rounds {
@@ -299,7 +295,7 @@ impl Dance {
 
     /// Buy fresh samples at a higher rate and refresh the graph (§2.1's
     /// iterative refinement).
-    pub fn refine(&mut self, market: &mut Marketplace) -> Result<()> {
+    pub fn refine(&mut self, market: &Marketplace) -> Result<()> {
         self.current_rate = (self.current_rate * self.cfg.refine_multiplier).min(1.0);
         for v in 0..self.graph.num_instances() as u32 {
             let Some((id, _)) = &self.dataset_ids[v as usize] else {
@@ -319,7 +315,7 @@ impl Dance {
     /// if the *actual* total price exceeds the remaining budget.
     pub fn purchase(
         &self,
-        market: &mut Marketplace,
+        market: &Marketplace,
         plan: &AcquisitionPlan,
         budget: &mut Budget,
     ) -> Result<Vec<Table>> {
@@ -352,7 +348,9 @@ impl Dance {
         let mut tables: Vec<Table> = Vec::with_capacity(self.graph.num_instances());
         for v in 0..self.graph.num_instances() as u32 {
             match &self.dataset_ids[v as usize] {
-                Some((id, _)) => tables.push(market.full_table_for_evaluation(*id)?.clone()),
+                Some((id, _)) => {
+                    tables.push(market.full_table_for_evaluation(*id)?.as_ref().clone())
+                }
                 None => {
                     let si = v as usize - (self.graph.num_instances() - self.source_tables.len());
                     tables.push(self.source_tables[si].clone());
@@ -454,8 +452,8 @@ mod tests {
 
     #[test]
     fn offline_builds_graph_with_free_sources() {
-        let (mut market, sources) = setup();
-        let d = Dance::offline(&mut market, sources, config()).unwrap();
+        let (market, sources) = setup();
+        let d = Dance::offline(&market, sources, config()).unwrap();
         assert_eq!(d.graph().num_instances(), 3);
         assert_eq!(d.free_vertices().len(), 1);
         assert!(d.free_vertices().contains(&2));
@@ -465,13 +463,13 @@ mod tests {
 
     #[test]
     fn acquire_finds_age_disease_plan() {
-        let (mut market, sources) = setup();
-        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let (market, sources) = setup();
+        let mut d = Dance::offline(&market, sources, config()).unwrap();
         let req = AcquisitionRequest::new(
             AttrSet::from_names(["dn_age"]),
             AttrSet::from_names(["dn_disease"]),
         );
-        let plan = d.acquire(&mut market, &req).unwrap().expect("plan found");
+        let plan = d.acquire(&market, &req).unwrap().expect("plan found");
         // DS (free) → zip → disease: two purchases.
         assert_eq!(plan.queries.len(), 2);
         assert!(plan.estimated.price > 0.0);
@@ -488,38 +486,38 @@ mod tests {
 
     #[test]
     fn purchase_executes_within_budget() {
-        let (mut market, sources) = setup();
-        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let (market, sources) = setup();
+        let mut d = Dance::offline(&market, sources, config()).unwrap();
         let req = AcquisitionRequest::new(
             AttrSet::from_names(["dn_age"]),
             AttrSet::from_names(["dn_disease"]),
         );
-        let plan = d.acquire(&mut market, &req).unwrap().unwrap();
+        let plan = d.acquire(&market, &req).unwrap().unwrap();
         let mut budget = Budget::new(1e6);
-        let bought = d.purchase(&mut market, &plan, &mut budget).unwrap();
+        let bought = d.purchase(&market, &plan, &mut budget).unwrap();
         assert_eq!(bought.len(), plan.queries.len());
         assert!(budget.spent() > 0.0);
 
         let mut tiny = Budget::new(1e-9);
-        assert!(d.purchase(&mut market, &plan, &mut tiny).is_err());
+        assert!(d.purchase(&market, &plan, &mut tiny).is_err());
         assert_eq!(tiny.spent(), 0.0, "no partial purchase");
     }
 
     #[test]
     fn unsatisfiable_target_returns_none() {
-        let (mut market, sources) = setup();
-        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let (market, sources) = setup();
+        let mut d = Dance::offline(&market, sources, config()).unwrap();
         let req = AcquisitionRequest::new(
             AttrSet::from_names(["dn_age"]),
             AttrSet::from_names(["dn_not_anywhere"]),
         );
-        assert!(d.acquire(&mut market, &req).unwrap().is_none());
+        assert!(d.acquire(&market, &req).unwrap().is_none());
     }
 
     #[test]
     fn impossible_budget_triggers_refinement_then_none() {
-        let (mut market, sources) = setup();
-        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let (market, sources) = setup();
+        let mut d = Dance::offline(&market, sources, config()).unwrap();
         let rate_before = d.current_rate();
         let req = AcquisitionRequest::new(
             AttrSet::from_names(["dn_age"]),
@@ -530,7 +528,7 @@ mod tests {
             beta: 0.0,
             budget: 1e-9,
         });
-        assert!(d.acquire(&mut market, &req).unwrap().is_none());
+        assert!(d.acquire(&market, &req).unwrap().is_none());
         assert!(
             d.current_rate() > rate_before,
             "refinement bought more samples"
@@ -539,13 +537,13 @@ mod tests {
 
     #[test]
     fn true_evaluation_runs_on_full_tables() {
-        let (mut market, sources) = setup();
-        let mut d = Dance::offline(&mut market, sources, config()).unwrap();
+        let (market, sources) = setup();
+        let mut d = Dance::offline(&market, sources, config()).unwrap();
         let req = AcquisitionRequest::new(
             AttrSet::from_names(["dn_age"]),
             AttrSet::from_names(["dn_disease"]),
         );
-        let plan = d.acquire(&mut market, &req).unwrap().unwrap();
+        let plan = d.acquire(&market, &req).unwrap().unwrap();
         let truth = d.evaluate_true(&market, &plan.graph, &req).unwrap();
         assert!(truth.corr.is_finite());
         assert!(

@@ -2,39 +2,63 @@
 
 use std::fmt;
 
-/// A budget with cumulative spend; refuses overdrafts.
+/// A budget with cumulative spend; refuses overdrafts and malformed amounts.
 #[derive(Debug, Clone, Copy)]
 pub struct Budget {
     limit: f64,
     spent: f64,
 }
 
-/// Error returned when a spend would exceed the budget.
+/// Error returned when a spend is refused.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct OverBudget {
-    /// Amount requested.
-    pub requested: f64,
-    /// Amount still available.
-    pub available: f64,
+pub enum BudgetError {
+    /// The amount exceeds the admissible headroom.
+    OverBudget {
+        /// Amount requested.
+        requested: f64,
+        /// The largest amount [`Budget::try_spend`] would have accepted —
+        /// `remaining() + `[`Budget::SPEND_EPSILON`], the same bound
+        /// [`Budget::can_afford`] admits against, so error messages and
+        /// admission agree at the boundary.
+        available: f64,
+    },
+    /// The amount is negative, NaN or infinite. Without this check a caller
+    /// could "spend" a negative amount and *mint* budget (`spent += amount`
+    /// would reduce cumulative spend).
+    InvalidAmount(f64),
 }
 
-impl fmt::Display for OverBudget {
+impl fmt::Display for BudgetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "over budget: requested {:.4}, available {:.4}",
-            self.requested, self.available
-        )
+        match self {
+            BudgetError::OverBudget {
+                requested,
+                available,
+            } => write!(
+                f,
+                "over budget: requested {requested:.4}, available {available:.4}"
+            ),
+            BudgetError::InvalidAmount(a) => {
+                write!(f, "invalid spend amount: {a} (must be finite and ≥ 0)")
+            }
+        }
     }
 }
 
-impl std::error::Error for OverBudget {}
+impl std::error::Error for BudgetError {}
 
 impl Budget {
-    /// A fresh budget of `limit` (negative limits are treated as zero).
+    /// Float slack for spend admission: [`Budget::can_afford`] accepts up to
+    /// `remaining() + SPEND_EPSILON` so a plan quoted at exactly the
+    /// remaining budget is not rejected over accumulated float dust, and
+    /// [`BudgetError::OverBudget::available`] reports that same bound.
+    pub const SPEND_EPSILON: f64 = 1e-9;
+
+    /// A fresh budget of `limit` (negative or non-finite limits are treated
+    /// as zero; an infinite limit stays infinite).
     pub fn new(limit: f64) -> Budget {
         Budget {
-            limit: limit.max(0.0),
+            limit: if limit.is_nan() { 0.0 } else { limit.max(0.0) },
             spent: 0.0,
         }
     }
@@ -49,23 +73,32 @@ impl Budget {
         self.spent
     }
 
-    /// Remaining headroom.
+    /// Remaining headroom (clamped at zero).
     pub fn remaining(&self) -> f64 {
         (self.limit - self.spent).max(0.0)
     }
 
-    /// `true` iff `amount` fits in the remaining budget (tiny epsilon slack
-    /// for float accumulation).
+    /// The largest single amount admission would accept right now:
+    /// `remaining() + `[`Budget::SPEND_EPSILON`].
+    pub fn admissible(&self) -> f64 {
+        self.remaining() + Self::SPEND_EPSILON
+    }
+
+    /// `true` iff `amount` is a well-formed spend that fits the admissible
+    /// headroom. Negative, NaN and infinite amounts are never affordable.
     pub fn can_afford(&self, amount: f64) -> bool {
-        amount <= self.remaining() + 1e-9
+        amount.is_finite() && amount >= 0.0 && amount <= self.admissible()
     }
 
     /// Spend `amount`, or fail without changing state.
-    pub fn try_spend(&mut self, amount: f64) -> Result<(), OverBudget> {
-        if !self.can_afford(amount) {
-            return Err(OverBudget {
+    pub fn try_spend(&mut self, amount: f64) -> Result<(), BudgetError> {
+        if !amount.is_finite() || amount < 0.0 {
+            return Err(BudgetError::InvalidAmount(amount));
+        }
+        if amount > self.admissible() {
+            return Err(BudgetError::OverBudget {
                 requested: amount,
-                available: self.remaining(),
+                available: self.admissible(),
             });
         }
         self.spent += amount;
@@ -97,8 +130,33 @@ mod tests {
         let mut b = Budget::new(3.0);
         b.try_spend(2.0).unwrap();
         let err = b.try_spend(2.0).unwrap_err();
-        assert!((err.available - 1.0).abs() < 1e-12);
+        assert_eq!(
+            err,
+            BudgetError::OverBudget {
+                requested: 2.0,
+                available: 1.0 + Budget::SPEND_EPSILON,
+            }
+        );
         assert!((b.spent() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_non_finite_spends_are_rejected() {
+        // Regression: `try_spend(-5.0)` used to pass `can_afford` and then
+        // *reduce* cumulative spend — a caller could mint budget.
+        let mut b = Budget::new(10.0);
+        b.try_spend(4.0).unwrap();
+        for bad in [-5.0, f64::NEG_INFINITY, f64::INFINITY, f64::NAN] {
+            assert!(!b.can_afford(bad), "can_afford({bad}) must be false");
+            let err = b.try_spend(bad).unwrap_err();
+            match err {
+                BudgetError::InvalidAmount(a) => {
+                    assert!(a.is_nan() == bad.is_nan() && (a.is_nan() || a == bad))
+                }
+                other => panic!("expected InvalidAmount, got {other:?}"),
+            }
+            assert!((b.spent() - 4.0).abs() < 1e-12, "state unchanged");
+        }
     }
 
     #[test]
@@ -107,6 +165,7 @@ mod tests {
         assert_eq!(b.limit(), 0.0);
         assert!(!b.can_afford(0.1));
         assert!(b.can_afford(0.0));
+        assert_eq!(Budget::new(f64::NAN).limit(), 0.0);
     }
 
     #[test]
@@ -116,5 +175,31 @@ mod tests {
         b.try_spend(0.3).unwrap();
         b.try_spend(0.4).unwrap(); // 0.3+0.3+0.4 may exceed 1.0 by float dust
         assert!(b.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn admission_and_error_agree_at_the_exact_epsilon_boundary() {
+        // Exactly `remaining + SPEND_EPSILON` is admitted …
+        let mut b = Budget::new(1.0);
+        assert!(b.can_afford(1.0 + Budget::SPEND_EPSILON));
+        b.try_spend(1.0 + Budget::SPEND_EPSILON).unwrap();
+
+        // … one ulp past it is rejected, and the error reports exactly the
+        // bound admission used, so the two views of the boundary agree.
+        let mut c = Budget::new(1.0);
+        let one_ulp_past = f64::from_bits((1.0 + Budget::SPEND_EPSILON).to_bits() + 1);
+        assert!(!c.can_afford(one_ulp_past));
+        let err = c.try_spend(one_ulp_past).unwrap_err();
+        match err {
+            BudgetError::OverBudget {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested.to_bits(), one_ulp_past.to_bits());
+                assert_eq!(available.to_bits(), c.admissible().to_bits());
+                assert!(c.can_afford(available), "the reported bound is spendable");
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
     }
 }

@@ -14,19 +14,28 @@
 //!   this crate.
 //! * [`query`] — projection queries and their SQL rendering (what DANCE hands
 //!   the shopper to execute against `M`).
-//! * [`marketplace`] — the marketplace itself: catalog browsing, sample
-//!   vending (priced pro-rata by sampling rate), query execution with revenue
-//!   accounting.
+//! * [`marketplace`] — the marketplace itself: a shared-readable (`&self`)
+//!   core with an immutable, versioned catalog behind snapshot pinning,
+//!   sample vending (priced pro-rata by sampling rate), query execution, and
+//!   striped per-account revenue accounting.
 //! * [`budget`] — the shopper's budget `B` with spend tracking.
+//! * [`session`] — long-running acquisition sessions: per-session budgets,
+//!   ledgers and seeds over one pinned catalog version, plus the
+//!   [`SessionManager`] service shell (open/close, capacity, stats).
 
 pub mod budget;
 pub mod catalog;
 pub mod marketplace;
 pub mod pricing;
 pub mod query;
+pub mod session;
 
-pub use budget::Budget;
+pub use budget::{Budget, BudgetError};
 pub use catalog::{DatasetId, DatasetMeta};
-pub use marketplace::Marketplace;
+pub use marketplace::{CatalogSnapshot, Marketplace};
 pub use pricing::{EntropyPricing, PricingModel};
 pub use query::ProjectionQuery;
+pub use session::{
+    ManagerStats, Purchase, PurchaseKind, Session, SessionConfig, SessionError, SessionId,
+    SessionManager, SessionManagerConfig, SessionReport, SessionResult,
+};

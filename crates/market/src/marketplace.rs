@@ -3,28 +3,213 @@
 //! Mirrors the interaction model of Figure 1: schema metadata is free, sample
 //! purchases and projection queries cost money, and every sale is recorded so
 //! experiments can report exactly what a strategy paid.
+//!
+//! ## Concurrency model
+//!
+//! The marketplace is a **shared-readable core**: every shopper-facing method
+//! takes `&self`, so hundreds of concurrent sessions (see [`crate::session`])
+//! can browse, quote and purchase against one `Arc<Marketplace>` without a
+//! global lock.
+//!
+//! * The catalog is an immutable [`CatalogSnapshot`] behind an `RwLock<Arc<…>>`
+//!   — readers clone the `Arc` (one atomic refcount bump) and then operate
+//!   entirely lock-free on frozen listings. Sellers publish new dataset
+//!   versions via [`Marketplace::apply_update`], which swaps in a fresh
+//!   snapshot; in-flight readers keep the version they pinned, so no reader
+//!   ever observes a torn catalog (the invariant `Σ listing versions ==
+//!   snapshot version` holds in every snapshot ever vended).
+//! * Revenue accounting is **striped per account** (one stripe per session,
+//!   plus an anonymous stripe for direct calls): each sale appends to its
+//!   stripe under a short-lived mutex, and [`Marketplace::revenue`] folds
+//!   stripes in account order. Within a stripe sales are recorded in purchase
+//!   order, so per-session subtotals are bit-identical to the session's own
+//!   ledger no matter how sessions interleave, and the total is deterministic
+//!   for any fixed set of per-session histories.
+//! * Sales counters are plain atomics.
 
 use crate::catalog::{DatasetId, DatasetMeta};
 use crate::pricing::{EntropyPricing, PricingModel};
 use crate::query::ProjectionQuery;
+use crate::session::SessionId;
 use dance_relation::{AttrSet, RelationError, Result, Table, TableDelta};
 use dance_sampling::CorrelatedSampler;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One dataset held by the marketplace.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Listing {
     meta: DatasetMeta,
-    table: Table,
+    table: Arc<Table>,
 }
 
-/// An in-memory data marketplace with entropy-based query pricing.
+/// One immutable catalog state. Updates never mutate a published state; they
+/// build a successor and swap the `Arc`.
+#[derive(Debug)]
+struct CatalogState {
+    listings: Vec<Arc<Listing>>,
+    /// Global catalog version: bumped by one on every seller update, so
+    /// `version == Σ listing.meta.version` in every coherent state — a
+    /// cheap tearing detector for sessions.
+    version: u64,
+}
+
+/// A pinned, immutable view of the catalog: listings, schema metadata and
+/// pricing frozen at one catalog version. Cloning is one `Arc` bump; all
+/// methods are lock-free. This is what a [`crate::session::Session`] pins at
+/// open time and shops against for its whole lifetime.
+#[derive(Debug, Clone)]
+pub struct CatalogSnapshot {
+    state: Arc<CatalogState>,
+    pricing: EntropyPricing,
+}
+
+impl CatalogSnapshot {
+    /// The global catalog version this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.state.version
+    }
+
+    /// Number of listed datasets.
+    pub fn len(&self) -> usize {
+        self.state.listings.len()
+    }
+
+    /// `true` when nothing is listed.
+    pub fn is_empty(&self) -> bool {
+        self.state.listings.is_empty()
+    }
+
+    fn listing(&self, id: DatasetId) -> Result<&Listing> {
+        self.state
+            .listings
+            .get(id.0 as usize)
+            .map(|l| l.as_ref())
+            .ok_or_else(|| RelationError::UnknownDataset(id.to_string()))
+    }
+
+    /// Free schema-level catalog (what the I-layer is built from).
+    pub fn metas(&self) -> Vec<DatasetMeta> {
+        self.state.listings.iter().map(|l| l.meta.clone()).collect()
+    }
+
+    /// Metadata of one dataset.
+    pub fn meta(&self, id: DatasetId) -> Result<&DatasetMeta> {
+        Ok(&self.listing(id)?.meta)
+    }
+
+    /// The listed table at this snapshot's version (shared, not copied).
+    pub fn table(&self, id: DatasetId) -> Result<&Arc<Table>> {
+        Ok(&self.listing(id)?.table)
+    }
+
+    /// Quote the price of a projection query at this snapshot's prices.
+    pub fn quote(&self, id: DatasetId, attrs: &AttrSet) -> Result<f64> {
+        let listing = self.listing(id)?;
+        self.pricing.price(&listing.table, attrs)
+    }
+
+    /// Draw a correlated sample (and price it) from this snapshot — pure:
+    /// no revenue is recorded. [`Marketplace::buy_sample`] and
+    /// [`crate::session::Session::buy_sample`] wrap this with accounting.
+    pub fn sample(
+        &self,
+        id: DatasetId,
+        key_attrs: &AttrSet,
+        rate: f64,
+        seed: u64,
+    ) -> Result<(Table, f64)> {
+        let listing = self.listing(id)?;
+        let sampler = CorrelatedSampler::new(rate, seed);
+        let sample = sampler.sample(&listing.table, key_attrs)?;
+        let price = self
+            .pricing
+            .sample_price(&listing.table, &listing.meta.attr_set(), rate)?;
+        Ok((sample, price))
+    }
+
+    /// Evaluate a projection query (and price it) — pure, no accounting.
+    pub fn project(&self, q: &ProjectionQuery) -> Result<(Table, f64)> {
+        let price = self.quote(q.dataset, &q.attrs)?;
+        let listing = self.listing(q.dataset)?;
+        let data = listing.table.project(&q.attrs)?;
+        Ok((data, price))
+    }
+
+    /// Sanity invariant: the snapshot is coherent iff the per-listing
+    /// versions sum to the global version (each update bumps exactly one
+    /// listing and the global counter together).
+    pub fn is_coherent(&self) -> bool {
+        let sum: u64 = self.state.listings.iter().map(|l| l.meta.version).sum();
+        sum == self.state.version
+    }
+}
+
+/// Which kind of purchase a sale records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SaleKind {
+    Sample,
+    Query,
+}
+
+/// One recorded sale on an account stripe.
+#[derive(Debug, Clone, Copy)]
+struct Sale {
+    kind: SaleKind,
+    price: f64,
+}
+
+/// Striped revenue ledger: one stripe per account, appended under a
+/// short-lived mutex on the (rare, money-moving) write path only.
+#[derive(Debug, Default)]
+struct Accounts {
+    /// Direct (non-session) sales.
+    anonymous: Vec<Sale>,
+    /// Per-session stripes, keyed by session id, kept sorted by id.
+    sessions: Vec<(SessionId, Vec<Sale>)>,
+}
+
+impl Accounts {
+    fn stripe(&mut self, account: Option<SessionId>) -> &mut Vec<Sale> {
+        match account {
+            None => &mut self.anonymous,
+            Some(id) => {
+                let at = match self.sessions.binary_search_by_key(&id, |(s, _)| *s) {
+                    Ok(at) => at,
+                    Err(at) => {
+                        self.sessions.insert(at, (id, Vec::new()));
+                        at
+                    }
+                };
+                &mut self.sessions[at].1
+            }
+        }
+    }
+
+    /// Deterministic total: fold each stripe in purchase order, then fold
+    /// stripe subtotals in account order (anonymous first, then session ids
+    /// ascending). Per-stripe order is each buyer's own purchase order, so
+    /// the result is independent of cross-session interleaving.
+    fn revenue(&self) -> f64 {
+        let subtotal = |sales: &[Sale]| sales.iter().fold(0.0, |acc, s| acc + s.price);
+        self.sessions
+            .iter()
+            .fold(subtotal(&self.anonymous), |acc, (_, sales)| {
+                acc + subtotal(sales)
+            })
+    }
+}
+
+/// An in-memory data marketplace with entropy-based query pricing, safe to
+/// share across threads (`&self` everywhere; see the module docs for the
+/// concurrency model).
 #[derive(Debug)]
 pub struct Marketplace {
-    listings: Vec<Listing>,
+    catalog: RwLock<Arc<CatalogState>>,
     pricing: EntropyPricing,
-    revenue: f64,
-    samples_sold: usize,
-    queries_sold: usize,
+    accounts: Mutex<Accounts>,
+    samples_sold: AtomicUsize,
+    queries_sold: AtomicUsize,
 }
 
 impl Marketplace {
@@ -32,32 +217,7 @@ impl Marketplace {
     /// order; each dataset's default sample key is its first attribute unless
     /// a `default_key` override is supplied via [`Marketplace::with_keys`].
     pub fn new(tables: Vec<Table>, pricing: EntropyPricing) -> Marketplace {
-        let listings = tables
-            .into_iter()
-            .enumerate()
-            .map(|(i, table)| {
-                let schema = table.schema().clone();
-                let default_key = AttrSet::singleton(schema.attributes()[0].id);
-                Listing {
-                    meta: DatasetMeta {
-                        id: DatasetId(i as u32),
-                        name: table.name().to_string(),
-                        schema,
-                        num_rows: table.num_rows(),
-                        default_key,
-                        version: 0,
-                    },
-                    table,
-                }
-            })
-            .collect();
-        Marketplace {
-            listings,
-            pricing,
-            revenue: 0.0,
-            samples_sold: 0,
-            queries_sold: 0,
-        }
+        Self::build(tables, Vec::new(), pricing)
     }
 
     /// Same as [`Marketplace::new`] with per-dataset sample-key overrides
@@ -67,118 +227,216 @@ impl Marketplace {
         keys: Vec<Option<AttrSet>>,
         pricing: EntropyPricing,
     ) -> Marketplace {
-        let mut m = Marketplace::new(tables, pricing);
-        for (listing, key) in m.listings.iter_mut().zip(keys) {
-            if let Some(k) = key {
-                listing.meta.default_key = k;
-            }
+        Self::build(tables, keys, pricing)
+    }
+
+    fn build(tables: Vec<Table>, keys: Vec<Option<AttrSet>>, pricing: EntropyPricing) -> Self {
+        let mut keys = keys.into_iter();
+        let listings = tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, table)| {
+                let schema = table.schema().clone();
+                let default_key = keys
+                    .next()
+                    .flatten()
+                    .unwrap_or_else(|| AttrSet::singleton(schema.attributes()[0].id));
+                Arc::new(Listing {
+                    meta: DatasetMeta {
+                        id: DatasetId(i as u32),
+                        name: table.name().to_string(),
+                        schema,
+                        num_rows: table.num_rows(),
+                        default_key,
+                        version: 0,
+                    },
+                    table: Arc::new(table),
+                })
+            })
+            .collect();
+        Marketplace {
+            catalog: RwLock::new(Arc::new(CatalogState {
+                listings,
+                version: 0,
+            })),
+            pricing,
+            accounts: Mutex::new(Accounts::default()),
+            samples_sold: AtomicUsize::new(0),
+            queries_sold: AtomicUsize::new(0),
         }
-        m
+    }
+
+    /// Pin the current catalog state. One `Arc` clone under a read lock;
+    /// everything on the returned snapshot is lock-free thereafter.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        CatalogSnapshot {
+            state: Arc::clone(&self.catalog.read().unwrap()),
+            pricing: self.pricing,
+        }
     }
 
     /// Number of listed datasets.
     pub fn len(&self) -> usize {
-        self.listings.len()
+        self.snapshot().len()
     }
 
     /// `true` when nothing is listed.
     pub fn is_empty(&self) -> bool {
-        self.listings.is_empty()
+        self.snapshot().is_empty()
+    }
+
+    /// Global catalog version (bumped once per seller update).
+    pub fn catalog_version(&self) -> u64 {
+        self.snapshot().version()
     }
 
     /// Free schema-level catalog (what the I-layer is built from).
-    pub fn catalog(&self) -> Vec<&DatasetMeta> {
-        self.listings.iter().map(|l| &l.meta).collect()
+    pub fn catalog(&self) -> Vec<DatasetMeta> {
+        self.snapshot().metas()
     }
 
-    /// Metadata of one dataset.
-    pub fn meta(&self, id: DatasetId) -> Result<&DatasetMeta> {
-        self.listings
-            .get(id.0 as usize)
-            .map(|l| &l.meta)
-            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))
+    /// Metadata of one dataset (at the current catalog version).
+    pub fn meta(&self, id: DatasetId) -> Result<DatasetMeta> {
+        self.snapshot().meta(id).cloned()
     }
 
     /// Full data access **for evaluation only** (the GP baseline and the
     /// "true correlation" reports); real shoppers pay via [`Self::execute`].
-    pub fn full_table_for_evaluation(&self, id: DatasetId) -> Result<&Table> {
-        self.listings
-            .get(id.0 as usize)
-            .map(|l| &l.table)
-            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))
+    pub fn full_table_for_evaluation(&self, id: DatasetId) -> Result<Arc<Table>> {
+        self.snapshot().table(id).cloned()
     }
 
     /// Quote the price of a projection query without buying it.
     pub fn quote(&self, id: DatasetId, attrs: &AttrSet) -> Result<f64> {
-        let listing = self
-            .listings
-            .get(id.0 as usize)
-            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))?;
-        self.pricing.price(&listing.table, attrs)
+        self.snapshot().quote(id, attrs)
     }
 
     /// Buy a correlated sample of dataset `id` keyed on `key_attrs` at `rate`.
     ///
     /// Returns the sample and its price (pro-rata of the full-projection
     /// price over the *whole schema*, since samples expose all attributes).
+    /// Charged to the anonymous account; sessions buy via
+    /// [`crate::session::Session::buy_sample`] instead.
     pub fn buy_sample(
-        &mut self,
+        &self,
         id: DatasetId,
         key_attrs: &AttrSet,
         rate: f64,
         seed: u64,
     ) -> Result<(Table, f64)> {
-        let listing = self
-            .listings
-            .get(id.0 as usize)
-            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))?;
-        let sampler = CorrelatedSampler::new(rate, seed);
-        let sample = sampler.sample(&listing.table, key_attrs)?;
-        let price = self
-            .pricing
-            .sample_price(&listing.table, &listing.meta.attr_set(), rate)?;
-        self.revenue += price;
-        self.samples_sold += 1;
+        let (sample, price) = self.snapshot().sample(id, key_attrs, rate, seed)?;
+        self.record_sale(None, SaleKind::Sample, price);
         Ok((sample, price))
     }
 
-    /// Execute a purchase: returns the projected data and charges its price.
-    pub fn execute(&mut self, q: &ProjectionQuery) -> Result<(Table, f64)> {
-        let price = self.quote(q.dataset, &q.attrs)?;
-        let listing = &self.listings[q.dataset.0 as usize];
-        let data = listing.table.project(&q.attrs)?;
-        self.revenue += price;
-        self.queries_sold += 1;
+    /// Execute a purchase: returns the projected data and charges its price
+    /// to the anonymous account.
+    pub fn execute(&self, q: &ProjectionQuery) -> Result<(Table, f64)> {
+        let (data, price) = self.snapshot().project(q)?;
+        self.record_sale(None, SaleKind::Query, price);
         Ok((data, price))
+    }
+
+    /// Record a sale on an account stripe and bump the sold counters. The
+    /// mutex guards only this append — never a catalog read.
+    fn record_sale(&self, account: Option<SessionId>, kind: SaleKind, price: f64) {
+        self.accounts
+            .lock()
+            .unwrap()
+            .stripe(account)
+            .push(Sale { kind, price });
+        match kind {
+            SaleKind::Sample => self.samples_sold.fetch_add(1, Ordering::Relaxed),
+            SaleKind::Query => self.queries_sold.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Session-side purchase hooks (called by [`crate::session::Session`]
+    /// after the pinned snapshot produced the goods and the session budget
+    /// admitted the price).
+    pub(crate) fn record_session_sample(&self, id: SessionId, price: f64) {
+        self.record_sale(Some(id), SaleKind::Sample, price);
+    }
+
+    pub(crate) fn record_session_query(&self, id: SessionId, price: f64) {
+        self.record_sale(Some(id), SaleKind::Query, price);
     }
 
     /// Seller-side update of a listed dataset: apply `delta` to the listing
     /// and bump its catalog [`DatasetMeta::version`] (and advertised row
     /// count). Returns the new version.
     ///
-    /// This is the marketplace end of the incremental-maintenance path:
-    /// shoppers holding a join graph over samples of this dataset route the
-    /// *same* delta through their graph's `apply_delta` instead of re-buying
-    /// and recounting the sample.
-    pub fn apply_update(&mut self, id: DatasetId, delta: &TableDelta) -> Result<u64> {
-        let listing = self
+    /// Publishes a fresh immutable catalog state; snapshots pinned earlier
+    /// keep shopping at their version. This is the marketplace end of the
+    /// incremental-maintenance path: shoppers holding a join graph over
+    /// samples of this dataset route the *same* delta through their graph's
+    /// `apply_delta` instead of re-buying and recounting the sample.
+    pub fn apply_update(&self, id: DatasetId, delta: &TableDelta) -> Result<u64> {
+        let mut guard = self.catalog.write().unwrap();
+        let cur = guard.as_ref();
+        let listing = cur
             .listings
-            .get_mut(id.0 as usize)
-            .ok_or_else(|| RelationError::UnknownAttribute(format!("dataset {id}")))?;
-        listing.table = listing.table.apply_delta(delta)?;
-        listing.meta.num_rows = listing.table.num_rows();
-        listing.meta.version += 1;
-        Ok(listing.meta.version)
+            .get(id.0 as usize)
+            .ok_or_else(|| RelationError::UnknownDataset(id.to_string()))?;
+        let table = listing.table.apply_delta(delta)?;
+        let mut meta = listing.meta.clone();
+        meta.num_rows = table.num_rows();
+        meta.version += 1;
+        let new_version = meta.version;
+        let mut listings = cur.listings.clone();
+        listings[id.0 as usize] = Arc::new(Listing {
+            meta,
+            table: Arc::new(table),
+        });
+        *guard = Arc::new(CatalogState {
+            listings,
+            version: cur.version + 1,
+        });
+        Ok(new_version)
     }
 
-    /// Total revenue collected so far.
+    /// Total revenue collected so far — deterministic per-account fold; see
+    /// [`Accounts::revenue`].
     pub fn revenue(&self) -> f64 {
-        self.revenue
+        self.accounts.lock().unwrap().revenue()
+    }
+
+    /// Revenue split `(samples, queries)` — same deterministic fold as
+    /// [`Self::revenue`], restricted per sale kind.
+    pub fn revenue_split(&self) -> (f64, f64) {
+        let accounts = self.accounts.lock().unwrap();
+        let fold = |kind: SaleKind| {
+            let subtotal = |sales: &[Sale]| {
+                sales
+                    .iter()
+                    .filter(|s| s.kind == kind)
+                    .fold(0.0, |acc, s| acc + s.price)
+            };
+            accounts
+                .sessions
+                .iter()
+                .fold(subtotal(&accounts.anonymous), |acc, (_, sales)| {
+                    acc + subtotal(sales)
+                })
+        };
+        (fold(SaleKind::Sample), fold(SaleKind::Query))
+    }
+
+    /// Revenue attributed to one session's stripe (0 if it never bought).
+    pub fn session_revenue(&self, id: SessionId) -> f64 {
+        let accounts = self.accounts.lock().unwrap();
+        match accounts.sessions.binary_search_by_key(&id, |(s, _)| *s) {
+            Ok(at) => accounts.sessions[at].1.iter().fold(0.0, |a, s| a + s.price),
+            Err(_) => 0.0,
+        }
     }
 
     /// `(samples sold, queries sold)`.
     pub fn sales(&self) -> (usize, usize) {
-        (self.samples_sold, self.queries_sold)
+        (
+            self.samples_sold.load(Ordering::Relaxed),
+            self.queries_sold.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -220,11 +478,12 @@ mod tests {
         assert_eq!(cat[0].name, "zip");
         assert_eq!(cat[1].num_rows, 30);
         assert_eq!(m.revenue(), 0.0);
+        assert_eq!(m.catalog_version(), 0);
     }
 
     #[test]
     fn sample_purchase_charges_pro_rata() {
-        let mut m = market();
+        let m = market();
         let full_price = m
             .quote(DatasetId(0), &AttrSet::from_names(["mk_zip", "mk_state"]))
             .unwrap();
@@ -235,11 +494,14 @@ mod tests {
         assert!((price - 0.4 * full_price).abs() < 1e-9);
         assert!((m.revenue() - price).abs() < 1e-12);
         assert_eq!(m.sales(), (1, 0));
+        let (sample_rev, query_rev) = m.revenue_split();
+        assert_eq!(sample_rev.to_bits(), price.to_bits());
+        assert_eq!(query_rev, 0.0);
     }
 
     #[test]
     fn query_execution_projects_and_charges() {
-        let mut m = market();
+        let m = market();
         let q = ProjectionQuery {
             dataset: DatasetId(1),
             dataset_name: "disease".into(),
@@ -253,19 +515,32 @@ mod tests {
     }
 
     #[test]
-    fn unknown_dataset_is_error() {
-        let mut m = market();
-        assert!(m
-            .quote(DatasetId(9), &AttrSet::from_names(["mk_zip"]))
-            .is_err());
-        assert!(m
-            .buy_sample(DatasetId(9), &AttrSet::from_names(["mk_zip"]), 0.5, 1)
-            .is_err());
+    fn unknown_dataset_is_a_dedicated_error() {
+        let m = market();
+        let attrs = AttrSet::from_names(["mk_zip"]);
+        let is_unknown_dataset =
+            |e: RelationError| matches!(e, RelationError::UnknownDataset(ref d) if d == "D9");
+        assert!(is_unknown_dataset(
+            m.quote(DatasetId(9), &attrs).unwrap_err()
+        ));
+        assert!(is_unknown_dataset(
+            m.buy_sample(DatasetId(9), &attrs, 0.5, 1).unwrap_err()
+        ));
+        assert!(is_unknown_dataset(m.meta(DatasetId(9)).unwrap_err()));
+        assert!(is_unknown_dataset(
+            m.full_table_for_evaluation(DatasetId(9)).unwrap_err()
+        ));
+        let q = ProjectionQuery {
+            dataset: DatasetId(9),
+            dataset_name: "nope".into(),
+            attrs,
+        };
+        assert!(is_unknown_dataset(m.execute(&q).unwrap_err()));
     }
 
     #[test]
     fn apply_update_bumps_version_and_row_count() {
-        let mut m = market();
+        let m = market();
         assert_eq!(m.meta(DatasetId(0)).unwrap().version, 0);
         let delta = TableDelta::new(
             vec![vec![Value::str("z_new"), Value::str("s0")]],
@@ -282,9 +557,40 @@ mod tests {
                 .num_rows(),
             49
         );
-        // Unknown datasets are rejected, and other listings are untouched.
-        assert!(m.apply_update(DatasetId(9), &delta).is_err());
+        // Unknown datasets are rejected with the dedicated variant, and
+        // other listings are untouched.
+        assert!(matches!(
+            m.apply_update(DatasetId(9), &delta).unwrap_err(),
+            RelationError::UnknownDataset(ref d) if d == "D9"
+        ));
         assert_eq!(m.meta(DatasetId(1)).unwrap().version, 0);
+        assert_eq!(m.catalog_version(), 1);
+    }
+
+    #[test]
+    fn snapshots_pin_a_version_across_updates() {
+        let m = market();
+        let pinned = m.snapshot();
+        assert_eq!(pinned.version(), 0);
+        let rows_before = pinned.meta(DatasetId(0)).unwrap().num_rows;
+        let quote_before = pinned
+            .quote(DatasetId(0), &AttrSet::from_names(["mk_zip"]))
+            .unwrap();
+
+        let delta = TableDelta::new(Vec::new(), (0..10).collect());
+        m.apply_update(DatasetId(0), &delta).unwrap();
+
+        // The live marketplace moved on; the pinned snapshot did not.
+        assert_eq!(m.catalog_version(), 1);
+        assert_eq!(pinned.version(), 0);
+        assert_eq!(pinned.meta(DatasetId(0)).unwrap().num_rows, rows_before);
+        let quote_after = pinned
+            .quote(DatasetId(0), &AttrSet::from_names(["mk_zip"]))
+            .unwrap();
+        assert_eq!(quote_before.to_bits(), quote_after.to_bits());
+        assert!(pinned.is_coherent());
+        assert!(m.snapshot().is_coherent());
+        assert_eq!(m.snapshot().meta(DatasetId(0)).unwrap().num_rows, 40);
     }
 
     #[test]
@@ -297,5 +603,29 @@ mod tests {
             .quote(DatasetId(0), &AttrSet::from_names(["mk_zip", "mk_state"]))
             .unwrap();
         assert!(part < whole);
+    }
+
+    #[test]
+    fn with_keys_overrides_default_sample_keys() {
+        let m = market();
+        let default_key = m.meta(DatasetId(1)).unwrap().default_key.clone();
+        let tables: Vec<Table> = (0..2)
+            .map(|i| {
+                m.full_table_for_evaluation(DatasetId(i))
+                    .unwrap()
+                    .as_ref()
+                    .clone()
+            })
+            .collect();
+        let overridden = Marketplace::with_keys(
+            tables,
+            vec![None, Some(AttrSet::from_names(["mk_cases"]))],
+            EntropyPricing::default(),
+        );
+        assert_eq!(overridden.meta(DatasetId(0)).unwrap().default_key.len(), 1);
+        assert_ne!(
+            overridden.meta(DatasetId(1)).unwrap().default_key,
+            default_key
+        );
     }
 }

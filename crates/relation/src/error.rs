@@ -7,6 +7,8 @@ use std::fmt;
 pub enum RelationError {
     /// An attribute name was not found in a schema.
     UnknownAttribute(String),
+    /// A dataset id was not found in a marketplace catalog.
+    UnknownDataset(String),
     /// Two schemas (or a schema and a value) disagree on types.
     TypeMismatch(String),
     /// Columns of a table have inconsistent lengths, or a row has the wrong arity.
@@ -26,6 +28,7 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            RelationError::UnknownDataset(d) => write!(f, "unknown dataset: {d}"),
             RelationError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             RelationError::Shape(m) => write!(f, "shape error: {m}"),
             RelationError::InvalidJoin(m) => write!(f, "invalid join: {m}"),
@@ -60,6 +63,8 @@ mod tests {
         assert!(e.to_string().contains("zipcode"));
         let e = RelationError::TypeMismatch("Int vs Str".into());
         assert!(e.to_string().contains("Int vs Str"));
+        let e = RelationError::UnknownDataset("D9".into());
+        assert!(e.to_string().contains("unknown dataset: D9"));
     }
 
     #[test]

@@ -17,9 +17,9 @@ fn main() {
     })
     .expect("generation");
     let q = workload.query("Q2").expect("Q2 exists").clone();
-    let mut market = Marketplace::new(workload.tables, EntropyPricing::default());
+    let market = Marketplace::new(workload.tables, EntropyPricing::default());
     let mut dance = Dance::offline(
-        &mut market,
+        &market,
         Vec::new(),
         DanceConfig {
             sampling_rate: 0.5,
@@ -36,7 +36,7 @@ fn main() {
     // Establish the unconstrained price as the upper bound UB, as in §6.1.
     let unconstrained = dance
         .acquire(
-            &mut market,
+            &market,
             &AcquisitionRequest::new(q.source.clone(), q.target.clone()),
         )
         .expect("search")
@@ -57,7 +57,7 @@ fn main() {
                 budget,
             },
         );
-        match dance.acquire(&mut market, &request).expect("search") {
+        match dance.acquire(&market, &request).expect("search") {
             Some(plan) => println!(
                 "{:<8.2} {:>10.3} {:>10.3} {:>8.3}",
                 ratio, budget, plan.estimated.correlation, plan.estimated.price

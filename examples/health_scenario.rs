@@ -20,7 +20,7 @@ fn main() {
     let ds = scenario::source_ds();
     println!("Adam's source instance:\n{}", ds.pretty(10));
 
-    let mut market = Marketplace::new(scenario::marketplace_tables(), EntropyPricing::default());
+    let market = Marketplace::new(scenario::marketplace_tables(), EntropyPricing::default());
     println!("marketplace instances:");
     for meta in market.catalog() {
         println!(
@@ -40,7 +40,7 @@ fn main() {
 
     // Offline with full-rate samples — the toy tables are tiny.
     let mut dance = Dance::offline(
-        &mut market,
+        &market,
         vec![ds],
         DanceConfig {
             sampling_rate: 1.0,
@@ -60,7 +60,7 @@ fn main() {
         AttrSet::from_names(["disease"]),
     );
     let plan = dance
-        .acquire(&mut market, &request)
+        .acquire(&market, &request)
         .expect("search")
         .expect("the scenario has valid acquisition routes");
 
@@ -85,7 +85,7 @@ fn main() {
     );
 
     // Without D5, the only route is the paper's Option 1: DS ⋈ D1 ⋈ D2.
-    let mut market2 = Marketplace::new(
+    let market2 = Marketplace::new(
         vec![
             scenario::d1_zipcode(),
             scenario::d2_disease_by_state(),
@@ -95,7 +95,7 @@ fn main() {
         EntropyPricing::default(),
     );
     let mut dance2 = Dance::offline(
-        &mut market2,
+        &market2,
         vec![scenario::source_ds()],
         DanceConfig {
             sampling_rate: 1.0,
@@ -110,7 +110,7 @@ fn main() {
     )
     .expect("offline");
     let plan2 = dance2
-        .acquire(&mut market2, &request)
+        .acquire(&market2, &request)
         .expect("search")
         .expect("Option 1 exists");
     println!("\nwith D5 delisted, DANCE falls back to a multi-instance option:");

@@ -24,9 +24,9 @@ fn main() {
         workload.tables.iter().map(Table::num_rows).sum::<usize>()
     );
 
-    let mut market = Marketplace::new(workload.tables, EntropyPricing::default());
+    let market = Marketplace::new(workload.tables, EntropyPricing::default());
     let dance = Dance::offline(
-        &mut market,
+        &market,
         Vec::new(),
         DanceConfig {
             sampling_rate: 0.5,

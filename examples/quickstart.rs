@@ -24,7 +24,7 @@ fn main() {
             .collect(),
     )
     .expect("well-formed table");
-    let mut market = Marketplace::new(vec![zip, disease], EntropyPricing::default());
+    let market = Marketplace::new(vec![zip, disease], EntropyPricing::default());
     println!("marketplace catalog:");
     for meta in market.catalog() {
         println!("  {}: {} ({} rows)", meta.id, meta.name, meta.num_rows);
@@ -42,7 +42,7 @@ fn main() {
 
     // 3. Offline phase: buy correlated samples, build the join graph.
     let mut dance = Dance::offline(
-        &mut market,
+        &market,
         vec![ds],
         DanceConfig {
             sampling_rate: 0.5,
@@ -68,7 +68,7 @@ fn main() {
         budget: 50.0,
     });
     let plan = dance
-        .acquire(&mut market, &request)
+        .acquire(&market, &request)
         .expect("search runs")
         .expect("a plan exists under these constraints");
 
@@ -87,7 +87,7 @@ fn main() {
     // 5. Execute the purchase under a budget.
     let mut budget = Budget::new(request.constraints.budget);
     let tables = dance
-        .purchase(&mut market, &plan, &mut budget)
+        .purchase(&market, &plan, &mut budget)
         .expect("plan fits the budget");
     println!(
         "\npurchased {} projections for {:.3} ({} remaining); marketplace revenue {:.3}",

@@ -39,9 +39,9 @@ fn main() {
     }
 
     let queries = workload.queries.clone();
-    let mut market = Marketplace::new(workload.tables, EntropyPricing::default());
+    let market = Marketplace::new(workload.tables, EntropyPricing::default());
     let mut dance = Dance::offline(
-        &mut market,
+        &market,
         Vec::new(), // pure marketplace acquisition: no owned source instance
         DanceConfig {
             sampling_rate: 0.4,
@@ -64,7 +64,7 @@ fn main() {
         let request = AcquisitionRequest::new(q.source.clone(), q.target.clone());
 
         let t0 = Instant::now();
-        let plan = dance.acquire(&mut market, &request).expect("search");
+        let plan = dance.acquire(&market, &request).expect("search");
         let heuristic_time = t0.elapsed();
         let Some(plan) = plan else {
             println!("no plan under current constraints");

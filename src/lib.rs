@@ -30,7 +30,7 @@
 //!     &[("qs_state", ValueType::Int), ("qs_disease", ValueType::Str)],
 //!     (0..60).map(|i| vec![Value::Int(i % 5), Value::str(format!("d{}", i % 5))]).collect(),
 //! ).unwrap();
-//! let mut market = Marketplace::new(vec![zip, disease], EntropyPricing::default());
+//! let market = Marketplace::new(vec![zip, disease], EntropyPricing::default());
 //!
 //! // The shopper owns a source instance with `qs_age` and `qs_zip`.
 //! let ds = Table::from_rows(
@@ -40,7 +40,7 @@
 //! ).unwrap();
 //!
 //! // Offline: buy samples, build the join graph. Online: acquire.
-//! let mut dance = Dance::offline(&mut market, vec![ds], DanceConfig {
+//! let mut dance = Dance::offline(&market, vec![ds], DanceConfig {
 //!     sampling_rate: 0.7,
 //!     ..DanceConfig::default()
 //! }).unwrap();
@@ -48,7 +48,7 @@
 //!     AttrSet::from_names(["qs_age"]),
 //!     AttrSet::from_names(["qs_disease"]),
 //! );
-//! let plan = dance.acquire(&mut market, &request).unwrap().expect("plan");
+//! let plan = dance.acquire(&market, &request).unwrap().expect("plan");
 //! assert!(!plan.queries.is_empty());
 //! ```
 
@@ -66,7 +66,10 @@ pub mod prelude {
         AcquisitionPlan, AcquisitionRequest, Constraints, Dance, DanceConfig, JoinGraph,
         JoinGraphConfig, McmcConfig, PlanMetrics, TargetGraph,
     };
-    pub use dance_market::{Budget, EntropyPricing, Marketplace, PricingModel, ProjectionQuery};
+    pub use dance_market::{
+        Budget, EntropyPricing, Marketplace, PricingModel, ProjectionQuery, Session, SessionConfig,
+        SessionManager, SessionManagerConfig,
+    };
     pub use dance_quality::{Fd, TaneConfig};
     pub use dance_relation::{attr, AttrSet, Schema, Table, Value, ValueType};
     pub use dance_sampling::CorrelatedSampler;

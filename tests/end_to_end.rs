@@ -24,17 +24,14 @@ fn quick_config(rate: f64) -> DanceConfig {
 
 #[test]
 fn health_scenario_full_loop() {
-    let mut market = Marketplace::new(scenario::marketplace_tables(), EntropyPricing::default());
-    let mut dance = Dance::offline(&mut market, vec![scenario::source_ds()], quick_config(1.0))
-        .expect("offline");
+    let market = Marketplace::new(scenario::marketplace_tables(), EntropyPricing::default());
+    let mut dance =
+        Dance::offline(&market, vec![scenario::source_ds()], quick_config(1.0)).expect("offline");
     let req = AcquisitionRequest::new(
         AttrSet::from_names(["age"]),
         AttrSet::from_names(["disease"]),
     );
-    let plan = dance
-        .acquire(&mut market, &req)
-        .expect("search")
-        .expect("plan");
+    let plan = dance.acquire(&market, &req).expect("search").expect("plan");
     assert!(!plan.queries.is_empty());
     assert!(plan.estimated.price > 0.0);
 
@@ -42,7 +39,7 @@ fn health_scenario_full_loop() {
     let revenue_before = market.revenue();
     let mut budget = Budget::new(1_000.0);
     let data = dance
-        .purchase(&mut market, &plan, &mut budget)
+        .purchase(&market, &plan, &mut budget)
         .expect("affordable");
     assert_eq!(data.len(), plan.queries.len());
     assert!(market.revenue() > revenue_before);
@@ -79,8 +76,8 @@ fn seeded_acquisition_is_deterministic_and_ledger_consistent() {
             seed: 9,
         })
         .unwrap();
-        let mut market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
-        let mut dance = Dance::offline(&mut market, Vec::new(), quick_config(0.8)).unwrap();
+        let market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
+        let mut dance = Dance::offline(&market, Vec::new(), quick_config(0.8)).unwrap();
         let q = w.query("Q1").unwrap();
         let req = AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(
             Constraints {
@@ -90,7 +87,7 @@ fn seeded_acquisition_is_deterministic_and_ledger_consistent() {
             },
         );
         let plan = dance
-            .acquire(&mut market, &req)
+            .acquire(&market, &req)
             .unwrap()
             .expect("plan within budget");
         assert!(
@@ -108,7 +105,7 @@ fn seeded_acquisition_is_deterministic_and_ledger_consistent() {
             .map(|q| market.quote(q.dataset, &q.attrs).unwrap())
             .sum();
         let mut budget = Budget::new(quoted + 1.0);
-        let data = dance.purchase(&mut market, &plan, &mut budget).unwrap();
+        let data = dance.purchase(&market, &plan, &mut budget).unwrap();
         assert_eq!(data.len(), plan.queries.len());
         assert!((budget.spent() - quoted).abs() < 1e-9, "spend == Σ quotes");
         assert!(
@@ -152,11 +149,11 @@ fn tpch_heuristic_tracks_lp_on_forced_paths() {
         seed: 9,
     })
     .unwrap();
-    let mut market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
-    let mut dance = Dance::offline(&mut market, Vec::new(), quick_config(1.0)).unwrap();
+    let market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
+    let mut dance = Dance::offline(&market, Vec::new(), quick_config(1.0)).unwrap();
     let q = w.query("Q1").unwrap();
     let req = AcquisitionRequest::new(q.source.clone(), q.target.clone());
-    let plan = dance.acquire(&mut market, &req).unwrap().expect("plan");
+    let plan = dance.acquire(&market, &req).unwrap().expect("plan");
     let truth = dance.evaluate_true(&market, &plan.graph, &req).unwrap();
 
     let lp = dance::core::baseline::brute_force(
@@ -188,16 +185,13 @@ fn budget_constraint_is_respected_by_plans() {
         seed: 9,
     })
     .unwrap();
-    let mut market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
-    let mut dance = Dance::offline(&mut market, Vec::new(), quick_config(0.8)).unwrap();
+    let market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
+    let mut dance = Dance::offline(&market, Vec::new(), quick_config(0.8)).unwrap();
     let q = w.query("Q2").unwrap();
 
     // First find the unconstrained price, then demand half of it.
     let free_req = AcquisitionRequest::new(q.source.clone(), q.target.clone());
-    let unconstrained = dance
-        .acquire(&mut market, &free_req)
-        .unwrap()
-        .expect("plan");
+    let unconstrained = dance.acquire(&market, &free_req).unwrap().expect("plan");
     let cap = unconstrained.estimated.price / 2.0;
     let tight =
         AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(Constraints {
@@ -205,7 +199,7 @@ fn budget_constraint_is_respected_by_plans() {
             beta: 0.0,
             budget: cap,
         });
-    match dance.acquire(&mut market, &tight).unwrap() {
+    match dance.acquire(&market, &tight).unwrap() {
         Some(plan) => assert!(
             plan.estimated.price <= cap + 1e-9,
             "plan {} exceeds cap {cap}",
@@ -223,15 +217,15 @@ fn refinement_buys_more_samples_and_improves_resolution() {
         seed: 9,
     })
     .unwrap();
-    let mut market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
+    let market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
     let mut cfg = quick_config(0.2);
     cfg.refine_rounds = 2;
     cfg.refine_multiplier = 2.0;
-    let mut dance = Dance::offline(&mut market, Vec::new(), cfg).unwrap();
+    let mut dance = Dance::offline(&market, Vec::new(), cfg).unwrap();
     let cost0 = dance.sample_cost();
     let sales0 = market.sales().0;
 
-    dance.refine(&mut market).expect("refinement purchase");
+    dance.refine(&market).expect("refinement purchase");
     assert!(dance.current_rate() > 0.2);
     assert!(dance.sample_cost() > cost0);
     assert!(market.sales().0 > sales0);
@@ -250,8 +244,8 @@ fn quality_constraint_filters_dirty_routes() {
         seed: 9,
     })
     .unwrap();
-    let mut market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
-    let mut dance = Dance::offline(&mut market, Vec::new(), quick_config(0.8)).unwrap();
+    let market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
+    let mut dance = Dance::offline(&market, Vec::new(), quick_config(0.8)).unwrap();
     let q = w.query("Q1").unwrap();
     let req =
         AcquisitionRequest::new(q.source.clone(), q.target.clone()).with_constraints(Constraints {
@@ -259,7 +253,7 @@ fn quality_constraint_filters_dirty_routes() {
             beta: 1.01,
             budget: f64::INFINITY,
         });
-    assert!(dance.acquire(&mut market, &req).unwrap().is_none());
+    assert!(dance.acquire(&market, &req).unwrap().is_none());
 }
 
 #[test]
@@ -270,8 +264,8 @@ fn alpha_constraint_prunes_heavy_join_paths() {
         seed: 9,
     })
     .unwrap();
-    let mut market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
-    let mut dance = Dance::offline(&mut market, Vec::new(), quick_config(0.8)).unwrap();
+    let market = Marketplace::new(w.tables.clone(), EntropyPricing::default());
+    let mut dance = Dance::offline(&market, Vec::new(), quick_config(0.8)).unwrap();
     let q = w.query("Q3").unwrap();
     // α = 0: only perfectly informative (JI = 0) paths acceptable; at this
     // dirt level the 5-hop route always carries some weight.
@@ -281,7 +275,7 @@ fn alpha_constraint_prunes_heavy_join_paths() {
             beta: 0.0,
             budget: f64::INFINITY,
         });
-    if let Some(plan) = dance.acquire(&mut market, &req).unwrap() {
+    if let Some(plan) = dance.acquire(&market, &req).unwrap() {
         assert!(plan.estimated.join_informativeness <= 1e-9);
     }
 }

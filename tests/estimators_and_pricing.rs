@@ -104,7 +104,7 @@ proptest! {
     #[test]
     fn sample_price_linear_in_rate(rate in 0.1f64..1.0) {
         let ts = tables();
-        let mut market = Marketplace::new(ts, EntropyPricing::default());
+        let market = Marketplace::new(ts, EntropyPricing::default());
         let key = AttrSet::from_names(["custkey"]);
         let (_, p) = market.buy_sample(dance::market::DatasetId(3), &key, rate, 5).unwrap();
         let (_, p_full) = market.buy_sample(dance::market::DatasetId(3), &key, 1.0, 5).unwrap();
