@@ -90,18 +90,20 @@ impl Executor {
 
     /// The process-global executor: worker count from `DANCE_THREADS` (read
     /// once, on first use), defaulting to the machine's available parallelism.
+    /// A malformed value falls back to the default with a one-time warning on
+    /// stderr (see [`threads_from_env`]) — it used to degrade silently.
     pub fn global() -> Executor {
         static THREADS: OnceLock<usize> = OnceLock::new();
         let threads = *THREADS.get_or_init(|| {
-            std::env::var("DANCE_THREADS")
-                .ok()
-                .and_then(|s| s.trim().parse::<usize>().ok())
-                .filter(|&t| t >= 1)
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(std::num::NonZeroUsize::get)
-                        .unwrap_or(1)
-                })
+            let default = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            let raw = std::env::var("DANCE_THREADS").ok();
+            let (threads, warning) = threads_from_env(raw.as_deref(), default);
+            if let Some(w) = warning {
+                eprintln!("{w}");
+            }
+            threads
         });
         Executor::new(threads)
     }
@@ -286,6 +288,29 @@ impl Executor {
     }
 }
 
+/// Resolve a raw `DANCE_THREADS` value to a worker count.
+///
+/// `None` (variable unset) is the quiet default path. A present value must
+/// parse to a positive integer (surrounding whitespace tolerated); anything
+/// else — empty, zero, negative, non-numeric — falls back to `default` and
+/// returns a warning naming the rejected value, so a typo in the environment
+/// never silently degrades a run to the wrong parallelism.
+pub fn threads_from_env(raw: Option<&str>, default: usize) -> (usize, Option<String>) {
+    let Some(raw) = raw else {
+        return (default, None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(t) if t >= 1 => (t, None),
+        _ => (
+            default,
+            Some(format!(
+                "warning: ignoring malformed DANCE_THREADS value {raw:?} \
+                 (expected a positive integer); using {default} thread(s)"
+            )),
+        ),
+    }
+}
+
 /// `n` items split into exactly `workers` contiguous ranges whose sizes differ
 /// by at most one (earlier ranges get the remainder).
 fn split_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
@@ -454,6 +479,29 @@ mod tests {
             h1.join().unwrap() + h2.join().unwrap()
         });
         assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn threads_from_env_accepts_positive_integers() {
+        assert_eq!(threads_from_env(None, 6), (6, None));
+        assert_eq!(threads_from_env(Some("4"), 6), (4, None));
+        assert_eq!(threads_from_env(Some(" 8 "), 6), (8, None));
+        assert_eq!(threads_from_env(Some("1"), 6), (1, None));
+    }
+
+    #[test]
+    fn threads_from_env_warns_on_malformed_values() {
+        for bad in ["", "0", "-3", "abc", "4.5", "1e2", "four", " "] {
+            let (threads, warning) = threads_from_env(Some(bad), 6);
+            assert_eq!(threads, 6, "malformed {bad:?} falls back to the default");
+            let w = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(w.contains("DANCE_THREADS"), "warning names the variable");
+            assert!(
+                w.contains(&format!("{bad:?}")),
+                "warning names the bad value: {w}"
+            );
+            assert!(w.contains('6'), "warning names the fallback: {w}");
+        }
     }
 
     #[test]

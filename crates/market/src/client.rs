@@ -1,0 +1,143 @@
+//! `market::client` — a minimal blocking client for the [`crate::wire`]
+//! protocol, used by the integration tests, the load harness and the
+//! serving benches.
+//!
+//! The client separates **queueing** from **flushing** so callers can
+//! pipeline: [`WireClient::queue`] encodes a request into the send buffer
+//! and returns its request id, [`WireClient::flush`] writes the whole batch
+//! in one syscall, and [`WireClient::recv_reply`] pops responses one at a
+//! time (in arrival order, which the server guarantees equals request order
+//! per connection). [`WireClient::call`] is the await-one convenience.
+//!
+//! With [`WireClient::recording`], every raw response frame is appended to
+//! an in-memory transcript — the byte string the determinism contract is
+//! stated over (see `tests/wire_service.rs`).
+
+use crate::wire::{self, Reply, Request, WireError, HEADER_LEN};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking, pipelining-capable wire client over one TCP connection.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    send: Vec<u8>,
+    recv: Vec<u8>,
+    next_id: u64,
+    record: bool,
+    transcript: Vec<u8>,
+}
+
+fn protocol_io_error(e: WireError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+impl WireClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient {
+            stream,
+            send: Vec::with_capacity(4 * 1024),
+            recv: Vec::with_capacity(16 * 1024),
+            next_id: 1,
+            record: false,
+            transcript: Vec::new(),
+        })
+    }
+
+    /// Connect with transcript recording on: every raw response frame is
+    /// appended to [`WireClient::transcript`] in arrival order.
+    pub fn recording(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
+        let mut c = WireClient::connect(addr)?;
+        c.record = true;
+        Ok(c)
+    }
+
+    /// The raw response-frame transcript recorded so far.
+    pub fn transcript(&self) -> &[u8] {
+        &self.transcript
+    }
+
+    /// Encode `req` into the send buffer (no I/O) and return the request id
+    /// it will be answered under. Ids are assigned 1, 2, 3… per connection,
+    /// so a client's id sequence is deterministic.
+    pub fn queue(&mut self, req: &Request) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        wire::encode_request(&mut self.send, id, req);
+        id
+    }
+
+    /// Write every queued frame in one batch.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.send.is_empty() {
+            self.stream.write_all(&self.send)?;
+            self.send.clear();
+        }
+        Ok(())
+    }
+
+    /// Block until one complete response frame is available and decode it,
+    /// returning `(request id, reply)`.
+    pub fn recv_reply(&mut self) -> std::io::Result<(u64, Reply)> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            if let Some(header) = wire::peek_header(&self.recv, wire::DEFAULT_MAX_PAYLOAD)
+                .map_err(protocol_io_error)?
+            {
+                let frame_len = HEADER_LEN + header.payload_len as usize;
+                if self.recv.len() >= frame_len {
+                    let reply =
+                        wire::decode_reply(header.opcode, &self.recv[HEADER_LEN..frame_len])
+                            .map_err(protocol_io_error)?;
+                    if self.record {
+                        self.transcript.extend_from_slice(&self.recv[..frame_len]);
+                    }
+                    self.recv.drain(..frame_len);
+                    return Ok((header.request_id, reply));
+                }
+            }
+            let n = self.stream.read(&mut scratch)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.recv.extend_from_slice(&scratch[..n]);
+        }
+    }
+
+    /// Send one request and block for its reply (depth-1 convenience; use
+    /// `queue`/`flush`/`recv_reply` to pipeline). Panics if the response id
+    /// does not match — only valid when no other requests are in flight.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Reply> {
+        let id = self.queue(req);
+        self.flush()?;
+        let (got, reply) = self.recv_reply()?;
+        assert_eq!(got, id, "call() used with requests in flight");
+        Ok(reply)
+    }
+
+    /// Queue a frame with an explicit raw opcode and payload — for tests
+    /// exercising the server's hostile-input handling.
+    pub fn send_raw_frame(&mut self, opcode: u16, request_id: u64, payload: &[u8]) {
+        let start = self.send.len();
+        self.send.extend_from_slice(&wire::MAGIC.to_le_bytes());
+        self.send
+            .extend_from_slice(&wire::PROTOCOL_VERSION.to_le_bytes());
+        self.send.extend_from_slice(&opcode.to_le_bytes());
+        self.send.extend_from_slice(&request_id.to_le_bytes());
+        self.send
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.send.extend_from_slice(payload);
+        debug_assert_eq!(self.send.len() - start, HEADER_LEN + payload.len());
+    }
+
+    /// Queue arbitrary bytes verbatim — for tests sending garbage.
+    pub fn send_raw_bytes(&mut self, bytes: &[u8]) {
+        self.send.extend_from_slice(bytes);
+    }
+}

@@ -22,20 +22,33 @@
 //! * [`session`] — long-running acquisition sessions: per-session budgets,
 //!   ledgers and seeds over one pinned catalog version, plus the
 //!   [`SessionManager`] service shell (open/close, capacity, stats).
+//! * [`wire`] — the length-prefixed binary frame protocol serving sessions
+//!   over sockets (deterministic encode/decode, faults, table digests).
+//! * [`server`] — the multi-worker TCP server: pipelining, bounded accept
+//!   backlog with queue-or-reject policy, per-shopper token-bucket rate
+//!   limits, combined service stats.
+//! * [`client`] — a blocking, pipelining-capable wire client with optional
+//!   transcript recording (what the determinism contract is stated over).
 
 pub mod budget;
 pub mod catalog;
+pub mod client;
 pub mod marketplace;
 pub mod pricing;
 pub mod query;
+pub mod server;
 pub mod session;
+pub mod wire;
 
 pub use budget::{Budget, BudgetError};
 pub use catalog::{DatasetId, DatasetMeta};
+pub use client::WireClient;
 pub use marketplace::{CatalogSnapshot, Marketplace};
 pub use pricing::{EntropyPricing, PricingModel};
 pub use query::ProjectionQuery;
+pub use server::{BacklogPolicy, RateLimit, Server, ServerConfig};
 pub use session::{
     ManagerStats, Purchase, PurchaseKind, Session, SessionConfig, SessionError, SessionId,
     SessionManager, SessionManagerConfig, SessionReport, SessionResult,
 };
+pub use wire::{Fault, FaultCode, Opcode, Reply, Request, Response, StatsSnapshot, WireError};

@@ -128,6 +128,30 @@ impl CatalogSnapshot {
         Ok((sample, price))
     }
 
+    /// Quote a batch of projections in one call. The listing is resolved
+    /// once per item, and prices are memoized per distinct
+    /// `(dataset, attrs)` pair — pricing is a pure function of the pinned
+    /// listing, so a repeated quote inside a batch is answered from the
+    /// memo, bit-identical to per-item [`CatalogSnapshot::quote`] calls.
+    /// Prices come back in item order.
+    pub fn quote_batch(&self, items: &[(DatasetId, AttrSet)]) -> Result<Vec<f64>> {
+        use std::collections::hash_map::Entry;
+        let mut memo: std::collections::HashMap<(DatasetId, &AttrSet), f64> =
+            std::collections::HashMap::with_capacity(items.len());
+        let mut prices = Vec::with_capacity(items.len());
+        for (id, attrs) in items {
+            let price = match memo.entry((*id, attrs)) {
+                Entry::Occupied(hit) => *hit.get(),
+                Entry::Vacant(slot) => {
+                    let listing = self.listing(*id)?;
+                    *slot.insert(self.pricing.price(&listing.table, attrs)?)
+                }
+            };
+            prices.push(price);
+        }
+        Ok(prices)
+    }
+
     /// Evaluate a projection query (and price it) — pure, no accounting.
     pub fn project(&self, q: &ProjectionQuery) -> Result<(Table, f64)> {
         let price = self.quote(q.dataset, &q.attrs)?;

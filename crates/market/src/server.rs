@@ -1,0 +1,846 @@
+//! `market::server` — a multi-worker TCP server exposing the acquisition
+//! session service over the [`crate::wire`] protocol.
+//!
+//! Architecture (std-only, like `dance-executor` — no async runtime):
+//!
+//! * one **acceptor** thread takes connections off a `TcpListener` and
+//!   pushes them onto a bounded backlog queue — when the queue is full the
+//!   configured policy either blocks the acceptor (queue) or answers the
+//!   connection with a single `Rejected` fault frame and drops it (reject);
+//! * a fixed pool of **worker** threads pops connections and serves each to
+//!   completion. One connection is owned by one worker at a time, so the
+//!   sessions opened on it live in plain worker-local state and the session
+//!   layer stays lock-free.
+//!
+//! **Pipelining:** a client may keep many requests in flight on one
+//! connection. The worker drains every complete frame from the receive
+//! buffer, handles them in arrival order, and writes all responses back in
+//! one batch — responses carry the client's request id and are written in
+//! completion order (which, on a single connection, equals request order, so
+//! transcripts stay deterministic).
+//!
+//! **Hot path allocation:** each connection owns a receive buffer, a send
+//! buffer and a fixed stack scratch block, all reused across requests — a
+//! CI grep-guard keeps per-request allocation and string formatting out of
+//! this file (fault-message construction lives in [`crate::wire`]).
+//!
+//! **Admission control** beyond the session manager's hard `AtCapacity`:
+//! per-shopper token buckets (configurable rate + burst; `Stats` requests
+//! are exempt) answer over-limit requests with `Rejected` faults rather
+//! than hangs, and the bounded accept backlog sheds load at the edge. All
+//! of it is surfaced in [`StatsSnapshot`] via [`Server::stats`].
+
+use crate::session::{SessionConfig, SessionManager};
+use crate::wire::{
+    self, Fault, Reply, Request, Response, StatsSnapshot, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-shopper rate limit: a token bucket refilled at `per_sec`, holding at
+/// most `burst` tokens; every request except `Stats` costs one token.
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimit {
+    /// Sustained requests/second per shopper.
+    pub per_sec: f64,
+    /// Burst capacity (initial fill and cap).
+    pub burst: f64,
+}
+
+/// What the acceptor does when the backlog queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BacklogPolicy {
+    /// Block the acceptor until a worker frees a slot.
+    Queue,
+    /// Answer the connection with one `Rejected` fault frame and drop it.
+    Reject,
+}
+
+/// Server knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded accept-backlog capacity (connections waiting for a worker).
+    pub backlog: usize,
+    /// Queue-or-reject policy when the backlog is full.
+    pub on_full: BacklogPolicy,
+    /// Optional per-shopper token-bucket rate limit.
+    pub rate_limit: Option<RateLimit>,
+    /// Frame payload cap enforced at the header.
+    pub max_payload: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            backlog: 64,
+            on_full: BacklogPolicy::Reject,
+            rate_limit: None,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests_served: AtomicU64,
+    rate_limited: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn try_take(&mut self, now: Instant, limit: &RateLimit) -> bool {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * limit.per_sec).min(limit.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers and the [`Server`] handle.
+#[derive(Debug)]
+struct Shared {
+    mgr: Arc<SessionManager>,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    counters: Counters,
+    buckets: Mutex<HashMap<u64, TokenBucket>>,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsSnapshot {
+        let m = self.mgr.stats();
+        StatsSnapshot {
+            sessions_open: m.open as u64,
+            sessions_opened: m.opened as u64,
+            sessions_closed: m.closed as u64,
+            sessions_rejected: m.rejected as u64,
+            sessions_peak_open: m.peak_open as u64,
+            connections_accepted: self.counters.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.counters.connections_rejected.load(Ordering::Relaxed),
+            requests_served: self.counters.requests_served.load(Ordering::Relaxed),
+            rate_limited: self.counters.rate_limited.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Charge one token to `shopper`'s bucket; `true` means admitted.
+    fn admit(&self, shopper: u64) -> bool {
+        let Some(limit) = self.cfg.rate_limit else {
+            return true;
+        };
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().unwrap();
+        let bucket = buckets.entry(shopper).or_insert(TokenBucket {
+            tokens: limit.burst,
+            last: now,
+        });
+        bucket.try_take(now, &limit)
+    }
+}
+
+/// A running wire server over one [`SessionManager`]. Dropping the handle
+/// without [`Server::shutdown`] leaves the threads running detached — call
+/// `shutdown` for a clean stop.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind a loopback listener on an ephemeral port and start the acceptor
+    /// plus `cfg.workers` worker threads.
+    pub fn start(mgr: Arc<SessionManager>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            mgr,
+            cfg,
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::with_capacity(cfg.backlog)),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            counters: Counters::default(),
+            buckets: Mutex::new(HashMap::with_capacity(64)),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Combined service counters: session-manager stats plus the server's
+    /// connection/request/admission counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats()
+    }
+
+    /// Stop accepting, wake every thread, join them all, and return the
+    /// final counters. In-flight connections notice the stop flag at their
+    /// next read-timeout tick (≤ ~50ms) and close.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept with a throwaway connect.
+        drop(TcpStream::connect(self.addr));
+        // Take the queue lock once so no thread can miss the wakeup between
+        // its stop-check and its condvar wait.
+        drop(self.shared.queue.lock().unwrap());
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        if let Some(a) = self.acceptor.take() {
+            drop(a.join());
+        }
+        for w in self.workers.drain(..) {
+            drop(w.join());
+        }
+        self.shared.stats()
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        let conn = listener.accept();
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        let mut q = shared.queue.lock().unwrap();
+        if q.len() >= shared.cfg.backlog {
+            match shared.cfg.on_full {
+                BacklogPolicy::Reject => {
+                    drop(q);
+                    shared
+                        .counters
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    reject_connection(stream);
+                    continue;
+                }
+                BacklogPolicy::Queue => {
+                    while q.len() >= shared.cfg.backlog {
+                        if shared.stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        q = shared.not_full.wait(q).unwrap();
+                    }
+                }
+            }
+        }
+        q.push_back(stream);
+        drop(q);
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        shared.not_empty.notify_one();
+    }
+}
+
+/// Answer a shed connection with one connection-level `Rejected` frame
+/// (request id 0, fault-only opcode) so the client sees a clean refusal
+/// instead of a silent close.
+fn reject_connection(mut stream: TcpStream) {
+    let mut frame = Vec::with_capacity(64);
+    wire::encode_reply(
+        &mut frame,
+        0,
+        0,
+        &Reply::Fault(Fault::rejected("accept backlog full; retry later")),
+    );
+    drop(stream.write_all(&frame));
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = next_connection(shared) {
+        serve_connection(shared, stream);
+    }
+}
+
+fn next_connection(shared: &Shared) -> Option<TcpStream> {
+    let mut q = shared.queue.lock().unwrap();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(stream) = q.pop_front() {
+            shared.not_full.notify_one();
+            return Some(stream);
+        }
+        q = shared.not_empty.wait(q).unwrap();
+    }
+}
+
+/// One shopper session opened over this connection.
+struct ConnSession {
+    shopper: u64,
+    session: crate::session::Session,
+}
+
+/// Serve one connection to completion: read, drain every complete frame,
+/// write all responses back in one batch, repeat. The receive/send buffers
+/// and the scratch block are reused for the connection's whole lifetime.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    drop(stream.set_nodelay(true));
+    drop(stream.set_read_timeout(Some(Duration::from_millis(50))));
+    let mut recv: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut send: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut scratch = [0u8; 16 * 1024];
+    let mut sessions: HashMap<u64, ConnSession> = HashMap::with_capacity(4);
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => recv.extend_from_slice(&scratch[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+        let mut consumed = 0;
+        loop {
+            match wire::peek_header(&recv[consumed..], shared.cfg.max_payload) {
+                Ok(None) => break,
+                Ok(Some(h)) => {
+                    let frame_len = HEADER_LEN + h.payload_len as usize;
+                    if recv.len() - consumed < frame_len {
+                        break;
+                    }
+                    let payload = &recv[consumed + HEADER_LEN..consumed + frame_len];
+                    handle_frame(
+                        shared,
+                        h.opcode,
+                        h.request_id,
+                        payload,
+                        &mut sessions,
+                        &mut send,
+                    );
+                    consumed += frame_len;
+                }
+                Err(e) => {
+                    // Framing is lost (bad magic/version/length): answer with
+                    // one protocol fault and close — there is no way to
+                    // resynchronize the stream.
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    wire::encode_reply(&mut send, 0, 0, &Reply::Fault(Fault::protocol(&e)));
+                    drop(stream.write_all(&send));
+                    return;
+                }
+            }
+        }
+        recv.drain(..consumed);
+        if !send.is_empty() {
+            if stream.write_all(&send).is_err() {
+                return;
+            }
+            send.clear();
+        }
+    }
+}
+
+/// Decode and execute one request frame, appending the response to `send`.
+fn handle_frame(
+    shared: &Shared,
+    opcode: u16,
+    request_id: u64,
+    payload: &[u8],
+    sessions: &mut HashMap<u64, ConnSession>,
+    send: &mut Vec<u8>,
+) {
+    let req = match wire::decode_request(opcode, payload) {
+        Ok(req) => req,
+        Err(e) => {
+            // The frame boundary is intact (header was valid), so a payload
+            // decode error faults this request and keeps the connection.
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            wire::encode_reply(send, request_id, opcode, &Reply::Fault(Fault::protocol(&e)));
+            return;
+        }
+    };
+    shared
+        .counters
+        .requests_served
+        .fetch_add(1, Ordering::Relaxed);
+
+    // Admission: every request except Stats costs one token from the bucket
+    // of the shopper it acts for.
+    let shopper = match &req {
+        Request::OpenSession { shopper, .. } => Some(*shopper),
+        Request::Stats => None,
+        Request::Quote { session, .. }
+        | Request::QuoteBatch { session, .. }
+        | Request::BuySample { session, .. }
+        | Request::Execute { session, .. }
+        | Request::Repin { session }
+        | Request::CloseSession { session } => match sessions.get(session) {
+            Some(cs) => Some(cs.shopper),
+            None => {
+                wire::encode_reply(
+                    send,
+                    request_id,
+                    opcode,
+                    &Reply::Fault(Fault::unknown_session(*session)),
+                );
+                return;
+            }
+        },
+    };
+    if let Some(shopper) = shopper {
+        if !shared.admit(shopper) {
+            shared.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+            wire::encode_reply(
+                send,
+                request_id,
+                opcode,
+                &Reply::Fault(Fault::rejected("shopper rate limit exceeded; retry later")),
+            );
+            return;
+        }
+    }
+
+    let reply = match req {
+        Request::OpenSession {
+            shopper,
+            seed,
+            budget,
+        } => match shared.mgr.open(SessionConfig { budget, seed }) {
+            Ok(session) => {
+                let id = session.id().0;
+                let version = session.pinned_version();
+                sessions.insert(id, ConnSession { shopper, session });
+                Reply::Ok(Response::OpenSession {
+                    session: id,
+                    version,
+                })
+            }
+            Err(e) => Reply::Fault(Fault::from_session_error(&e)),
+        },
+        Request::Quote {
+            session,
+            dataset,
+            attrs,
+        } => {
+            let cs = sessions.get(&session).expect("checked above");
+            match cs.session.quote(crate::catalog::DatasetId(dataset), &attrs) {
+                Ok(price) => Reply::Ok(Response::Quote { price }),
+                Err(e) => Reply::Fault(Fault::from_session_error(&e)),
+            }
+        }
+        Request::QuoteBatch { session, items } => {
+            let cs = sessions.get(&session).expect("checked above");
+            match cs.session.quote_batch(&items) {
+                Ok(prices) => Reply::Ok(Response::QuoteBatch { prices }),
+                Err(e) => Reply::Fault(Fault::from_session_error(&e)),
+            }
+        }
+        Request::BuySample {
+            session,
+            dataset,
+            rate,
+            key,
+        } => {
+            let cs = sessions.get_mut(&session).expect("checked above");
+            match cs
+                .session
+                .buy_sample(crate::catalog::DatasetId(dataset), &key, rate)
+            {
+                Ok((table, price)) => Reply::Ok(Response::BuySample {
+                    price,
+                    rows: table.num_rows() as u64,
+                    digest: wire::table_digest(&table),
+                }),
+                Err(e) => Reply::Fault(Fault::from_session_error(&e)),
+            }
+        }
+        Request::Execute {
+            session,
+            dataset,
+            attrs,
+        } => {
+            let cs = sessions.get_mut(&session).expect("checked above");
+            match cs
+                .session
+                .execute_by_id(crate::catalog::DatasetId(dataset), &attrs)
+            {
+                Ok((table, price)) => Reply::Ok(Response::Execute {
+                    price,
+                    rows: table.num_rows() as u64,
+                    digest: wire::table_digest(&table),
+                }),
+                Err(e) => Reply::Fault(Fault::from_session_error(&e)),
+            }
+        }
+        Request::Repin { session } => {
+            let cs = sessions.get_mut(&session).expect("checked above");
+            Reply::Ok(Response::Repin {
+                version: cs.session.repin(),
+            })
+        }
+        Request::Stats => Reply::Ok(Response::Stats(shared.stats())),
+        Request::CloseSession { session } => {
+            let cs = sessions.remove(&session).expect("checked above");
+            let report = shared.mgr.close(cs.session);
+            Reply::Ok(Response::CloseSession {
+                seed: report.seed,
+                version: report.catalog_version,
+                purchases: report.purchases.len() as u32,
+                spent: report.spent,
+                remaining: report.remaining,
+            })
+        }
+    };
+    wire::encode_reply(send, request_id, opcode, &reply);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::WireClient;
+    use crate::pricing::EntropyPricing;
+    use crate::session::SessionManagerConfig;
+    use crate::Marketplace;
+    use dance_relation::{AttrSet, Table, Value, ValueType};
+
+    fn service(max_sessions: usize) -> Arc<SessionManager> {
+        let t = Table::from_rows(
+            "sv_a",
+            &[("sv_k", ValueType::Int), ("sv_x", ValueType::Str)],
+            (0..60)
+                .map(|i| vec![Value::Int(i % 6), Value::str(format!("x{}", i % 4))])
+                .collect(),
+        )
+        .unwrap();
+        let market = Arc::new(Marketplace::new(vec![t], EntropyPricing::default()));
+        Arc::new(SessionManager::new(
+            market,
+            SessionManagerConfig { max_sessions },
+        ))
+    }
+
+    fn key(names: &[&str]) -> AttrSet {
+        AttrSet::from_names(names.iter().copied())
+    }
+
+    #[test]
+    fn end_to_end_session_over_the_wire() {
+        let mgr = service(8);
+        let server = Server::start(Arc::clone(&mgr), ServerConfig::default()).unwrap();
+        let mut client = WireClient::connect(server.addr()).unwrap();
+
+        let open = client
+            .call(&Request::OpenSession {
+                shopper: 1,
+                seed: 7,
+                budget: 100.0,
+            })
+            .unwrap();
+        let Reply::Ok(Response::OpenSession { session, version }) = open else {
+            panic!("expected open, got {open:?}");
+        };
+        assert_eq!(version, 0);
+
+        let quote = client
+            .call(&Request::Quote {
+                session,
+                dataset: 0,
+                attrs: key(&["sv_x"]),
+            })
+            .unwrap();
+        let Reply::Ok(Response::Quote { price }) = quote else {
+            panic!("expected quote, got {quote:?}");
+        };
+        assert!(price > 0.0);
+
+        let bought = client
+            .call(&Request::BuySample {
+                session,
+                dataset: 0,
+                rate: 0.5,
+                key: key(&["sv_k"]),
+            })
+            .unwrap();
+        let Reply::Ok(Response::BuySample { price, rows, .. }) = bought else {
+            panic!("expected sample, got {bought:?}");
+        };
+        assert!(price > 0.0 && rows > 0);
+
+        let closed = client.call(&Request::CloseSession { session }).unwrap();
+        let Reply::Ok(Response::CloseSession {
+            purchases, spent, ..
+        }) = closed
+        else {
+            panic!("expected close, got {closed:?}");
+        };
+        assert_eq!(purchases, 1);
+        assert!(spent > 0.0);
+        // The wire purchase landed in real marketplace revenue.
+        assert_eq!(mgr.market().revenue().to_bits(), spent.to_bits());
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests_served, 4);
+        assert_eq!(stats.protocol_errors, 0);
+        assert_eq!((stats.sessions_opened, stats.sessions_closed), (1, 1));
+    }
+
+    #[test]
+    fn pipelined_requests_come_back_in_order_with_matching_ids() {
+        let mgr = service(8);
+        let server = Server::start(mgr, ServerConfig::default()).unwrap();
+        let mut client = WireClient::connect(server.addr()).unwrap();
+        let open = client
+            .call(&Request::OpenSession {
+                shopper: 1,
+                seed: 7,
+                budget: f64::INFINITY,
+            })
+            .unwrap();
+        let Reply::Ok(Response::OpenSession { session, .. }) = open else {
+            panic!("expected open");
+        };
+        // 32 quotes in flight at once.
+        let ids: Vec<u64> = (0..32)
+            .map(|_| {
+                client.queue(&Request::Quote {
+                    session,
+                    dataset: 0,
+                    attrs: key(&["sv_x"]),
+                })
+            })
+            .collect();
+        client.flush().unwrap();
+        let mut last_price = None;
+        for want in ids {
+            let (got, reply) = client.recv_reply().unwrap();
+            assert_eq!(got, want, "responses arrive in request order");
+            let Reply::Ok(Response::Quote { price }) = reply else {
+                panic!("expected quote, got {reply:?}");
+            };
+            if let Some(prev) = last_price.replace(price.to_bits()) {
+                assert_eq!(prev, price.to_bits());
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests_served, 33);
+        assert_eq!(stats.protocol_errors, 0);
+    }
+
+    #[test]
+    fn unknown_session_and_capacity_fault_cleanly() {
+        let mgr = service(1);
+        let server = Server::start(mgr, ServerConfig::default()).unwrap();
+        let mut client = WireClient::connect(server.addr()).unwrap();
+
+        let reply = client
+            .call(&Request::Quote {
+                session: 999,
+                dataset: 0,
+                attrs: key(&["sv_x"]),
+            })
+            .unwrap();
+        assert_eq!(
+            reply.fault().map(|f| f.code),
+            Some(crate::wire::FaultCode::UnknownSession)
+        );
+
+        let open = |c: &mut WireClient| {
+            c.call(&Request::OpenSession {
+                shopper: 1,
+                seed: 1,
+                budget: 1.0,
+            })
+            .unwrap()
+        };
+        let first = open(&mut client);
+        assert!(first.ok().is_some());
+        let second = open(&mut client);
+        assert_eq!(
+            second.fault().map(|f| f.code),
+            Some(crate::wire::FaultCode::AtCapacity)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn payload_decode_error_faults_but_keeps_the_connection() {
+        let mgr = service(8);
+        let server = Server::start(mgr, ServerConfig::default()).unwrap();
+        let mut client = WireClient::connect(server.addr()).unwrap();
+        // A Repin frame whose payload is one byte short of a session id.
+        client.send_raw_frame(crate::wire::Opcode::Repin as u16, 5, &[0u8; 7]);
+        client.flush().unwrap();
+        let (id, reply) = client.recv_reply().unwrap();
+        assert_eq!(id, 5);
+        assert_eq!(
+            reply.fault().map(|f| f.code),
+            Some(crate::wire::FaultCode::Protocol)
+        );
+        // The connection still works.
+        let stats = client.call(&Request::Stats).unwrap();
+        let Reply::Ok(Response::Stats(s)) = stats else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.protocol_errors, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_magic_gets_a_protocol_fault_then_close() {
+        let mgr = service(8);
+        let server = Server::start(mgr, ServerConfig::default()).unwrap();
+        let mut client = WireClient::connect(server.addr()).unwrap();
+        client.send_raw_bytes(b"GET / HTTP/1.1\r\nHost: nope\r\n\r\n");
+        client.flush().unwrap();
+        let (id, reply) = client.recv_reply().unwrap();
+        assert_eq!(id, 0, "connection-level fault carries request id 0");
+        assert_eq!(
+            reply.fault().map(|f| f.code),
+            Some(crate::wire::FaultCode::Protocol)
+        );
+        // The server closed the connection afterwards.
+        assert!(client.recv_reply().is_err());
+        let stats = server.shutdown();
+        assert_eq!(stats.protocol_errors, 1);
+    }
+
+    #[test]
+    fn rate_limited_shoppers_get_rejected_frames_not_hangs() {
+        let mgr = service(64);
+        let server = Server::start(
+            mgr,
+            ServerConfig {
+                rate_limit: Some(RateLimit {
+                    per_sec: 0.0001,
+                    burst: 2.0,
+                }),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = WireClient::connect(server.addr()).unwrap();
+        let open = client
+            .call(&Request::OpenSession {
+                shopper: 42,
+                seed: 1,
+                budget: f64::INFINITY,
+            })
+            .unwrap();
+        let Reply::Ok(Response::OpenSession { session, .. }) = open else {
+            panic!("expected open");
+        };
+        // Token 2 of 2 spent on the first quote; the next is rejected.
+        assert!(client
+            .call(&Request::Quote {
+                session,
+                dataset: 0,
+                attrs: key(&["sv_x"]),
+            })
+            .unwrap()
+            .ok()
+            .is_some());
+        let rejected = client
+            .call(&Request::Quote {
+                session,
+                dataset: 0,
+                attrs: key(&["sv_x"]),
+            })
+            .unwrap();
+        assert_eq!(
+            rejected.fault().map(|f| f.code),
+            Some(crate::wire::FaultCode::Rejected)
+        );
+        // Stats is exempt from rate limiting and reports the rejection.
+        let stats = client.call(&Request::Stats).unwrap();
+        let Reply::Ok(Response::Stats(s)) = stats else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.rate_limited, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_backlog_rejects_connections_with_a_frame() {
+        let mgr = service(8);
+        // No workers able to drain: occupy the single worker with an idle
+        // connection, then overflow the 1-slot backlog.
+        let server = Server::start(
+            mgr,
+            ServerConfig {
+                workers: 1,
+                backlog: 1,
+                on_full: BacklogPolicy::Reject,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let _occupant = WireClient::connect(server.addr()).unwrap();
+        // Give the worker a beat to claim the occupant off the queue, then
+        // fill the queue slot and overflow it.
+        std::thread::sleep(Duration::from_millis(100));
+        let _queued = WireClient::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let mut shed = WireClient::connect(server.addr()).unwrap();
+        let (id, reply) = client_first_reply(&mut shed);
+        assert_eq!(id, 0);
+        assert_eq!(
+            reply.fault().map(|f| f.code),
+            Some(crate::wire::FaultCode::Rejected)
+        );
+        let stats = server.shutdown();
+        assert!(stats.connections_rejected >= 1);
+    }
+
+    fn client_first_reply(c: &mut WireClient) -> (u64, Reply) {
+        c.recv_reply().unwrap()
+    }
+}

@@ -244,6 +244,15 @@ impl Session {
         Ok(self.pinned.quote(id, attrs)?)
     }
 
+    /// Quote a batch of projections in one call (free). The pinned
+    /// snapshot's listings are resolved once per item and duplicate
+    /// `(dataset, attrs)` pairs are answered from a per-batch memo —
+    /// bit-identical to, and cheaper than, one [`Session::quote`] per item.
+    /// This is what the wire protocol's `QuoteBatch` opcode lands on.
+    pub fn quote_batch(&self, items: &[(DatasetId, AttrSet)]) -> SessionResult<Vec<f64>> {
+        Ok(self.pinned.quote_batch(items)?)
+    }
+
     /// Re-pin the session to the marketplace's current catalog version (an
     /// explicit shopper decision — e.g. after learning a seller published a
     /// relevant update). Returns the new pinned version.
@@ -292,6 +301,18 @@ impl Session {
             price,
         });
         Ok((data, price))
+    }
+
+    /// Execute a projection purchase addressed by dataset id alone — the
+    /// wire path, where only interned ids travel: the dataset name is
+    /// resolved from the pinned snapshot.
+    pub fn execute_by_id(&mut self, id: DatasetId, attrs: &AttrSet) -> SessionResult<(Table, f64)> {
+        let dataset_name = self.pinned.meta(id)?.name.clone();
+        self.execute(&ProjectionQuery {
+            dataset: id,
+            dataset_name,
+            attrs: attrs.clone(),
+        })
     }
 
     /// The session's summary so far (also what [`SessionManager::close`]
@@ -383,6 +404,17 @@ impl SessionManager {
     /// Open a session: admission-check capacity, pin the current catalog
     /// version, allocate an id and a fresh budget.
     pub fn open(&self, cfg: SessionConfig) -> SessionResult<Session> {
+        let snapshot = self.market.snapshot();
+        self.open_at(cfg, snapshot)
+    }
+
+    /// Open a session pinned at an explicit `snapshot` instead of the
+    /// marketplace's current version. This is how a transcript replay pins
+    /// the exact catalog state a live session saw — sessions are pure
+    /// functions of `(pinned snapshot, seed, call sequence)`, so replaying
+    /// the calls against the same snapshot reproduces every response
+    /// bitwise even after sellers have published further updates.
+    pub fn open_at(&self, cfg: SessionConfig, snapshot: CatalogSnapshot) -> SessionResult<Session> {
         // Reserve a slot with a CAS loop so concurrent opens can never
         // overshoot the cap.
         let reserved = self
@@ -407,7 +439,7 @@ impl SessionManager {
             id,
             seed: cfg.seed,
             market: Arc::clone(&self.market),
-            pinned: self.market.snapshot(),
+            pinned: snapshot,
             budget: Budget::new(cfg.budget),
             ledger: Vec::new(),
             shared: Arc::clone(&self.state),
@@ -572,6 +604,79 @@ mod tests {
         // Re-pinning is an explicit shopper decision.
         assert_eq!(s.repin(), 1);
         assert_eq!(s.meta(DatasetId(0)).unwrap().num_rows, 30);
+    }
+
+    #[test]
+    fn quote_batch_matches_per_item_quotes_bitwise() {
+        let mgr = manager(4);
+        let s = mgr.open(SessionConfig::default()).unwrap();
+        let items = vec![
+            (DatasetId(0), AttrSet::from_names(["se_x"])),
+            (DatasetId(1), AttrSet::from_names(["se_y"])),
+            (DatasetId(0), AttrSet::from_names(["se_k", "se_x"])),
+            // Duplicate of item 0: answered from the batch memo.
+            (DatasetId(0), AttrSet::from_names(["se_x"])),
+        ];
+        let batch = s.quote_batch(&items).unwrap();
+        assert_eq!(batch.len(), items.len());
+        for ((id, attrs), price) in items.iter().zip(&batch) {
+            let solo = s.quote(*id, attrs).unwrap();
+            assert_eq!(solo.to_bits(), price.to_bits());
+        }
+        assert_eq!(batch[0].to_bits(), batch[3].to_bits());
+        // An unknown dataset anywhere in the batch fails the whole batch.
+        let bad = vec![(DatasetId(99), AttrSet::from_names(["se_x"]))];
+        assert!(matches!(
+            s.quote_batch(&bad),
+            Err(SessionError::Market(RelationError::UnknownDataset(_)))
+        ));
+    }
+
+    #[test]
+    fn execute_by_id_matches_execute() {
+        let mgr = manager(4);
+        let attrs = AttrSet::from_names(["se_y"]);
+        let mut by_query = mgr.open(SessionConfig::default()).unwrap();
+        let (t1, p1) = by_query
+            .execute(&ProjectionQuery {
+                dataset: DatasetId(1),
+                dataset_name: "se_b".into(),
+                attrs: attrs.clone(),
+            })
+            .unwrap();
+        let mut by_id = mgr.open(SessionConfig::default()).unwrap();
+        let (t2, p2) = by_id.execute_by_id(DatasetId(1), &attrs).unwrap();
+        assert_eq!(p1.to_bits(), p2.to_bits());
+        assert_eq!(t1.num_rows(), t2.num_rows());
+    }
+
+    #[test]
+    fn open_at_pins_an_explicit_snapshot_for_replay() {
+        let mgr = manager(4);
+        let v0 = mgr.market().snapshot();
+        let key = AttrSet::from_names(["se_k"]);
+        let cfg = SessionConfig {
+            budget: 100.0,
+            seed: 17,
+        };
+        let mut live = mgr.open(cfg).unwrap();
+        let (t_live, p_live) = live.buy_sample(DatasetId(0), &key, 0.4).unwrap();
+
+        // A seller update lands; the catalog moves on.
+        let delta = TableDelta::new(Vec::new(), (0..30).collect());
+        mgr.market().apply_update(DatasetId(0), &delta).unwrap();
+
+        // Replaying the same calls against the captured snapshot reproduces
+        // the purchase bitwise; a fresh `open` (pinned at v1) does not.
+        let mut replay = mgr.open_at(cfg, v0).unwrap();
+        assert_eq!(replay.pinned_version(), 0);
+        let (t_replay, p_replay) = replay.buy_sample(DatasetId(0), &key, 0.4).unwrap();
+        assert_eq!(p_live.to_bits(), p_replay.to_bits());
+        assert_eq!(t_live.num_rows(), t_replay.num_rows());
+        let mut fresh = mgr.open(cfg).unwrap();
+        assert_eq!(fresh.pinned_version(), 1);
+        let (t_fresh, _) = fresh.buy_sample(DatasetId(0), &key, 0.4).unwrap();
+        assert_ne!(t_live.num_rows(), t_fresh.num_rows());
     }
 
     #[test]

@@ -67,8 +67,8 @@ pub mod prelude {
         JoinGraphConfig, McmcConfig, PlanMetrics, TargetGraph,
     };
     pub use dance_market::{
-        Budget, EntropyPricing, Marketplace, PricingModel, ProjectionQuery, Session, SessionConfig,
-        SessionManager, SessionManagerConfig,
+        Budget, EntropyPricing, Marketplace, PricingModel, ProjectionQuery, Server, ServerConfig,
+        Session, SessionConfig, SessionManager, SessionManagerConfig, WireClient,
     };
     pub use dance_quality::{Fd, TaneConfig};
     pub use dance_relation::{attr, AttrSet, Schema, Table, Value, ValueType};
