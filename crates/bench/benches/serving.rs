@@ -1,6 +1,7 @@
 //! Serving-layer benches: wire pipeline throughput (workers × pipelining
-//! depth), full wire sessions/sec over loopback, and the per-quote saving
-//! of `Session::quote_batch` over per-item `quote` calls.
+//! depth), full wire sessions/sec over loopback, the resilience tax of the
+//! retrying v2 client under ~1% injected connection resets, and the
+//! per-quote saving of `Session::quote_batch` over per-item `quote` calls.
 //!
 //! ```sh
 //! cargo bench -p dance-bench --bench serving
@@ -15,8 +16,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dance_market::wire::{Reply, Request, Response};
 use dance_market::{
-    DatasetId, EntropyPricing, Marketplace, Server, ServerConfig, SessionConfig, SessionManager,
-    SessionManagerConfig, WireClient,
+    ChaosConfig, DatasetId, EntropyPricing, Marketplace, RetryPolicy, Server, ServerConfig,
+    SessionConfig, SessionManager, SessionManagerConfig, WireClient,
 };
 use dance_relation::{AttrSet, Table, Value, ValueType};
 use std::hint::black_box;
@@ -46,7 +47,10 @@ fn marketplace() -> Arc<Marketplace> {
 fn service() -> Arc<SessionManager> {
     Arc::new(SessionManager::new(
         marketplace(),
-        SessionManagerConfig { max_sessions: 64 },
+        SessionManagerConfig {
+            max_sessions: 64,
+            ..SessionManagerConfig::default()
+        },
     ))
 }
 
@@ -219,6 +223,139 @@ fn bench_wire_sessions(c: &mut Criterion) {
     g.finish();
 }
 
+/// The resilience tax: full wire sessions driven by v2 clients (handshake,
+/// bounded retries, reconnect-and-resume) fault-free vs under ~1% injected
+/// connection resets, against a lease-configured server. Reports
+/// sessions/sec and p99 session latency for both, so the price of
+/// surviving a hostile network is a measured number.
+fn bench_resilience(c: &mut Criterion) {
+    const CLIENTS: usize = 4;
+    const SESSIONS_PER_CLIENT: usize = 8;
+
+    fn resilient_service() -> Arc<SessionManager> {
+        Arc::new(SessionManager::new(
+            marketplace(),
+            SessionManagerConfig {
+                max_sessions: 64,
+                lease_secs: Some(30.0),
+                ..SessionManagerConfig::default()
+            },
+        ))
+    }
+
+    fn run_batch(
+        addr: std::net::SocketAddr,
+        chaos: Option<ChaosConfig>,
+        salt: u64,
+    ) -> Vec<std::time::Duration> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|client| {
+                    scope.spawn(move || {
+                        let policy = RetryPolicy {
+                            attempts: 12,
+                            op_timeout: std::time::Duration::from_millis(800),
+                            base_backoff: std::time::Duration::from_millis(1),
+                            max_backoff: std::time::Duration::from_millis(20),
+                            seed: salt ^ client as u64,
+                        };
+                        let mut builder = WireClient::builder(addr).retry(policy);
+                        if let Some(cfg) = chaos {
+                            builder = builder.chaos(cfg.derive(salt ^ (client as u64) << 8));
+                        }
+                        let mut c = builder.connect().unwrap();
+                        let key = AttrSet::from_names(["sb_k"]);
+                        let x = AttrSet::from_names(["sb_x"]);
+                        let y = AttrSet::from_names(["sb_y"]);
+                        let mut lat = Vec::with_capacity(SESSIONS_PER_CLIENT);
+                        for s in 0..SESSIONS_PER_CLIENT {
+                            let t0 = Instant::now();
+                            let session =
+                                open_session(&mut c, client as u64, (client * 100 + s) as u64);
+                            for req in [
+                                Request::QuoteBatch {
+                                    session,
+                                    items: vec![
+                                        (DatasetId(0), x.clone()),
+                                        (DatasetId(1), y.clone()),
+                                    ],
+                                },
+                                Request::BuySample {
+                                    session,
+                                    dataset: 0,
+                                    rate: 0.25,
+                                    key: key.clone(),
+                                },
+                                Request::Execute {
+                                    session,
+                                    dataset: 1,
+                                    attrs: y.clone(),
+                                },
+                                Request::CloseSession { session },
+                            ] {
+                                let reply = c.call(&req).unwrap();
+                                assert!(reply.ok().is_some(), "fault: {reply:?}");
+                            }
+                            lat.push(t0.elapsed());
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+    }
+
+    let reset_1pct = ChaosConfig {
+        seed: 0xBAD_CAB1E,
+        reset_rate: 0.01,
+        ..ChaosConfig::quiet(0)
+    };
+
+    let mut c = c.clone().sample_size(10);
+    let mut g = c.benchmark_group("resilience");
+    for (label, chaos) in [("fault_free", None), ("reset1pct", Some(reset_1pct))] {
+        let server = Server::start(
+            resilient_service(),
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let mut salt = 0u64;
+
+        g.bench_with_input(BenchmarkId::new("batch32", label), &(), |b, _| {
+            b.iter(|| {
+                salt += 1;
+                black_box(run_batch(addr, chaos, salt))
+            })
+        });
+
+        let t0 = Instant::now();
+        let mut lat: Vec<std::time::Duration> = Vec::new();
+        for batch in 0..4u64 {
+            lat.extend(run_batch(addr, chaos, 0x1000 + batch));
+        }
+        let wall = t0.elapsed();
+        lat.sort_unstable();
+        let p99 = lat[(lat.len() * 99).div_ceil(100) - 1];
+        eprintln!(
+            "serving/resilience {label}: {:.1} sessions/sec, p99 session latency {:.3} ms \
+             ({} resilient wire sessions of 5 calls)",
+            lat.len() as f64 / wall.as_secs_f64(),
+            p99.as_secs_f64() * 1e3,
+            lat.len(),
+        );
+        server.shutdown();
+    }
+    g.finish();
+}
+
 /// `Session::quote_batch` vs one `quote` per item: the batch resolves the
 /// pinned snapshot's listings once per item and memoizes duplicate
 /// `(dataset, attrs)` pairs, so repeated quotes in a batch are free.
@@ -285,6 +422,6 @@ fn bench_quote_batch(c: &mut Criterion) {
 criterion_group! {
     name = serving;
     config = Criterion::default();
-    targets = bench_wire_pipeline, bench_wire_sessions, bench_quote_batch
+    targets = bench_wire_pipeline, bench_wire_sessions, bench_resilience, bench_quote_batch
 }
 criterion_main!(serving);

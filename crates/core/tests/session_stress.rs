@@ -224,6 +224,7 @@ fn concurrent_sessions_are_bit_identical_to_sequential_and_ledgers_reconcile() {
             Arc::clone(&market),
             SessionManagerConfig {
                 max_sessions: SESSIONS,
+                ..SessionManagerConfig::default()
             },
         );
         let graph = shared_graph(&market, threads);

@@ -1,6 +1,7 @@
-//! `market::client` — a minimal blocking client for the [`crate::wire`]
-//! protocol, used by the integration tests, the load harness and the
-//! serving benches.
+//! `market::client` — a blocking client for the [`crate::wire`] protocol
+//! with bounded retries, automatic reconnect-and-resume, and optional
+//! fault injection, used by the integration tests, the load harness and
+//! the serving benches.
 //!
 //! The client separates **queueing** from **flushing** so callers can
 //! pipeline: [`WireClient::queue`] encodes a request into the send buffer
@@ -9,50 +10,340 @@
 //! time (in arrival order, which the server guarantees equals request order
 //! per connection). [`WireClient::call`] is the await-one convenience.
 //!
-//! With [`WireClient::recording`], every raw response frame is appended to
-//! an in-memory transcript — the byte string the determinism contract is
-//! stated over (see `tests/wire_service.rs`).
+//! **Deadlines.** Every receive path runs under a read deadline (default
+//! [`DEFAULT_READ_TIMEOUT`], settable via
+//! [`WireClientBuilder::read_timeout`]): a hung or dead-silent server
+//! surfaces as [`WireError::Timeout`] wrapped in an `io::Error` of kind
+//! `TimedOut` instead of blocking forever.
+//!
+//! **Resilience.** A client built with [`WireClient::builder`] performs
+//! the protocol-v2 `Hello` handshake on connect and remembers the
+//! [`crate::session::SessionToken`] of every session it opens. With a
+//! [`RetryPolicy`] attached, [`WireClient::call`] becomes an exactly-once
+//! retry loop: each attempt runs under `op_timeout`, failures tear the
+//! connection down and reconnect (re-`Hello`, then `ResumeSession` for
+//! every remembered token), attempts are bounded, and the backoff between
+//! them is exponential with deterministic seeded jitter (the same
+//! [`splitmix64`] + golden-ratio recipe the session layer's purchase seeds
+//! use — two clients with the same policy seed back off identically).
+//! Retried requests reuse their original request id, so the server's
+//! replay cache answers duplicates with the recorded bytes and a purchase
+//! is never charged twice.
+//!
+//! Handshake and resumption frames draw their request ids from a separate
+//! control-id space ([`CTRL_ID_BASE`] upward) so the *logical* id sequence
+//! (1, 2, 3…) is a pure function of the caller's call sequence no matter
+//! how many reconnects happened in between — which is what keeps a chaos
+//! run's recorded transcript byte-identical to the fault-free run (see
+//! `tests/chaos_sweep.rs`).
+//!
+//! With recording on ([`WireClient::recording`] /
+//! [`WireClientBuilder::recording`]), every raw response frame returned to
+//! the caller is appended to an in-memory transcript — the byte string the
+//! determinism contract is stated over (see `tests/wire_service.rs`).
+//! Control frames and discarded stale duplicates are never recorded.
 
-use crate::wire::{self, Reply, Request, WireError, HEADER_LEN};
-use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use crate::chaos::{ChaosConfig, ChaosStream, Transport};
+use crate::wire::{self, FaultCode, Reply, Request, Response, WireError, HEADER_LEN};
+use dance_relation::hash::splitmix64;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
-/// A blocking, pipelining-capable wire client over one TCP connection.
+/// Default read deadline for [`WireClient::recv_reply`] /
+/// [`WireClient::call`] when no [`RetryPolicy`] narrows it.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// First request id of the control-frame id space (`Hello`,
+/// `ResumeSession`). Logical requests count 1, 2, 3… from below; the two
+/// spaces can never collide.
+pub const CTRL_ID_BASE: u64 = 1 << 63;
+
+/// Golden-ratio stride of the backoff-jitter sequence (the `splitmix64`
+/// recipe shared with `purchase_seed` and `chain_seed`).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Bounded-retry configuration for [`WireClient::call`].
+///
+/// `attempts` bounds the whole loop (first try included); every attempt
+/// runs under `op_timeout`; the pause before attempt `k` is
+/// `min(base_backoff · 2^(k−1), max_backoff)` scaled by a deterministic
+/// jitter factor in `[½, 1]` drawn from `splitmix64(seed ⊕ k·GOLDEN)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per logical request, first try included (≥ 1).
+    pub attempts: u32,
+    /// Read deadline for one attempt's reply.
+    pub op_timeout: Duration,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            op_timeout: Duration::from_secs(2),
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(250),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered pause before retry `attempt` (1-based): exponential in
+    /// the attempt, capped, scaled into `[½, 1]` by the seeded stream.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let nanos = raw.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        let draw = splitmix64(self.seed ^ (attempt as u64).wrapping_mul(GOLDEN));
+        let jittered = nanos / 2 + draw % (nanos / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+/// The client's transport: a plain socket, or one wrapped in a seeded
+/// fault injector.
 #[derive(Debug)]
-pub struct WireClient {
-    stream: TcpStream,
-    send: Vec<u8>,
-    recv: Vec<u8>,
-    next_id: u64,
+enum Conn {
+    Plain(TcpStream),
+    Chaos(ChaosStream<TcpStream>),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Plain(s) => Transport::set_read_timeout(s, dur),
+            Conn::Chaos(s) => Transport::set_read_timeout(s, dur),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Plain(s) => s.read(buf),
+            Conn::Chaos(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Plain(s) => s.write(buf),
+            Conn::Chaos(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Plain(s) => s.flush(),
+            Conn::Chaos(s) => s.flush(),
+        }
+    }
+}
+
+fn establish(addr: SocketAddr, chaos: Option<ChaosConfig>, salt: u64) -> io::Result<Conn> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    Ok(match chaos {
+        None => Conn::Plain(stream),
+        Some(cfg) => Conn::Chaos(ChaosStream::new(stream, cfg.derive(salt))),
+    })
+}
+
+/// Configures and connects a [`WireClient`]. Built clients perform the
+/// protocol-v2 `Hello` handshake on connect (unless [`v1`] opts out) and
+/// so receive resumption tokens with every opened session.
+///
+/// [`v1`]: WireClientBuilder::v1
+#[derive(Debug)]
+pub struct WireClientBuilder {
+    addr: Option<SocketAddr>,
     record: bool,
-    transcript: Vec<u8>,
+    chaos: Option<ChaosConfig>,
+    retry: Option<RetryPolicy>,
+    read_timeout: Duration,
+    handshake: bool,
 }
 
-fn protocol_io_error(e: WireError) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
-}
+impl WireClientBuilder {
+    /// Record every response frame returned to the caller into the
+    /// transcript.
+    pub fn recording(mut self) -> Self {
+        self.record = true;
+        self
+    }
 
-impl WireClient {
-    /// Connect to a server.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(WireClient {
-            stream,
+    /// Inject deterministic faults into this client's transport: the first
+    /// connection runs under `cfg.derive(0)`, reconnect `k` under
+    /// `cfg.derive(k)`.
+    pub fn chaos(mut self, cfg: ChaosConfig) -> Self {
+        self.chaos = Some(cfg);
+        self
+    }
+
+    /// Attach a bounded retry/reconnect policy to [`WireClient::call`].
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Read deadline for receive paths not governed by a retry policy.
+    pub fn read_timeout(mut self, dur: Duration) -> Self {
+        self.read_timeout = dur;
+        self
+    }
+
+    /// Skip the `Hello` handshake and speak protocol v1 (no resumption
+    /// tokens), like [`WireClient::connect`].
+    pub fn v1(mut self) -> Self {
+        self.handshake = false;
+        self
+    }
+
+    /// Connect (and handshake, unless [`v1`]). With a retry policy, the
+    /// handshake itself is retried over fresh connections within the
+    /// policy's attempt bound.
+    ///
+    /// [`v1`]: WireClientBuilder::v1
+    pub fn connect(self) -> io::Result<WireClient> {
+        let addr = self.addr.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address did not resolve")
+        })?;
+        let conn = establish(addr, self.chaos, 0)?;
+        let mut c = WireClient {
+            stream: conn,
+            addr,
+            chaos: self.chaos,
+            retry: self.retry,
+            read_timeout: self.read_timeout,
+            stream_timeout: None,
             send: Vec::with_capacity(4 * 1024),
             recv: Vec::with_capacity(16 * 1024),
             next_id: 1,
-            record: false,
+            next_ctrl_id: CTRL_ID_BASE,
+            version: wire::MIN_PROTOCOL_VERSION,
+            handshaken: false,
+            broken: false,
+            reconnects: 0,
+            record: self.record,
             transcript: Vec::new(),
-        })
+            tokens: BTreeMap::new(),
+        };
+        if self.handshake {
+            let policy = c.retry.unwrap_or(RetryPolicy {
+                attempts: 1,
+                op_timeout: c.read_timeout,
+                ..RetryPolicy::default()
+            });
+            let mut last: Option<io::Error> = None;
+            let mut done = false;
+            for attempt in 0..policy.attempts.max(1) {
+                if attempt > 0 {
+                    std::thread::sleep(policy.backoff(attempt));
+                    if c.broken {
+                        if let Err(e) = c.raw_reconnect() {
+                            last = Some(e);
+                            continue;
+                        }
+                    }
+                }
+                match c.hello() {
+                    Ok(_) => {
+                        done = true;
+                        break;
+                    }
+                    Err(e) => {
+                        c.broken = true;
+                        last = Some(e);
+                    }
+                }
+            }
+            if !done {
+                return Err(last.unwrap_or_else(timeout_error));
+            }
+            c.handshaken = true;
+        }
+        Ok(c)
+    }
+}
+
+/// A blocking, pipelining-capable wire client over one TCP connection
+/// (which it transparently re-establishes under a [`RetryPolicy`]).
+#[derive(Debug)]
+pub struct WireClient {
+    stream: Conn,
+    addr: SocketAddr,
+    chaos: Option<ChaosConfig>,
+    retry: Option<RetryPolicy>,
+    read_timeout: Duration,
+    /// The read timeout currently set on the socket, so the hot receive
+    /// path only pays the setsockopt when the deadline actually changes.
+    stream_timeout: Option<Duration>,
+    send: Vec<u8>,
+    recv: Vec<u8>,
+    next_id: u64,
+    next_ctrl_id: u64,
+    /// Frame version requests are encoded at (1 until a `Hello` upgrades).
+    version: u16,
+    /// `Hello` completed: reconnects re-handshake and resume sessions.
+    handshaken: bool,
+    /// The connection is known dead; the next retry attempt reconnects.
+    broken: bool,
+    reconnects: u64,
+    record: bool,
+    transcript: Vec<u8>,
+    /// Session id → resumption token for every v2 session opened through
+    /// this client (sorted, so resumption order is deterministic).
+    tokens: BTreeMap<u64, u64>,
+}
+
+fn protocol_io_error(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+fn timeout_error() -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, WireError::Timeout)
+}
+
+impl WireClient {
+    /// Connect speaking protocol v1, no handshake, no retries — the
+    /// pre-resumption client, byte-compatible with the v1 frame stream.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
+        WireClient::builder(addr).v1().connect()
     }
 
-    /// Connect with transcript recording on: every raw response frame is
-    /// appended to [`WireClient::transcript`] in arrival order.
-    pub fn recording(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
-        let mut c = WireClient::connect(addr)?;
-        c.record = true;
-        Ok(c)
+    /// [`WireClient::connect`] with transcript recording on: every raw
+    /// response frame returned to the caller is appended to
+    /// [`WireClient::transcript`] in arrival order.
+    pub fn recording(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
+        WireClient::builder(addr).v1().recording().connect()
+    }
+
+    /// Start configuring a resilient (protocol-v2) client.
+    pub fn builder(addr: impl ToSocketAddrs) -> WireClientBuilder {
+        WireClientBuilder {
+            addr: addr.to_socket_addrs().ok().and_then(|mut it| it.next()),
+            record: false,
+            chaos: None,
+            retry: None,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            handshake: true,
+        }
     }
 
     /// The raw response-frame transcript recorded so far.
@@ -60,18 +351,43 @@ impl WireClient {
         &self.transcript
     }
 
+    /// The most recently assigned logical request id (0 before the first).
+    pub fn last_id(&self) -> u64 {
+        self.next_id - 1
+    }
+
+    /// The frame version this client currently encodes at (1, or the
+    /// `Hello`-negotiated version).
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Connections re-established by the retry layer.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
     /// Encode `req` into the send buffer (no I/O) and return the request id
-    /// it will be answered under. Ids are assigned 1, 2, 3… per connection,
-    /// so a client's id sequence is deterministic.
+    /// it will be answered under. Ids are assigned 1, 2, 3… per client —
+    /// control frames (handshake/resume) draw from a disjoint space — so
+    /// the logical id sequence is deterministic.
     pub fn queue(&mut self, req: &Request) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        wire::encode_request(&mut self.send, id, req);
+        wire::encode_request_v(&mut self.send, self.version, id, req);
         id
     }
 
+    /// Re-encode `req` under an already-assigned request id and flush it —
+    /// an explicit retry. Against a v2 server the duplicate id is answered
+    /// from the replay cache with the originally recorded bytes.
+    pub fn resend(&mut self, request_id: u64, req: &Request) -> io::Result<()> {
+        wire::encode_request_v(&mut self.send, self.version, request_id, req);
+        self.flush()
+    }
+
     /// Write every queued frame in one batch.
-    pub fn flush(&mut self) -> std::io::Result<()> {
+    pub fn flush(&mut self) -> io::Result<()> {
         if !self.send.is_empty() {
             self.stream.write_all(&self.send)?;
             self.send.clear();
@@ -79,46 +395,277 @@ impl WireClient {
         Ok(())
     }
 
-    /// Block until one complete response frame is available and decode it,
-    /// returning `(request id, reply)`.
-    pub fn recv_reply(&mut self) -> std::io::Result<(u64, Reply)> {
+    /// Ensure the socket's read timeout equals `dur` (skipping the syscall
+    /// when it already does).
+    fn set_stream_timeout(&mut self, dur: Duration) -> io::Result<()> {
+        let dur = dur.max(Duration::from_millis(1));
+        if self.stream_timeout != Some(dur) {
+            self.stream.set_read_timeout(Some(dur))?;
+            self.stream_timeout = Some(dur);
+        }
+        Ok(())
+    }
+
+    /// Block until one complete frame heads the receive buffer (deadline
+    /// `deadline`), returning its header and total length. The frame stays
+    /// in the buffer for [`WireClient::take_reply`] or a discarding drain.
+    fn next_frame(&mut self, deadline: Duration) -> io::Result<(wire::FrameHeader, usize)> {
+        let start = Instant::now();
         let mut scratch = [0u8; 16 * 1024];
-        loop {
-            if let Some(header) = wire::peek_header(&self.recv, wire::DEFAULT_MAX_PAYLOAD)
+        let mut first = true;
+        while first || start.elapsed() < deadline {
+            first = false;
+            if let Some(h) = wire::peek_header(&self.recv, wire::DEFAULT_MAX_PAYLOAD)
                 .map_err(protocol_io_error)?
             {
-                let frame_len = HEADER_LEN + header.payload_len as usize;
+                let frame_len = HEADER_LEN + h.payload_len as usize;
                 if self.recv.len() >= frame_len {
-                    let reply =
-                        wire::decode_reply(header.opcode, &self.recv[HEADER_LEN..frame_len])
-                            .map_err(protocol_io_error)?;
-                    if self.record {
-                        self.transcript.extend_from_slice(&self.recv[..frame_len]);
-                    }
-                    self.recv.drain(..frame_len);
-                    return Ok((header.request_id, reply));
+                    return Ok((h, frame_len));
                 }
             }
-            let n = self.stream.read(&mut scratch)?;
-            if n == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                ));
+            let remaining = deadline.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
+                break;
             }
-            self.recv.extend_from_slice(&scratch[..n]);
+            self.set_stream_timeout(remaining)?;
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self.recv.extend_from_slice(&scratch[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(timeout_error())
+    }
+
+    /// Decode (and optionally record) the complete frame heading the
+    /// receive buffer, draining it. Learns resumption tokens from v2
+    /// `OpenSession` replies as they pass through.
+    fn take_reply(
+        &mut self,
+        h: &wire::FrameHeader,
+        frame_len: usize,
+        record: bool,
+    ) -> io::Result<Reply> {
+        let reply = wire::decode_reply_v(h.version, h.opcode, &self.recv[HEADER_LEN..frame_len])
+            .map_err(protocol_io_error)?;
+        if record && self.record && h.request_id < CTRL_ID_BASE {
+            self.transcript.extend_from_slice(&self.recv[..frame_len]);
+        }
+        self.recv.drain(..frame_len);
+        if let Reply::Ok(Response::OpenSession { session, token, .. }) = &reply {
+            if *token != 0 {
+                self.tokens.insert(*session, *token);
+            }
+        }
+        Ok(reply)
+    }
+
+    /// Block until one complete response frame is available and decode it,
+    /// returning `(request id, reply)`. Returns a `TimedOut` error wrapping
+    /// [`WireError::Timeout`] once the read deadline expires.
+    pub fn recv_reply(&mut self) -> io::Result<(u64, Reply)> {
+        let (h, frame_len) = self.next_frame(self.read_timeout)?;
+        let reply = self.take_reply(&h, frame_len, true)?;
+        Ok((h.request_id, reply))
+    }
+
+    /// Await the reply for `request_id` under `deadline`, draining (without
+    /// recording) stale frames from earlier timed-out attempts.
+    fn await_reply(
+        &mut self,
+        request_id: u64,
+        deadline: Duration,
+        record: bool,
+    ) -> io::Result<Reply> {
+        let start = Instant::now();
+        let mut first = true;
+        while first || start.elapsed() < deadline {
+            first = false;
+            let remaining = deadline.saturating_sub(start.elapsed());
+            let (h, frame_len) = self.next_frame(remaining.max(Duration::from_millis(1)))?;
+            if h.request_id != request_id {
+                // A stale duplicate (or a reply the caller abandoned on a
+                // previous timeout): server replays are byte-identical, so
+                // dropping it loses nothing.
+                self.recv.drain(..frame_len);
+                continue;
+            }
+            return self.take_reply(&h, frame_len, record);
+        }
+        Err(timeout_error())
+    }
+
+    /// Send one request and block for its reply. Without a [`RetryPolicy`]
+    /// this is the depth-1 convenience over `queue`/`flush`/`recv_reply`
+    /// (and panics if the response id does not match — only valid with no
+    /// other requests in flight). With a policy, failures reconnect,
+    /// resume and retry under the original request id, bounded by
+    /// `attempts`.
+    pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        match self.retry {
+            None => {
+                let id = self.queue(req);
+                self.flush()?;
+                let (got, reply) = self.recv_reply()?;
+                assert_eq!(got, id, "call() used with requests in flight");
+                Ok(reply)
+            }
+            Some(policy) => self.call_with_retry(req, policy),
         }
     }
 
-    /// Send one request and block for its reply (depth-1 convenience; use
-    /// `queue`/`flush`/`recv_reply` to pipeline). Panics if the response id
-    /// does not match — only valid when no other requests are in flight.
-    pub fn call(&mut self, req: &Request) -> std::io::Result<Reply> {
-        let id = self.queue(req);
+    fn call_with_retry(&mut self, req: &Request, policy: RetryPolicy) -> io::Result<Reply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt));
+            }
+            if self.broken {
+                if let Err(e) = self.reconnect(&policy) {
+                    last = Some(e);
+                    continue;
+                }
+            }
+            self.send.clear();
+            wire::encode_request_v(&mut self.send, self.version, id, req);
+            if let Err(e) = self.flush() {
+                self.broken = true;
+                last = Some(e);
+                continue;
+            }
+            match self.await_reply(id, policy.op_timeout, true) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    // Timeouts reconnect too: the attempt's fate is
+                    // ambiguous, and the replay cache makes the retry safe.
+                    self.broken = true;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(timeout_error))
+    }
+
+    /// The deadline control exchanges run under: the retry policy's
+    /// per-attempt timeout if one is set, else the client read deadline.
+    fn ctrl_deadline(&self) -> Duration {
+        self.retry.map_or(self.read_timeout, |p| p.op_timeout)
+    }
+
+    /// Run the `Hello` handshake: offer [`wire::PROTOCOL_VERSION`] and all
+    /// feature bits, adopt the accepted version for subsequent frames, and
+    /// return `(version, features)` as granted by the server.
+    pub fn hello(&mut self) -> io::Result<(u16, u32)> {
+        let id = self.next_ctrl_id;
+        self.next_ctrl_id += 1;
+        wire::encode_request_v(
+            &mut self.send,
+            self.version,
+            id,
+            &Request::Hello {
+                version: wire::PROTOCOL_VERSION,
+                features: wire::SERVER_FEATURES,
+            },
+        );
         self.flush()?;
-        let (got, reply) = self.recv_reply()?;
-        assert_eq!(got, id, "call() used with requests in flight");
-        Ok(reply)
+        let deadline = self.ctrl_deadline();
+        match self.await_reply(id, deadline, false)? {
+            Reply::Ok(Response::Hello { version, features }) => {
+                self.version = version.clamp(wire::MIN_PROTOCOL_VERSION, wire::PROTOCOL_VERSION);
+                Ok((version, features))
+            }
+            Reply::Fault(f) => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                f.to_string(),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected hello reply: {other:?}"),
+            )),
+        }
+    }
+
+    /// Tear down and re-establish the transport without handshaking.
+    fn raw_reconnect(&mut self) -> io::Result<()> {
+        self.reconnects += 1;
+        self.stream = establish(self.addr, self.chaos, self.reconnects)?;
+        self.stream_timeout = None;
+        self.recv.clear();
+        self.send.clear();
+        self.broken = false;
+        Ok(())
+    }
+
+    /// Reconnect fully: fresh transport, re-`Hello`, and `ResumeSession`
+    /// for every remembered token (in session-id order). Any failure marks
+    /// the connection broken again for the caller's bounded loop.
+    fn reconnect(&mut self, policy: &RetryPolicy) -> io::Result<()> {
+        self.raw_reconnect()?;
+        let r = self.handshake_and_resume(policy);
+        if r.is_err() {
+            self.broken = true;
+        }
+        r
+    }
+
+    fn handshake_and_resume(&mut self, policy: &RetryPolicy) -> io::Result<()> {
+        if !self.handshaken {
+            return Ok(());
+        }
+        self.hello()?;
+        let tokens: Vec<(u64, u64)> = self.tokens.iter().map(|(s, t)| (*s, *t)).collect();
+        for (session, token) in tokens {
+            self.resume_one(session, token, policy)?;
+        }
+        Ok(())
+    }
+
+    /// Re-attach one parked session, retrying `session busy` answers (the
+    /// dead connection's worker may not have parked it yet) within the
+    /// policy's attempt bound.
+    fn resume_one(&mut self, session: u64, token: u64, policy: &RetryPolicy) -> io::Result<()> {
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt));
+            }
+            let id = self.next_ctrl_id;
+            self.next_ctrl_id += 1;
+            wire::encode_request_v(&mut self.send, self.version, id, &Request::Resume { token });
+            self.flush()?;
+            match self.await_reply(id, policy.op_timeout, false)? {
+                Reply::Ok(Response::Resume { .. }) => return Ok(()),
+                Reply::Fault(f) if f.code == FaultCode::Rejected => {
+                    // Still attached to the dying connection; back off and
+                    // let its worker park the session.
+                }
+                Reply::Fault(_) => {
+                    // Unknown or expired token: the session was closed or
+                    // reclaimed — nothing left to resume.
+                    self.tokens.remove(&session);
+                    return Ok(());
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected resume reply: {other:?}"),
+                    ))
+                }
+            }
+        }
+        Err(timeout_error())
     }
 
     /// Queue a frame with an explicit raw opcode and payload — for tests
@@ -126,8 +673,7 @@ impl WireClient {
     pub fn send_raw_frame(&mut self, opcode: u16, request_id: u64, payload: &[u8]) {
         let start = self.send.len();
         self.send.extend_from_slice(&wire::MAGIC.to_le_bytes());
-        self.send
-            .extend_from_slice(&wire::PROTOCOL_VERSION.to_le_bytes());
+        self.send.extend_from_slice(&self.version.to_le_bytes());
         self.send.extend_from_slice(&opcode.to_le_bytes());
         self.send.extend_from_slice(&request_id.to_le_bytes());
         self.send

@@ -28,10 +28,14 @@
 //!   backlog with queue-or-reject policy, per-shopper token-bucket rate
 //!   limits, combined service stats.
 //! * [`client`] — a blocking, pipelining-capable wire client with optional
-//!   transcript recording (what the determinism contract is stated over).
+//!   transcript recording (what the determinism contract is stated over),
+//!   bounded retries and automatic reconnect-and-resume.
+//! * [`chaos`] — a deterministic, seeded fault-injecting transport for
+//!   reproducing every hostile-network failure mode from a `u64` seed.
 
 pub mod budget;
 pub mod catalog;
+pub mod chaos;
 pub mod client;
 pub mod marketplace;
 pub mod pricing;
@@ -42,13 +46,14 @@ pub mod wire;
 
 pub use budget::{Budget, BudgetError};
 pub use catalog::{DatasetId, DatasetMeta};
-pub use client::WireClient;
+pub use chaos::{ChaosConfig, ChaosStream, InjectedFault, Transport};
+pub use client::{RetryPolicy, WireClient, WireClientBuilder};
 pub use marketplace::{CatalogSnapshot, Marketplace};
 pub use pricing::{EntropyPricing, PricingModel};
 pub use query::ProjectionQuery;
 pub use server::{BacklogPolicy, RateLimit, Server, ServerConfig};
 pub use session::{
     ManagerStats, Purchase, PurchaseKind, Session, SessionConfig, SessionError, SessionId,
-    SessionManager, SessionManagerConfig, SessionReport, SessionResult,
+    SessionManager, SessionManagerConfig, SessionReport, SessionResult, SessionToken,
 };
 pub use wire::{Fault, FaultCode, Opcode, Reply, Request, Response, StatsSnapshot, WireError};

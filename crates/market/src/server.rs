@@ -29,13 +29,33 @@
 //! are exempt) answer over-limit requests with `Rejected` faults rather
 //! than hangs, and the bounded accept backlog sheds load at the edge. All
 //! of it is surfaced in [`StatsSnapshot`] via [`Server::stats`].
+//!
+//! **Resilience** (protocol v2): sessions opened under v2 frames survive
+//! their connection. When a connection dies, its v2 sessions are **parked**
+//! in a token registry (if the manager has an idle lease configured) and a
+//! fresh connection re-attaches them with `ResumeSession` + the
+//! [`crate::session::SessionToken`] from the open reply; parked sessions
+//! whose lease expires are reclaimed, releasing their capacity slot. Every
+//! v2 session carries a bounded **replay cache** keyed by request id plus a
+//! digest of the request bytes (ids restart when a fresh client resumes a
+//! parked session, so the id alone is not a request identity): a retried
+//! mutating op (`BuySample`/`Execute`…) after an ambiguous failure
+//! is answered with the recorded reply bytes instead of re-executing, so
+//! the ledger is never double-charged — and retried `OpenSession` /
+//! `CloseSession` frames are deduplicated the same way through the shared
+//! registry. Mid-frame read stalls and slow writes are bounded by
+//! [`ServerConfig::io_deadline`] so a slow-loris peer cannot pin a worker
+//! (idle connections between frames are unaffected). Workers are generic
+//! over [`Transport`], and [`ServerConfig::chaos`] splices a seeded
+//! fault-injecting [`ChaosStream`] under every accepted connection for
+//! deterministic failure testing.
 
-use crate::session::{SessionConfig, SessionManager};
+use crate::chaos::{ChaosConfig, ChaosStream, Transport};
+use crate::session::{Session, SessionConfig, SessionManager};
 use crate::wire::{
     self, Fault, Reply, Request, Response, StatsSnapshot, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
 };
 use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -73,6 +93,14 @@ pub struct ServerConfig {
     pub rate_limit: Option<RateLimit>,
     /// Frame payload cap enforced at the header.
     pub max_payload: u32,
+    /// Slow-loris bound: a connection that leaves a frame incomplete in the
+    /// receive buffer (or blocks a response write) longer than this is
+    /// closed and counted in [`StatsSnapshot::timeouts`]. Connections idle
+    /// *between* frames are never timed out.
+    pub io_deadline: Duration,
+    /// Deterministic fault injection: wrap every accepted connection in a
+    /// [`ChaosStream`] seeded per connection from this config.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +111,8 @@ impl Default for ServerConfig {
             on_full: BacklogPolicy::Reject,
             rate_limit: None,
             max_payload: DEFAULT_MAX_PAYLOAD,
+            io_deadline: Duration::from_secs(5),
+            chaos: None,
         }
     }
 }
@@ -94,6 +124,9 @@ struct Counters {
     requests_served: AtomicU64,
     rate_limited: AtomicU64,
     protocol_errors: AtomicU64,
+    timeouts: AtomicU64,
+    resumes: AtomicU64,
+    replay_hits: AtomicU64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -116,21 +149,204 @@ impl TokenBucket {
     }
 }
 
+/// Bounded per-session cache of encoded reply frames keyed by request id
+/// *and* a digest of the request bytes — the exactly-once half of the retry
+/// contract. The digest matters after a resume: a fresh client re-attaching
+/// to a parked session restarts its id sequence, so a new request can wear
+/// an id the dead connection already used. Only a true retry — same id,
+/// same bytes — replays. Evicted entries donate their buffers to new ones,
+/// so a steady-state session allocates nothing here.
+#[derive(Debug, Default)]
+struct ReplayCache {
+    entries: VecDeque<(u64, u64, Vec<u8>)>,
+}
+
+/// Replies remembered per session for retried request ids.
+const REPLAY_CAP: usize = 64;
+
+impl ReplayCache {
+    fn get(&self, request_id: u64, digest: u64) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(id, d, _)| *id == request_id && *d == digest)
+            .map(|(_, _, frame)| frame.as_slice())
+    }
+
+    fn put(&mut self, request_id: u64, digest: u64, frame: &[u8]) {
+        let mut buf = if self.entries.len() >= REPLAY_CAP {
+            self.entries
+                .pop_front()
+                .map(|(_, _, b)| b)
+                .unwrap_or_default()
+        } else {
+            Vec::with_capacity(frame.len())
+        };
+        buf.clear();
+        buf.extend_from_slice(frame);
+        self.entries.push_back((request_id, digest, buf));
+    }
+}
+
+/// FNV-1a over the request payload, seeded with the opcode: the identity a
+/// retried frame must reproduce (besides its id) to be answered from a
+/// replay cache instead of re-executed.
+fn request_digest(opcode: u16, payload: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(opcode);
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A session detached from its (dead) connection, waiting out its lease
+/// for a `ResumeSession`.
+#[derive(Debug)]
+struct Parked {
+    shopper: u64,
+    session: Session,
+    replay: ReplayCache,
+    since: Instant,
+}
+
+/// Where a resumable session currently lives.
+#[derive(Debug)]
+enum TokenEntry {
+    /// Owned by the worker serving connection `conn`.
+    Attached {
+        /// Owning connection id.
+        conn: u64,
+    },
+    /// Orphaned; resumable until its lease expires.
+    Parked(Box<Parked>),
+}
+
+/// One remembered `OpenSession` outcome, for retried opens.
+#[derive(Debug)]
+struct OpenRecord {
+    session: u64,
+    token: u64,
+    digest: u64,
+    frame: Vec<u8>,
+}
+
+/// One remembered `CloseSession` outcome (a tombstone), for retried closes
+/// after the session is gone.
+#[derive(Debug)]
+struct CloseRecord {
+    request_id: u64,
+    digest: u64,
+    frame: Vec<u8>,
+}
+
+/// Retried opens remembered across the whole server (FIFO-bounded).
+const OPEN_DEDUP_CAP: usize = 1024;
+
+/// Close tombstones remembered across the whole server (FIFO-bounded).
+const CLOSE_DEDUP_CAP: usize = 1024;
+
+/// The resumption registry: token → session location, plus the
+/// server-level exactly-once records for opens and closes. One mutex,
+/// touched only on open/close/resume/park/sweep — never on the quote or
+/// purchase hot path.
+#[derive(Debug, Default)]
+struct Registry {
+    tokens: HashMap<u64, TokenEntry>,
+    opens: HashMap<(u64, u64), OpenRecord>,
+    open_order: VecDeque<(u64, u64)>,
+    closes: HashMap<u64, CloseRecord>,
+    close_order: VecDeque<u64>,
+}
+
+impl Registry {
+    fn record_open(
+        &mut self,
+        key: (u64, u64),
+        session: u64,
+        token: u64,
+        digest: u64,
+        frame: &[u8],
+    ) {
+        let mut buf = if self.open_order.len() >= OPEN_DEDUP_CAP {
+            match self.open_order.pop_front() {
+                Some(old) => self.opens.remove(&old).map(|r| r.frame).unwrap_or_default(),
+                None => Vec::with_capacity(frame.len()),
+            }
+        } else {
+            Vec::with_capacity(frame.len())
+        };
+        buf.clear();
+        buf.extend_from_slice(frame);
+        if self
+            .opens
+            .insert(
+                key,
+                OpenRecord {
+                    session,
+                    token,
+                    digest,
+                    frame: buf,
+                },
+            )
+            .is_none()
+        {
+            self.open_order.push_back(key);
+        }
+    }
+
+    fn record_close(&mut self, session: u64, request_id: u64, digest: u64, frame: &[u8]) {
+        let mut buf = if self.close_order.len() >= CLOSE_DEDUP_CAP {
+            match self.close_order.pop_front() {
+                Some(old) => self
+                    .closes
+                    .remove(&old)
+                    .map(|r| r.frame)
+                    .unwrap_or_default(),
+                None => Vec::with_capacity(frame.len()),
+            }
+        } else {
+            Vec::with_capacity(frame.len())
+        };
+        buf.clear();
+        buf.extend_from_slice(frame);
+        if self
+            .closes
+            .insert(
+                session,
+                CloseRecord {
+                    request_id,
+                    digest,
+                    frame: buf,
+                },
+            )
+            .is_none()
+        {
+            self.close_order.push_back(session);
+        }
+    }
+}
+
 /// State shared by the acceptor, the workers and the [`Server`] handle.
 #[derive(Debug)]
 struct Shared {
     mgr: Arc<SessionManager>,
     cfg: ServerConfig,
     stop: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(u64, TcpStream)>>,
     not_empty: Condvar,
     not_full: Condvar,
     counters: Counters,
     buckets: Mutex<HashMap<u64, TokenBucket>>,
+    registry: Mutex<Registry>,
+    next_conn: AtomicU64,
 }
 
 impl Shared {
     fn stats(&self) -> StatsSnapshot {
+        // A stats read doubles as a lease sweep, so `sessions_open` never
+        // counts sessions whose lease has already lapsed.
+        sweep_leases(self);
         let m = self.mgr.stats();
         StatsSnapshot {
             sessions_open: m.open as u64,
@@ -143,6 +359,10 @@ impl Shared {
             requests_served: self.counters.requests_served.load(Ordering::Relaxed),
             rate_limited: self.counters.rate_limited.load(Ordering::Relaxed),
             protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            resumes: self.counters.resumes.load(Ordering::Relaxed),
+            replay_hits: self.counters.replay_hits.load(Ordering::Relaxed),
+            leases_reclaimed: m.reclaimed as u64,
         }
     }
 
@@ -159,6 +379,24 @@ impl Shared {
         });
         bucket.try_take(now, &limit)
     }
+}
+
+/// Reclaim parked sessions whose idle lease has expired. Dropping the
+/// parked entry drops its [`Session`], which releases the capacity slot.
+fn sweep_leases(shared: &Shared) {
+    let Some(lease) = shared.mgr.lease() else {
+        return;
+    };
+    let now = Instant::now();
+    let mut reg = shared.registry.lock().unwrap();
+    let before = reg.tokens.len();
+    reg.tokens.retain(|_, entry| match entry {
+        TokenEntry::Parked(p) => now.duration_since(p.since) < lease,
+        TokenEntry::Attached { .. } => true,
+    });
+    let reclaimed = before - reg.tokens.len();
+    drop(reg);
+    shared.mgr.record_reclaimed(reclaimed);
 }
 
 /// A running wire server over one [`SessionManager`]. Dropping the handle
@@ -187,6 +425,8 @@ impl Server {
             not_full: Condvar::new(),
             counters: Counters::default(),
             buckets: Mutex::new(HashMap::with_capacity(64)),
+            registry: Mutex::new(Registry::default()),
+            next_conn: AtomicU64::new(1),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -211,7 +451,8 @@ impl Server {
     }
 
     /// Combined service counters: session-manager stats plus the server's
-    /// connection/request/admission counters.
+    /// connection/request/admission counters. Reading stats also sweeps
+    /// expired leases.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats()
     }
@@ -267,7 +508,8 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
                 }
             }
         }
-        q.push_back(stream);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        q.push_back((conn_id, stream));
         drop(q);
         shared
             .counters
@@ -281,6 +523,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
 /// (request id 0, fault-only opcode) so the client sees a clean refusal
 /// instead of a silent close.
 fn reject_connection(mut stream: TcpStream) {
+    use std::io::Write;
     let mut frame = Vec::with_capacity(64);
     wire::encode_reply(
         &mut frame,
@@ -292,20 +535,28 @@ fn reject_connection(mut stream: TcpStream) {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(stream) = next_connection(shared) {
-        serve_connection(shared, stream);
+    while let Some((conn_id, stream)) = next_connection(shared) {
+        drop(stream.set_nodelay(true));
+        match shared.cfg.chaos {
+            None => serve_connection(shared, stream, conn_id),
+            Some(chaos) => serve_connection(
+                shared,
+                ChaosStream::new(stream, chaos.derive(conn_id)),
+                conn_id,
+            ),
+        }
     }
 }
 
-fn next_connection(shared: &Shared) -> Option<TcpStream> {
+fn next_connection(shared: &Shared) -> Option<(u64, TcpStream)> {
     let mut q = shared.queue.lock().unwrap();
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return None;
         }
-        if let Some(stream) = q.pop_front() {
+        if let Some(conn) = q.pop_front() {
             shared.not_full.notify_one();
-            return Some(stream);
+            return Some(conn);
         }
         q = shared.not_empty.wait(q).unwrap();
     }
@@ -314,19 +565,46 @@ fn next_connection(shared: &Shared) -> Option<TcpStream> {
 /// One shopper session opened over this connection.
 struct ConnSession {
     shopper: u64,
-    session: crate::session::Session,
+    session: Session,
+    /// The session's resumption token (also minted for v1 sessions, which
+    /// simply never see it on the wire).
+    token: u64,
+    /// Opened (or resumed) under a v2 frame: replies are remembered for
+    /// retry dedup, and the session parks on disconnect when a lease is
+    /// configured.
+    replayable: bool,
+    replay: ReplayCache,
 }
 
-/// Serve one connection to completion: read, drain every complete frame,
-/// write all responses back in one batch, repeat. The receive/send buffers
-/// and the scratch block are reused for the connection's whole lifetime.
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
-    drop(stream.set_nodelay(true));
+/// Serve one connection to completion, then hand its surviving v2 sessions
+/// to the parking registry (v1 sessions drop with the connection, as
+/// before resumption existed).
+fn serve_connection<S: Transport>(shared: &Shared, mut stream: S, conn_id: u64) {
+    let mut sessions: HashMap<u64, ConnSession> = HashMap::with_capacity(4);
+    drive_connection(shared, &mut stream, conn_id, &mut sessions);
+    park_connection(shared, conn_id, sessions);
+}
+
+/// The connection's read/handle/write loop: read, drain every complete
+/// frame, write all responses back in one batch, repeat. The receive/send
+/// buffers and the scratch block are reused for the connection's whole
+/// lifetime. A frame left incomplete longer than `io_deadline` (or a write
+/// that blocks that long) closes the connection as a slow-loris timeout.
+fn drive_connection<S: Transport>(
+    shared: &Shared,
+    stream: &mut S,
+    conn_id: u64,
+    sessions: &mut HashMap<u64, ConnSession>,
+) {
     drop(stream.set_read_timeout(Some(Duration::from_millis(50))));
+    drop(stream.set_write_timeout(Some(shared.cfg.io_deadline)));
     let mut recv: Vec<u8> = Vec::with_capacity(16 * 1024);
     let mut send: Vec<u8> = Vec::with_capacity(16 * 1024);
     let mut scratch = [0u8; 16 * 1024];
-    let mut sessions: HashMap<u64, ConnSession> = HashMap::with_capacity(4);
+    // When the receive buffer holds a frame prefix, this is the moment the
+    // slow-loris clock started; `None` while the buffer sits empty between
+    // frames, so idle connections are never timed out.
+    let mut partial_since: Option<Instant> = None;
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return;
@@ -338,7 +616,11 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                continue
+                if expired(partial_since, shared.cfg.io_deadline) {
+                    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                continue;
             }
             Err(_) => return,
         }
@@ -352,14 +634,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                         break;
                     }
                     let payload = &recv[consumed + HEADER_LEN..consumed + frame_len];
-                    handle_frame(
-                        shared,
-                        h.opcode,
-                        h.request_id,
-                        payload,
-                        &mut sessions,
-                        &mut send,
-                    );
+                    handle_frame(shared, &h, payload, conn_id, sessions, &mut send);
                     consumed += frame_len;
                 }
                 Err(e) => {
@@ -377,8 +652,25 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             }
         }
         recv.drain(..consumed);
+        if recv.is_empty() {
+            partial_since = None;
+        } else if consumed > 0 || partial_since.is_none() {
+            // A fresh partial frame (or forward progress past complete
+            // frames) restarts the clock.
+            partial_since = Some(Instant::now());
+        } else if expired(partial_since, shared.cfg.io_deadline) {
+            // Bytes are trickling in but the frame still is not complete:
+            // the drip-feed variant of slow-loris.
+            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if !send.is_empty() {
-            if stream.write_all(&send).is_err() {
+            if let Err(e) = stream.write_all(&send) {
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                {
+                    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
                 return;
             }
             send.clear();
@@ -386,15 +678,139 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
+fn expired(since: Option<Instant>, deadline: Duration) -> bool {
+    since.is_some_and(|t0| t0.elapsed() >= deadline)
+}
+
+/// Park the connection's surviving resumable sessions in the registry;
+/// everything else drops here (releasing capacity slots immediately).
+fn park_connection(shared: &Shared, conn_id: u64, sessions: HashMap<u64, ConnSession>) {
+    if sessions.is_empty() {
+        return;
+    }
+    let lease_on = shared.mgr.lease().is_some();
+    let now = Instant::now();
+    let mut reg = shared.registry.lock().unwrap();
+    for (_, cs) in sessions {
+        if !(lease_on && cs.replayable) {
+            continue;
+        }
+        if let Some(TokenEntry::Attached { conn }) = reg.tokens.get(&cs.token) {
+            if *conn == conn_id {
+                reg.tokens.insert(
+                    cs.token,
+                    TokenEntry::Parked(Box::new(Parked {
+                        shopper: cs.shopper,
+                        session: cs.session,
+                        replay: cs.replay,
+                        since: now,
+                    })),
+                );
+            }
+        }
+    }
+}
+
+/// What the post-encode bookkeeping must remember about a dispatched
+/// request (v2 exactly-once records).
+enum Recorded {
+    Nothing,
+    Open {
+        shopper: u64,
+        session: u64,
+        token: u64,
+    },
+    Op {
+        session: u64,
+    },
+    Close {
+        session: u64,
+        token: u64,
+    },
+}
+
+enum OpenDedup {
+    Hit,
+    Busy,
+    Miss,
+}
+
+/// Answer a retried v2 `OpenSession` from the registry: re-attach the
+/// session if the original connection's death parked it, then replay the
+/// recorded open frame byte-for-byte.
+fn try_dedup_open(
+    shared: &Shared,
+    conn_id: u64,
+    shopper: u64,
+    request_id: u64,
+    digest: u64,
+    sessions: &mut HashMap<u64, ConnSession>,
+    send: &mut Vec<u8>,
+) -> OpenDedup {
+    sweep_leases(shared);
+    let mut reg = shared.registry.lock().unwrap();
+    let key = (shopper, request_id);
+    let Some(rec) = reg.opens.get(&key) else {
+        return OpenDedup::Miss;
+    };
+    if rec.digest != digest {
+        // Same id, different bytes: a new client reusing a low id, not a
+        // retry. Open fresh; the record is overwritten on success.
+        return OpenDedup::Miss;
+    }
+    let (sid, token) = (rec.session, rec.token);
+    let attached = match reg.tokens.get(&token) {
+        Some(TokenEntry::Attached { conn }) if *conn == conn_id => true,
+        Some(TokenEntry::Attached { .. }) => return OpenDedup::Busy,
+        Some(TokenEntry::Parked(_)) => {
+            let Some(TokenEntry::Parked(parked)) = reg.tokens.remove(&token) else {
+                return OpenDedup::Miss;
+            };
+            reg.tokens
+                .insert(token, TokenEntry::Attached { conn: conn_id });
+            let Parked {
+                shopper: owner,
+                session,
+                replay,
+                ..
+            } = *parked;
+            sessions.insert(
+                sid,
+                ConnSession {
+                    shopper: owner,
+                    session,
+                    token,
+                    replayable: true,
+                    replay,
+                },
+            );
+            true
+        }
+        // The session was closed or its lease reclaimed it: replaying the
+        // open would resurrect a dead id, so fall through to a fresh open.
+        None => false,
+    };
+    if !attached {
+        return OpenDedup::Miss;
+    }
+    if let Some(rec) = reg.opens.get(&key) {
+        send.extend_from_slice(&rec.frame);
+        shared.counters.replay_hits.fetch_add(1, Ordering::Relaxed);
+        return OpenDedup::Hit;
+    }
+    OpenDedup::Miss
+}
+
 /// Decode and execute one request frame, appending the response to `send`.
 fn handle_frame(
     shared: &Shared,
-    opcode: u16,
-    request_id: u64,
+    h: &wire::FrameHeader,
     payload: &[u8],
+    conn_id: u64,
     sessions: &mut HashMap<u64, ConnSession>,
     send: &mut Vec<u8>,
 ) {
+    let (opcode, request_id) = (h.opcode, h.request_id);
     let req = match wire::decode_request(opcode, payload) {
         Ok(req) => req,
         Err(e) => {
@@ -404,7 +820,13 @@ fn handle_frame(
                 .counters
                 .protocol_errors
                 .fetch_add(1, Ordering::Relaxed);
-            wire::encode_reply(send, request_id, opcode, &Reply::Fault(Fault::protocol(&e)));
+            wire::encode_reply_v(
+                send,
+                h.version,
+                request_id,
+                opcode,
+                &Reply::Fault(Fault::protocol(&e)),
+            );
             return;
         }
     };
@@ -413,11 +835,69 @@ fn handle_frame(
         .requests_served
         .fetch_add(1, Ordering::Relaxed);
 
-    // Admission: every request except Stats costs one token from the bucket
-    // of the shopper it acts for.
+    // What a retried frame must reproduce to be answered from a replay
+    // cache: the id alone is not enough once resumption lets a fresh
+    // client (whose ids restart at 1) inherit a session.
+    let digest = request_digest(opcode, payload);
+
+    // Exactly-once interception, v2 frames only: a retried request id is
+    // answered with the recorded reply bytes — no re-execution, no second
+    // ledger charge, bit-identical frames.
+    if h.version >= 2 {
+        match &req {
+            Request::OpenSession { shopper, .. } => {
+                match try_dedup_open(
+                    shared, conn_id, *shopper, request_id, digest, sessions, send,
+                ) {
+                    OpenDedup::Hit => return,
+                    OpenDedup::Busy => {
+                        wire::encode_reply_v(
+                            send,
+                            h.version,
+                            request_id,
+                            opcode,
+                            &Reply::Fault(Fault::session_busy()),
+                        );
+                        return;
+                    }
+                    OpenDedup::Miss => {}
+                }
+            }
+            Request::Quote { session, .. }
+            | Request::QuoteBatch { session, .. }
+            | Request::BuySample { session, .. }
+            | Request::Execute { session, .. }
+            | Request::Repin { session }
+            | Request::CloseSession { session } => {
+                if let Some(cs) = sessions.get(session) {
+                    if cs.replayable {
+                        if let Some(frame) = cs.replay.get(request_id, digest) {
+                            shared.counters.replay_hits.fetch_add(1, Ordering::Relaxed);
+                            send.extend_from_slice(frame);
+                            return;
+                        }
+                    }
+                } else if matches!(req, Request::CloseSession { .. }) {
+                    let reg = shared.registry.lock().unwrap();
+                    if let Some(rec) = reg.closes.get(session) {
+                        if rec.request_id == request_id && rec.digest == digest {
+                            shared.counters.replay_hits.fetch_add(1, Ordering::Relaxed);
+                            send.extend_from_slice(&rec.frame);
+                            return;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Admission: every request except Stats and the control frames
+    // (Hello/Resume) costs one token from the bucket of the shopper it
+    // acts for.
     let shopper = match &req {
         Request::OpenSession { shopper, .. } => Some(*shopper),
-        Request::Stats => None,
+        Request::Stats | Request::Hello { .. } | Request::Resume { .. } => None,
         Request::Quote { session, .. }
         | Request::QuoteBatch { session, .. }
         | Request::BuySample { session, .. }
@@ -426,8 +906,9 @@ fn handle_frame(
         | Request::CloseSession { session } => match sessions.get(session) {
             Some(cs) => Some(cs.shopper),
             None => {
-                wire::encode_reply(
+                wire::encode_reply_v(
                     send,
+                    h.version,
                     request_id,
                     opcode,
                     &Reply::Fault(Fault::unknown_session(*session)),
@@ -439,8 +920,9 @@ fn handle_frame(
     if let Some(shopper) = shopper {
         if !shared.admit(shopper) {
             shared.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
-            wire::encode_reply(
+            wire::encode_reply_v(
                 send,
+                h.version,
                 request_id,
                 opcode,
                 &Reply::Fault(Fault::rejected("shopper rate limit exceeded; retry later")),
@@ -449,29 +931,55 @@ fn handle_frame(
         }
     }
 
+    let mut record = Recorded::Nothing;
     let reply = match req {
         Request::OpenSession {
             shopper,
             seed,
             budget,
-        } => match shared.mgr.open(SessionConfig { budget, seed }) {
-            Ok(session) => {
-                let id = session.id().0;
-                let version = session.pinned_version();
-                sessions.insert(id, ConnSession { shopper, session });
-                Reply::Ok(Response::OpenSession {
-                    session: id,
-                    version,
-                })
+        } => {
+            // Reclaim lapsed leases before the capacity check, so parked
+            // corpses never crowd out live shoppers.
+            sweep_leases(shared);
+            match shared.mgr.open(SessionConfig { budget, seed }) {
+                Ok(session) => {
+                    let id = session.id().0;
+                    let version = session.pinned_version();
+                    let token = shared.mgr.session_token(session.id()).0;
+                    let replayable = h.version >= 2;
+                    if replayable && shared.mgr.lease().is_some() {
+                        record = Recorded::Open {
+                            shopper,
+                            session: id,
+                            token,
+                        };
+                    }
+                    sessions.insert(
+                        id,
+                        ConnSession {
+                            shopper,
+                            session,
+                            token,
+                            replayable,
+                            replay: ReplayCache::default(),
+                        },
+                    );
+                    Reply::Ok(Response::OpenSession {
+                        session: id,
+                        version,
+                        token,
+                    })
+                }
+                Err(e) => Reply::Fault(Fault::from_session_error(&e)),
             }
-            Err(e) => Reply::Fault(Fault::from_session_error(&e)),
-        },
+        }
         Request::Quote {
             session,
             dataset,
             attrs,
         } => {
             let cs = sessions.get(&session).expect("checked above");
+            record = Recorded::Op { session };
             match cs.session.quote(crate::catalog::DatasetId(dataset), &attrs) {
                 Ok(price) => Reply::Ok(Response::Quote { price }),
                 Err(e) => Reply::Fault(Fault::from_session_error(&e)),
@@ -479,6 +987,7 @@ fn handle_frame(
         }
         Request::QuoteBatch { session, items } => {
             let cs = sessions.get(&session).expect("checked above");
+            record = Recorded::Op { session };
             match cs.session.quote_batch(&items) {
                 Ok(prices) => Reply::Ok(Response::QuoteBatch { prices }),
                 Err(e) => Reply::Fault(Fault::from_session_error(&e)),
@@ -491,6 +1000,7 @@ fn handle_frame(
             key,
         } => {
             let cs = sessions.get_mut(&session).expect("checked above");
+            record = Recorded::Op { session };
             match cs
                 .session
                 .buy_sample(crate::catalog::DatasetId(dataset), &key, rate)
@@ -509,6 +1019,7 @@ fn handle_frame(
             attrs,
         } => {
             let cs = sessions.get_mut(&session).expect("checked above");
+            record = Recorded::Op { session };
             match cs
                 .session
                 .execute_by_id(crate::catalog::DatasetId(dataset), &attrs)
@@ -523,6 +1034,7 @@ fn handle_frame(
         }
         Request::Repin { session } => {
             let cs = sessions.get_mut(&session).expect("checked above");
+            record = Recorded::Op { session };
             Reply::Ok(Response::Repin {
                 version: cs.session.repin(),
             })
@@ -530,6 +1042,12 @@ fn handle_frame(
         Request::Stats => Reply::Ok(Response::Stats(shared.stats())),
         Request::CloseSession { session } => {
             let cs = sessions.remove(&session).expect("checked above");
+            if cs.replayable {
+                record = Recorded::Close {
+                    session,
+                    token: cs.token,
+                };
+            }
             let report = shared.mgr.close(cs.session);
             Reply::Ok(Response::CloseSession {
                 seed: report.seed,
@@ -539,8 +1057,105 @@ fn handle_frame(
                 remaining: report.remaining,
             })
         }
+        Request::Hello { version, features } => {
+            if version < wire::MIN_PROTOCOL_VERSION {
+                Reply::Fault(Fault::unsupported_version(version))
+            } else {
+                Reply::Ok(Response::Hello {
+                    version: version.min(wire::PROTOCOL_VERSION),
+                    features: features & wire::SERVER_FEATURES,
+                })
+            }
+        }
+        Request::Resume { token } => {
+            sweep_leases(shared);
+            let mut reg = shared.registry.lock().unwrap();
+            let hit = match reg.tokens.get(&token) {
+                None => None,
+                Some(TokenEntry::Attached { conn }) if *conn == conn_id => {
+                    // Idempotent: the session already lives here (e.g. a
+                    // retried resume whose reply was lost).
+                    Some(None)
+                }
+                Some(TokenEntry::Attached { .. }) => Some(Some(Fault::session_busy())),
+                Some(TokenEntry::Parked(_)) => match reg.tokens.remove(&token) {
+                    Some(TokenEntry::Parked(parked)) => {
+                        reg.tokens
+                            .insert(token, TokenEntry::Attached { conn: conn_id });
+                        let Parked {
+                            shopper: owner,
+                            session,
+                            replay,
+                            ..
+                        } = *parked;
+                        shared.counters.resumes.fetch_add(1, Ordering::Relaxed);
+                        sessions.insert(
+                            session.id().0,
+                            ConnSession {
+                                shopper: owner,
+                                session,
+                                token,
+                                replayable: true,
+                                replay,
+                            },
+                        );
+                        Some(None)
+                    }
+                    _ => None,
+                },
+            };
+            drop(reg);
+            match hit {
+                None => Reply::Fault(Fault::unknown_token()),
+                Some(Some(busy)) => Reply::Fault(busy),
+                Some(None) => match sessions.values().find(|cs| cs.token == token) {
+                    Some(cs) => Reply::Ok(Response::Resume {
+                        session: cs.session.id().0,
+                        version: cs.session.pinned_version(),
+                        purchases: cs.session.ledger().len() as u32,
+                    }),
+                    None => Reply::Fault(Fault::unknown_token()),
+                },
+            }
+        }
     };
-    wire::encode_reply(send, request_id, opcode, &reply);
+    let frame_start = send.len();
+    wire::encode_reply_v(send, h.version, request_id, opcode, &reply);
+    if h.version >= 2 {
+        match record {
+            Recorded::Nothing => {}
+            Recorded::Open {
+                shopper,
+                session,
+                token,
+            } => {
+                if reply.ok().is_some() {
+                    let mut reg = shared.registry.lock().unwrap();
+                    reg.tokens
+                        .insert(token, TokenEntry::Attached { conn: conn_id });
+                    reg.record_open(
+                        (shopper, request_id),
+                        session,
+                        token,
+                        digest,
+                        &send[frame_start..],
+                    );
+                }
+            }
+            Recorded::Op { session } => {
+                if let Some(cs) = sessions.get_mut(&session) {
+                    if cs.replayable {
+                        cs.replay.put(request_id, digest, &send[frame_start..]);
+                    }
+                }
+            }
+            Recorded::Close { session, token } => {
+                let mut reg = shared.registry.lock().unwrap();
+                reg.tokens.remove(&token);
+                reg.record_close(session, request_id, digest, &send[frame_start..]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -552,7 +1167,30 @@ mod tests {
     use crate::Marketplace;
     use dance_relation::{AttrSet, Table, Value, ValueType};
 
+    #[test]
+    fn replay_cache_discriminates_reused_ids_by_digest() {
+        let mut cache = ReplayCache::default();
+        cache.put(2, 0xAAAA, b"first");
+        assert_eq!(cache.get(2, 0xAAAA), Some(&b"first"[..]));
+        assert_eq!(cache.get(2, 0xBBBB), None, "same id, different bytes");
+        cache.put(2, 0xBBBB, b"second");
+        assert_eq!(cache.get(2, 0xBBBB), Some(&b"second"[..]));
+        assert_eq!(cache.get(2, 0xAAAA), Some(&b"first"[..]));
+        assert_ne!(
+            request_digest(5, b"abc"),
+            request_digest(6, b"abc"),
+            "opcode seeds the digest"
+        );
+    }
+
     fn service(max_sessions: usize) -> Arc<SessionManager> {
+        service_with(SessionManagerConfig {
+            max_sessions,
+            ..SessionManagerConfig::default()
+        })
+    }
+
+    fn service_with(cfg: SessionManagerConfig) -> Arc<SessionManager> {
         let t = Table::from_rows(
             "sv_a",
             &[("sv_k", ValueType::Int), ("sv_x", ValueType::Str)],
@@ -562,10 +1200,7 @@ mod tests {
         )
         .unwrap();
         let market = Arc::new(Marketplace::new(vec![t], EntropyPricing::default()));
-        Arc::new(SessionManager::new(
-            market,
-            SessionManagerConfig { max_sessions },
-        ))
+        Arc::new(SessionManager::new(market, cfg))
     }
 
     fn key(names: &[&str]) -> AttrSet {
@@ -585,7 +1220,10 @@ mod tests {
                 budget: 100.0,
             })
             .unwrap();
-        let Reply::Ok(Response::OpenSession { session, version }) = open else {
+        let Reply::Ok(Response::OpenSession {
+            session, version, ..
+        }) = open
+        else {
             panic!("expected open, got {open:?}");
         };
         assert_eq!(version, 0);
@@ -842,5 +1480,422 @@ mod tests {
 
     fn client_first_reply(c: &mut WireClient) -> (u64, Reply) {
         c.recv_reply().unwrap()
+    }
+
+    // --- resilience-layer tests (protocol v2) ---
+
+    /// A manager with resumption on: a 30s lease (long enough to never
+    /// lapse mid-test) and a pinned token secret.
+    fn resilient_service(max_sessions: usize) -> Arc<SessionManager> {
+        service_with(SessionManagerConfig {
+            max_sessions,
+            lease_secs: Some(30.0),
+            token_secret: Some((0xA5A5_0001, 0x5C5C_0002)),
+        })
+    }
+
+    #[test]
+    fn hello_negotiates_version_and_features() {
+        let mgr = service(8);
+        let server = Server::start(mgr, ServerConfig::default()).unwrap();
+        let mut client = WireClient::connect(server.addr()).unwrap();
+        let (version, features) = client.hello().unwrap();
+        assert_eq!(version, wire::PROTOCOL_VERSION);
+        assert_eq!(features, wire::SERVER_FEATURES);
+
+        // A futuristic client is answered at the server's newest version;
+        // unknown feature bits are masked off.
+        let reply = client
+            .call(&Request::Hello {
+                version: 9,
+                features: u32::MAX,
+            })
+            .unwrap();
+        let Reply::Ok(Response::Hello { version, features }) = reply else {
+            panic!("expected hello, got {reply:?}");
+        };
+        assert_eq!(version, wire::PROTOCOL_VERSION);
+        assert_eq!(features, wire::SERVER_FEATURES);
+
+        // A prehistoric version gets a Protocol fault.
+        let reply = client
+            .call(&Request::Hello {
+                version: 0,
+                features: 0,
+            })
+            .unwrap();
+        assert_eq!(
+            reply.fault().map(|f| f.code),
+            Some(crate::wire::FaultCode::Protocol)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn v2_open_carries_a_token_and_v1_does_not() {
+        let mgr = resilient_service(8);
+        let server = Server::start(Arc::clone(&mgr), ServerConfig::default()).unwrap();
+
+        let mut v1 = WireClient::connect(server.addr()).unwrap();
+        let open = v1
+            .call(&Request::OpenSession {
+                shopper: 1,
+                seed: 7,
+                budget: 100.0,
+            })
+            .unwrap();
+        let Reply::Ok(Response::OpenSession { token, .. }) = open else {
+            panic!("expected open");
+        };
+        assert_eq!(token, 0, "v1 frames never carry the token");
+
+        let mut v2 = WireClient::builder(server.addr()).connect().unwrap();
+        let open = v2
+            .call(&Request::OpenSession {
+                shopper: 1,
+                seed: 7,
+                budget: 100.0,
+            })
+            .unwrap();
+        let Reply::Ok(Response::OpenSession { session, token, .. }) = open else {
+            panic!("expected open");
+        };
+        assert_eq!(
+            token,
+            mgr.session_token(crate::session::SessionId(session)).0,
+            "the wire token is the manager's token for this session"
+        );
+        assert_ne!(token, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn killed_connection_resumes_at_pinned_snapshot_with_ledger_intact() {
+        let mgr = resilient_service(8);
+        let server = Server::start(Arc::clone(&mgr), ServerConfig::default()).unwrap();
+
+        let mut c1 = WireClient::builder(server.addr()).connect().unwrap();
+        let open = c1
+            .call(&Request::OpenSession {
+                shopper: 3,
+                seed: 11,
+                budget: 100.0,
+            })
+            .unwrap();
+        let Reply::Ok(Response::OpenSession { session, token, .. }) = open else {
+            panic!("expected open, got {open:?}");
+        };
+        let bought = c1
+            .call(&Request::BuySample {
+                session,
+                dataset: 0,
+                rate: 0.5,
+                key: key(&["sv_k"]),
+            })
+            .unwrap();
+        let Reply::Ok(Response::BuySample { price: p1, .. }) = bought else {
+            panic!("expected sample, got {bought:?}");
+        };
+        // Kill the connection without closing the session.
+        drop(c1);
+
+        // A fresh connection re-attaches with the token; the session is at
+        // its pinned snapshot with one purchase in the ledger.
+        let mut c2 = WireClient::builder(server.addr()).connect().unwrap();
+        let resumed = resume_with_retry(&mut c2, token);
+        let Reply::Ok(Response::Resume {
+            session: rs,
+            version,
+            purchases,
+        }) = resumed
+        else {
+            panic!("expected resume, got {resumed:?}");
+        };
+        assert_eq!(rs, session);
+        assert_eq!(version, 0);
+        assert_eq!(purchases, 1);
+
+        // The second purchase continues the seeded purchase sequence. Its
+        // request bytes differ from c1's purchase, so even when c2's fresh
+        // id sequence collides with an id c1 already used, the digest check
+        // executes it instead of replaying c1's cached reply.
+        let bought = c2
+            .call(&Request::BuySample {
+                session,
+                dataset: 0,
+                rate: 0.25,
+                key: key(&["sv_k", "sv_x"]),
+            })
+            .unwrap();
+        let Reply::Ok(Response::BuySample { price: p2, .. }) = bought else {
+            panic!("expected sample, got {bought:?}");
+        };
+        let closed = c2.call(&Request::CloseSession { session }).unwrap();
+        let Reply::Ok(Response::CloseSession {
+            purchases, spent, ..
+        }) = closed
+        else {
+            panic!("expected close, got {closed:?}");
+        };
+        assert_eq!(purchases, 2);
+        assert_eq!(spent.to_bits(), (p1 + p2).to_bits());
+        assert_eq!(mgr.market().revenue().to_bits(), spent.to_bits());
+
+        let stats = server.shutdown();
+        assert_eq!(stats.resumes, 1);
+        assert_eq!(stats.sessions_open, 0);
+        // A bogus token would have been rejected, not crashed: covered by
+        // the fault being UnknownSession below.
+    }
+
+    /// Resume, retrying while the dead connection's worker races us to the
+    /// park (the server answers `session_busy` until it parks).
+    fn resume_with_retry(c: &mut WireClient, token: u64) -> Reply {
+        for _ in 0..50 {
+            let reply = c.call(&Request::Resume { token }).unwrap();
+            match reply.fault() {
+                Some(f) if f.code == crate::wire::FaultCode::Rejected => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => return reply,
+            }
+        }
+        panic!("session never parked");
+    }
+
+    #[test]
+    fn bogus_tokens_cannot_resume() {
+        let mgr = resilient_service(8);
+        let server = Server::start(mgr, ServerConfig::default()).unwrap();
+        let mut client = WireClient::builder(server.addr()).connect().unwrap();
+        let reply = client
+            .call(&Request::Resume { token: 0xBAAD_F00D })
+            .unwrap();
+        assert_eq!(
+            reply.fault().map(|f| f.code),
+            Some(crate::wire::FaultCode::UnknownSession)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn retried_purchase_replays_identical_bytes_without_double_charge() {
+        let mgr = resilient_service(8);
+        let server = Server::start(Arc::clone(&mgr), ServerConfig::default()).unwrap();
+        let mut client = WireClient::builder(server.addr())
+            .recording()
+            .connect()
+            .unwrap();
+        let open = client
+            .call(&Request::OpenSession {
+                shopper: 5,
+                seed: 13,
+                budget: 100.0,
+            })
+            .unwrap();
+        let Reply::Ok(Response::OpenSession { session, .. }) = open else {
+            panic!("expected open");
+        };
+        let buy = Request::BuySample {
+            session,
+            dataset: 0,
+            rate: 0.4,
+            key: key(&["sv_k"]),
+        };
+        let first = client.call(&buy).unwrap();
+        let Reply::Ok(Response::BuySample { price, .. }) = first else {
+            panic!("expected sample, got {first:?}");
+        };
+        let after_first = client.transcript().len();
+
+        // Re-send the purchase under its original request id, twice: the
+        // reply frames are byte-identical and the ledger takes one charge.
+        let retry_id = client.last_id();
+        for _ in 0..2 {
+            client.resend(retry_id, &buy).unwrap();
+            let (id, reply) = client.recv_reply().unwrap();
+            assert_eq!(id, retry_id);
+            assert_eq!(reply, first);
+        }
+        let t = client.transcript();
+        let original = &t[after_first - (t.len() - after_first) / 2..after_first];
+        assert_eq!(&t[after_first..after_first + original.len()], original);
+        assert_eq!(
+            &t[after_first + original.len()..],
+            original,
+            "replayed frames are byte-identical"
+        );
+
+        let closed = client.call(&Request::CloseSession { session }).unwrap();
+        let Reply::Ok(Response::CloseSession {
+            purchases, spent, ..
+        }) = closed
+        else {
+            panic!("expected close");
+        };
+        assert_eq!(purchases, 1, "no double charge");
+        assert_eq!(spent.to_bits(), price.to_bits());
+        assert_eq!(mgr.market().revenue().to_bits(), price.to_bits());
+
+        // A retried close replays from the tombstone: still one close.
+        client
+            .resend(client.last_id(), &Request::CloseSession { session })
+            .unwrap();
+        let (_, replayed) = client.recv_reply().unwrap();
+        assert_eq!(replayed, closed);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.replay_hits, 3);
+        assert_eq!((stats.sessions_opened, stats.sessions_closed), (1, 1));
+    }
+
+    #[test]
+    fn retried_open_returns_the_same_session_not_a_second_one() {
+        let mgr = resilient_service(8);
+        let server = Server::start(Arc::clone(&mgr), ServerConfig::default()).unwrap();
+        let mut client = WireClient::builder(server.addr()).connect().unwrap();
+        let open = Request::OpenSession {
+            shopper: 9,
+            seed: 21,
+            budget: 50.0,
+        };
+        let first = client.call(&open).unwrap();
+        let Reply::Ok(Response::OpenSession { session, .. }) = first else {
+            panic!("expected open");
+        };
+        let open_id = client.last_id();
+        client.resend(open_id, &open).unwrap();
+        let (_, retried) = client.recv_reply().unwrap();
+        assert_eq!(retried, first, "the dedup'd open is the same reply");
+        assert_eq!(mgr.stats().opened, 1, "one session, not two");
+        client.call(&Request::CloseSession { session }).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_lease_reclaims_the_capacity_slot() {
+        let mgr = service_with(SessionManagerConfig {
+            max_sessions: 1,
+            lease_secs: Some(0.0),
+            token_secret: Some((1, 2)),
+        });
+        let server = Server::start(Arc::clone(&mgr), ServerConfig::default()).unwrap();
+        let mut c1 = WireClient::builder(server.addr()).connect().unwrap();
+        let open = c1
+            .call(&Request::OpenSession {
+                shopper: 1,
+                seed: 1,
+                budget: 1.0,
+            })
+            .unwrap();
+        let Reply::Ok(Response::OpenSession { token, .. }) = open else {
+            panic!("expected open, got {open:?}");
+        };
+        drop(c1); // parks the session (lease 0: reclaimable immediately)
+
+        // Capacity is 1: a new open succeeds only once the sweep reclaims
+        // the parked slot; the sweep runs inside the open path itself.
+        let mut c2 = WireClient::builder(server.addr()).connect().unwrap();
+        let opened = (0..50)
+            .map(|_| {
+                std::thread::sleep(Duration::from_millis(20));
+                c2.call(&Request::OpenSession {
+                    shopper: 2,
+                    seed: 2,
+                    budget: 1.0,
+                })
+                .unwrap()
+            })
+            .find(|r| r.ok().is_some());
+        assert!(opened.is_some(), "reclaim freed the slot");
+
+        // The reclaimed session's token no longer resumes.
+        let reply = c2.call(&Request::Resume { token }).unwrap();
+        assert_eq!(
+            reply.fault().map(|f| f.code),
+            Some(crate::wire::FaultCode::UnknownSession)
+        );
+        let stats = server.shutdown();
+        assert!(stats.leases_reclaimed >= 1);
+        assert_eq!(mgr.stats().reclaimed as u64, stats.leases_reclaimed);
+    }
+
+    #[test]
+    fn slow_loris_mid_frame_connection_is_timed_out() {
+        let mgr = service(8);
+        let server = Server::start(
+            mgr,
+            ServerConfig {
+                io_deadline: Duration::from_millis(150),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // Drip half a header and stall.
+        let mut loris = WireClient::connect(server.addr()).unwrap();
+        loris.send_raw_bytes(&wire::MAGIC.to_le_bytes());
+        loris.send_raw_bytes(&[1, 0]);
+        loris.flush().unwrap();
+        // An idle (zero-byte) connection on the same server is NOT timed
+        // out: only mid-frame stalls are.
+        let mut idle = WireClient::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(500));
+        assert!(
+            loris.recv_reply().is_err(),
+            "the mid-frame staller was closed"
+        );
+        let stats = idle.call(&Request::Stats).unwrap();
+        let Reply::Ok(Response::Stats(s)) = stats else {
+            panic!("expected stats (idle connection survived)");
+        };
+        assert_eq!(s.timeouts, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_side_chaos_still_serves_v1_clients_eventually() {
+        // Chaos on the server side with only benign faults (fragmented
+        // writes + delays): a plain client still completes a session,
+        // which pins that the server's frame reassembly and the chaos
+        // transport compose.
+        let mgr = service(8);
+        let server = Server::start(
+            mgr,
+            ServerConfig {
+                chaos: Some(ChaosConfig {
+                    seed: 0xC4A05,
+                    reset_rate: 0.0,
+                    truncate_rate: 0.0,
+                    short_write_rate: 0.5,
+                    delay_rate: 0.1,
+                    max_delay_ms: 2,
+                }),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = WireClient::connect(server.addr()).unwrap();
+        let open = client
+            .call(&Request::OpenSession {
+                shopper: 1,
+                seed: 7,
+                budget: 100.0,
+            })
+            .unwrap();
+        let Reply::Ok(Response::OpenSession { session, .. }) = open else {
+            panic!("expected open, got {open:?}");
+        };
+        let bought = client
+            .call(&Request::BuySample {
+                session,
+                dataset: 0,
+                rate: 0.5,
+                key: key(&["sv_k"]),
+            })
+            .unwrap();
+        assert!(bought.ok().is_some());
+        let closed = client.call(&Request::CloseSession { session }).unwrap();
+        assert!(closed.ok().is_some());
+        server.shutdown();
     }
 }

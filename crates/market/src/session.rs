@@ -41,6 +41,7 @@ use dance_relation::{AttrSet, RelationError, Table};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Stable identifier of one acquisition session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -49,6 +50,25 @@ pub struct SessionId(pub u64);
 impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "S{}", self.0)
+    }
+}
+
+/// An unguessable handle for re-attaching a live session to a fresh
+/// connection (the wire layer's `ResumeSession`).
+///
+/// The token is derived from the session id and a per-manager secret pair
+/// as the XOR of two independent [`splitmix64`] bijections —
+/// `sm(s₁ ⊕ f(id)) ⊕ sm(s₂ ⊕ g(id))` — so one observed `(id, token)` pair
+/// does not invert to the secret the way a single bijection would. It is
+/// *unguessable without the secret*, not cryptographic: the threat model is
+/// a shopper probing for other shoppers' session ids, not an adversary
+/// with offline compute parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionToken(pub u64);
+
+impl fmt::Display for SessionToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{:016x}", self.0)
     }
 }
 
@@ -344,6 +364,7 @@ struct ManagerState {
     closed: AtomicUsize,
     rejected: AtomicUsize,
     peak_open: AtomicUsize,
+    reclaimed: AtomicUsize,
     next_id: AtomicU64,
 }
 
@@ -353,11 +374,25 @@ pub struct SessionManagerConfig {
     /// Hard cap on simultaneously open sessions; opens beyond it are
     /// rejected gracefully with [`SessionError::AtCapacity`].
     pub max_sessions: usize,
+    /// Idle lease for sessions orphaned by a dead connection. `Some(secs)`
+    /// lets the serving layer park a disconnected session for resumption,
+    /// reclaiming its capacity slot once no connection re-attaches within
+    /// the lease. `None` (the default) keeps the pre-resumption behaviour:
+    /// a dropped connection drops its sessions immediately.
+    pub lease_secs: Option<f64>,
+    /// Explicit secret pair for [`SessionManager::session_token`]. `None`
+    /// (the default) derives a fresh secret from wall-clock and address
+    /// entropy at construction; tests pin it for deterministic tokens.
+    pub token_secret: Option<(u64, u64)>,
 }
 
 impl Default for SessionManagerConfig {
     fn default() -> Self {
-        SessionManagerConfig { max_sessions: 1024 }
+        SessionManagerConfig {
+            max_sessions: 1024,
+            lease_secs: None,
+            token_secret: None,
+        }
     }
 }
 
@@ -374,6 +409,8 @@ pub struct ManagerStats {
     pub rejected: usize,
     /// High-water mark of simultaneously open sessions.
     pub peak_open: usize,
+    /// Parked sessions reclaimed after their idle lease expired.
+    pub reclaimed: usize,
 }
 
 /// The acquisition service: opens, closes and counts sessions over one
@@ -384,21 +421,70 @@ pub struct SessionManager {
     market: Arc<Marketplace>,
     state: Arc<ManagerState>,
     cfg: SessionManagerConfig,
+    secret: (u64, u64),
 }
 
 impl SessionManager {
     /// A manager over `market` with the given capacity config.
     pub fn new(market: Arc<Marketplace>, cfg: SessionManagerConfig) -> SessionManager {
+        let state = Arc::new(ManagerState::default());
+        let secret = cfg.token_secret.unwrap_or_else(|| {
+            // Wall-clock nanos plus the state allocation's address: enough
+            // entropy that tokens differ across processes and managers,
+            // without reaching for an OS randomness dependency.
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            let addr = Arc::as_ptr(&state) as u64;
+            (
+                splitmix64(nanos ^ 0x5EC2_E700_0000_0001),
+                splitmix64(addr ^ nanos.rotate_left(32)),
+            )
+        });
         SessionManager {
             market,
-            state: Arc::new(ManagerState::default()),
+            state,
             cfg,
+            secret,
         }
     }
 
     /// The marketplace this manager serves.
     pub fn market(&self) -> &Arc<Marketplace> {
         &self.market
+    }
+
+    /// The idle lease for orphaned sessions, if resumption is enabled.
+    /// Negative or non-finite configs clamp to a zero lease (reclaim at the
+    /// first sweep).
+    pub fn lease(&self) -> Option<Duration> {
+        self.cfg.lease_secs.map(|s| {
+            if s.is_finite() && s > 0.0 {
+                Duration::from_secs_f64(s)
+            } else {
+                Duration::ZERO
+            }
+        })
+    }
+
+    /// The resumption token for `id` under this manager's secret — a pure
+    /// function, so the same session always presents the same token, and
+    /// replays can recompute it from an observed session id.
+    pub fn session_token(&self, id: SessionId) -> SessionToken {
+        let (s1, s2) = self.secret;
+        let a = splitmix64(s1 ^ id.0.wrapping_mul(PURCHASE_SEED_STRIDE));
+        let b = splitmix64(s2 ^ id.0.rotate_left(17).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        SessionToken(a ^ b)
+    }
+
+    /// Record `n` parked sessions reclaimed by a lease sweep (the serving
+    /// layer owns the parking registry; the manager owns the counter so
+    /// [`ManagerStats`] pins reclamation).
+    pub fn record_reclaimed(&self, n: usize) {
+        if n > 0 {
+            self.state.reclaimed.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Open a session: admission-check capacity, pin the current catalog
@@ -462,6 +548,7 @@ impl SessionManager {
             closed: self.state.closed.load(Ordering::Relaxed),
             rejected: self.state.rejected.load(Ordering::Relaxed),
             peak_open: self.state.peak_open.load(Ordering::Relaxed),
+            reclaimed: self.state.reclaimed.load(Ordering::Relaxed),
         }
     }
 }
@@ -493,7 +580,13 @@ mod tests {
     }
 
     fn manager(max: usize) -> SessionManager {
-        SessionManager::new(market(), SessionManagerConfig { max_sessions: max })
+        SessionManager::new(
+            market(),
+            SessionManagerConfig {
+                max_sessions: max,
+                ..SessionManagerConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -677,6 +770,71 @@ mod tests {
         assert_eq!(fresh.pinned_version(), 1);
         let (t_fresh, _) = fresh.buy_sample(DatasetId(0), &key, 0.4).unwrap();
         assert_ne!(t_live.num_rows(), t_fresh.num_rows());
+    }
+
+    #[test]
+    fn session_tokens_are_stable_distinct_and_secret_dependent() {
+        let cfg = SessionManagerConfig {
+            max_sessions: 4,
+            token_secret: Some((0xA5A5_0001, 0x5C5C_0002)),
+            ..SessionManagerConfig::default()
+        };
+        let mgr = SessionManager::new(market(), cfg);
+        // Pure function of the id under a fixed secret.
+        assert_eq!(
+            mgr.session_token(SessionId(3)),
+            mgr.session_token(SessionId(3))
+        );
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..64u64 {
+            assert!(seen.insert(mgr.session_token(SessionId(id)).0));
+        }
+        // A different secret yields a different token space.
+        let other = SessionManager::new(
+            market(),
+            SessionManagerConfig {
+                token_secret: Some((0xA5A5_0001, 0x5C5C_0003)),
+                ..cfg
+            },
+        );
+        assert_ne!(
+            mgr.session_token(SessionId(3)),
+            other.session_token(SessionId(3))
+        );
+        // And the default secret is fresh per manager.
+        let d1 = SessionManager::new(market(), SessionManagerConfig::default());
+        let d2 = SessionManager::new(market(), SessionManagerConfig::default());
+        assert_ne!(
+            d1.session_token(SessionId(3)),
+            d2.session_token(SessionId(3))
+        );
+    }
+
+    #[test]
+    fn lease_config_clamps_and_reclaims_count() {
+        let mgr = manager(4);
+        assert_eq!(mgr.lease(), None);
+        let leased = SessionManager::new(
+            market(),
+            SessionManagerConfig {
+                max_sessions: 4,
+                lease_secs: Some(1.5),
+                token_secret: None,
+            },
+        );
+        assert_eq!(leased.lease(), Some(Duration::from_millis(1500)));
+        let weird = SessionManager::new(
+            market(),
+            SessionManagerConfig {
+                max_sessions: 4,
+                lease_secs: Some(-3.0),
+                token_secret: None,
+            },
+        );
+        assert_eq!(weird.lease(), Some(Duration::ZERO));
+        leased.record_reclaimed(2);
+        leased.record_reclaimed(0);
+        assert_eq!(leased.stats().reclaimed, 2);
     }
 
     #[test]

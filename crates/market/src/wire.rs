@@ -7,11 +7,21 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic        0x4543_4E44 ("DNCE" on the wire)
-//!      4     2  version      protocol version (currently 1)
+//!      4     2  version      protocol version of THIS frame (1 or 2)
 //!      6     2  opcode       request opcode; responses set RESP_BIT (0x8000)
 //!      8     8  request id   client-chosen tag echoed on the response
 //!     16     4  payload len  bytes following the header (capped)
 //! ```
+//!
+//! Versioning is **per frame**: the server answers every request at the
+//! version its frame carried, so one connection can mix v1 and v2 traffic
+//! and neither side keeps encode state. v1 and v2 payloads differ only in
+//! the `OpenSession` response, which under v2 appends the session's
+//! resumption token; v2 also adds the [`Opcode::Hello`] handshake
+//! (negotiating version and feature bits) and [`Opcode::ResumeSession`]
+//! (re-attach a parked session to a fresh connection). Clients that never send a
+//! `Hello` keep speaking v1 and observe byte-identical frames to the v1
+//! protocol.
 //!
 //! Requests and responses are tagged by `request id`, so a client may keep
 //! many requests in flight on one connection (**pipelining**) and match
@@ -50,8 +60,23 @@ use std::fmt;
 /// Frame magic: the bytes `DNCE` once the `u32` is laid out little-endian.
 pub const MAGIC: u32 = 0x4543_4E44;
 
-/// Protocol version carried in every header.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Newest protocol version this build speaks (and the version a `Hello`
+/// negotiates up to).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version still accepted in a frame header.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
+
+/// Feature bit: the server parks disconnected sessions and accepts
+/// [`Opcode::ResumeSession`].
+pub const FEATURE_RESUME: u32 = 1;
+
+/// Feature bit: the server deduplicates retried mutating requests through
+/// its per-session replay cache (exactly-once semantics).
+pub const FEATURE_REPLAY: u32 = 2;
+
+/// All feature bits this build implements.
+pub const SERVER_FEATURES: u32 = FEATURE_RESUME | FEATURE_REPLAY;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -83,11 +108,16 @@ pub enum Opcode {
     Stats = 7,
     /// Close a session, returning its final report summary.
     CloseSession = 8,
+    /// Version/feature handshake: (client version, feature bits) →
+    /// (accepted version, granted feature bits).
+    Hello = 9,
+    /// Re-attach a parked session to this connection by its token.
+    ResumeSession = 10,
 }
 
 impl Opcode {
     /// All request opcodes, in numeric order.
-    pub const ALL: [Opcode; 8] = [
+    pub const ALL: [Opcode; 10] = [
         Opcode::OpenSession,
         Opcode::Quote,
         Opcode::QuoteBatch,
@@ -96,6 +126,8 @@ impl Opcode {
         Opcode::Repin,
         Opcode::Stats,
         Opcode::CloseSession,
+        Opcode::Hello,
+        Opcode::ResumeSession,
     ];
 
     /// Decode a request opcode (the `RESP_BIT` must already be stripped).
@@ -109,6 +141,8 @@ impl Opcode {
             6 => Ok(Opcode::Repin),
             7 => Ok(Opcode::Stats),
             8 => Ok(Opcode::CloseSession),
+            9 => Ok(Opcode::Hello),
+            10 => Ok(Opcode::ResumeSession),
             other => Err(WireError::UnknownOpcode(other)),
         }
     }
@@ -136,6 +170,8 @@ pub enum WireError {
     /// The payload is structurally invalid (bad status byte, trailing
     /// bytes, non-UTF-8 message…).
     Malformed(&'static str),
+    /// The read deadline expired before a complete frame arrived.
+    Timeout,
 }
 
 impl fmt::Display for WireError {
@@ -149,6 +185,7 @@ impl fmt::Display for WireError {
             }
             WireError::Truncated => write!(f, "truncated payload"),
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::Timeout => write!(f, "read deadline expired before a complete frame"),
         }
     }
 }
@@ -158,6 +195,8 @@ impl std::error::Error for WireError {}
 /// One decoded frame header (magic/version already validated).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
+    /// Protocol version this frame is encoded at.
+    pub version: u16,
     /// Raw opcode field (`RESP_BIT` included on responses).
     pub opcode: u16,
     /// Client-chosen request tag.
@@ -226,6 +265,18 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
+    /// Version/feature handshake.
+    Hello {
+        /// Newest protocol version the client speaks.
+        version: u16,
+        /// Feature bits the client wants.
+        features: u32,
+    },
+    /// Re-attach a parked session to this connection.
+    Resume {
+        /// The [`crate::session::SessionToken`] from the v2 open reply.
+        token: u64,
+    },
 }
 
 impl Request {
@@ -240,6 +291,8 @@ impl Request {
             Request::Repin { .. } => Opcode::Repin,
             Request::Stats => Opcode::Stats,
             Request::CloseSession { .. } => Opcode::CloseSession,
+            Request::Hello { .. } => Opcode::Hello,
+            Request::Resume { .. } => Opcode::ResumeSession,
         }
     }
 }
@@ -253,6 +306,10 @@ pub enum Response {
         session: u64,
         /// Catalog version the session pinned.
         version: u64,
+        /// Resumption token ([`crate::session::SessionToken`]). Carried on
+        /// the wire only under protocol v2; v1 frames encode/decode this
+        /// as `0`.
+        token: u64,
     },
     /// Quoted price.
     Quote {
@@ -303,6 +360,24 @@ pub enum Response {
         /// Budget headroom left.
         remaining: f64,
     },
+    /// Handshake accepted.
+    Hello {
+        /// Version the server will speak on this connection's v2 frames
+        /// (`min(client version, `[`PROTOCOL_VERSION`]`)`).
+        version: u16,
+        /// Requested feature bits the server grants.
+        features: u32,
+    },
+    /// Session re-attached to this connection.
+    Resume {
+        /// The session id (unchanged across resumption).
+        session: u64,
+        /// Catalog version the session is still pinned at.
+        version: u64,
+        /// Purchases already in the ledger — where the purchase-seed
+        /// sequence continues from.
+        purchases: u32,
+    },
 }
 
 impl Response {
@@ -317,6 +392,8 @@ impl Response {
             Response::Repin { .. } => Opcode::Repin,
             Response::Stats(_) => Opcode::Stats,
             Response::CloseSession { .. } => Opcode::CloseSession,
+            Response::Hello { .. } => Opcode::Hello,
+            Response::Resume { .. } => Opcode::ResumeSession,
         }
     }
 }
@@ -344,6 +421,16 @@ pub struct StatsSnapshot {
     pub rate_limited: u64,
     /// Frames that failed protocol validation.
     pub protocol_errors: u64,
+    /// Connections closed because a mid-frame read or a write missed the
+    /// I/O deadline (slow-loris defense).
+    pub timeouts: u64,
+    /// Sessions re-attached to a fresh connection via `ResumeSession`.
+    pub resumes: u64,
+    /// Retried requests answered from a replay cache instead of being
+    /// re-executed (exactly-once dedup hits).
+    pub replay_hits: u64,
+    /// Parked sessions reclaimed after their idle lease expired.
+    pub leases_reclaimed: u64,
 }
 
 /// Failure classes a response can carry (the non-zero status bytes).
@@ -412,6 +499,36 @@ impl Fault {
         Fault {
             code: FaultCode::UnknownSession,
             message: format!("session {session} is not open on this connection"),
+        }
+    }
+
+    /// The fault for a resumption token that matches no parked session
+    /// (never opened, already closed, or reclaimed after its lease expired).
+    pub fn unknown_token() -> Fault {
+        Fault {
+            code: FaultCode::UnknownSession,
+            message: "unknown or expired session token".to_string(),
+        }
+    }
+
+    /// The fault for resuming a session still attached to another live
+    /// connection — transient: retry once the old connection parks it.
+    pub fn session_busy() -> Fault {
+        Fault {
+            code: FaultCode::Rejected,
+            message: "session is attached to another connection; retry".to_string(),
+        }
+    }
+
+    /// The fault for a `Hello` offering a version older than
+    /// [`MIN_PROTOCOL_VERSION`].
+    pub fn unsupported_version(version: u16) -> Fault {
+        Fault {
+            code: FaultCode::Protocol,
+            message: format!(
+                "client version {version} is older than the oldest supported \
+                 version {MIN_PROTOCOL_VERSION}"
+            ),
         }
     }
 
@@ -505,11 +622,11 @@ fn put_str(b: &mut Vec<u8>, s: &str) {
     b.extend_from_slice(s.as_bytes());
 }
 
-/// Append a frame header for `opcode`/`request_id` with a zero payload
-/// length, returning the payload start offset for [`finish_frame`].
-fn begin_frame(buf: &mut Vec<u8>, opcode: u16, request_id: u64) -> usize {
+/// Append a frame header for `version`/`opcode`/`request_id` with a zero
+/// payload length, returning the payload start offset for [`finish_frame`].
+fn begin_frame(buf: &mut Vec<u8>, version: u16, opcode: u16, request_id: u64) -> usize {
     put_u32(buf, MAGIC);
-    put_u16(buf, PROTOCOL_VERSION);
+    put_u16(buf, version);
     put_u16(buf, opcode);
     put_u64(buf, request_id);
     put_u32(buf, 0);
@@ -522,9 +639,15 @@ fn finish_frame(buf: &mut [u8], payload_start: usize) {
     buf[payload_start - 4..payload_start].copy_from_slice(&len.to_le_bytes());
 }
 
-/// Append one encoded request frame to `buf`.
+/// Append one encoded request frame to `buf` at protocol v1 (request
+/// payloads are identical across versions; only the header differs).
 pub fn encode_request(buf: &mut Vec<u8>, request_id: u64, req: &Request) {
-    let start = begin_frame(buf, req.opcode() as u16, request_id);
+    encode_request_v(buf, MIN_PROTOCOL_VERSION, request_id, req);
+}
+
+/// Append one encoded request frame to `buf` at the given header version.
+pub fn encode_request_v(buf: &mut Vec<u8>, version: u16, request_id: u64, req: &Request) {
+    let start = begin_frame(buf, version, req.opcode() as u16, request_id);
     match req {
         Request::OpenSession {
             shopper,
@@ -572,23 +695,51 @@ pub fn encode_request(buf: &mut Vec<u8>, request_id: u64, req: &Request) {
             put_u64(buf, *session);
         }
         Request::Stats => {}
+        Request::Hello { version, features } => {
+            put_u16(buf, *version);
+            put_u32(buf, *features);
+        }
+        Request::Resume { token } => put_u64(buf, *token),
     }
     finish_frame(buf, start);
 }
 
-/// Append one encoded response frame to `buf`. `req_opcode` is the raw
-/// opcode of the request being answered (`0` for connection-level faults,
-/// e.g. a backlog rejection before any request was read).
+/// Append one encoded response frame to `buf` at protocol v1. `req_opcode`
+/// is the raw opcode of the request being answered (`0` for
+/// connection-level faults, e.g. a backlog rejection before any request
+/// was read).
 pub fn encode_reply(buf: &mut Vec<u8>, request_id: u64, req_opcode: u16, reply: &Reply) {
-    let start = begin_frame(buf, req_opcode | RESP_BIT, request_id);
+    encode_reply_v(buf, MIN_PROTOCOL_VERSION, request_id, req_opcode, reply);
+}
+
+/// Append one encoded response frame to `buf` at the given version — the
+/// server always answers at the version the request frame carried.
+pub fn encode_reply_v(
+    buf: &mut Vec<u8>,
+    version: u16,
+    request_id: u64,
+    req_opcode: u16,
+    reply: &Reply,
+) {
+    let start = begin_frame(buf, version, req_opcode | RESP_BIT, request_id);
     match reply {
         Reply::Ok(resp) => {
             debug_assert_eq!(resp.opcode() as u16, req_opcode, "reply/opcode mismatch");
             put_u8(buf, 0);
             match resp {
-                Response::OpenSession { session, version } => {
+                Response::OpenSession {
+                    session,
+                    version: pinned,
+                    token,
+                } => {
                     put_u64(buf, *session);
-                    put_u64(buf, *version);
+                    put_u64(buf, *pinned);
+                    // The resumption token is the one payload difference
+                    // between v1 and v2: v1 frames stay byte-identical to
+                    // the pre-token protocol.
+                    if version >= 2 {
+                        put_u64(buf, *token);
+                    }
                 }
                 Response::Quote { price } => put_f64(buf, *price),
                 Response::QuoteBatch { prices } => {
@@ -624,6 +775,10 @@ pub fn encode_reply(buf: &mut Vec<u8>, request_id: u64, req_opcode: u16, reply: 
                         s.requests_served,
                         s.rate_limited,
                         s.protocol_errors,
+                        s.timeouts,
+                        s.resumes,
+                        s.replay_hits,
+                        s.leases_reclaimed,
                     ] {
                         put_u64(buf, v);
                     }
@@ -640,6 +795,19 @@ pub fn encode_reply(buf: &mut Vec<u8>, request_id: u64, req_opcode: u16, reply: 
                     put_u32(buf, *purchases);
                     put_f64(buf, *spent);
                     put_f64(buf, *remaining);
+                }
+                Response::Hello { version, features } => {
+                    put_u16(buf, *version);
+                    put_u32(buf, *features);
+                }
+                Response::Resume {
+                    session,
+                    version,
+                    purchases,
+                } => {
+                    put_u64(buf, *session);
+                    put_u64(buf, *version);
+                    put_u32(buf, *purchases);
                 }
             }
         }
@@ -742,7 +910,7 @@ pub fn peek_header(buf: &[u8], max_payload: u32) -> Result<Option<FrameHeader>, 
         return Err(WireError::BadMagic(magic));
     }
     let version = r.u16().unwrap();
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let opcode = r.u16().unwrap();
@@ -755,6 +923,7 @@ pub fn peek_header(buf: &[u8], max_payload: u32) -> Result<Option<FrameHeader>, 
         });
     }
     Ok(Some(FrameHeader {
+        version,
         opcode,
         request_id,
         payload_len,
@@ -804,14 +973,25 @@ pub fn decode_request(opcode: u16, payload: &[u8]) -> Result<Request, WireError>
         Opcode::Repin => Request::Repin { session: r.u64()? },
         Opcode::Stats => Request::Stats,
         Opcode::CloseSession => Request::CloseSession { session: r.u64()? },
+        Opcode::Hello => Request::Hello {
+            version: r.u16()?,
+            features: r.u32()?,
+        },
+        Opcode::ResumeSession => Request::Resume { token: r.u64()? },
     };
     r.finish()?;
     Ok(req)
 }
 
-/// Decode a response payload for the header's raw opcode (which must carry
-/// [`RESP_BIT`]; opcode `RESP_BIT | 0` is a connection-level fault frame).
+/// Decode a v1 response payload for the header's raw opcode (which must
+/// carry [`RESP_BIT`]; opcode `RESP_BIT | 0` is a connection-level fault
+/// frame).
 pub fn decode_reply(opcode: u16, payload: &[u8]) -> Result<Reply, WireError> {
+    decode_reply_v(MIN_PROTOCOL_VERSION, opcode, payload)
+}
+
+/// Decode a response payload at the version its frame header carried.
+pub fn decode_reply_v(version: u16, opcode: u16, payload: &[u8]) -> Result<Reply, WireError> {
     if opcode & RESP_BIT == 0 {
         return Err(WireError::UnknownOpcode(opcode));
     }
@@ -833,6 +1013,7 @@ pub fn decode_reply(opcode: u16, payload: &[u8]) -> Result<Reply, WireError> {
         Opcode::OpenSession => Response::OpenSession {
             session: r.u64()?,
             version: r.u64()?,
+            token: if version >= 2 { r.u64()? } else { 0 },
         },
         Opcode::Quote => Response::Quote { price: r.f64()? },
         Opcode::QuoteBatch => {
@@ -858,7 +1039,7 @@ pub fn decode_reply(opcode: u16, payload: &[u8]) -> Result<Reply, WireError> {
         },
         Opcode::Repin => Response::Repin { version: r.u64()? },
         Opcode::Stats => {
-            let mut vals = [0u64; 10];
+            let mut vals = [0u64; 14];
             for v in &mut vals {
                 *v = r.u64()?;
             }
@@ -873,6 +1054,10 @@ pub fn decode_reply(opcode: u16, payload: &[u8]) -> Result<Reply, WireError> {
                 requests_served: vals[7],
                 rate_limited: vals[8],
                 protocol_errors: vals[9],
+                timeouts: vals[10],
+                resumes: vals[11],
+                replay_hits: vals[12],
+                leases_reclaimed: vals[13],
             })
         }
         Opcode::CloseSession => Response::CloseSession {
@@ -881,6 +1066,15 @@ pub fn decode_reply(opcode: u16, payload: &[u8]) -> Result<Reply, WireError> {
             purchases: r.u32()?,
             spent: r.f64()?,
             remaining: r.f64()?,
+        },
+        Opcode::Hello => Response::Hello {
+            version: r.u16()?,
+            features: r.u32()?,
+        },
+        Opcode::ResumeSession => Response::Resume {
+            session: r.u64()?,
+            version: r.u64()?,
+            purchases: r.u32()?,
         },
     };
     r.finish()?;
@@ -987,6 +1181,13 @@ mod tests {
             Request::Repin { session: 3 },
             Request::Stats,
             Request::CloseSession { session: 3 },
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                features: SERVER_FEATURES,
+            },
+            Request::Resume {
+                token: 0xFACE_FEED_DEAD_BEEF,
+            },
         ] {
             request_roundtrip(&req);
         }
@@ -1000,6 +1201,7 @@ mod tests {
                 Reply::Ok(Response::OpenSession {
                     session: 8,
                     version: 2,
+                    token: 0,
                 }),
             ),
             (Opcode::Quote, Reply::Ok(Response::Quote { price: 1.75 })),
@@ -1039,6 +1241,10 @@ mod tests {
                     requests_served: 8,
                     rate_limited: 9,
                     protocol_errors: 10,
+                    timeouts: 11,
+                    resumes: 12,
+                    replay_hits: 13,
+                    leases_reclaimed: 14,
                 })),
             ),
             (
@@ -1065,10 +1271,86 @@ mod tests {
                     message: "over budget".to_string(),
                 }),
             ),
+            (
+                Opcode::Hello,
+                Reply::Ok(Response::Hello {
+                    version: PROTOCOL_VERSION,
+                    features: SERVER_FEATURES,
+                }),
+            ),
+            (
+                Opcode::ResumeSession,
+                Reply::Ok(Response::Resume {
+                    session: 8,
+                    version: 2,
+                    purchases: 5,
+                }),
+            ),
+            (Opcode::ResumeSession, Reply::Fault(Fault::unknown_token())),
+            (Opcode::ResumeSession, Reply::Fault(Fault::session_busy())),
+            (Opcode::Hello, Reply::Fault(Fault::unsupported_version(0))),
         ];
         for (op, reply) in &cases {
             reply_roundtrip(*op, reply);
         }
+    }
+
+    #[test]
+    fn open_reply_carries_the_token_only_under_v2() {
+        let reply = Reply::Ok(Response::OpenSession {
+            session: 8,
+            version: 3,
+            token: 0xABCD_EF01_2345_6789,
+        });
+        // v2 framing roundtrips the token.
+        let mut v2 = Vec::new();
+        encode_reply_v(&mut v2, 2, 9, Opcode::OpenSession as u16, &reply);
+        let h = peek_header(&v2, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+        assert_eq!(h.version, 2);
+        assert_eq!(
+            decode_reply_v(h.version, h.opcode, &v2[HEADER_LEN..]).unwrap(),
+            reply
+        );
+        // v1 framing drops it: the frame is byte-identical to encoding the
+        // same reply with token 0 (the pre-token wire format).
+        let mut v1 = Vec::new();
+        encode_reply(&mut v1, 9, Opcode::OpenSession as u16, &reply);
+        let mut v1_zero = Vec::new();
+        encode_reply(
+            &mut v1_zero,
+            9,
+            Opcode::OpenSession as u16,
+            &Reply::Ok(Response::OpenSession {
+                session: 8,
+                version: 3,
+                token: 0,
+            }),
+        );
+        assert_eq!(v1, v1_zero);
+        let h = peek_header(&v1, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+        assert_eq!(h.version, 1);
+        let back = decode_reply_v(h.version, h.opcode, &v1[HEADER_LEN..]).unwrap();
+        let Reply::Ok(Response::OpenSession { token, .. }) = back else {
+            panic!("wrong reply: {back:?}");
+        };
+        assert_eq!(token, 0);
+    }
+
+    #[test]
+    fn both_header_versions_are_accepted_and_surfaced() {
+        for v in [1u16, 2] {
+            let mut buf = Vec::new();
+            encode_request_v(&mut buf, v, 1, &Request::Stats);
+            let h = peek_header(&buf, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+            assert_eq!(h.version, v);
+        }
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, &Request::Stats);
+        buf[4..6].copy_from_slice(&0u16.to_le_bytes());
+        assert_eq!(
+            peek_header(&buf, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadVersion(0))
+        );
     }
 
     #[test]
@@ -1251,7 +1533,7 @@ mod tests {
             /// encode → decode is the identity for every request opcode.
             #[test]
             fn request_roundtrip_holds(
-                op in 0usize..8,
+                op in 0usize..10,
                 session in 0u64..u64::MAX,
                 seed in 0u64..u64::MAX,
                 dataset in 0u32..1000,
@@ -1270,7 +1552,12 @@ mod tests {
                     4 => Request::Execute { session, dataset, attrs },
                     5 => Request::Repin { session },
                     6 => Request::Stats,
-                    _ => Request::CloseSession { session },
+                    7 => Request::CloseSession { session },
+                    8 => Request::Hello {
+                        version: (seed % 7) as u16,
+                        features: dataset,
+                    },
+                    _ => Request::Resume { token: session },
                 };
                 let mut buf = Vec::new();
                 encode_request(&mut buf, seed, &req);
@@ -1284,7 +1571,8 @@ mod tests {
             /// encode → decode is the identity for replies, success and fault.
             #[test]
             fn reply_roundtrip_holds(
-                op in 0usize..8,
+                op in 0usize..10,
+                version in 1u16..=2,
                 a in 0u64..u64::MAX,
                 b in 0u64..u64::MAX,
                 price in 0.0f64..1e6,
@@ -1292,7 +1580,13 @@ mod tests {
                 fault_kind in 0usize..7,
             ) {
                 let (opcode, resp) = match op {
-                    0 => (Opcode::OpenSession, Response::OpenSession { session: a, version: b }),
+                    0 => (Opcode::OpenSession, Response::OpenSession {
+                        session: a,
+                        version: b,
+                        // v1 framing drops the token, so a roundtrip only
+                        // holds when it is 0 at v1.
+                        token: if version >= 2 { b ^ a } else { 0 },
+                    }),
                     1 => (Opcode::Quote, Response::Quote { price }),
                     2 => (Opcode::QuoteBatch, Response::QuoteBatch {
                         prices: (0..n).map(|i| price + i as f64).collect(),
@@ -1301,10 +1595,18 @@ mod tests {
                     4 => (Opcode::Execute, Response::Execute { price, rows: a, digest: b }),
                     5 => (Opcode::Repin, Response::Repin { version: b }),
                     6 => (Opcode::Stats, Response::Stats(StatsSnapshot {
-                        sessions_open: a, requests_served: b, ..StatsSnapshot::default()
+                        sessions_open: a, requests_served: b, replay_hits: a ^ b,
+                        ..StatsSnapshot::default()
                     })),
-                    _ => (Opcode::CloseSession, Response::CloseSession {
+                    7 => (Opcode::CloseSession, Response::CloseSession {
                         seed: a, version: b, purchases: n, spent: price, remaining: price / 2.0,
+                    }),
+                    8 => (Opcode::Hello, Response::Hello {
+                        version: (a % 8) as u16,
+                        features: n,
+                    }),
+                    _ => (Opcode::ResumeSession, Response::Resume {
+                        session: a, version: b, purchases: n,
                     }),
                 };
                 let reply = match fault_kind {
@@ -1317,10 +1619,11 @@ mod tests {
                     _ => Reply::Ok(resp),
                 };
                 let mut buf = Vec::new();
-                encode_reply(&mut buf, a, opcode as u16, &reply);
+                encode_reply_v(&mut buf, version, a, opcode as u16, &reply);
                 let h = peek_header(&buf, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+                prop_assert_eq!(h.version, version);
                 prop_assert_eq!(h.opcode, opcode as u16 | RESP_BIT);
-                let back = decode_reply(h.opcode, &buf[HEADER_LEN..]).unwrap();
+                let back = decode_reply_v(h.version, h.opcode, &buf[HEADER_LEN..]).unwrap();
                 prop_assert_eq!(back, reply);
             }
         }

@@ -106,6 +106,7 @@ fn main() {
         market,
         SessionManagerConfig {
             max_sessions: clients * 2,
+            ..SessionManagerConfig::default()
         },
     ));
     let server = Server::start(

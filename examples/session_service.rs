@@ -27,7 +27,10 @@ fn main() {
     let market = Arc::new(Marketplace::new(workload.tables, EntropyPricing::default()));
     let mgr = SessionManager::new(
         Arc::clone(&market),
-        SessionManagerConfig { max_sessions: 3 },
+        SessionManagerConfig {
+            max_sessions: 3,
+            ..SessionManagerConfig::default()
+        },
     );
     println!(
         "marketplace: {} instances at catalog v{}, capacity {} sessions",

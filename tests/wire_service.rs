@@ -87,7 +87,10 @@ fn patch_session(req: &Request, session: u64) -> Request {
         | Request::Execute { session: s, .. }
         | Request::Repin { session: s }
         | Request::CloseSession { session: s } => *s = session,
-        Request::OpenSession { .. } | Request::Stats => {}
+        Request::OpenSession { .. }
+        | Request::Stats
+        | Request::Hello { .. }
+        | Request::Resume { .. } => {}
     }
     r
 }
@@ -117,6 +120,7 @@ fn run_wire_client(addr: std::net::SocketAddr, client: usize, seed: u64) -> Clie
     let Reply::Ok(Response::OpenSession {
         session,
         version: pinned_version,
+        ..
     }) = open
     else {
         panic!("client {client}: expected open, got {open:?}");
@@ -171,6 +175,7 @@ fn replay_transcript(mgr: &SessionManager, run: &ClientRun, snapshot: CatalogSna
         Response::OpenSession {
             session: run.wire_session,
             version: session.pinned_version(),
+            token: 0,
         },
         &mut expected,
         &mut next_id,
@@ -236,7 +241,10 @@ fn eight_wire_clients_update_midrun_transcripts_replay_bitwise() {
     let market = marketplace();
     let mgr = Arc::new(SessionManager::new(
         Arc::clone(&market),
-        SessionManagerConfig { max_sessions: 64 },
+        SessionManagerConfig {
+            max_sessions: 64,
+            ..SessionManagerConfig::default()
+        },
     ));
     let server = Server::start(Arc::clone(&mgr), ServerConfig::default()).unwrap();
     let addr = server.addr();
@@ -261,7 +269,10 @@ fn eight_wire_clients_update_midrun_transcripts_replay_bitwise() {
                                 budget: 1e6,
                             })
                             .unwrap();
-                        let Reply::Ok(Response::OpenSession { session, version }) = open else {
+                        let Reply::Ok(Response::OpenSession {
+                            session, version, ..
+                        }) = open
+                        else {
                             panic!("expected open, got {open:?}");
                         };
                         assert_eq!(version, 0, "pre-update clients pin v0");
@@ -353,7 +364,10 @@ fn rate_limited_clients_get_rejected_frames_not_hangs() {
     let market = marketplace();
     let mgr = Arc::new(SessionManager::new(
         market,
-        SessionManagerConfig { max_sessions: 64 },
+        SessionManagerConfig {
+            max_sessions: 64,
+            ..SessionManagerConfig::default()
+        },
     ));
     let server = Server::start(
         Arc::clone(&mgr),
